@@ -1,0 +1,110 @@
+// Command mcsagent simulates a crowd of users — honest participants and
+// Sybil attackers — driving a running mcsplatform instance over HTTP, then
+// requests aggregation and prints a comparison of the methods.
+//
+// Usage:
+//
+//	mcsagent -url http://localhost:8080 -legit 8 -sybil-accounts 5
+//
+// The agent fetches the platform's task list, builds walking traces over
+// the tasks' POI coordinates, uploads sign-in fingerprint captures and
+// sensing reports for every account, and finally asks the platform to
+// aggregate with crh, td-fp, td-ts, and td-tr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://localhost:8080", "platform base URL")
+	legit := flag.Int("legit", 8, "number of honest users")
+	sybilAccounts := flag.Int("sybil-accounts", 5, "accounts per Sybil attacker (0 disables attackers)")
+	activeness := flag.Float64("activeness", 0.5, "per-account activeness in (0,1]")
+	target := flag.Float64("target", -50, "value the attackers fabricate")
+	seed := flag.Int64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall request timeout")
+	replay := flag.String("replay", "", "replay an archived campaign JSON instead of simulating a crowd")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	client := platform.NewClient(*url, nil)
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		ds, err := mcs.DecodeJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		n, err := platform.ReplayDataset(ctx, client, ds, platform.ReplayOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %d submissions from %s\n", n, *replay)
+		return printAggregates(ctx, client)
+	}
+
+	report, err := platform.DriveCampaign(ctx, client, platform.AgentConfig{
+		NumLegit:      *legit,
+		SybilAccounts: *sybilAccounts,
+		Activeness:    *activeness,
+		Target:        *target,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("campaign complete: %d accounts over %d tasks\n\n", report.Accounts, report.Tasks)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tMAE vs ground truth\tconverged")
+	for _, o := range report.Outcomes {
+		fmt.Fprintf(w, "%s\t%.2f dB\t%v\n", o.Method, o.MAE, o.Converged)
+	}
+	return w.Flush()
+}
+
+// printAggregates runs every standard method and prints the estimates
+// (replay mode has no agent-side ground truth to score against).
+func printAggregates(ctx context.Context, client *platform.Client) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tconverged\testimates")
+	for _, method := range []string{"crh", "td-fp", "td-ts", "td-tr"} {
+		resp, err := client.Aggregate(ctx, method)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%v\t", method, resp.Meta.Converged)
+		for _, tr := range resp.Truths {
+			if tr.Estimated {
+				fmt.Fprintf(w, "%.1f ", tr.Value)
+			} else {
+				fmt.Fprint(w, "x ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,85 @@
+// Command mcsplatform serves the MCS platform HTTP API.
+//
+// Usage:
+//
+//	mcsplatform -addr :8080 -tasks 10
+//
+// The platform publishes N sensing tasks laid out as a synthetic POI map,
+// accepts submissions and sign-in fingerprint captures, and serves
+// Sybil-resistant aggregation at POST /v1/aggregate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/mobility"
+	"sybiltd/internal/platform"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	numTasks := flag.Int("tasks", 10, "number of sensing tasks to publish")
+	seed := flag.Int64("seed", 1, "seed for the POI layout")
+	maxAccounts := flag.Int("max-accounts", 0, "cap on registered accounts (0 = unlimited)")
+	flag.Parse()
+
+	if *numTasks < 1 {
+		fmt.Fprintln(os.Stderr, "mcsplatform: -tasks must be >= 1")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "mcsplatform ", log.LstdFlags)
+	rng := rand.New(rand.NewSource(*seed))
+	pois := mobility.LayoutPOIs(*numTasks, 400, 300, 30, rng)
+	tasks := make([]mcs.Task, len(pois))
+	for i, p := range pois {
+		tasks[i] = mcs.Task{ID: i, Name: fmt.Sprintf("POI-%d", i+1), X: p.X, Y: p.Y}
+	}
+
+	store := platform.NewStore(tasks)
+	if *maxAccounts > 0 {
+		store.SetMaxAccounts(*maxAccounts)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           platform.NewServer(store, logger),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	logger.Printf("serving %d tasks on %s", *numTasks, *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		<-errCh // wait for the serve goroutine to exit
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/platform"
+	"sybiltd/internal/simulate"
+)
+
+// runGen implements `sybiltd gen`: build a synthetic campaign and write it
+// as JSON (the schema of internal/mcs), so it can be archived, shared, or
+// re-aggregated later with `sybiltd aggregate`.
+func runGen(args []string) int {
+	fs := flag.NewFlagSet("sybiltd gen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	tasks := fs.Int("tasks", 10, "number of tasks")
+	legit := fs.Int("legit", 8, "number of honest users")
+	legitAct := fs.Float64("legit-activeness", 0.5, "honest activeness")
+	sybilAct := fs.Float64("sybil-activeness", 0.5, "attacker activeness")
+	out := fs.String("o", "", "output file (default stdout)")
+	truthOut := fs.String("truth", "", "also write the ground truths (CSV: task,value)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc, err := simulate.Build(simulate.Config{
+		Seed:            *seed,
+		NumTasks:        *tasks,
+		NumLegit:        *legit,
+		LegitActiveness: *legitAct,
+		SybilActiveness: *sybilAct,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sybiltd gen: %v\n", err)
+		return 1
+	}
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd gen: %v\n", err)
+			return 1
+		}
+		defer closeFile(f)
+		sink = f
+	}
+	if err := sc.Dataset.EncodeJSON(sink); err != nil {
+		fmt.Fprintf(os.Stderr, "sybiltd gen: %v\n", err)
+		return 1
+	}
+	if *truthOut != "" {
+		f, err := os.Create(*truthOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd gen: %v\n", err)
+			return 1
+		}
+		defer closeFile(f)
+		fmt.Fprintln(f, "task,value")
+		for j, v := range sc.GroundTruth {
+			fmt.Fprintf(f, "%d,%.6f\n", j, v)
+		}
+	}
+	return 0
+}
+
+// runAggregate implements `sybiltd aggregate`: read a JSON campaign and
+// aggregate it with one or all methods.
+func runAggregate(args []string) int {
+	fs := flag.NewFlagSet("sybiltd aggregate", flag.ContinueOnError)
+	method := fs.String("method", "all", "aggregation method (crh, mean, median, td-fp, td-ts, td-tr, or all)")
+	input := fs.String("i", "", "input campaign JSON (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var src io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd aggregate: %v\n", err)
+			return 1
+		}
+		defer closeFile(f)
+		src = f
+	}
+	ds, err := mcs.DecodeJSON(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sybiltd aggregate: %v\n", err)
+		return 1
+	}
+
+	methods := []string{*method}
+	if *method == "all" {
+		methods = []string{"mean", "median", "crh", "td-fp", "td-ts", "td-tr"}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "task"
+	for _, m := range methods {
+		header += "\t" + m
+	}
+	fmt.Fprintln(w, header)
+	results := make([][]float64, len(methods))
+	for mi, m := range methods {
+		alg, err := platform.AlgorithmByName(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd aggregate: %v\n", err)
+			return 2
+		}
+		res, err := alg.Run(ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd aggregate: %s: %v\n", m, err)
+			return 1
+		}
+		results[mi] = res.Truths
+	}
+	for j := 0; j < ds.NumTasks(); j++ {
+		row := ds.Tasks[j].Name
+		for mi := range methods {
+			v := results[mi][j]
+			if math.IsNaN(v) {
+				row += "\tx"
+			} else {
+				row += fmt.Sprintf("\t%.2f", v)
+			}
+		}
+		fmt.Fprintln(w, row)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "sybiltd aggregate: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func closeFile(f *os.File) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sybiltd: close %s: %v\n", f.Name(), err)
+	}
+}

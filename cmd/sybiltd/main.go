@@ -1,0 +1,133 @@
+// Command sybiltd regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sybiltd list                 # show available experiments
+//	sybiltd all [flags]          # run everything
+//	sybiltd <experiment> [flags] # run one (table1, fig2, ..., table4)
+//
+// Flags:
+//
+//	-seed N     base random seed (default: per-experiment documented seed)
+//	-trials N   trials per sweep point for fig6/fig7 (default 10)
+//	-quick      shrink the sweeps for a fast smoke run
+//	-csv        emit CSV instead of ASCII tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sybiltd/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Subcommands with their own flag sets.
+	if len(args) > 0 {
+		switch args[0] {
+		case "gen":
+			return runGen(args[1:])
+		case "aggregate":
+			return runAggregate(args[1:])
+		case "report":
+			return runReport(args[1:])
+		}
+	}
+
+	fs := flag.NewFlagSet("sybiltd", flag.ContinueOnError)
+	seed := fs.Int64("seed", 0, "base random seed (0 = experiment default)")
+	trials := fs.Int("trials", 0, "trials per sweep point (0 = default)")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+	outDir := fs.String("out", "", "also write each experiment's output to <dir>/<id>.txt (or .csv with -csv)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sybiltd [flags] <experiment|all|list>")
+		fmt.Fprintln(os.Stderr, "       sybiltd gen [-seed N] [-tasks N] [-o campaign.json] [-truth truths.csv]")
+		fmt.Fprintln(os.Stderr, "       sybiltd aggregate [-method M] [-i campaign.json]")
+		fmt.Fprintln(os.Stderr, "       sybiltd report [-o report.md] [-trials N] [-quick]")
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "\nexperiments:")
+		for _, id := range experiment.IDs() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", id, experiment.Registry()[id].Description)
+		}
+	}
+
+	// Accept the experiment name in any position relative to flags.
+	var name string
+	var flagArgs []string
+	for _, a := range args {
+		if len(a) > 0 && a[0] != '-' && name == "" {
+			name = a
+			continue
+		}
+		flagArgs = append(flagArgs, a)
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return 2
+	}
+	if name == "" || name == "list" {
+		fs.Usage()
+		if name == "list" {
+			return 0
+		}
+		return 2
+	}
+
+	opts := experiment.Options{Seed: *seed, Trials: *trials, Quick: *quick, CSV: *csv}
+	reg := experiment.Registry()
+
+	runOne := func(id string) error {
+		var sink io.Writer = os.Stdout
+		var file *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return fmt.Errorf("create -out dir: %w", err)
+			}
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			f, err := os.Create(filepath.Join(*outDir, id+ext))
+			if err != nil {
+				return fmt.Errorf("create artifact: %w", err)
+			}
+			file = f
+			sink = io.MultiWriter(os.Stdout, f)
+		}
+		err := reg[id].Run(sink, opts)
+		if file != nil {
+			if cerr := file.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("close artifact: %w", cerr)
+			}
+		}
+		return err
+	}
+
+	if name == "all" {
+		for _, id := range experiment.IDs() {
+			fmt.Printf("== %s ==\n", id)
+			if err := runOne(id); err != nil {
+				fmt.Fprintf(os.Stderr, "sybiltd: %s: %v\n", id, err)
+				return 1
+			}
+			fmt.Println()
+		}
+		return 0
+	}
+	if _, ok := reg[name]; !ok {
+		fmt.Fprintf(os.Stderr, "sybiltd: unknown experiment %q (try `sybiltd list`)\n", name)
+		return 2
+	}
+	if err := runOne(name); err != nil {
+		fmt.Fprintf(os.Stderr, "sybiltd: %s: %v\n", name, err)
+		return 1
+	}
+	return 0
+}

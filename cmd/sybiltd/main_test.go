@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if got := run([]string{"list"}); got != 0 {
+		t.Errorf("list exit = %d, want 0", got)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if got := run(nil); got != 2 {
+		t.Errorf("no-args exit = %d, want 2", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if got := run([]string{"fig99"}); got != 2 {
+		t.Errorf("unknown exit = %d, want 2", got)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if got := run([]string{"table1", "-bogus"}); got != 2 {
+		t.Errorf("bad flag exit = %d, want 2", got)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if got := run([]string{"table4"}); got != 0 {
+		t.Errorf("table4 exit = %d, want 0", got)
+	}
+}
+
+func TestRunWithFlagsAnyOrder(t *testing.T) {
+	if got := run([]string{"-csv", "table4"}); got != 0 {
+		t.Errorf("flag-first exit = %d, want 0", got)
+	}
+	if got := run([]string{"table1", "-seed", "3"}); got != 0 {
+		t.Errorf("flag-last exit = %d, want 0", got)
+	}
+}
+
+func TestRunQuickFig6(t *testing.T) {
+	if got := run([]string{"fig6", "-quick"}); got != 0 {
+		t.Errorf("quick fig6 exit = %d, want 0", got)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if got := run([]string{"table4", "-out", dir, "-csv"}); got != 0 {
+		t.Fatalf("exit = %d", got)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "iPhone SE") {
+		t.Errorf("artifact content: %s", data)
+	}
+}
+
+func TestGenAndAggregateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	campaign := filepath.Join(dir, "campaign.json")
+	truths := filepath.Join(dir, "truths.csv")
+	if got := run([]string{"gen", "-seed", "4", "-o", campaign, "-truth", truths}); got != 0 {
+		t.Fatalf("gen exit = %d", got)
+	}
+	if _, err := os.Stat(campaign); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "task,value\n") {
+		t.Errorf("truths header: %s", data[:20])
+	}
+	if got := run([]string{"aggregate", "-method", "td-tr", "-i", campaign}); got != 0 {
+		t.Fatalf("aggregate exit = %d", got)
+	}
+	if got := run([]string{"aggregate", "-method", "all", "-i", campaign}); got != 0 {
+		t.Fatalf("aggregate all exit = %d", got)
+	}
+	if got := run([]string{"aggregate", "-method", "bogus", "-i", campaign}); got != 2 {
+		t.Errorf("bogus method exit = %d, want 2", got)
+	}
+	if got := run([]string{"aggregate", "-i", filepath.Join(dir, "missing.json")}); got != 1 {
+		t.Errorf("missing file exit = %d, want 1", got)
+	}
+}
+
+func TestReportSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.md")
+	if got := run([]string{"report", "-o", out, "-quick"}); got != 0 {
+		t.Fatalf("report exit = %d", got)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"# sybiltd experiment report", "## table1", "## fig7", "## ext-evolving"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

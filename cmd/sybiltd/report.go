@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sybiltd/internal/experiment"
+)
+
+// runReport implements `sybiltd report`: run every experiment and write a
+// single markdown document with one section per artifact — a freshly
+// regenerated companion to EXPERIMENTS.md.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("sybiltd report", flag.ContinueOnError)
+	out := fs.String("o", "report.md", "output markdown file (- for stdout)")
+	trials := fs.Int("trials", 5, "trials per sweep point")
+	seed := fs.Int64("seed", 0, "base random seed (0 = experiment defaults)")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var sink io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd report: %v\n", err)
+			return 1
+		}
+		defer closeFile(f)
+		sink = f
+	}
+
+	opts := experiment.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+	reg := experiment.Registry()
+	fmt.Fprintln(sink, "# sybiltd experiment report")
+	fmt.Fprintln(sink)
+	fmt.Fprintf(sink, "Generated %s with trials=%d seed=%d quick=%v.\n",
+		time.Now().UTC().Format(time.RFC3339), *trials, *seed, *quick)
+	fmt.Fprintln(sink, "Every table below is regenerated live; see EXPERIMENTS.md for the")
+	fmt.Fprintln(sink, "paper-vs-measured analysis of each artifact.")
+	for _, id := range experiment.IDs() {
+		r := reg[id]
+		fmt.Fprintf(sink, "\n## %s\n\n%s\n\n```\n", id, r.Description)
+		if err := r.Run(sink, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "sybiltd report: %s: %v\n", id, err)
+			return 1
+		}
+		fmt.Fprintln(sink, "```")
+	}
+	if *out != "-" {
+		fmt.Printf("report written to %s\n", *out)
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+// Attack analysis: how many accounts does a Sybil attacker need before
+// plain truth discovery caves, and does the framework hold? Sweeps the
+// attacker's account count and prints the aggregation error of CRH vs the
+// framework, plus the attacker's "success" (how far the estimate moved
+// toward the fabrication target).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sybiltd"
+)
+
+func main() {
+	const target = -50.0
+	fmt.Println("accounts  CRH-MAE  TD-TR-MAE  CRH-pull%  TD-TR-pull%")
+	for _, accounts := range []int{1, 2, 3, 5, 8, 12} {
+		sc, err := sybiltd.BuildScenario(sybiltd.ScenarioConfig{
+			Seed:            21,
+			LegitActiveness: 0.5,
+			Attackers: []sybiltd.AttackProfile{{
+				Kind:        sybiltd.AttackII,
+				NumAccounts: accounts,
+				NumDevices:  2,
+				Activeness:  0.8,
+				Strategy:    sybiltd.FabricateStrategy{Target: target},
+			}},
+		})
+		if err != nil {
+			log.Fatalf("attackanalysis: %v", err)
+		}
+
+		crh, err := sybiltd.CRH{}.Run(sc.Dataset)
+		if err != nil {
+			log.Fatalf("attackanalysis: CRH: %v", err)
+		}
+		fw := sybiltd.Framework{Grouper: sybiltd.AGTR{Phi: 0.3}}
+		res, err := fw.Run(sc.Dataset)
+		if err != nil {
+			log.Fatalf("attackanalysis: framework: %v", err)
+		}
+
+		fmt.Printf("%8d  %7.2f  %9.2f  %8.0f%%  %10.0f%%\n",
+			accounts,
+			mae(crh.Truths, sc.GroundTruth),
+			mae(res.Truths, sc.GroundTruth),
+			pullToward(crh.Truths, sc.GroundTruth, target),
+			pullToward(res.Truths, sc.GroundTruth, target),
+		)
+	}
+	fmt.Println("\npull% = how far the estimate moved from the truth toward the")
+	fmt.Println("attacker's -50 dBm target, averaged over attacked tasks.")
+}
+
+func mae(estimates, truth []float64) float64 {
+	var sum float64
+	var n int
+	for j, v := range estimates {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += math.Abs(v - truth[j])
+		n++
+	}
+	return sum / float64(n)
+}
+
+// pullToward measures attack success: 0% means the estimate equals the
+// truth, 100% means it reached the fabrication target.
+func pullToward(estimates, truth []float64, target float64) float64 {
+	var sum float64
+	var n int
+	for j, v := range estimates {
+		if math.IsNaN(v) {
+			continue
+		}
+		gap := target - truth[j]
+		if math.Abs(gap) < 1 {
+			continue
+		}
+		frac := (v - truth[j]) / gap
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		sum += frac
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}

@@ -1,0 +1,45 @@
+// Quickstart: run plain truth discovery and the Sybil-resistant framework
+// on the paper's Table I example and watch the attack succeed and fail.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sybiltd"
+)
+
+func main() {
+	// The paper's running example: 4 Wi-Fi measurement tasks, 3 honest
+	// users, and a Sybil attacker submitting -50 dBm from accounts
+	// 4', 4'', 4''' to fake a strong signal at tasks 1, 3, and 4.
+	ds := sybiltd.PaperExampleWithSybil()
+
+	// Plain truth discovery (CRH) believes the attacker.
+	crh, err := sybiltd.CRH{}.Run(ds)
+	if err != nil {
+		log.Fatalf("quickstart: CRH: %v", err)
+	}
+
+	// The Sybil-resistant framework groups the attacker's accounts by
+	// trajectory (they performed the same tasks seconds apart) and treats
+	// the group as one voice.
+	fw := sybiltd.Framework{Grouper: sybiltd.AGTR{Mode: 2 /* absolute-cost DTW, matches the paper's example */}}
+	resistant, err := fw.Run(ds)
+	if err != nil {
+		log.Fatalf("quickstart: framework: %v", err)
+	}
+
+	honest, err := sybiltd.CRH{}.Run(sybiltd.PaperExampleHonest())
+	if err != nil {
+		log.Fatalf("quickstart: honest baseline: %v", err)
+	}
+
+	fmt.Println("task  honest-CRH  CRH-under-attack  framework-under-attack")
+	for j := range crh.Truths {
+		fmt.Printf("T%d    %8.2f    %12.2f      %12.2f\n",
+			j+1, honest.Truths[j], crh.Truths[j], resistant.Truths[j])
+	}
+	fmt.Println("\nCRH swings T1/T3/T4 toward the fabricated -50 dBm;")
+	fmt.Println("the framework stays near the honest estimates.")
+}

@@ -1,0 +1,3 @@
+module sybiltd
+
+go 1.22

@@ -1,0 +1,159 @@
+// Package attack implements the paper's adversary models (§III-C):
+// Attack-I (one device, many accounts) and Attack-II (many devices, many
+// accounts), together with the data-fabrication strategies a Sybil
+// attacker uses. The scenario generator (internal/simulate) consumes these
+// to inject attackers into synthetic campaigns.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind is the attack type of §III-C.
+type Kind int
+
+const (
+	// AttackI uses a single device with multiple accounts; all accounts
+	// share one device fingerprint.
+	AttackI Kind = iota + 1
+	// AttackII spreads accounts across multiple devices; fingerprints
+	// differ across the attacker's devices.
+	AttackII
+)
+
+// String returns "Attack-I" or "Attack-II".
+func (k Kind) String() string {
+	switch k {
+	case AttackI:
+		return "Attack-I"
+	case AttackII:
+		return "Attack-II"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Strategy decides the value a Sybil account submits for a task.
+type Strategy interface {
+	// Name returns a short identifier.
+	Name() string
+	// Fabricate returns the value account accountIdx (0-based within the
+	// attacker) submits for a task whose true value is truth and for which
+	// the attacker's own (single) measurement was measured.
+	Fabricate(truth, measured float64, accountIdx int, rng *rand.Rand) float64
+}
+
+// Fabricate is the paper's malicious strategy: every account reports the
+// same fixed target value (e.g. -50 dBm to fake a strong signal), with
+// optional per-account jitter to evade trivial duplicate detection.
+type Fabricate struct {
+	// Target is the value the attacker wants the platform to adopt.
+	Target float64
+	// JitterSigma adds N(0, sigma) per account so submissions are not
+	// byte-identical. Zero means no jitter.
+	JitterSigma float64
+}
+
+// Name implements Strategy.
+func (Fabricate) Name() string { return "fabricate" }
+
+// Fabricate implements Strategy.
+func (f Fabricate) Fabricate(_, _ float64, _ int, rng *rand.Rand) float64 {
+	return f.Target + rng.NormFloat64()*f.JitterSigma
+}
+
+// Duplicate is the rapacious strategy: the attacker performs the task once
+// and re-submits its own measurement from every account, possibly after
+// "simple modification" (the paper's wording) modeled as small jitter.
+type Duplicate struct {
+	// JitterSigma is the modification noise; zero means 0.1.
+	JitterSigma float64
+}
+
+// Name implements Strategy.
+func (Duplicate) Name() string { return "duplicate" }
+
+// Fabricate implements Strategy.
+func (d Duplicate) Fabricate(_, measured float64, accountIdx int, rng *rand.Rand) float64 {
+	if accountIdx == 0 {
+		return measured
+	}
+	sigma := d.JitterSigma
+	if sigma == 0 {
+		sigma = 0.1
+	}
+	return measured + rng.NormFloat64()*sigma
+}
+
+// Offset biases the attacker's real measurement by a constant, dragging
+// the aggregate without an implausible absolute value.
+type Offset struct {
+	// Delta is added to the true measurement.
+	Delta float64
+	// JitterSigma adds per-account noise; zero means 0.2.
+	JitterSigma float64
+}
+
+// Name implements Strategy.
+func (Offset) Name() string { return "offset" }
+
+// Fabricate implements Strategy.
+func (o Offset) Fabricate(_, measured float64, _ int, rng *rand.Rand) float64 {
+	sigma := o.JitterSigma
+	if sigma == 0 {
+		sigma = 0.2
+	}
+	return measured + o.Delta + rng.NormFloat64()*sigma
+}
+
+// Profile describes one Sybil attacker in a scenario.
+type Profile struct {
+	// Kind is Attack-I or Attack-II.
+	Kind Kind
+	// NumAccounts is how many accounts the attacker controls (the paper's
+	// attackers have 5 each).
+	NumAccounts int
+	// NumDevices is how many physical devices the attacker owns: forced to
+	// 1 for Attack-I; the paper's Attack-II attacker has 2.
+	NumDevices int
+	// Strategy decides submitted values; nil means Fabricate{Target: -50}.
+	Strategy Strategy
+	// Activeness is the attacker's per-account activeness α (Eq. 9).
+	Activeness float64
+}
+
+// Normalize fills defaults and enforces kind constraints.
+func (p Profile) Normalize() Profile {
+	if p.NumAccounts <= 0 {
+		p.NumAccounts = 5
+	}
+	switch p.Kind {
+	case AttackII:
+		if p.NumDevices < 2 {
+			p.NumDevices = 2
+		}
+		if p.NumDevices > p.NumAccounts {
+			p.NumDevices = p.NumAccounts
+		}
+	default:
+		p.Kind = AttackI
+		p.NumDevices = 1
+	}
+	if p.Strategy == nil {
+		p.Strategy = Fabricate{Target: -50}
+	}
+	if p.Activeness <= 0 {
+		p.Activeness = 0.5
+	}
+	if p.Activeness > 1 {
+		p.Activeness = 1
+	}
+	return p
+}
+
+var (
+	_ Strategy = Fabricate{}
+	_ Strategy = Duplicate{}
+	_ Strategy = Offset{}
+)

@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if AttackI.String() != "Attack-I" || AttackII.String() != "Attack-II" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestFabricateStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Fabricate{Target: -50}
+	for s := 0; s < 5; s++ {
+		if got := f.Fabricate(-80, -79, s, rng); got != -50 {
+			t.Errorf("fabricate without jitter = %v, want -50", got)
+		}
+	}
+	fj := Fabricate{Target: -50, JitterSigma: 1}
+	var far int
+	for s := 0; s < 100; s++ {
+		v := fj.Fabricate(-80, -79, s, rng)
+		if math.Abs(v-(-50)) > 5 {
+			far++
+		}
+	}
+	if far > 2 {
+		t.Errorf("jittered fabrications stray too far: %d/100 beyond 5 dB", far)
+	}
+	if f.Name() != "fabricate" {
+		t.Error("name")
+	}
+}
+
+func TestDuplicateStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Duplicate{}
+	if got := d.Fabricate(-80, -78.5, 0, rng); got != -78.5 {
+		t.Errorf("first account should resubmit the measurement verbatim, got %v", got)
+	}
+	v := d.Fabricate(-80, -78.5, 1, rng)
+	if math.Abs(v-(-78.5)) > 1 {
+		t.Errorf("duplicate with default jitter = %v, want near -78.5", v)
+	}
+	if d.Name() != "duplicate" {
+		t.Error("name")
+	}
+}
+
+func TestOffsetStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := Offset{Delta: 10}
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += o.Fabricate(-80, -79, i, rng)
+	}
+	if mean := sum / n; math.Abs(mean-(-69)) > 0.2 {
+		t.Errorf("offset mean = %v, want ~-69", mean)
+	}
+	if o.Name() != "offset" {
+		t.Error("name")
+	}
+}
+
+func TestProfileNormalize(t *testing.T) {
+	p := Profile{}.Normalize()
+	if p.Kind != AttackI || p.NumDevices != 1 || p.NumAccounts != 5 {
+		t.Errorf("zero profile normalized to %+v", p)
+	}
+	if p.Strategy == nil {
+		t.Fatal("default strategy missing")
+	}
+	if p.Activeness != 0.5 {
+		t.Errorf("default activeness = %v", p.Activeness)
+	}
+
+	p = Profile{Kind: AttackII, NumAccounts: 3}.Normalize()
+	if p.NumDevices != 2 {
+		t.Errorf("Attack-II devices = %d, want 2", p.NumDevices)
+	}
+	p = Profile{Kind: AttackII, NumAccounts: 2, NumDevices: 7}.Normalize()
+	if p.NumDevices != 2 {
+		t.Errorf("devices capped = %d, want 2 (<= accounts)", p.NumDevices)
+	}
+	p = Profile{Kind: AttackI, NumDevices: 4}.Normalize()
+	if p.NumDevices != 1 {
+		t.Errorf("Attack-I devices = %d, want 1", p.NumDevices)
+	}
+	p = Profile{Activeness: 5}.Normalize()
+	if p.Activeness != 1 {
+		t.Errorf("activeness clamp = %v, want 1", p.Activeness)
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"math"
+)
+
+// ElbowResult reports an elbow-method sweep.
+type ElbowResult struct {
+	// K is the chosen number of clusters.
+	K int
+	// SSEs[i] is the best SSE observed for k = i+1.
+	SSEs []float64
+	// Result is the k-means result at the chosen K.
+	Result Result
+}
+
+// Elbow runs k-means for k = 1..maxK and picks the k "at which SSE starts
+// to diminish" (the knee). The knee is located with the max-distance
+// heuristic: normalize the (k, SSE) curve and pick the point with the
+// largest perpendicular distance to the chord from (1, SSE_1) to
+// (maxK, SSE_maxK). This is the standard formalization of the eyeballed
+// elbow the paper describes (Kodinariya & Makwana 2013).
+//
+// maxK is clamped to len(points). cfg.K is ignored.
+func Elbow(points [][]float64, maxK int, cfg Config) (ElbowResult, error) {
+	if len(points) == 0 {
+		return ElbowResult{}, ErrNoPoints
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	sses := make([]float64, maxK)
+	results := make([]Result, maxK)
+	for k := 1; k <= maxK; k++ {
+		c := cfg
+		c.K = k
+		res, err := KMeans(points, c)
+		if err != nil {
+			return ElbowResult{}, err
+		}
+		sses[k-1] = res.SSE
+		results[k-1] = res
+	}
+	k := kneeIndex(sses) + 1
+	return ElbowResult{K: k, SSEs: sses, Result: results[k-1]}, nil
+}
+
+// kneeIndex returns the index of the knee of a decreasing curve ys using
+// the max-distance-to-chord method on the normalized curve.
+func kneeIndex(ys []float64) int {
+	n := len(ys)
+	if n <= 2 {
+		return 0
+	}
+	y0, y1 := ys[0], ys[n-1]
+	span := y0 - y1
+	if span <= 0 {
+		// Flat or increasing curve: no structure; a single cluster is the
+		// honest answer.
+		return 0
+	}
+	// Chord from (0,1) to (1,0) in normalized coordinates; distance of
+	// (x, y) to the line x + y - 1 = 0 is |x + y - 1| / sqrt(2).
+	best, bestD := 0, -1.0
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		y := (ys[i] - y1) / span
+		if d := math.Abs(x + y - 1); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, (b - a) / max(a, b) where a is the mean distance to its own
+// cluster and b the smallest mean distance to another cluster. Values lie
+// in [-1, 1]; higher is better. Clusterings with a single cluster (or
+// where every point is alone) score 0.
+func Silhouette(points [][]float64, assign []int) float64 {
+	n := len(points)
+	if n == 0 || len(assign) != n {
+		return 0
+	}
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	var total float64
+	var counted int
+	sum := make([]float64, k)
+	for i := 0; i < n; i++ {
+		ci := assign[i]
+		if sizes[ci] <= 1 {
+			continue // silhouette undefined; conventionally 0, skip
+		}
+		for c := range sum {
+			sum[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sum[assign[j]] += math.Sqrt(sqDist(points[i], points[j]))
+		}
+		a := sum[ci] / float64(sizes[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || sizes[c] == 0 {
+				continue
+			}
+			if m := sum[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// SilhouetteSelect runs k-means for k = 2..maxK and returns the clustering
+// with the highest mean silhouette coefficient — an alternative to the
+// elbow method when the SSE curve has no clean knee. For datasets where a
+// single cluster is plausible, callers should compare the winner's
+// silhouette against a threshold; this function always returns k >= 2
+// unless the data has fewer than 2 points.
+func SilhouetteSelect(points [][]float64, maxK int, cfg Config) (ElbowResult, error) {
+	if len(points) == 0 {
+		return ElbowResult{}, ErrNoPoints
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	if maxK < 2 {
+		res, err := KMeans(points, withK(cfg, 1))
+		if err != nil {
+			return ElbowResult{}, err
+		}
+		return ElbowResult{K: 1, SSEs: []float64{res.SSE}, Result: res}, nil
+	}
+	best := ElbowResult{K: 2}
+	bestScore := -2.0
+	sses := make([]float64, 0, maxK-1)
+	for k := 2; k <= maxK; k++ {
+		res, err := KMeans(points, withK(cfg, k))
+		if err != nil {
+			return ElbowResult{}, err
+		}
+		sses = append(sses, res.SSE)
+		if s := Silhouette(points, res.Assignments); s > bestScore {
+			bestScore = s
+			best = ElbowResult{K: k, Result: res}
+		}
+	}
+	best.SSEs = sses
+	return best, nil
+}
+
+func withK(cfg Config, k int) Config {
+	cfg.K = k
+	return cfg
+}

@@ -1,0 +1,225 @@
+// Package cluster implements the clustering substrate used by AG-FP:
+// k-means with k-means++ seeding, the elbow method for choosing k, and a
+// silhouette score for diagnostics.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrNoPoints is returned when clustering is attempted on an empty dataset.
+var ErrNoPoints = errors.New("cluster: no points")
+
+// Result is the output of a k-means run.
+type Result struct {
+	// Assignments[i] is the cluster index of point i, in [0, K).
+	Assignments []int
+	// Centroids[c] is the center of cluster c.
+	Centroids [][]float64
+	// SSE is the sum of squared distances from each point to its centroid
+	// (the k-means objective, also called inertia).
+	SSE float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// K returns the number of clusters in the result.
+func (r Result) K() int { return len(r.Centroids) }
+
+// Groups converts the assignment vector into per-cluster index lists.
+// Empty clusters yield empty (non-nil) slices.
+func (r Result) Groups() [][]int {
+	groups := make([][]int, r.K())
+	for c := range groups {
+		groups[c] = []int{}
+	}
+	for i, c := range r.Assignments {
+		groups[c] = append(groups[c], i)
+	}
+	return groups
+}
+
+// Config controls a k-means run.
+type Config struct {
+	// K is the number of clusters; must be in [1, len(points)].
+	K int
+	// MaxIterations bounds the Lloyd loop. Zero means 100.
+	MaxIterations int
+	// Restarts is the number of independent k-means++ initializations; the
+	// run with the lowest SSE wins. Zero means 4.
+	Restarts int
+	// Rand drives seeding. Nil means a fixed-seed source, so results are
+	// reproducible by default.
+	Rand *rand.Rand
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 4
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c
+}
+
+// KMeans clusters points into cfg.K clusters using Lloyd's algorithm with
+// k-means++ seeding and restarts. Points must be non-empty rows of equal
+// dimension.
+func KMeans(points [][]float64, cfg Config) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, ErrNoPoints
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return Result{}, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 || cfg.K > len(points) {
+		return Result{}, fmt.Errorf("cluster: k=%d out of range [1, %d]", cfg.K, len(points))
+	}
+
+	best := Result{SSE: math.Inf(1)}
+	for r := 0; r < cfg.Restarts; r++ {
+		res := lloyd(points, cfg)
+		if res.SSE < best.SSE {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// lloyd runs one seeded Lloyd optimization.
+func lloyd(points [][]float64, cfg Config) Result {
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, cfg.K, cfg.Rand)
+	assign := make([]int, len(points))
+	counts := make([]int, cfg.K)
+	var iters int
+
+	for iters = 1; iters <= cfg.MaxIterations; iters++ {
+		changed := false
+		for i, p := range points {
+			c := nearestCentroid(p, centroids)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iters > 1 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centroids[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to keep exactly K clusters alive.
+				far := farthestPoint(points, centroids, assign)
+				copy(centroids[c], points[far])
+				assign[far] = c
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := 0; d < dim; d++ {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	var sse float64
+	for i, p := range points {
+		sse += sqDist(p, centroids[assign[i]])
+	}
+	return Result{Assignments: assign, Centroids: centroids, SSE: sse, Iterations: iters}
+}
+
+// seedPlusPlus selects k initial centroids with the k-means++ strategy:
+// the first uniformly at random, each subsequent one with probability
+// proportional to its squared distance from the nearest chosen centroid.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, cloneVec(first))
+
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d2[i] = sqDist(p, centroids[nearestCentroid(p, centroids)])
+			total += d2[i]
+		}
+		var next int
+		if total == 0 {
+			// All points coincide with centroids; pick uniformly.
+			next = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			var cum float64
+			for i := range points {
+				cum += d2[i]
+				if cum >= target {
+					next = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, cloneVec(points[next]))
+	}
+	return centroids
+}
+
+func nearestCentroid(p []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centroids {
+		if d := sqDist(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func farthestPoint(points, centroids [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		if d := sqDist(p, centroids[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates numBlobs well-separated Gaussian clusters of size each.
+func blobs(numBlobs, size int, spread float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var points [][]float64
+	var labels []int
+	for b := 0; b < numBlobs; b++ {
+		cx := float64(b) * 20
+		cy := float64(b%2) * 20
+		for i := 0; i < size; i++ {
+			points = append(points, []float64{
+				cx + rng.NormFloat64()*spread,
+				cy + rng.NormFloat64()*spread,
+			})
+			labels = append(labels, b)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	points, labels := blobs(3, 20, 0.5, 1)
+	res, err := KMeans(points, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d, want 3", res.K())
+	}
+	// All points of the same true blob must share an assignment, and
+	// different blobs must differ (perfect recovery on separated blobs).
+	blobToCluster := map[int]int{}
+	for i, lbl := range labels {
+		if c, ok := blobToCluster[lbl]; ok {
+			if c != res.Assignments[i] {
+				t.Fatalf("blob %d split across clusters", lbl)
+			}
+		} else {
+			blobToCluster[lbl] = res.Assignments[i]
+		}
+	}
+	if len(blobToCluster) != 3 {
+		t.Fatalf("expected 3 distinct clusters, got %d", len(blobToCluster))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, Config{K: 1}); err == nil {
+		t.Error("empty input should error")
+	}
+	points := [][]float64{{1, 2}, {3, 4}}
+	if _, err := KMeans(points, Config{K: 0}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(points, Config{K: 3}); err == nil {
+		t.Error("k > n should error")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, Config{K: 1}); err == nil {
+		t.Error("ragged input should error")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	points := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := KMeans(points, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Centroids[0]; math.Abs(got[0]-1) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Errorf("centroid = %v, want [1 1]", got)
+	}
+	if math.Abs(res.SSE-8) > 1e-9 {
+		t.Errorf("SSE = %v, want 8", res.SSE)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	points := [][]float64{{0}, {10}, {20}}
+	res, err := KMeans(points, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-9 {
+		t.Errorf("SSE with k=n should be 0, got %v", res.SSE)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assignments {
+		if seen[c] {
+			t.Error("k=n should give each point its own cluster")
+		}
+		seen[c] = true
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	res, err := KMeans(points, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-9 {
+		t.Errorf("SSE of identical points = %v, want 0", res.SSE)
+	}
+}
+
+func TestKMeansDeterministicWithDefaultRand(t *testing.T) {
+	points, _ := blobs(3, 10, 1.0, 2)
+	a, err := KMeans(points, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("default-rand k-means should be deterministic")
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	res := Result{
+		Assignments: []int{0, 1, 0, 2},
+		Centroids:   [][]float64{{0}, {0}, {0}},
+	}
+	groups := res.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Errorf("group 0 = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || len(groups[2]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+// Property: SSE is non-increasing in k (best-of-restarts, same data).
+func TestSSEMonotoneInK(t *testing.T) {
+	points, _ := blobs(4, 8, 2.0, 3)
+	prev := math.Inf(1)
+	for k := 1; k <= 8; k++ {
+		res, err := KMeans(points, Config{K: k, Restarts: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow tiny numeric slack; restarts make big regressions unlikely.
+		if res.SSE > prev*1.05+1e-9 {
+			t.Errorf("SSE(k=%d)=%v > SSE(k=%d)=%v", k, res.SSE, k-1, prev)
+		}
+		if res.SSE < prev {
+			prev = res.SSE
+		}
+	}
+}
+
+// Property: every assignment is in range and every cluster non-empty.
+func TestKMeansInvariantsProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		k := 1 + int(kRaw)%n
+		res, err := KMeans(points, Config{K: k, Rand: rng})
+		if err != nil {
+			return false
+		}
+		counts := make([]int, k)
+		for _, c := range res.Assignments {
+			if c < 0 || c >= k {
+				return false
+			}
+			counts[c]++
+		}
+		for _, c := range counts {
+			if c == 0 {
+				return false
+			}
+		}
+		return res.SSE >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElbowFindsTrueK(t *testing.T) {
+	points, _ := blobs(3, 15, 0.5, 4)
+	res, err := Elbow(points, 8, Config{Restarts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Errorf("elbow K = %d, want 3 (SSEs: %v)", res.K, res.SSEs)
+	}
+	if len(res.SSEs) != 8 {
+		t.Errorf("SSEs len = %d, want 8", len(res.SSEs))
+	}
+	if res.Result.K() != res.K {
+		t.Errorf("Result.K() = %d, want %d", res.Result.K(), res.K)
+	}
+}
+
+func TestElbowEdgeCases(t *testing.T) {
+	if _, err := Elbow(nil, 3, Config{}); err == nil {
+		t.Error("empty input should error")
+	}
+	// maxK clamped to n.
+	points := [][]float64{{0}, {1}}
+	res, err := Elbow(points, 10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SSEs) != 2 {
+		t.Errorf("SSEs len = %d, want 2", len(res.SSEs))
+	}
+	// Identical points: flat SSE curve, single cluster.
+	same := [][]float64{{1}, {1}, {1}}
+	res, err = Elbow(same, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("identical points elbow K = %d, want 1", res.K)
+	}
+}
+
+func TestKneeIndex(t *testing.T) {
+	// Classic elbow: steep drop then flat.
+	ys := []float64{100, 20, 15, 13, 12, 11}
+	if got := kneeIndex(ys); got != 1 {
+		t.Errorf("kneeIndex = %d, want 1", got)
+	}
+	if got := kneeIndex([]float64{5}); got != 0 {
+		t.Errorf("kneeIndex single = %d, want 0", got)
+	}
+	if got := kneeIndex([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("kneeIndex flat = %d, want 0", got)
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	// Two tight, separated pairs: near-perfect silhouette.
+	points := [][]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	good := Silhouette(points, []int{0, 0, 1, 1})
+	if good < 0.9 {
+		t.Errorf("good silhouette = %v, want > 0.9", good)
+	}
+	// Mixing the pairs must score worse.
+	bad := Silhouette(points, []int{0, 1, 0, 1})
+	if bad >= good {
+		t.Errorf("bad split %v should score below good split %v", bad, good)
+	}
+	// Single cluster: 0 by convention.
+	if s := Silhouette(points, []int{0, 0, 0, 0}); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+	if s := Silhouette(nil, nil); s != 0 {
+		t.Errorf("empty silhouette = %v, want 0", s)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	points, _ := blobs(5, 40, 1.0, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(points, Config{K: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElbow(b *testing.B) {
+	points, _ := blobs(4, 15, 1.0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Elbow(points, 10, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSilhouetteSelectFindsTrueK(t *testing.T) {
+	points, _ := blobs(3, 15, 0.5, 9)
+	res, err := SilhouetteSelect(points, 8, Config{Restarts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Errorf("silhouette K = %d, want 3", res.K)
+	}
+	if res.Result.K() != 3 {
+		t.Errorf("result K = %d", res.Result.K())
+	}
+}
+
+func TestSilhouetteSelectEdgeCases(t *testing.T) {
+	if _, err := SilhouetteSelect(nil, 3, Config{}); err == nil {
+		t.Error("empty input should error")
+	}
+	// Single point: k clamps to 1.
+	res, err := SilhouetteSelect([][]float64{{1}}, 5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("single-point K = %d, want 1", res.K)
+	}
+}

@@ -1,0 +1,388 @@
+// Package core implements the paper's primary contribution: the
+// Sybil-resistant truth discovery framework of Algorithm 2. The framework
+// first partitions accounts with a pluggable account grouping method
+// (internal/grouping), collapses each group's data to a single value per
+// task, and then runs the iterative weight/truth estimation loop at the
+// granularity of groups, so that a Sybil attacker's many accounts count as
+// one voice no matter how many accounts it creates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/signal"
+	"sybiltd/internal/truth"
+)
+
+// Aggregator selects how the data submitted by one group for one task is
+// collapsed into the group's single value d̃ (the role of Eq. 3).
+//
+// Eq. (3) as printed is degenerate — its denominator Σ(d−mean) is
+// identically zero — so the framework exposes the three defensible
+// readings and defaults to the one matching the paper's prose ("the
+// aggregated data for the group will be close to the average of the data
+// submitted", §V-B). See DESIGN.md for the erratum discussion.
+type Aggregator int
+
+const (
+	// AggregateMean collapses a group's data to its arithmetic mean
+	// (default; matches the paper's prose).
+	AggregateMean Aggregator = iota + 1
+	// AggregateMedian collapses to the median, trading a little bias for
+	// robustness when a group mixes honest and fabricated values.
+	AggregateMedian
+	// AggregateInverseDeviation weights each value by 1/(|d − mean| + ε),
+	// the most plausible literal reading of the printed Eq. (3): values
+	// near the group consensus dominate.
+	AggregateInverseDeviation
+	// AggregateMajority collapses to the most frequent value (ties to the
+	// smallest). Use it for categorical campaigns, where interpolating
+	// between labels is meaningless.
+	AggregateMajority
+)
+
+// String returns a short label for benches and tables.
+func (a Aggregator) String() string {
+	switch a {
+	case AggregateMean:
+		return "mean"
+	case AggregateMedian:
+		return "median"
+	case AggregateInverseDeviation:
+		return "invdev"
+	case AggregateMajority:
+		return "majority"
+	default:
+		return fmt.Sprintf("Aggregator(%d)", int(a))
+	}
+}
+
+// Config tunes the framework's iterative loop.
+type Config struct {
+	// Aggregator is the Eq. (3) strategy; zero means AggregateMean.
+	Aggregator Aggregator
+	// MaxIterations caps the group-level estimation loop. Zero means 100.
+	MaxIterations int
+	// Tolerance stops the loop when the largest truth update falls below
+	// it. Zero means 1e-6.
+	Tolerance float64
+	// LossFloor floors per-group losses in the CRH-style weight update.
+	// Zero means 1e-9.
+	LossFloor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Aggregator == 0 {
+		c.Aggregator = AggregateMean
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-6
+	}
+	if c.LossFloor == 0 {
+		c.LossFloor = 1e-9
+	}
+	return c
+}
+
+// Framework is the Sybil-resistant truth discovery framework: an account
+// grouping method paired with a group-level truth discovery loop
+// (Algorithm 2). It implements truth.Algorithm, so it is interchangeable
+// with CRH and the baselines everywhere.
+type Framework struct {
+	// Grouper is the account grouping method (AG step). Required.
+	Grouper grouping.Grouper
+	// Config tunes aggregation and iteration.
+	Config Config
+}
+
+// ErrNoGrouper is returned when Run is called without a Grouper.
+var ErrNoGrouper = errors.New("core: framework requires a Grouper")
+
+// Name implements truth.Algorithm: "TD-FP" for the AG-FP grouper, etc.,
+// following the paper's naming in §V-C.
+func (f Framework) Name() string {
+	if f.Grouper == nil {
+		return "TD-?"
+	}
+	name := f.Grouper.Name()
+	if len(name) > 3 && name[:3] == "AG-" {
+		return "TD-" + name[3:]
+	}
+	return "TD[" + name + "]"
+}
+
+// Run implements truth.Algorithm.
+func (f Framework) Run(ds *mcs.Dataset) (truth.Result, error) {
+	res, _, err := f.RunDetailed(ds)
+	return res, err
+}
+
+// RunDetailed is Run plus the account grouping it used, for diagnostics
+// and the experiment harness.
+func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping, error) {
+	if f.Grouper == nil {
+		return truth.Result{}, grouping.Grouping{}, ErrNoGrouper
+	}
+	if ds == nil {
+		return truth.Result{}, grouping.Grouping{}, truth.ErrNilDataset
+	}
+	if err := ds.Validate(); err != nil {
+		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: %w", err)
+	}
+	cfg := f.Config.withDefaults()
+
+	// Account grouping (Algorithm 2 line 1).
+	g, err := f.Grouper.Group(ds)
+	if err != nil {
+		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: account grouping: %w", err)
+	}
+	if err := g.Validate(ds.NumAccounts()); err != nil {
+		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: grouper %s returned invalid partition: %w", f.Grouper.Name(), err)
+	}
+
+	m := ds.NumTasks()
+	l := g.NumGroups()
+
+	// Data grouping (lines 2-6): for each task, collapse each group's
+	// values to one aggregate (Eq. 3 strategy) and compute the initial
+	// anti-Sybil weight of Eq. (4).
+	groupValues, initWeights, err := groupData(ds, g, cfg.Aggregator)
+	if err != nil {
+		return truth.Result{}, grouping.Grouping{}, err
+	}
+
+	// Truth initialization (Eq. 5).
+	truths := make([]float64, m)
+	hasData := make([]bool, m)
+	for j := 0; j < m; j++ {
+		var num, den, sum float64
+		var count int
+		for k := 0; k < l; k++ {
+			v, ok := groupValues[k][j]
+			if !ok {
+				continue
+			}
+			w := initWeights[k][j]
+			num += w * v
+			den += w
+			sum += v
+			count++
+		}
+		switch {
+		case count == 0:
+			truths[j] = math.NaN()
+		case den == 0:
+			// Every group weight clamped to zero (e.g. one group covers
+			// all submitters): fall back to the plain average of group
+			// aggregates, which is still Sybil-diminished.
+			truths[j] = sum / float64(count)
+			hasData[j] = true
+		default:
+			truths[j] = num / den
+			hasData[j] = true
+		}
+	}
+
+	// Per-task scale normalizers over group aggregates, as CRH does over
+	// raw values.
+	std := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var vals []float64
+		for k := 0; k < l; k++ {
+			if v, ok := groupValues[k][j]; ok {
+				vals = append(vals, v)
+			}
+		}
+		s := signal.StdDev(vals)
+		if s < 1e-9 {
+			s = 1e-9
+		}
+		std[j] = s
+	}
+
+	// Iterative group weight / truth estimation (lines 8-15).
+	weights := make([]float64, l)
+	losses := make([]float64, l)
+	converged := false
+	var iter int
+	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		var totalLoss float64
+		for k := 0; k < l; k++ {
+			var loss float64
+			empty := true
+			for j := 0; j < m; j++ {
+				v, ok := groupValues[k][j]
+				if !ok || !hasData[j] {
+					continue
+				}
+				empty = false
+				d := v - truths[j]
+				loss += d * d / std[j]
+			}
+			if empty {
+				losses[k] = -1 // marker: group contributed nothing
+				continue
+			}
+			if loss < cfg.LossFloor {
+				loss = cfg.LossFloor
+			}
+			losses[k] = loss
+			totalLoss += loss
+		}
+		for k := 0; k < l; k++ {
+			if losses[k] < 0 {
+				weights[k] = 0
+				continue
+			}
+			w := math.Log(totalLoss / losses[k])
+			if w < 0 {
+				w = 0
+			}
+			weights[k] = w
+		}
+
+		maxDelta := 0.0
+		for j := 0; j < m; j++ {
+			if !hasData[j] {
+				continue
+			}
+			var num, den, sum float64
+			var count int
+			for k := 0; k < l; k++ {
+				v, ok := groupValues[k][j]
+				if !ok {
+					continue
+				}
+				num += weights[k] * v
+				den += weights[k]
+				sum += v
+				count++
+			}
+			var next float64
+			if den == 0 {
+				next = sum / float64(count)
+			} else {
+				next = num / den
+			}
+			if d := math.Abs(next - truths[j]); d > maxDelta {
+				maxDelta = d
+			}
+			truths[j] = next
+		}
+		if maxDelta < cfg.Tolerance {
+			converged = true
+			break
+		}
+	}
+	if iter > cfg.MaxIterations {
+		iter = cfg.MaxIterations
+	}
+
+	// Expose per-account weights: each account inherits its group weight.
+	acctWeights := make([]float64, ds.NumAccounts())
+	for k, members := range g.Groups {
+		for _, a := range members {
+			acctWeights[a] = weights[k]
+		}
+	}
+	return truth.Result{
+		Truths:     truths,
+		Weights:    acctWeights,
+		Iterations: iter,
+		Converged:  converged,
+	}, g, nil
+}
+
+// groupData collapses per-account observations into per-group per-task
+// aggregates and the Eq. (4) initial weights.
+//
+// groupValues[k][j] is group k's aggregate for task j (present only when
+// some member reported on j); initWeights[k][j] is the Eq. (4) weight
+// 1 − |g_k|/|U_j| clamped at 0 (|g_k| is the full group size per the
+// paper; a group larger than a task's submitter set is maximally
+// suspicious for that task).
+func groupData(ds *mcs.Dataset, g grouping.Grouping, agg Aggregator) (groupValues []map[int]float64, initWeights []map[int]float64, err error) {
+	m := ds.NumTasks()
+	subs := ds.Submitters()
+
+	groupValues = make([]map[int]float64, g.NumGroups())
+	initWeights = make([]map[int]float64, g.NumGroups())
+	for k, members := range g.Groups {
+		groupValues[k] = make(map[int]float64)
+		initWeights[k] = make(map[int]float64)
+		// Collect members' values per task.
+		perTask := make(map[int][]float64)
+		for _, a := range members {
+			for _, o := range ds.Accounts[a].Observations {
+				perTask[o.Task] = append(perTask[o.Task], o.Value)
+			}
+		}
+		for j, vals := range perTask {
+			v, aggErr := aggregate(vals, agg)
+			if aggErr != nil {
+				return nil, nil, fmt.Errorf("core: group %d task %d: %w", k, j, aggErr)
+			}
+			groupValues[k][j] = v
+			if j >= 0 && j < m && len(subs[j]) > 0 {
+				w := 1 - float64(len(members))/float64(len(subs[j]))
+				if w < 0 {
+					w = 0
+				}
+				initWeights[k][j] = w
+			}
+		}
+	}
+	return groupValues, initWeights, nil
+}
+
+// aggregate collapses one group's values for one task.
+func aggregate(vals []float64, agg Aggregator) (float64, error) {
+	if len(vals) == 0 {
+		return 0, errors.New("core: empty value set")
+	}
+	switch agg {
+	case AggregateMajority:
+		return majorityValue(vals), nil
+	case AggregateMedian:
+		return signal.Median(vals)
+	case AggregateInverseDeviation:
+		const eps = 1e-6
+		mean := signal.Mean(vals)
+		var num, den float64
+		for _, v := range vals {
+			w := 1 / (math.Abs(v-mean) + eps)
+			num += w * v
+			den += w
+		}
+		return num / den, nil
+	default: // AggregateMean
+		return signal.Mean(vals), nil
+	}
+}
+
+// majorityValue returns the most frequent value, breaking ties toward the
+// smallest.
+func majorityValue(vals []float64) float64 {
+	counts := make(map[float64]int, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	best := vals[0]
+	bestCount := 0
+	for v, c := range counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best = v
+			bestCount = c
+		}
+	}
+	return best
+}
+
+var _ truth.Algorithm = Framework{}

@@ -1,0 +1,47 @@
+package dtw
+
+import "math"
+
+// AbsoluteCost returns the classic unnormalized DTW cost with absolute
+// pointwise distance: the minimum over warping paths of Σ |a_i − b_j|.
+//
+// The paper's Eq. (7) defines the normalized squared-distance form
+// (Distance), but the worked example of Fig. 4 tabulates unnormalized
+// absolute costs (e.g. DTW(X_1, X_2) = 2 for task series (1,2,3,4) vs
+// (2,3)); this function reproduces those numbers for the walkthrough
+// experiment. Empty-series conventions match Distance.
+func AbsoluteCost(a, b []float64) float64 {
+	m, n := len(a), len(b)
+	switch {
+	case m == 0 && n == 0:
+		return 0
+	case m == 0 || n == 0:
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		for j := 1; j <= n; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+		// After the first row, r(0,0) is no longer reachable as a path
+		// start, so the left border stays infinite.
+		prev[0] = inf
+	}
+	return prev[n]
+}

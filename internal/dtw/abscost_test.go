@@ -1,0 +1,63 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAbsoluteCostPaperFig4TaskSeries(t *testing.T) {
+	// Task series of Table III ordered by timestamp (task numbers 1-4):
+	x1 := []float64{1, 2, 3, 4}
+	x2 := []float64{2, 3}
+	x3 := []float64{1, 2, 4}
+	x4p := []float64{1, 3, 4} // 4', 4'', 4''' all share this series
+	// Fig. 4(a) matrix values.
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"1 vs 2", x1, x2, 2},
+		{"1 vs 3", x1, x3, 1},
+		{"1 vs 4'", x1, x4p, 1},
+		{"2 vs 3", x2, x3, 2},
+		{"2 vs 4'", x2, x4p, 2},
+		{"3 vs 4'", x3, x4p, 1},
+		{"4' vs 4''", x4p, x4p, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AbsoluteCost(tt.a, tt.b); got != tt.want {
+				t.Errorf("AbsoluteCost = %v, want %v (Fig. 4a)", got, tt.want)
+			}
+			if got := AbsoluteCost(tt.b, tt.a); got != tt.want {
+				t.Errorf("AbsoluteCost transposed = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAbsoluteCostEdgeCases(t *testing.T) {
+	if got := AbsoluteCost(nil, nil); got != 0 {
+		t.Errorf("both empty = %v, want 0", got)
+	}
+	if got := AbsoluteCost([]float64{1}, nil); !math.IsInf(got, 1) {
+		t.Errorf("one empty = %v, want +Inf", got)
+	}
+	if got := AbsoluteCost([]float64{2}, []float64{5}); got != 3 {
+		t.Errorf("singletons = %v, want 3", got)
+	}
+	a := []float64{1, 2, 3}
+	if got := AbsoluteCost(a, a); got != 0 {
+		t.Errorf("identical = %v, want 0", got)
+	}
+}
+
+func TestAbsoluteCostShiftInvariance(t *testing.T) {
+	// Shifted ramps align cheaply, like the normalized variant.
+	a := []float64{0, 0, 1, 2, 3}
+	b := []float64{0, 1, 2, 3, 3}
+	if got := AbsoluteCost(a, b); got != 0 {
+		t.Errorf("shifted ramps cost = %v, want 0 (perfect elastic alignment)", got)
+	}
+}

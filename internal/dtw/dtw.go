@@ -1,0 +1,163 @@
+// Package dtw implements Dynamic Time Warping, the elastic distance used by
+// the AG-TR account grouping method to compare account trajectories (task
+// series and timestamp series) of unequal length.
+//
+// The distance follows Eq. (7) of the paper (after Ratanamahatana & Keogh
+// 2004): each warping-path element carries the squared pointwise distance,
+// and the reported distance is sqrt(total path cost / path length), i.e. a
+// length-normalized root-mean-square alignment cost. Length normalization
+// matters here because account trajectories differ in length with account
+// activeness, and an unnormalized cost would conflate "long trajectory"
+// with "dissimilar trajectory".
+package dtw
+
+import (
+	"math"
+)
+
+// Distance returns the normalized DTW distance between series a and b with
+// an unconstrained warping window. Empty series follow the convention:
+// both empty -> 0; exactly one empty -> +Inf (nothing can align).
+func Distance(a, b []float64) float64 {
+	return WindowedDistance(a, b, 0)
+}
+
+// WindowedDistance is Distance with a Sakoe-Chiba band of half-width
+// window: cell (i, j) is admissible only when |i-j| <= window. window <= 0
+// (or wider than the length difference requires) means unconstrained.
+// The band is automatically widened to |len(a)-len(b)| so that a path
+// always exists.
+func WindowedDistance(a, b []float64, window int) float64 {
+	m, n := len(a), len(b)
+	switch {
+	case m == 0 && n == 0:
+		return 0
+	case m == 0 || n == 0:
+		return math.Inf(1)
+	}
+	if window <= 0 || window >= m+n {
+		window = m + n // effectively unconstrained
+	}
+	if d := m - n; d < 0 {
+		d = -d
+		if window < d {
+			window = d
+		}
+	} else if window < d {
+		window = d
+	}
+
+	// Rolling two-row DP over cumulative cost r(i,j) =
+	// dist(a_i, b_j) + min(r(i-1,j-1), r(i-1,j), r(i,j-1)).
+	// pathLen tracks K, the number of cells on the optimal path, needed for
+	// the length normalization of Eq. (7). Ties in cost prefer the diagonal
+	// (shortest path), matching the common DTW implementation.
+	inf := math.Inf(1)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	prevLen := make([]int, n+1)
+	curLen := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+
+	for i := 1; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			cur[j] = inf
+			curLen[j] = 0
+		}
+		lo, hi := i-window, i+window
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n {
+			hi = n
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			cost := d * d
+			// Candidates: diagonal, up (from prev row), left (same row).
+			// Minimize (cost, pathLen) lexicographically: among equal-cost
+			// paths the shortest is kept, which makes the normalized
+			// distance independent of argument order even under ties.
+			bestCost := prev[j-1]
+			bestLen := prevLen[j-1]
+			if prev[j] < bestCost || (prev[j] == bestCost && prevLen[j] < bestLen) {
+				bestCost = prev[j]
+				bestLen = prevLen[j]
+			}
+			if cur[j-1] < bestCost || (cur[j-1] == bestCost && curLen[j-1] < bestLen) {
+				bestCost = cur[j-1]
+				bestLen = curLen[j-1]
+			}
+			if math.IsInf(bestCost, 1) {
+				continue
+			}
+			cur[j] = bestCost + cost
+			curLen[j] = bestLen + 1
+		}
+		// Special case: cell (1, j) can start from r(0,0) only via the
+		// diagonal when j==1; the loop above already handles it because
+		// prev[0] = 0 for i == 1. For i > 1, prev[0] must be inf.
+		prev, cur = cur, prev
+		prevLen, curLen = curLen, prevLen
+		prev[0] = inf
+	}
+	total := prev[n]
+	k := prevLen[n]
+	if math.IsInf(total, 1) || k == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(total / float64(k))
+}
+
+// Path computes the optimal warping path between a and b (unconstrained)
+// and returns it as index pairs, along with the normalized distance. It
+// uses O(mn) memory and is intended for diagnostics and tests rather than
+// the hot grouping loop.
+func Path(a, b []float64) (pairs [][2]int, distance float64) {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		if m == 0 && n == 0 {
+			return nil, 0
+		}
+		return nil, math.Inf(1)
+	}
+	inf := math.Inf(1)
+	r := make([][]float64, m+1)
+	for i := range r {
+		r[i] = make([]float64, n+1)
+		for j := range r[i] {
+			r[i][j] = inf
+		}
+	}
+	r[0][0] = 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			d := a[i-1] - b[j-1]
+			best := math.Min(r[i-1][j-1], math.Min(r[i-1][j], r[i][j-1]))
+			r[i][j] = d*d + best
+		}
+	}
+	// Backtrack preferring the diagonal on ties.
+	i, j := m, n
+	for i >= 1 && j >= 1 {
+		pairs = append(pairs, [2]int{i - 1, j - 1})
+		diag, up, left := r[i-1][j-1], r[i-1][j], r[i][j-1]
+		switch {
+		case diag <= up && diag <= left:
+			i--
+			j--
+		case up <= left:
+			i--
+		default:
+			j--
+		}
+	}
+	// Reverse into path order.
+	for l, rIdx := 0, len(pairs)-1; l < rIdx; l, rIdx = l+1, rIdx-1 {
+		pairs[l], pairs[rIdx] = pairs[rIdx], pairs[l]
+	}
+	return pairs, math.Sqrt(r[m][n] / float64(len(pairs)))
+}

@@ -1,0 +1,65 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+)
+
+// bytesToSeries turns fuzz bytes into a bounded float series.
+func bytesToSeries(bs []byte) []float64 {
+	out := make([]float64, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, float64(int(b)-128)/8)
+	}
+	return out
+}
+
+// FuzzDistance checks DTW's metric-ish axioms on arbitrary series: no
+// panics, non-negativity, symmetry, identity, and agreement between the
+// windowed and unconstrained variants when the band covers everything.
+func FuzzDistance(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{}, []byte{5})
+	f.Add([]byte{128}, []byte{128})
+
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		if len(rawA) > 64 {
+			rawA = rawA[:64]
+		}
+		if len(rawB) > 64 {
+			rawB = rawB[:64]
+		}
+		a := bytesToSeries(rawA)
+		b := bytesToSeries(rawB)
+
+		d := Distance(a, b)
+		switch {
+		case len(a) == 0 && len(b) == 0:
+			if d != 0 {
+				t.Fatalf("both-empty distance = %v", d)
+			}
+			return
+		case len(a) == 0 || len(b) == 0:
+			if !math.IsInf(d, 1) {
+				t.Fatalf("one-empty distance = %v", d)
+			}
+			return
+		}
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("distance = %v", d)
+		}
+		if rd := Distance(b, a); math.Abs(d-rd) > 1e-9*(1+d) {
+			t.Fatalf("asymmetric: %v vs %v", d, rd)
+		}
+		if self := Distance(a, a); self != 0 {
+			t.Fatalf("Distance(a,a) = %v", self)
+		}
+		wide := WindowedDistance(a, b, len(a)+len(b))
+		if math.Abs(wide-d) > 1e-9*(1+d) {
+			t.Fatalf("wide window %v != unconstrained %v", wide, d)
+		}
+		if abs := AbsoluteCost(a, b); abs < 0 || math.IsNaN(abs) {
+			t.Fatalf("AbsoluteCost = %v", abs)
+		}
+	})
+}

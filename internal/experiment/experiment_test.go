@@ -1,0 +1,558 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest estimates near the paper's row.
+	for j, want := range r.PaperHonest {
+		if math.Abs(r.Honest[j]-want) > 4 {
+			t.Errorf("honest T%d = %.2f, paper %.2f", j+1, r.Honest[j], want)
+		}
+	}
+	// Attack pulls T1/T3/T4 at least 15 dB toward -50; T2 moves little.
+	for _, j := range []int{0, 2, 3} {
+		if r.Honest[j]-r.Attacked[j] > -15 && r.Attacked[j]-r.Honest[j] < 15 {
+			t.Errorf("T%d: attack moved estimate only from %.2f to %.2f", j+1, r.Honest[j], r.Attacked[j])
+		}
+		if r.Attacked[j] < r.Honest[j] {
+			t.Errorf("T%d: attack should pull estimate up toward -50", j+1)
+		}
+	}
+	if math.Abs(r.Attacked[1]-r.Honest[1]) > 6 {
+		t.Errorf("T2 moved too much: %.2f -> %.2f", r.Honest[1], r.Attacked[1])
+	}
+	tables := r.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	var buf bytes.Buffer
+	tables[0].Render(&buf)
+	if !strings.Contains(buf.String(), "4'''") {
+		t.Error("data table should list the Sybil accounts")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 15 || len(r.Assigned) != 15 {
+		t.Fatalf("points = %d, want 15", len(r.Points))
+	}
+	// Different-model phones should cluster well: ARI positive and high.
+	if r.ARI < 0.5 {
+		t.Errorf("Fig2 ARI = %.2f, want >= 0.5 for distinct models", r.ARI)
+	}
+	if r.FalsePositives > 5 {
+		t.Errorf("false positives = %d, want few", r.FalsePositives)
+	}
+	if len(r.Tables()) != 2 {
+		t.Error("expected scatter + summary tables")
+	}
+}
+
+func TestFig3Walkthrough(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AccountIDs) != 6 {
+		t.Fatalf("accounts = %d", len(r.AccountIDs))
+	}
+	// T(1,2)=2 per the paper's Fig. 3(a) (indices 0,1).
+	if r.T[0][1] != 2 {
+		t.Errorf("T(1,2) = %d, want 2", r.T[0][1])
+	}
+	// A(4',4'')=2.25 literal Eq. (6).
+	if r.A[3][4] != 2.25 {
+		t.Errorf("A(4',4'') = %v, want 2.25", r.A[3][4])
+	}
+	// Matrices symmetric.
+	for i := range r.A {
+		for j := range r.A {
+			if r.A[i][j] != r.A[j][i] {
+				t.Fatalf("A not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// ρ=1 isolates the Sybil trio.
+	if got := renderGroups(r.GroupsRho1); got != "{1} {2} {3} {4',4'',4'''}" {
+		t.Errorf("ρ=1 groups = %s", got)
+	}
+	if len(r.Tables()) != 4 {
+		t.Error("expected 4 tables")
+	}
+}
+
+func TestFig4Walkthrough(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 4(a) values.
+	if r.DTWX[0][1] != 2 {
+		t.Errorf("DTWX(1,2) = %v, want 2", r.DTWX[0][1])
+	}
+	if r.DTWX[3][4] != 0 {
+		t.Errorf("DTWX(4',4'') = %v, want 0", r.DTWX[3][4])
+	}
+	// Timestamp DTW in day units is small (< 0.1 for all pairs).
+	for i := range r.DTWY {
+		for j := range r.DTWY {
+			if i != j && r.DTWY[i][j] > 0.1 {
+				t.Errorf("DTWY(%d,%d) = %v, want < 0.1", i, j, r.DTWY[i][j])
+			}
+		}
+	}
+	// Components: Sybil trio isolated, as in Fig. 4(d).
+	if got := renderGroups(r.Groups); got != "{1} {2} {3} {4',4'',4'''}" {
+		t.Errorf("groups = %s", got)
+	}
+	if len(r.Tables()) != 4 {
+		t.Error("expected 4 tables")
+	}
+}
+
+func quickSweep() SweepConfig {
+	return SweepConfig{
+		LegitActiveness: []float64{0.5},
+		SybilActiveness: []float64{0.2, 1.0},
+		Trials:          3,
+		Seed:            17,
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	r, err := Fig6(quickSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric != "ARI" || len(r.Points) != 2 {
+		t.Fatalf("result meta = %+v", r)
+	}
+	for _, p := range r.Points {
+		// AG-TR must dominate AG-TS (the paper's central grouping claim).
+		if p.Values["AG-TR"] < p.Values["AG-TS"]-0.05 {
+			t.Errorf("sa=%.1f: AG-TR %.2f below AG-TS %.2f", p.SybilActiveness, p.Values["AG-TR"], p.Values["AG-TS"])
+		}
+		for m, v := range p.Values {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				t.Errorf("%s ARI out of range: %v", m, v)
+			}
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("one subfigure expected")
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	r, err := Fig7(quickSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric != "MAE" || len(r.Points) != 2 {
+		t.Fatalf("result meta = %+v", r)
+	}
+	lo, hi := r.Points[0], r.Points[1]
+	// CRH degrades as Sybil activeness grows.
+	if hi.Values["CRH"] <= lo.Values["CRH"] {
+		t.Errorf("CRH MAE should grow with Sybil activeness: %.2f -> %.2f", lo.Values["CRH"], hi.Values["CRH"])
+	}
+	// The framework (TD-TR) beats CRH at every point.
+	for _, p := range r.Points {
+		if p.Values["TD-TR"] >= p.Values["CRH"] {
+			t.Errorf("sa=%.1f: TD-TR %.2f not below CRH %.2f", p.SybilActiveness, p.Values["TD-TR"], p.Values["CRH"])
+		}
+		for m, v := range p.Values {
+			if v < 0 || math.IsNaN(v) {
+				t.Errorf("%s MAE = %v", m, v)
+			}
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DeviceIDs) != 11 {
+		t.Fatalf("devices = %d, want 11 (Table IV)", len(r.DeviceIDs))
+	}
+	// Same-model centers sit closer than cross-model centers.
+	if r.MeanSameModelDist >= r.MeanCrossModelDist {
+		t.Errorf("same-model %.2f should be < cross-model %.2f", r.MeanSameModelDist, r.MeanCrossModelDist)
+	}
+	if len(r.Tables()) != 2 {
+		t.Error("expected center + summary tables")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r := Table4()
+	total := 0
+	for _, e := range r.Entries {
+		total += e.Quantity
+	}
+	if total != 11 {
+		t.Errorf("inventory total = %d, want 11", total)
+	}
+	var buf bytes.Buffer
+	r.Tables()[0].Render(&buf)
+	if !strings.Contains(buf.String(), "Nexus 6P") {
+		t.Error("table should list the Nexus 6P")
+	}
+}
+
+func TestMAEAgainstTruth(t *testing.T) {
+	mae, err := MAEAgainstTruth([]float64{1, math.NaN(), 3}, []float64{2, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae != 1.5 {
+		t.Errorf("MAE = %v, want 1.5 (NaN skipped)", mae)
+	}
+	if _, err := MAEAgainstTruth([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := MAEAgainstTruth([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("all-NaN should error")
+	}
+}
+
+func TestRegistryRunsEverythingQuick(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 15 {
+		t.Fatalf("registry size = %d, want 15", len(reg))
+	}
+	for _, id := range IDs() {
+		r := reg[id]
+		var buf bytes.Buffer
+		if err := r.Run(&buf, Options{Quick: true}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: produced no output", id)
+		}
+	}
+}
+
+func TestRegistryCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Registry()["table4"].Run(&buf, Options{CSV: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "iOS,iPhone SE,1") {
+		t.Errorf("CSV output missing expected row:\n%s", buf.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "long-header"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("yy", "2")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "long-header") {
+		t.Error("missing header")
+	}
+	// CSV quoting.
+	q := &Table{Headers: []string{"v"}}
+	q.AddRow(`has,comma "quoted"`)
+	buf.Reset()
+	if err := q.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"has,comma ""quoted"""`) {
+		t.Errorf("CSV quoting wrong: %s", buf.String())
+	}
+}
+
+func TestFHelper(t *testing.T) {
+	if F(math.NaN()) != "x" {
+		t.Error("NaN should render as x")
+	}
+	if F(1.005) != "1.00" && F(1.005) != "1.01" {
+		t.Errorf("F(1.005) = %s", F(1.005))
+	}
+}
+
+func TestExtAlgorithms(t *testing.T) {
+	r, err := ExtAlgorithms(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Methods) != 6 {
+		t.Fatalf("methods = %v", r.Methods)
+	}
+	// The framework must beat every plain algorithm at high Sybil
+	// activeness; every plain algorithm should degrade substantially.
+	last := len(r.SybilActiveness) - 1
+	fw := r.MAE["TD-TR"][last]
+	for _, m := range []string{"Mean", "Median", "CRH", "CATD", "GTM"} {
+		if r.MAE[m][last] <= fw {
+			t.Errorf("%s MAE %.2f not above TD-TR %.2f at full Sybil activeness", m, r.MAE[m][last], fw)
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("expected one table")
+	}
+}
+
+func TestExtStrategies(t *testing.T) {
+	r, err := ExtStrategies(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Strategies) != 3 {
+		t.Fatalf("strategies = %v", r.Strategies)
+	}
+	for k, name := range r.Strategies {
+		if r.MAETDTR[k] >= r.MAECRH[k] && r.MAECRH[k] > 1 {
+			t.Errorf("%s: TD-TR %.2f not below CRH %.2f", name, r.MAETDTR[k], r.MAECRH[k])
+		}
+		if r.GroupARI[k] < 0.5 {
+			t.Errorf("%s: AG-TR ARI %.2f unexpectedly low", name, r.GroupARI[k])
+		}
+	}
+	// The fabricate strategy must hurt CRH the most; duplicate the least
+	// (it resubmits a real measurement).
+	if r.MAECRH[0] <= r.MAECRH[1] {
+		t.Errorf("fabricate CRH MAE %.2f should exceed duplicate %.2f", r.MAECRH[0], r.MAECRH[1])
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("expected one table")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	r, err := Fig5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names) != 10 {
+		t.Fatalf("POIs = %d, want 10", len(r.Names))
+	}
+	for i := range r.Names {
+		if r.X[i] < 0 || r.X[i] > 400 || r.Y[i] < 0 || r.Y[i] > 300 {
+			t.Errorf("POI %d out of bounds: (%v, %v)", i, r.X[i], r.Y[i])
+		}
+		if r.GroundTruth[i] > -10 || r.GroundTruth[i] < -95 {
+			t.Errorf("POI %d ground truth %v outside dBm range", i, r.GroundTruth[i])
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("expected one table")
+	}
+}
+
+func TestExtScale(t *testing.T) {
+	r, err := ExtScale(13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NumAttackers) != 5 {
+		t.Fatalf("points = %d", len(r.NumAttackers))
+	}
+	// Sybil share grows with attacker count; CRH degrades; TD-TR stays far
+	// below CRH even when Sybil accounts dominate.
+	for k := 1; k < len(r.NumAttackers); k++ {
+		if r.SybilShare[k] <= r.SybilShare[k-1] {
+			t.Errorf("sybil share not increasing at %d attackers", r.NumAttackers[k])
+		}
+	}
+	last := len(r.NumAttackers) - 1
+	if r.SybilShare[last] < 0.7 {
+		t.Errorf("final sybil share = %.2f, want > 0.7 (dominating attack)", r.SybilShare[last])
+	}
+	if r.MAETDTR[last] >= r.MAECRH[last] {
+		t.Errorf("TD-TR %.2f not below CRH %.2f under the largest attack", r.MAETDTR[last], r.MAECRH[last])
+	}
+	for k := range r.NumAttackers {
+		if r.Precision[k] < 0 || r.Precision[k] > 1 || r.Recall[k] < 0 || r.Recall[k] > 1 {
+			t.Errorf("scores out of range at %d attackers", r.NumAttackers[k])
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("expected one table")
+	}
+}
+
+func TestExtSelection(t *testing.T) {
+	r, err := ExtSelection(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 3 {
+		t.Fatalf("labels = %v", r.Labels)
+	}
+	// Both auctions must cut the participating Sybil accounts sharply
+	// (each attacker's fully-redundant siblings add no marginal coverage).
+	for _, row := range []int{1, 2} {
+		if r.SybilAccounts[row] >= r.SybilAccounts[0]/2 {
+			t.Errorf("%s kept %.1f of %.1f sybil accounts", r.Labels[row], r.SybilAccounts[row], r.SybilAccounts[0])
+		}
+	}
+	// Plain CRH gets more accurate with the coverage auction in front.
+	if r.MAECRH[1] >= r.MAECRH[0] {
+		t.Errorf("CRH with coverage auction %.2f not below without %.2f", r.MAECRH[1], r.MAECRH[0])
+	}
+	// The headline negative result: selection strips the redundancy truth
+	// discovery needs, so the framework WITHOUT selection beats every
+	// selected setting — selection alone is no substitute for the
+	// Sybil-resistant framework.
+	for _, row := range []int{1, 2} {
+		if r.MAETDTR[0] >= r.MAETDTR[row] {
+			t.Errorf("TD-TR without selection %.2f should beat %s %.2f", r.MAETDTR[0], r.Labels[row], r.MAETDTR[row])
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("expected one table")
+	}
+}
+
+func TestScatterPlots(t *testing.T) {
+	r2, err := Fig2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plot := r2.Plot()
+	if !strings.Contains(plot, "1") || !strings.Contains(plot, "3") {
+		t.Error("Fig2 plot should mark devices 1 and 3")
+	}
+	if !strings.Contains(plot, "PC1") {
+		t.Error("plot missing axis labels")
+	}
+	r8, err := Fig8(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plot = r8.Plot()
+	if !strings.Contains(plot, "= Nexus 6P") {
+		t.Errorf("Fig8 plot legend missing:\n%s", plot)
+	}
+	// Degenerate inputs return empty rather than panicking.
+	if got := scatterPlot(nil, nil, nil, 10, 10); got != "" {
+		t.Error("empty scatter should be empty")
+	}
+	if got := scatterPlot([]float64{1}, []float64{1, 2}, []rune{'x'}, 10, 10); got != "" {
+		t.Error("mismatched scatter should be empty")
+	}
+	// Constant coordinates must not divide by zero.
+	if got := scatterPlot([]float64{1, 1}, []float64{2, 2}, []rune{'a', 'b'}, 10, 10); got == "" {
+		t.Error("constant scatter should still render")
+	}
+}
+
+func TestExtThresholds(t *testing.T) {
+	r, err := ExtThresholds(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TS) != len(r.Rhos) || len(r.TR) != len(r.Phis) {
+		t.Fatal("score lengths wrong")
+	}
+	// All scores in range.
+	for k := range r.TS {
+		if r.TS[k].Precision < 0 || r.TS[k].Precision > 1 || r.TS[k].Recall < 0 || r.TS[k].Recall > 1 {
+			t.Errorf("TS[%d] = %+v", k, r.TS[k])
+		}
+	}
+	// AG-TR recall is non-increasing in φ? No — recall grows as φ loosens.
+	// Check the coarse property instead: the loosest φ has recall >= the
+	// tightest φ's.
+	if r.TR[len(r.TR)-1].Recall < r.TR[0].Recall {
+		t.Errorf("loosest φ recall %.2f below tightest %.2f", r.TR[len(r.TR)-1].Recall, r.TR[0].Recall)
+	}
+	// And precision at the loosest φ should be at most the tightest φ's.
+	if r.TR[len(r.TR)-1].Precision > r.TR[0].Precision+1e-9 {
+		t.Errorf("loosest φ precision %.2f above tightest %.2f", r.TR[len(r.TR)-1].Precision, r.TR[0].Precision)
+	}
+	if len(r.Tables()) != 2 {
+		t.Error("expected two tables")
+	}
+}
+
+func TestForEachTrial(t *testing.T) {
+	// All trials run exactly once, concurrently or not.
+	const n = 20
+	hits := make([]int, n)
+	var mu sync.Mutex
+	err := forEachTrial(n, func(trial int) error {
+		mu.Lock()
+		hits[trial]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("trial %d ran %d times", i, h)
+		}
+	}
+	// Errors propagate.
+	boom := errors.New("boom")
+	err = forEachTrial(4, func(trial int) error {
+		if trial == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	// n = 1 takes the serial path.
+	if err := forEachTrial(1, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := forEachTrial(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("zero trials should be a no-op: %v", err)
+	}
+}
+
+func TestExtEvolving(t *testing.T) {
+	r, err := ExtEvolving(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hours) != 6 {
+		t.Fatalf("hours = %d", len(r.Hours))
+	}
+	for i := range r.Hours {
+		trueV := r.TrueValues[i]
+		// The windowed framework tracks the drift within 3 units everywhere
+		// (including the burst window).
+		if d := math.Abs(r.WindowFramework[i] - trueV); d > 3 {
+			t.Errorf("hour %d: framework %.1f vs true %.1f", r.Hours[i], r.WindowFramework[i], trueV)
+		}
+	}
+	// The naive mean is captured during the burst window.
+	if d := math.Abs(r.WindowMean[r.BurstHour] - r.TrueValues[r.BurstHour]); d < 5 {
+		t.Errorf("burst window mean error %.1f — expected captured (>= 5)", d)
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("expected one table")
+	}
+}

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sybiltd/internal/attack"
+	"sybiltd/internal/core"
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/simulate"
+	"sybiltd/internal/truth"
+)
+
+// The experiments in this file extend the paper's evaluation (they have no
+// counterpart table/figure): a broader algorithm comparison showing that
+// the whole truth-discovery family is Sybil-vulnerable while the framework
+// is not, and a sweep over attacker strategies.
+
+// ExtAlgorithmsResult compares the truth-discovery family (Mean, Median,
+// CRH, CATD, GTM) and the framework (TD-TR) under increasing Sybil
+// activeness.
+type ExtAlgorithmsResult struct {
+	SybilActiveness []float64
+	// MAE[name][k] is the trial-averaged MAE of algorithm name at
+	// SybilActiveness[k].
+	MAE     map[string][]float64
+	Methods []string
+}
+
+// ExtAlgorithms runs the comparison.
+func ExtAlgorithms(seed int64, trials int) (ExtAlgorithmsResult, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	algs := []truth.Algorithm{
+		truth.Mean{},
+		truth.Median{},
+		truth.CRH{},
+		truth.CATD{},
+		truth.GTM{},
+		core.Framework{Grouper: grouping.AGTR{Phi: 0.3}},
+	}
+	res := ExtAlgorithmsResult{
+		SybilActiveness: []float64{0.2, 0.4, 0.6, 0.8, 1.0},
+		MAE:             map[string][]float64{},
+	}
+	for _, a := range algs {
+		res.Methods = append(res.Methods, a.Name())
+		res.MAE[a.Name()] = make([]float64, len(res.SybilActiveness))
+	}
+	for k, sa := range res.SybilActiveness {
+		for trial := 0; trial < trials; trial++ {
+			sc, err := simulate.Build(simulate.Config{
+				Seed:            seed + int64(trial)*577,
+				SybilActiveness: sa,
+			})
+			if err != nil {
+				return ExtAlgorithmsResult{}, fmt.Errorf("experiment: ext-algorithms: %w", err)
+			}
+			for _, a := range algs {
+				out, err := a.Run(sc.Dataset)
+				if err != nil {
+					return ExtAlgorithmsResult{}, fmt.Errorf("experiment: ext-algorithms %s: %w", a.Name(), err)
+				}
+				mae, err := MAEAgainstTruth(out.Truths, sc.GroundTruth)
+				if err != nil {
+					return ExtAlgorithmsResult{}, fmt.Errorf("experiment: ext-algorithms %s mae: %w", a.Name(), err)
+				}
+				res.MAE[a.Name()][k] += mae / float64(trials)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r ExtAlgorithmsResult) Tables() []*Table {
+	t := &Table{
+		Title:   "Extension — MAE of the truth-discovery family vs the framework under attack",
+		Headers: append([]string{"sybil α"}, r.Methods...),
+	}
+	for k, sa := range r.SybilActiveness {
+		row := []string{F(sa)}
+		for _, m := range r.Methods {
+			row = append(row, F(r.MAE[m][k]))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// ExtStrategiesResult compares attacker strategies (§III-C motivations):
+// the malicious fabricator, the rapacious duplicator, and a stealthy
+// offset attacker, against CRH and TD-TR.
+type ExtStrategiesResult struct {
+	Strategies []string
+	// MAECRH/MAETDTR[k] is the trial-averaged MAE under Strategies[k].
+	MAECRH  []float64
+	MAETDTR []float64
+	// GroupARI[k] is AG-TR's grouping ARI under Strategies[k].
+	GroupARI []float64
+}
+
+// ExtStrategies runs the comparison.
+func ExtStrategies(seed int64, trials int) (ExtStrategiesResult, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	cases := []struct {
+		name     string
+		strategy attack.Strategy
+	}{
+		{"fabricate(-50)", attack.Fabricate{Target: -50}},
+		{"duplicate", attack.Duplicate{}},
+		{"offset(+15)", attack.Offset{Delta: 15}},
+	}
+	res := ExtStrategiesResult{
+		MAECRH:   make([]float64, len(cases)),
+		MAETDTR:  make([]float64, len(cases)),
+		GroupARI: make([]float64, len(cases)),
+	}
+	grouper := grouping.AGTR{Phi: 0.3}
+	fw := core.Framework{Grouper: grouper}
+	for k, tc := range cases {
+		res.Strategies = append(res.Strategies, tc.name)
+		for trial := 0; trial < trials; trial++ {
+			sc, err := simulate.Build(simulate.Config{
+				Seed:            seed + int64(trial)*577,
+				SybilActiveness: 0.8,
+				Attackers: []attack.Profile{
+					{Kind: attack.AttackI, NumAccounts: 5, Activeness: 0.8, Strategy: tc.strategy},
+					{Kind: attack.AttackII, NumAccounts: 5, NumDevices: 2, Activeness: 0.8, Strategy: tc.strategy},
+				},
+			})
+			if err != nil {
+				return ExtStrategiesResult{}, fmt.Errorf("experiment: ext-strategies: %w", err)
+			}
+			crhOut, err := truth.CRH{}.Run(sc.Dataset)
+			if err != nil {
+				return ExtStrategiesResult{}, err
+			}
+			fwOut, err := fw.Run(sc.Dataset)
+			if err != nil {
+				return ExtStrategiesResult{}, err
+			}
+			maeCRH, err := MAEAgainstTruth(crhOut.Truths, sc.GroundTruth)
+			if err != nil {
+				return ExtStrategiesResult{}, err
+			}
+			maeFW, err := MAEAgainstTruth(fwOut.Truths, sc.GroundTruth)
+			if err != nil {
+				return ExtStrategiesResult{}, err
+			}
+			g, err := grouper.Group(sc.Dataset)
+			if err != nil {
+				return ExtStrategiesResult{}, err
+			}
+			ari, err := ariOf(sc, g)
+			if err != nil {
+				return ExtStrategiesResult{}, err
+			}
+			res.MAECRH[k] += maeCRH / float64(trials)
+			res.MAETDTR[k] += maeFW / float64(trials)
+			res.GroupARI[k] += ari / float64(trials)
+		}
+	}
+	return res, nil
+}
+
+func ariOf(sc *simulate.Scenario, g grouping.Grouping) (float64, error) {
+	return ariLabels(sc.TrueGrouping(), g.Labels(sc.Dataset.NumAccounts()))
+}
+
+// Tables renders the result.
+func (r ExtStrategiesResult) Tables() []*Table {
+	t := &Table{
+		Title:   "Extension — attacker strategies vs CRH and the framework (sybil α = 0.8)",
+		Headers: []string{"strategy", "CRH MAE", "TD-TR MAE", "AG-TR ARI"},
+	}
+	for k, name := range r.Strategies {
+		t.AddRow(name, F(r.MAECRH[k]), F(r.MAETDTR[k]), F(r.GroupARI[k]))
+	}
+	return []*Table{t}
+}

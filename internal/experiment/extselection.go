@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sybiltd/internal/metrics"
+	"sybiltd/internal/simulate"
+)
+
+// ExtSelectionResult quantifies the paper's Remarks claim: running an
+// incentive-mechanism user selection before aggregation suppresses a Sybil
+// attacker's redundant accounts (their task sets add no marginal
+// coverage), which both shrinks the attack and removes the grouping
+// methods' false-positive pressure. It compares three settings: no
+// selection, the plain MSensing coverage auction (which strips the
+// measurement redundancy truth discovery relies on), and the
+// redundancy-aware depth auction (diminishing per-depth task values).
+type ExtSelectionResult struct {
+	// Rows: "no selection" vs "with selection".
+	Labels []string
+	// SybilAccounts participating in aggregation.
+	SybilAccounts []float64
+	// MAE of CRH and TD-TR.
+	MAECRH  []float64
+	MAETDTR []float64
+	// AGTSARI is AG-TS's grouping ARI (the method most helped by
+	// selection).
+	AGTSARI []float64
+}
+
+// ExtSelection runs the comparison.
+func ExtSelection(seed int64, trials int) (ExtSelectionResult, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	res := ExtSelectionResult{
+		Labels:        []string{"no selection", "coverage auction", "depth-aware auction"},
+		SybilAccounts: make([]float64, 3),
+		MAECRH:        make([]float64, 3),
+		MAETDTR:       make([]float64, 3),
+		AGTSARI:       make([]float64, 3),
+	}
+	for trial := 0; trial < trials; trial++ {
+		base, err := simulate.Build(simulate.Config{Seed: seed + int64(trial)*331, SybilActiveness: 0.8})
+		if err != nil {
+			return ExtSelectionResult{}, fmt.Errorf("experiment: ext-selection: %w", err)
+		}
+		sel, err := simulate.ApplySelection(base, simulate.SelectionConfig{}, rand.New(rand.NewSource(seed+int64(trial))))
+		if err != nil {
+			return ExtSelectionResult{}, fmt.Errorf("experiment: ext-selection: %w", err)
+		}
+		deep, err := simulate.ApplySelection(base, simulate.SelectionConfig{
+			DepthValues: []float64{10, 6, 3},
+		}, rand.New(rand.NewSource(seed+int64(trial))))
+		if err != nil {
+			return ExtSelectionResult{}, fmt.Errorf("experiment: ext-selection depth: %w", err)
+		}
+		for row, sc := range []*simulate.Scenario{base, sel.Scenario, deep.Scenario} {
+			crhOut, err := crhAlg.Run(sc.Dataset)
+			if err != nil {
+				return ExtSelectionResult{}, err
+			}
+			fwOut, err := tdtrAlg.Run(sc.Dataset)
+			if err != nil {
+				return ExtSelectionResult{}, err
+			}
+			maeCRH, err := MAEAgainstTruth(crhOut.Truths, sc.GroundTruth)
+			if err != nil {
+				return ExtSelectionResult{}, err
+			}
+			maeFW, err := MAEAgainstTruth(fwOut.Truths, sc.GroundTruth)
+			if err != nil {
+				return ExtSelectionResult{}, err
+			}
+			g, err := agtsGrouper.Group(sc.Dataset)
+			if err != nil {
+				return ExtSelectionResult{}, err
+			}
+			ari, err := metrics.AdjustedRandIndex(sc.TrueGrouping(), g.Labels(sc.Dataset.NumAccounts()))
+			if err != nil {
+				return ExtSelectionResult{}, err
+			}
+			res.SybilAccounts[row] += float64(len(sc.SybilAccounts)) / float64(trials)
+			res.MAECRH[row] += maeCRH / float64(trials)
+			res.MAETDTR[row] += maeFW / float64(trials)
+			res.AGTSARI[row] += ari / float64(trials)
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r ExtSelectionResult) Tables() []*Table {
+	t := &Table{
+		Title:   "Extension — incentive-mechanism user selection before aggregation (sybil α = 0.8)",
+		Headers: []string{"setting", "sybil accounts", "CRH MAE", "TD-TR MAE", "AG-TS ARI"},
+	}
+	for row, label := range r.Labels {
+		t.AddRow(label, F(r.SybilAccounts[row]), F(r.MAECRH[row]), F(r.MAETDTR[row]), F(r.AGTSARI[row]))
+	}
+	return []*Table{t}
+}

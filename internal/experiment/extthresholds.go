@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/metrics"
+	"sybiltd/internal/simulate"
+)
+
+// ExtThresholdsResult maps out the sensitivity of AG-TS's ρ (Eq. 6) and
+// AG-TR's φ (Eq. 8), which the paper's Remarks call campaign-dependent but
+// does not quantify: ARI plus pairwise precision/recall of the grouping
+// decisions at each threshold.
+type ExtThresholdsResult struct {
+	Rhos []float64
+	Phis []float64
+	// TS[k] / TR[k] are the trial-averaged scores at Rhos[k] / Phis[k].
+	TS []ThresholdScores
+	TR []ThresholdScores
+}
+
+// ThresholdScores aggregates grouping quality at one threshold.
+type ThresholdScores struct {
+	ARI       float64
+	Precision float64
+	Recall    float64
+}
+
+// ExtThresholds runs the sweep on the default campaign (sybil α = 0.8).
+func ExtThresholds(seed int64, trials int) (ExtThresholdsResult, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	res := ExtThresholdsResult{
+		Rhos: []float64{0.25, 0.5, 1, 2, 4, 8},
+		Phis: []float64{0.02, 0.05, 0.1, 0.3, 0.6, 1.2},
+	}
+	res.TS = make([]ThresholdScores, len(res.Rhos))
+	res.TR = make([]ThresholdScores, len(res.Phis))
+
+	for trial := 0; trial < trials; trial++ {
+		sc, err := simulate.Build(simulate.Config{Seed: seed + int64(trial)*449, SybilActiveness: 0.8})
+		if err != nil {
+			return ExtThresholdsResult{}, fmt.Errorf("experiment: ext-thresholds: %w", err)
+		}
+		want := sc.TrueGrouping()
+		n := sc.Dataset.NumAccounts()
+		score := func(g grouping.Grouper) (ThresholdScores, error) {
+			got, err := g.Group(sc.Dataset)
+			if err != nil {
+				return ThresholdScores{}, err
+			}
+			labels := got.Labels(n)
+			ari, err := metrics.AdjustedRandIndex(want, labels)
+			if err != nil {
+				return ThresholdScores{}, err
+			}
+			pw, err := metrics.PairwiseGrouping(want, labels)
+			if err != nil {
+				return ThresholdScores{}, err
+			}
+			return ThresholdScores{ARI: ari, Precision: pw.Precision, Recall: pw.Recall}, nil
+		}
+		for k, rho := range res.Rhos {
+			s, err := score(grouping.AGTS{Rho: rho})
+			if err != nil {
+				return ExtThresholdsResult{}, fmt.Errorf("experiment: ext-thresholds AG-TS ρ=%v: %w", rho, err)
+			}
+			res.TS[k].ARI += s.ARI / float64(trials)
+			res.TS[k].Precision += s.Precision / float64(trials)
+			res.TS[k].Recall += s.Recall / float64(trials)
+		}
+		for k, phi := range res.Phis {
+			s, err := score(grouping.AGTR{Phi: phi})
+			if err != nil {
+				return ExtThresholdsResult{}, fmt.Errorf("experiment: ext-thresholds AG-TR φ=%v: %w", phi, err)
+			}
+			res.TR[k].ARI += s.ARI / float64(trials)
+			res.TR[k].Precision += s.Precision / float64(trials)
+			res.TR[k].Recall += s.Recall / float64(trials)
+		}
+	}
+	return res, nil
+}
+
+// Tables renders one table per method.
+func (r ExtThresholdsResult) Tables() []*Table {
+	ts := &Table{
+		Title:   "Extension — AG-TS threshold ρ sensitivity (sybil α = 0.8)",
+		Headers: []string{"rho", "ARI", "precision", "recall"},
+	}
+	for k, rho := range r.Rhos {
+		ts.AddRow(F(rho), F(r.TS[k].ARI), F(r.TS[k].Precision), F(r.TS[k].Recall))
+	}
+	tr := &Table{
+		Title:   "Extension — AG-TR threshold φ sensitivity (sybil α = 0.8)",
+		Headers: []string{"phi", "ARI", "precision", "recall"},
+	}
+	for k, phi := range r.Phis {
+		tr.AddRow(F(phi), F(r.TR[k].ARI), F(r.TR[k].Precision), F(r.TR[k].Recall))
+	}
+	return []*Table{ts, tr}
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sybiltd/internal/cluster"
+	"sybiltd/internal/fingerprint"
+	"sybiltd/internal/mems"
+	"sybiltd/internal/metrics"
+	"sybiltd/internal/pca"
+)
+
+// Fig2Result reproduces Fig. 2: fingerprints of 3 smartphones of different
+// models, 5 captures each, plotted in the first two principal components
+// and grouped by k-means with k = 3.
+type Fig2Result struct {
+	// Points[i] is capture i's (PC1, PC2) coordinates.
+	Points [][]float64
+	// TrueDevice[i] is the device (0-2) that produced capture i.
+	TrueDevice []int
+	// Assigned[i] is the k-means cluster of capture i.
+	Assigned []int
+	// ARI scores the clustering against the true devices.
+	ARI float64
+	// FalsePositives counts captures grouped with a majority from another
+	// device (the wrongly-grouped fingerprints the paper points out).
+	FalsePositives int
+}
+
+// Fig2 runs the experiment with a fixed seed.
+func Fig2(seed int64) (Fig2Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	models := []mems.Model{mems.ModelIPhone6S, mems.ModelIPhoneX, mems.ModelNexus5}
+	const capsPerPhone = 5
+
+	var vecs []fingerprint.Vector
+	var labels []int
+	for di, m := range models {
+		dev := mems.NewDevice(m, 1, rng)
+		for c := 0; c < capsPerPhone; c++ {
+			vecs = append(vecs, fingerprint.Extract(dev.Capture(mems.DefaultCaptureSpec(), rng)))
+			labels = append(labels, di)
+		}
+	}
+	matrix, err := fingerprint.NewMatrix(vecs)
+	if err != nil {
+		return Fig2Result{}, fmt.Errorf("experiment: fig2: %w", err)
+	}
+	std := fingerprint.Standardize(matrix)
+
+	model, err := pca.Fit(std, 2)
+	if err != nil {
+		return Fig2Result{}, fmt.Errorf("experiment: fig2 pca: %w", err)
+	}
+	points, err := model.Transform(std)
+	if err != nil {
+		return Fig2Result{}, fmt.Errorf("experiment: fig2 project: %w", err)
+	}
+
+	res, err := cluster.KMeans(std, cluster.Config{K: len(models), Restarts: 8, Rand: rng})
+	if err != nil {
+		return Fig2Result{}, fmt.Errorf("experiment: fig2 k-means: %w", err)
+	}
+	ari, err := metrics.AdjustedRandIndex(labels, res.Assignments)
+	if err != nil {
+		return Fig2Result{}, fmt.Errorf("experiment: fig2 ari: %w", err)
+	}
+
+	return Fig2Result{
+		Points:         points,
+		TrueDevice:     labels,
+		Assigned:       res.Assignments,
+		ARI:            ari,
+		FalsePositives: countMinority(labels, res.Assignments),
+	}, nil
+}
+
+// countMinority counts items whose cluster is dominated by a different
+// true label (grouping false-positives in the paper's sense).
+func countMinority(truth, assigned []int) int {
+	// majority true label per cluster
+	counts := map[int]map[int]int{}
+	for i, c := range assigned {
+		if counts[c] == nil {
+			counts[c] = map[int]int{}
+		}
+		counts[c][truth[i]]++
+	}
+	majority := map[int]int{}
+	for c, byLabel := range counts {
+		best, bestN := -1, -1
+		for l, n := range byLabel {
+			if n > bestN {
+				best, bestN = l, n
+			}
+		}
+		majority[c] = best
+	}
+	var fp int
+	for i, c := range assigned {
+		if truth[i] != majority[c] {
+			fp++
+		}
+	}
+	return fp
+}
+
+// Tables renders the result.
+func (r Fig2Result) Tables() []*Table {
+	scatter := &Table{
+		Title:   "Fig. 2 — fingerprints of 3 smartphones in PC space, k-means k=3",
+		Headers: []string{"capture", "true device", "PC1", "PC2", "cluster"},
+	}
+	for i := range r.Points {
+		scatter.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("phone-%d", r.TrueDevice[i]+1),
+			F(r.Points[i][0]), F(r.Points[i][1]),
+			fmt.Sprintf("%d", r.Assigned[i]),
+		)
+	}
+	summary := &Table{
+		Headers: []string{"metric", "value"},
+	}
+	summary.AddRow("ARI", F(r.ARI))
+	summary.AddRow("false positives", fmt.Sprintf("%d/%d", r.FalsePositives, len(r.Points)))
+	return []*Table{scatter, summary}
+}

@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"sybiltd/internal/core"
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/metrics"
+	"sybiltd/internal/simulate"
+	"sybiltd/internal/truth"
+)
+
+// SweepConfig parameterizes the Fig. 6 / Fig. 7 activeness sweeps.
+type SweepConfig struct {
+	// LegitActiveness values index the subfigures; nil means the paper's
+	// {0.2, 0.5, 1.0} (Figs. 6-7 a/b/c).
+	LegitActiveness []float64
+	// SybilActiveness values form the x-axis; nil means 0.2..1.0 step 0.2.
+	SybilActiveness []float64
+	// Trials per point; zero means 10. Results are trial averages.
+	Trials int
+	// Seed bases the per-trial seeds.
+	Seed int64
+	// AGTRPhi is the Eq. (7) dissimilarity threshold used by AG-TR on the
+	// synthetic campaign; zero means 0.3 (calibrated in EXPERIMENTS.md).
+	AGTRPhi float64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.LegitActiveness == nil {
+		c.LegitActiveness = []float64{0.2, 0.5, 1.0}
+	}
+	if c.SybilActiveness == nil {
+		c.SybilActiveness = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	if c.AGTRPhi == 0 {
+		c.AGTRPhi = 0.3
+	}
+	return c
+}
+
+// groupersUnderTest returns the three paper groupers with the sweep's
+// thresholds.
+func (c SweepConfig) groupersUnderTest() []grouping.Grouper {
+	return []grouping.Grouper{
+		grouping.AGFP{},
+		grouping.AGTS{},
+		grouping.AGTR{Phi: c.AGTRPhi},
+	}
+}
+
+// SweepPoint is one (legit α, Sybil α) cell of a sweep, holding one value
+// per method.
+type SweepPoint struct {
+	LegitActiveness float64
+	SybilActiveness float64
+	// Values maps method name (AG-FP/AG-TS/AG-TR for Fig. 6; CRH/TD-FP/
+	// TD-TS/TD-TR for Fig. 7) to the trial-averaged metric.
+	Values map[string]float64
+}
+
+// SweepResult is a full Fig. 6 or Fig. 7 sweep.
+type SweepResult struct {
+	// Metric is "ARI" or "MAE".
+	Metric  string
+	Methods []string
+	Points  []SweepPoint
+}
+
+// Fig6 reproduces the ARI comparison of the three grouping methods
+// (Fig. 6 a-c).
+func Fig6(cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := SweepResult{Metric: "ARI"}
+	for _, g := range cfg.groupersUnderTest() {
+		res.Methods = append(res.Methods, g.Name())
+	}
+	for _, la := range cfg.LegitActiveness {
+		for _, sa := range cfg.SybilActiveness {
+			la, sa := la, sa
+			point := SweepPoint{LegitActiveness: la, SybilActiveness: sa, Values: map[string]float64{}}
+			// One result map per trial; trials run in parallel and are
+			// reduced in trial order so sums stay deterministic.
+			perTrial := make([]map[string]float64, cfg.Trials)
+			err := forEachTrial(cfg.Trials, func(trial int) error {
+				sc, err := simulate.Build(simulate.Config{
+					Seed:            cfg.Seed + int64(trial)*1009,
+					LegitActiveness: la,
+					SybilActiveness: sa,
+				})
+				if err != nil {
+					return fmt.Errorf("experiment: fig6 build: %w", err)
+				}
+				want := sc.TrueGrouping()
+				vals := map[string]float64{}
+				for _, g := range cfg.groupersUnderTest() {
+					got, err := g.Group(sc.Dataset)
+					if err != nil {
+						return fmt.Errorf("experiment: fig6 %s: %w", g.Name(), err)
+					}
+					ari, err := metrics.AdjustedRandIndex(want, got.Labels(sc.Dataset.NumAccounts()))
+					if err != nil {
+						return fmt.Errorf("experiment: fig6 ari: %w", err)
+					}
+					vals[g.Name()] = ari
+				}
+				perTrial[trial] = vals
+				return nil
+			})
+			if err != nil {
+				return SweepResult{}, err
+			}
+			for _, vals := range perTrial {
+				for k, v := range vals {
+					point.Values[k] += v
+				}
+			}
+			for k := range point.Values {
+				point.Values[k] /= float64(cfg.Trials)
+			}
+			res.Points = append(res.Points, point)
+		}
+	}
+	return res, nil
+}
+
+// Fig7 reproduces the MAE comparison of CRH against the framework with the
+// three grouping methods (Fig. 7 a-c).
+func Fig7(cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := SweepResult{Metric: "MAE", Methods: []string{"CRH"}}
+	groupers := cfg.groupersUnderTest()
+	for _, g := range groupers {
+		res.Methods = append(res.Methods, (core.Framework{Grouper: g}).Name())
+	}
+	for _, la := range cfg.LegitActiveness {
+		for _, sa := range cfg.SybilActiveness {
+			la, sa := la, sa
+			point := SweepPoint{LegitActiveness: la, SybilActiveness: sa, Values: map[string]float64{}}
+			perTrial := make([]map[string]float64, cfg.Trials)
+			err := forEachTrial(cfg.Trials, func(trial int) error {
+				sc, err := simulate.Build(simulate.Config{
+					Seed:            cfg.Seed + int64(trial)*1009,
+					LegitActiveness: la,
+					SybilActiveness: sa,
+				})
+				if err != nil {
+					return fmt.Errorf("experiment: fig7 build: %w", err)
+				}
+				vals := map[string]float64{}
+				crhRes, err := truth.CRH{}.Run(sc.Dataset)
+				if err != nil {
+					return fmt.Errorf("experiment: fig7 CRH: %w", err)
+				}
+				mae, err := MAEAgainstTruth(crhRes.Truths, sc.GroundTruth)
+				if err != nil {
+					return fmt.Errorf("experiment: fig7 CRH mae: %w", err)
+				}
+				vals["CRH"] = mae
+				for _, g := range groupers {
+					fw := core.Framework{Grouper: g}
+					fwRes, err := fw.Run(sc.Dataset)
+					if err != nil {
+						return fmt.Errorf("experiment: fig7 %s: %w", fw.Name(), err)
+					}
+					mae, err := MAEAgainstTruth(fwRes.Truths, sc.GroundTruth)
+					if err != nil {
+						return fmt.Errorf("experiment: fig7 %s mae: %w", fw.Name(), err)
+					}
+					vals[fw.Name()] = mae
+				}
+				perTrial[trial] = vals
+				return nil
+			})
+			if err != nil {
+				return SweepResult{}, err
+			}
+			for _, vals := range perTrial {
+				for k, v := range vals {
+					point.Values[k] += v
+				}
+			}
+			for k := range point.Values {
+				point.Values[k] /= float64(cfg.Trials)
+			}
+			res.Points = append(res.Points, point)
+		}
+	}
+	return res, nil
+}
+
+// MAEAgainstTruth computes the MAE over tasks that received data (NaN
+// estimates are skipped, as tasks nobody reported on cannot be scored).
+func MAEAgainstTruth(estimates, groundTruth []float64) (float64, error) {
+	if len(estimates) != len(groundTruth) {
+		return 0, fmt.Errorf("experiment: %d estimates vs %d truths", len(estimates), len(groundTruth))
+	}
+	var est, gt []float64
+	for j := range estimates {
+		if math.IsNaN(estimates[j]) {
+			continue
+		}
+		est = append(est, estimates[j])
+		gt = append(gt, groundTruth[j])
+	}
+	if len(est) == 0 {
+		return 0, fmt.Errorf("experiment: no scorable tasks")
+	}
+	return metrics.MAE(est, gt)
+}
+
+// Tables renders one table per legit-activeness subfigure.
+func (r SweepResult) Tables() []*Table {
+	byLA := map[float64][]SweepPoint{}
+	var las []float64
+	for _, p := range r.Points {
+		if _, ok := byLA[p.LegitActiveness]; !ok {
+			las = append(las, p.LegitActiveness)
+		}
+		byLA[p.LegitActiveness] = append(byLA[p.LegitActiveness], p)
+	}
+	var tables []*Table
+	fig := "Fig. 6"
+	if r.Metric == "MAE" {
+		fig = "Fig. 7"
+	}
+	for _, la := range las {
+		t := &Table{
+			Title:   fmt.Sprintf("%s — %s vs Sybil activeness (legitimate α = %.1f)", fig, r.Metric, la),
+			Headers: append([]string{"sybil α"}, r.Methods...),
+		}
+		for _, p := range byLA[la] {
+			row := []string{F(p.SybilActiveness)}
+			for _, m := range r.Methods {
+				row = append(row, F(p.Values[m]))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// ariLabels is a thin wrapper so extension experiments can share the
+// metric without importing it everywhere.
+func ariLabels(truthLabels, predicted []int) (float64, error) {
+	return metrics.AdjustedRandIndex(truthLabels, predicted)
+}

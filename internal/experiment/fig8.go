@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sybiltd/internal/fingerprint"
+	"sybiltd/internal/mems"
+	"sybiltd/internal/pca"
+)
+
+// Fig8Result reproduces Fig. 8: the fingerprint centers of all 11
+// smartphones of Table IV in the first two principal components' space,
+// demonstrating that same-model devices sit close together.
+type Fig8Result struct {
+	// DeviceIDs[i] names device i ("iPhone 6S#1", ...).
+	DeviceIDs []string
+	// Models[i] is the device's model name.
+	Models []string
+	// Centers[i] is the mean (PC1, PC2) of device i's captures.
+	Centers [][2]float64
+	// MeanSameModelDist / MeanCrossModelDist compare center distances
+	// within and across models in PC space.
+	MeanSameModelDist  float64
+	MeanCrossModelDist float64
+}
+
+// Fig8 runs the experiment: capsPerDevice captures per device (the paper
+// uses 5), PCA over all fingerprints, centers per device.
+func Fig8(seed int64, capsPerDevice int) (Fig8Result, error) {
+	if capsPerDevice <= 0 {
+		capsPerDevice = 5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	devices := mems.BuildInventory(mems.PaperInventory(), rng)
+
+	var vecs []fingerprint.Vector
+	var owner []int
+	for di, d := range devices {
+		for c := 0; c < capsPerDevice; c++ {
+			vecs = append(vecs, fingerprint.Extract(d.Capture(mems.DefaultCaptureSpec(), rng)))
+			owner = append(owner, di)
+		}
+	}
+	matrix, err := fingerprint.NewMatrix(vecs)
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("experiment: fig8: %w", err)
+	}
+	std := fingerprint.Standardize(matrix)
+	model, err := pca.Fit(std, 2)
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("experiment: fig8 pca: %w", err)
+	}
+	points, err := model.Transform(std)
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("experiment: fig8 project: %w", err)
+	}
+
+	res := Fig8Result{}
+	centers := make([][2]float64, len(devices))
+	counts := make([]int, len(devices))
+	for i, p := range points {
+		centers[owner[i]][0] += p[0]
+		centers[owner[i]][1] += p[1]
+		counts[owner[i]]++
+	}
+	for di, d := range devices {
+		centers[di][0] /= float64(counts[di])
+		centers[di][1] /= float64(counts[di])
+		res.DeviceIDs = append(res.DeviceIDs, d.ID())
+		res.Models = append(res.Models, d.Model().Name)
+	}
+	res.Centers = centers
+
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < len(devices); i++ {
+		for j := i + 1; j < len(devices); j++ {
+			dx := centers[i][0] - centers[j][0]
+			dy := centers[i][1] - centers[j][1]
+			d := dx*dx + dy*dy
+			if res.Models[i] == res.Models[j] {
+				sameSum += d
+				sameN++
+			} else {
+				crossSum += d
+				crossN++
+			}
+		}
+	}
+	if sameN > 0 {
+		res.MeanSameModelDist = sameSum / float64(sameN)
+	}
+	if crossN > 0 {
+		res.MeanCrossModelDist = crossSum / float64(crossN)
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r Fig8Result) Tables() []*Table {
+	t := &Table{
+		Title:   "Fig. 8 — smartphone fingerprint centers in PC1/PC2 space",
+		Headers: []string{"device", "model", "PC1", "PC2"},
+	}
+	for i := range r.DeviceIDs {
+		t.AddRow(r.DeviceIDs[i], r.Models[i], F(r.Centers[i][0]), F(r.Centers[i][1]))
+	}
+	s := &Table{Headers: []string{"metric", "value"}}
+	s.AddRow("mean squared center distance (same model)", F(r.MeanSameModelDist))
+	s.AddRow("mean squared center distance (cross model)", F(r.MeanCrossModelDist))
+	return []*Table{t, s}
+}
+
+// Table4Result reproduces Table IV: the smartphone inventory.
+type Table4Result struct {
+	Entries []mems.InventoryEntry
+}
+
+// Table4 returns the inventory.
+func Table4() Table4Result {
+	return Table4Result{Entries: mems.PaperInventory()}
+}
+
+// Tables renders the inventory.
+func (r Table4Result) Tables() []*Table {
+	t := &Table{
+		Title:   "Table IV — models of smartphones used in the experiment",
+		Headers: []string{"OS", "model", "quantity"},
+	}
+	total := 0
+	for _, e := range r.Entries {
+		t.AddRow(e.Model.OS, e.Model.Name, fmt.Sprintf("%d", e.Quantity))
+		total += e.Quantity
+	}
+	t.AddRow("", "total", fmt.Sprintf("%d", total))
+	return []*Table{t}
+}

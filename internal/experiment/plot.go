@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// scatterPlot renders labeled 2-D points as an ASCII scatter chart, the
+// terminal stand-in for the paper's Fig. 2 / Fig. 8 PC-space plots. Each
+// point is drawn with its label rune; colliding points show the later one.
+func scatterPlot(xs, ys []float64, marks []rune, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || len(xs) != len(marks) {
+		return ""
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int(math.Round((xs[i] - minX) / (maxX - minX) * float64(width-1)))
+		r := int(math.Round((ys[i] - minY) / (maxY - minY) * float64(height-1)))
+		// Flip vertically: larger y at the top.
+		r = height - 1 - r
+		grid[r][c] = marks[i]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "PC2 %.2f\n", maxY)
+	for _, row := range grid {
+		b.WriteString("    |")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%.2f +%s\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "     PC1: %.2f .. %.2f\n", minX, maxX)
+	return b.String()
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Plot renders the Fig. 2 scatter (marks = true device index 1-3).
+func (r Fig2Result) Plot() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	marks := make([]rune, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = p[0]
+		ys[i] = p[1]
+		marks[i] = rune('1' + r.TrueDevice[i])
+	}
+	return scatterPlot(xs, ys, marks, 60, 18)
+}
+
+// Plot renders the Fig. 8 device-center scatter. Centers of the same
+// model share a mark letter, making same-model proximity visible.
+func (r Fig8Result) Plot() string {
+	xs := make([]float64, len(r.Centers))
+	ys := make([]float64, len(r.Centers))
+	marks := make([]rune, len(r.Centers))
+	modelMark := map[string]rune{}
+	next := 'A'
+	for i, c := range r.Centers {
+		xs[i] = c[0]
+		ys[i] = c[1]
+		m, ok := modelMark[r.Models[i]]
+		if !ok {
+			m = next
+			modelMark[r.Models[i]] = m
+			next++
+		}
+		marks[i] = m
+	}
+	var legend strings.Builder
+	for i, model := range r.Models {
+		if i == 0 || r.Models[i-1] != model {
+			fmt.Fprintf(&legend, "  %c = %s\n", modelMark[model], model)
+		}
+	}
+	return scatterPlot(xs, ys, marks, 60, 18) + legend.String()
+}

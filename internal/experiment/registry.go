@@ -1,0 +1,281 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tunes a registry run.
+type Options struct {
+	// Seed drives stochastic experiments; 0 picks the documented default.
+	Seed int64
+	// Trials overrides sweep trials (fig6/fig7); 0 keeps the default.
+	Trials int
+	// Quick shrinks the sweeps for smoke runs (2 trials, short axes).
+	Quick bool
+	// CSV renders comma-separated output instead of ASCII tables.
+	CSV bool
+}
+
+// Runner executes one experiment and writes its tables to w.
+type Runner struct {
+	// ID is the CLI name ("table1", "fig6", ...).
+	ID string
+	// Description is a one-line summary shown by `sybiltd list`.
+	Description string
+	// Run executes the experiment.
+	Run func(w io.Writer, opts Options) error
+}
+
+// Registry returns all experiment runners keyed by ID.
+func Registry() map[string]Runner {
+	runners := []Runner{
+		{
+			ID:          "table1",
+			Description: "Table I: CRH vulnerability to the Sybil attack (paper example)",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Table1()
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "fig2",
+			Description: "Fig. 2: AG-FP example — 3 phones x 5 fingerprints, PCA + k-means",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig2(seedOr(opts, 2))
+				if err != nil {
+					return err
+				}
+				if err := render(w, opts, r.Tables()); err != nil {
+					return err
+				}
+				if !opts.CSV {
+					fmt.Fprintln(w)
+					fmt.Fprint(w, r.Plot())
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig3",
+			Description: "Table III + Fig. 3: AG-TS walkthrough (affinity matrices, components)",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig3()
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "fig4",
+			Description: "Fig. 4: AG-TR walkthrough (DTW matrices, components)",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig4()
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "fig5",
+			Description: "Fig. 5: POI map of the measurement campaign (synthetic layout + ground truths)",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig5(seedOr(opts, 1))
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "fig6",
+			Description: "Fig. 6: ARI of AG-FP/AG-TS/AG-TR vs activeness (synthetic campaign)",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig6(sweepConfig(opts))
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "fig7",
+			Description: "Fig. 7: MAE of CRH vs TD-FP/TD-TS/TD-TR vs activeness",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig7(sweepConfig(opts))
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "fig8",
+			Description: "Fig. 8: 11 smartphone fingerprint centers in PC space",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := Fig8(seedOr(opts, 8), 5)
+				if err != nil {
+					return err
+				}
+				if err := render(w, opts, r.Tables()); err != nil {
+					return err
+				}
+				if !opts.CSV {
+					fmt.Fprintln(w)
+					fmt.Fprint(w, r.Plot())
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "ext-algorithms",
+			Description: "Extension: MAE of Mean/Median/CRH/CATD/GTM vs the framework under attack",
+			Run: func(w io.Writer, opts Options) error {
+				trials := opts.Trials
+				if opts.Quick {
+					trials = 2
+				}
+				r, err := ExtAlgorithms(seedOr(opts, 13), trials)
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "ext-strategies",
+			Description: "Extension: fabricate/duplicate/offset attacker strategies vs CRH and TD-TR",
+			Run: func(w io.Writer, opts Options) error {
+				trials := opts.Trials
+				if opts.Quick {
+					trials = 2
+				}
+				r, err := ExtStrategies(seedOr(opts, 13), trials)
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "ext-scale",
+			Description: "Extension: large-scale Sybil attack (growing attacker count)",
+			Run: func(w io.Writer, opts Options) error {
+				trials := opts.Trials
+				if opts.Quick {
+					trials = 1
+				}
+				r, err := ExtScale(seedOr(opts, 13), trials)
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "ext-selection",
+			Description: "Extension: incentive-auction user selection suppressing Sybil accounts",
+			Run: func(w io.Writer, opts Options) error {
+				trials := opts.Trials
+				if opts.Quick {
+					trials = 2
+				}
+				r, err := ExtSelection(seedOr(opts, 13), trials)
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "ext-thresholds",
+			Description: "Extension: rho/phi threshold sensitivity (ARI, precision, recall)",
+			Run: func(w io.Writer, opts Options) error {
+				trials := opts.Trials
+				if opts.Quick {
+					trials = 2
+				}
+				r, err := ExtThresholds(seedOr(opts, 13), trials)
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "ext-evolving",
+			Description: "Extension: drifting truth + mid-stream Sybil burst, windowed framework",
+			Run: func(w io.Writer, opts Options) error {
+				r, err := ExtEvolving(seedOr(opts, 12))
+				if err != nil {
+					return err
+				}
+				return render(w, opts, r.Tables())
+			},
+		},
+		{
+			ID:          "table4",
+			Description: "Table IV: smartphone inventory",
+			Run: func(w io.Writer, opts Options) error {
+				return render(w, opts, Table4().Tables())
+			},
+		},
+	}
+	m := make(map[string]Runner, len(runners))
+	for _, r := range runners {
+		m[r.ID] = r
+	}
+	return m
+}
+
+// IDs returns the registry keys sorted.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func seedOr(opts Options, def int64) int64 {
+	if opts.Seed != 0 {
+		return opts.Seed
+	}
+	return def
+}
+
+func sweepConfig(opts Options) SweepConfig {
+	cfg := SweepConfig{Seed: opts.Seed, Trials: opts.Trials}
+	if opts.Quick {
+		cfg.Trials = 2
+		cfg.LegitActiveness = []float64{0.5}
+		cfg.SybilActiveness = []float64{0.2, 1.0}
+	}
+	return cfg
+}
+
+func render(w io.Writer, opts Options, tables []*Table) error {
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if opts.CSV {
+			if err := t.CSV(w); err != nil {
+				return err
+			}
+			continue
+		}
+		t.Render(w)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"sybiltd/internal/attack"
+	"sybiltd/internal/core"
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/metrics"
+	"sybiltd/internal/truth"
+)
+
+// Shared method instances used across experiments, so every experiment
+// evaluates identical configurations.
+var (
+	crhAlg      = truth.CRH{}
+	tdtrGrouper = grouping.AGTR{Phi: 0.3}
+	agtsGrouper = grouping.AGTS{}
+	tdtrAlg     = core.Framework{Grouper: tdtrGrouper}
+)
+
+// scaleAttackers builds n attackers alternating Attack-I and Attack-II,
+// five accounts each, all fabricating -50 dBm.
+func scaleAttackers(n int) []attack.Profile {
+	profiles := make([]attack.Profile, 0, n)
+	for i := 0; i < n; i++ {
+		kind := attack.AttackI
+		devices := 1
+		if i%2 == 1 {
+			kind = attack.AttackII
+			devices = 2
+		}
+		profiles = append(profiles, attack.Profile{
+			Kind:        kind,
+			NumAccounts: 5,
+			NumDevices:  devices,
+			Activeness:  0.8,
+			Strategy:    attack.Fabricate{Target: -50},
+		})
+	}
+	return profiles
+}
+
+// pairwiseScores wraps metrics.PairwiseGrouping.
+func pairwiseScores(truthLabels, predicted []int) (metrics.PairwiseScores, error) {
+	return metrics.PairwiseGrouping(truthLabels, predicted)
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sybiltd/internal/truth"
+)
+
+// Table1Result reproduces Table I: the vulnerability of plain truth
+// discovery (CRH) to the Sybil attack on the paper's 4-task example.
+type Table1Result struct {
+	// Honest[j] is CRH's estimate without the attacker; Attacked[j] with
+	// the attacker's three -50 dBm accounts.
+	Honest   []float64
+	Attacked []float64
+	// PaperHonest/PaperAttacked are the values printed in Table I.
+	PaperHonest   []float64
+	PaperAttacked []float64
+}
+
+// Table1 runs the experiment.
+func Table1() (Table1Result, error) {
+	honest, err := truth.CRH{}.Run(truth.PaperExampleHonest())
+	if err != nil {
+		return Table1Result{}, fmt.Errorf("experiment: table1 honest: %w", err)
+	}
+	attacked, err := truth.CRH{}.Run(truth.PaperExampleWithSybil())
+	if err != nil {
+		return Table1Result{}, fmt.Errorf("experiment: table1 attacked: %w", err)
+	}
+	return Table1Result{
+		Honest:        honest.Truths,
+		Attacked:      attacked.Truths,
+		PaperHonest:   []float64{-84.23, -82.01, -75.22, -72.72},
+		PaperAttacked: []float64{-56.06, -86.17, -53.29, -55.35},
+	}, nil
+}
+
+// Tables renders the result.
+func (r Table1Result) Tables() []*Table {
+	ds := truth.PaperExampleWithSybil()
+	data := &Table{
+		Title:   "Table I — example showing the Sybil attack in MCS (Wi-Fi dBm)",
+		Headers: []string{"account", "T1", "T2", "T3", "T4"},
+	}
+	for ai := range ds.Accounts {
+		row := []string{ds.Accounts[ai].ID}
+		for j := 0; j < 4; j++ {
+			if v, ok := ds.Value(ai, j); ok {
+				row = append(row, F(v))
+			} else {
+				row = append(row, "x")
+			}
+		}
+		data.AddRow(row...)
+	}
+
+	result := &Table{
+		Title:   "CRH aggregation with and without the attacker (ours vs paper)",
+		Headers: []string{"row", "T1", "T2", "T3", "T4"},
+	}
+	addRow := func(name string, vals []float64) {
+		row := []string{name}
+		for _, v := range vals {
+			row = append(row, F(v))
+		}
+		result.AddRow(row...)
+	}
+	addRow("TD without Sybil (ours)", r.Honest)
+	addRow("TD without Sybil (paper)", r.PaperHonest)
+	addRow("TD with Sybil (ours)", r.Attacked)
+	addRow("TD with Sybil (paper)", r.PaperAttacked)
+	return []*Table{data, result}
+}

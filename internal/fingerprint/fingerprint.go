@@ -1,0 +1,153 @@
+// Package fingerprint turns raw motion-sensor recordings into the
+// fixed-length feature vectors used by the AG-FP account grouping method.
+//
+// Following §IV-C of the paper, a recording is viewed as four scalar
+// streams — the orientation-independent accelerometer magnitude |a(t)| and
+// the three gyroscope axes ωx(t), ωy(t), ωz(t) — and each stream is
+// characterized by the 20 features of Table II (9 temporal + 11 spectral),
+// yielding an 80-dimensional device fingerprint.
+package fingerprint
+
+import (
+	"fmt"
+
+	"sybiltd/internal/mems"
+	"sybiltd/internal/signal"
+	"sybiltd/internal/spectral"
+)
+
+// FeaturesPerStream is the number of features extracted per sensor stream
+// (Table II: 9 temporal + 11 spectral).
+const FeaturesPerStream = 20
+
+// NumStreams is the number of scalar streams per recording:
+// |a|, ωx, ωy, ωz.
+const NumStreams = 4
+
+// VectorLen is the total fingerprint dimensionality.
+const VectorLen = FeaturesPerStream * NumStreams
+
+// BrightnessCutoffHz is the cut-off used for the spectral brightness
+// feature (#18). Hand tremor concentrates below ~15 Hz, so energy above
+// this threshold is dominated by the chip's noise floor — a strongly
+// device-dependent quantity.
+const BrightnessCutoffHz = 15
+
+// FeatureNames returns the 20 per-stream feature names in extraction order.
+func FeatureNames() []string {
+	return []string{
+		"mean", "stddev", "skewness", "kurtosis", "rms",
+		"max", "min", "zcr", "nonneg_count",
+		"spec_centroid", "spec_spread", "spec_skewness", "spec_kurtosis",
+		"spec_flatness", "spec_irregularity", "spec_entropy", "spec_rolloff",
+		"spec_brightness", "spec_rms", "spec_roughness",
+	}
+}
+
+// StreamNames returns the four stream names in extraction order.
+func StreamNames() []string {
+	return []string{"accel_mag", "gyro_x", "gyro_y", "gyro_z"}
+}
+
+// Vector is a device fingerprint: VectorLen features laid out stream-major
+// (all 20 features of |a|, then of ωx, ωy, ωz).
+type Vector []float64
+
+// Extract computes the fingerprint vector of a recording.
+func Extract(rec mems.Recording) Vector {
+	streams := [NumStreams][]float64{
+		signal.Magnitude3(rec.AccelX, rec.AccelY, rec.AccelZ),
+		rec.GyroX,
+		rec.GyroY,
+		rec.GyroZ,
+	}
+	v := make(Vector, 0, VectorLen)
+	for _, s := range streams {
+		v = append(v, streamFeatures(s, rec.SampleRate)...)
+	}
+	return v
+}
+
+// streamFeatures computes the 20 Table II features of one scalar stream.
+func streamFeatures(xs []float64, sampleRate float64) []float64 {
+	mx, err := signal.Max(xs)
+	if err != nil {
+		mx = 0
+	}
+	mn, err := signal.Min(xs)
+	if err != nil {
+		mn = 0
+	}
+	sp := signal.PowerSpectrum(xs, sampleRate, signal.Hann)
+	return []float64{
+		signal.Mean(xs),
+		signal.StdDev(xs),
+		signal.Skewness(xs),
+		signal.Kurtosis(xs),
+		signal.RMS(xs),
+		mx,
+		mn,
+		signal.ZeroCrossingRate(xs),
+		float64(signal.NonNegativeCount(xs)) / float64(max(len(xs), 1)),
+		spectral.Centroid(sp),
+		spectral.Spread(sp),
+		spectral.Skewness(sp),
+		spectral.Kurtosis(sp),
+		spectral.Flatness(sp),
+		spectral.Irregularity(sp),
+		spectral.Entropy(sp),
+		spectral.Rolloff(sp, spectral.DefaultRolloffFraction),
+		spectral.Brightness(sp, BrightnessCutoffHz),
+		spectral.RMS(sp),
+		spectral.Roughness(sp),
+	}
+}
+
+// Matrix is a set of fingerprint vectors, one row per account.
+type Matrix [][]float64
+
+// NewMatrix stacks vectors into a matrix, validating that all rows share
+// the fingerprint dimensionality.
+func NewMatrix(vs []Vector) (Matrix, error) {
+	m := make(Matrix, len(vs))
+	for i, v := range vs {
+		if len(v) != VectorLen {
+			return nil, fmt.Errorf("fingerprint: row %d has %d features, want %d", i, len(v), VectorLen)
+		}
+		m[i] = v
+	}
+	return m, nil
+}
+
+// Standardize z-scores every column of m in place-safe fashion (a new
+// matrix is returned; m is unchanged). Columns with zero variance become
+// all-zero, so constant features cannot dominate nor produce NaNs.
+//
+// Standardization matters because Table II features live on wildly
+// different scales (counts vs Hz vs dimensionless ratios); k-means on raw
+// features would be dominated by the largest-scale column.
+func Standardize(m Matrix) Matrix {
+	if len(m) == 0 {
+		return Matrix{}
+	}
+	rows, cols := len(m), len(m[0])
+	out := make(Matrix, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	col := make([]float64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = m[i][j]
+		}
+		mu := signal.Mean(col)
+		sigma := signal.StdDev(col)
+		if sigma == 0 {
+			continue // leave zeros
+		}
+		for i := 0; i < rows; i++ {
+			out[i][j] = (m[i][j] - mu) / sigma
+		}
+	}
+	return out
+}

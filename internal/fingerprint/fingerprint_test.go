@@ -1,0 +1,125 @@
+package fingerprint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sybiltd/internal/mems"
+)
+
+func capture(t *testing.T, model mems.Model, devSeed, capSeed int64) mems.Recording {
+	t.Helper()
+	d := mems.NewDevice(model, 1, rand.New(rand.NewSource(devSeed)))
+	return d.Capture(mems.DefaultCaptureSpec(), rand.New(rand.NewSource(capSeed)))
+}
+
+func TestExtractShape(t *testing.T) {
+	v := Extract(capture(t, mems.ModelIPhone6S, 1, 2))
+	if len(v) != VectorLen {
+		t.Fatalf("len = %d, want %d", len(v), VectorLen)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %d = %v, want finite", i, x)
+		}
+	}
+	if len(FeatureNames()) != FeaturesPerStream {
+		t.Errorf("FeatureNames len = %d, want %d", len(FeatureNames()), FeaturesPerStream)
+	}
+	if len(StreamNames()) != NumStreams {
+		t.Errorf("StreamNames len = %d, want %d", len(StreamNames()), NumStreams)
+	}
+}
+
+func TestSameDeviceCloserThanDifferentModel(t *testing.T) {
+	// Fingerprints of the same device (different captures) must be closer
+	// than fingerprints of devices of different models. Distances are
+	// computed on standardized features, as the grouping pipeline does.
+	rng := rand.New(rand.NewSource(3))
+	d1 := mems.NewDevice(mems.ModelIPhone6S, 1, rng)
+	d2 := mems.NewDevice(mems.ModelNexus5, 1, rng)
+	capRng := rand.New(rand.NewSource(4))
+	vecs := []Vector{
+		Extract(d1.Capture(mems.DefaultCaptureSpec(), capRng)),
+		Extract(d1.Capture(mems.DefaultCaptureSpec(), capRng)),
+		Extract(d2.Capture(mems.DefaultCaptureSpec(), capRng)),
+	}
+	m, err := NewMatrix(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := Standardize(m)
+	within := euclid(std[0], std[1])
+	between := euclid(std[0], std[2])
+	if within >= between {
+		t.Errorf("within-device distance %v should be < between-model %v", within, between)
+	}
+}
+
+func euclid(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+func TestNewMatrixRejectsBadRows(t *testing.T) {
+	if _, err := NewMatrix([]Vector{make(Vector, 3)}); err == nil {
+		t.Error("NewMatrix should reject rows of wrong length")
+	}
+	m, err := NewMatrix(nil)
+	if err != nil || len(m) != 0 {
+		t.Errorf("NewMatrix(nil) = %v, %v; want empty", m, err)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	m := Matrix{
+		{1, 10, 5},
+		{3, 10, 7},
+		{5, 10, 9},
+	}
+	std := Standardize(m)
+	// Column 0: mean 3, population std sqrt(8/3).
+	wantStd := math.Sqrt(8.0 / 3.0)
+	if got := std[0][0]; math.Abs(got-(-2/wantStd)) > 1e-9 {
+		t.Errorf("std[0][0] = %v", got)
+	}
+	// Constant column becomes zeros.
+	for i := range std {
+		if std[i][1] != 0 {
+			t.Errorf("constant column row %d = %v, want 0", i, std[i][1])
+		}
+	}
+	// Original matrix unchanged.
+	if m[0][0] != 1 {
+		t.Error("Standardize mutated its input")
+	}
+	// Each non-constant column has ~zero mean.
+	for _, j := range []int{0, 2} {
+		var mu float64
+		for i := range std {
+			mu += std[i][j]
+		}
+		mu /= float64(len(std))
+		if math.Abs(mu) > 1e-9 {
+			t.Errorf("column %d mean = %v, want 0", j, mu)
+		}
+	}
+	if got := Standardize(Matrix{}); len(got) != 0 {
+		t.Errorf("Standardize(empty) = %v", got)
+	}
+}
+
+func TestExtractDeterministicGivenSeeds(t *testing.T) {
+	v1 := Extract(capture(t, mems.ModelIPhone7, 5, 6))
+	v2 := Extract(capture(t, mems.ModelIPhone7, 5, 6))
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("feature %d differs: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package grouping
+
+import (
+	"time"
+
+	"sybiltd/internal/dtw"
+	"sybiltd/internal/graph"
+	"sybiltd/internal/mcs"
+)
+
+// DefaultPhi is the dissimilarity threshold the paper uses in its worked
+// example (φ = 1).
+const DefaultPhi = 1.0
+
+// TRMode selects the DTW flavor used by AG-TR.
+type TRMode int
+
+const (
+	// TREq7 uses the paper's Eq. (7): squared pointwise distance, total
+	// path cost divided by path length, square root. This is the default
+	// and the variant used in the synthetic experiments.
+	TREq7 TRMode = iota + 1
+	// TRAbsolute uses the classic unnormalized absolute-distance DTW cost,
+	// which is what the worked example of Fig. 4 actually tabulates.
+	TRAbsolute
+)
+
+// AGTR groups accounts by trajectory (§IV-C, "Account Grouping by
+// Trajectory"): each account's observations, ordered by timestamp, form a
+// task series X_i (which tasks, in what order) and a timestamp series Y_i
+// (when); the dissimilarity of Eq. (8),
+//
+//	D(i,j) = DTW(X_i, X_j) + DTW(Y_i, Y_j),
+//
+// is computed for every pair, pairs strictly below Phi become graph edges,
+// and connected components become groups. It defends against Attack-II
+// even when most accounts perform similar task sets, because the timestamp
+// series still separates independent users.
+type AGTR struct {
+	// Phi is the dissimilarity threshold. Zero means DefaultPhi. Edges
+	// require dissimilarity < Phi (the paper's strict inequality).
+	Phi float64
+	// PhiSet forces Phi to be used verbatim even when zero.
+	PhiSet bool
+	// Mode selects the DTW flavor; zero means TREq7.
+	Mode TRMode
+	// TimeUnit scales the timestamp series: each timestamp becomes the
+	// duration since the campaign start divided by TimeUnit. Zero means
+	// 24h, which reproduces the day-fraction magnitudes of Fig. 4(b).
+	TimeUnit time.Duration
+}
+
+// Name implements Grouper.
+func (AGTR) Name() string { return "AG-TR" }
+
+// Series returns account ai's task series and timestamp series. Tasks are
+// numbered from 1 (as in the paper's example); timestamps are offsets from
+// origin in units of unit.
+func (g AGTR) Series(ds *mcs.Dataset, ai int, origin time.Time, unit time.Duration) (tasks, times []float64) {
+	obs := ds.Accounts[ai].SortedObservations()
+	tasks = make([]float64, len(obs))
+	times = make([]float64, len(obs))
+	for k, o := range obs {
+		tasks[k] = float64(o.Task + 1)
+		times[k] = float64(o.Time.Sub(origin)) / float64(unit)
+	}
+	return tasks, times
+}
+
+// Dissimilarity returns the Eq. (8) dissimilarity between accounts i and j.
+func (g AGTR) Dissimilarity(ds *mcs.Dataset, i, j int) float64 {
+	origin, _, ok := ds.TimeSpan()
+	if !ok {
+		origin = time.Time{}
+	}
+	unit := g.TimeUnit
+	if unit == 0 {
+		unit = 24 * time.Hour
+	}
+	xi, yi := g.Series(ds, i, origin, unit)
+	xj, yj := g.Series(ds, j, origin, unit)
+	return g.distance(xi, xj) + g.distance(yi, yj)
+}
+
+func (g AGTR) distance(a, b []float64) float64 {
+	if g.Mode == TRAbsolute {
+		return dtw.AbsoluteCost(a, b)
+	}
+	return dtw.Distance(a, b)
+}
+
+// Group implements Grouper.
+func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
+	if ds == nil {
+		return Grouping{}, ErrNilDataset
+	}
+	n := ds.NumAccounts()
+	if n == 0 {
+		return Grouping{}, nil
+	}
+	phi := g.Phi
+	if phi == 0 && !g.PhiSet {
+		phi = DefaultPhi
+	}
+	unit := g.TimeUnit
+	if unit == 0 {
+		unit = 24 * time.Hour
+	}
+	origin, _, ok := ds.TimeSpan()
+	if !ok {
+		origin = time.Time{}
+	}
+
+	// Precompute the series once; the pairwise loop is O(n^2) DTW calls.
+	taskSeries := make([][]float64, n)
+	timeSeries := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		taskSeries[i], timeSeries[i] = g.Series(ds, i, origin, unit)
+	}
+	weight := func(i, j int) float64 {
+		if len(taskSeries[i]) == 0 || len(taskSeries[j]) == 0 {
+			// No trajectory evidence: never group idle accounts.
+			return phi + 1
+		}
+		return g.distance(taskSeries[i], taskSeries[j]) + g.distance(timeSeries[i], timeSeries[j])
+	}
+	ug := graph.ThresholdBelow(n, weight, phi)
+	return fromComponents(ug.ConnectedComponents()), nil
+}
+
+var _ Grouper = AGTR{}

@@ -1,0 +1,93 @@
+package grouping
+
+import (
+	"sybiltd/internal/graph"
+	"sybiltd/internal/mcs"
+)
+
+// DefaultRho is the affinity threshold the paper uses in its worked
+// example (ρ = 1).
+const DefaultRho = 1.0
+
+// AGTS groups accounts by accomplished task set (§IV-C, "Account Grouping
+// by Task Set"): the affinity of Eq. (6),
+//
+//	A(i,j) = (T_ij − 2·L_ij) · (T_ij + L_ij) / m,
+//
+// where T_ij counts tasks both i and j performed and L_ij counts tasks
+// exactly one of them performed, is computed for every account pair; pairs
+// with affinity strictly above Rho become edges of an undirected graph, and
+// each connected component is one group. Accounts in no component are
+// singleton groups. It defends against Attack-II in campaigns where
+// accounts have diverse task sets.
+type AGTS struct {
+	// Rho is the affinity threshold. Zero means DefaultRho. Edges require
+	// affinity > Rho, matching the paper's strict inequality.
+	Rho float64
+	// RhoSet forces Rho to be used verbatim even when zero; set it when an
+	// explicit threshold of 0 is wanted.
+	RhoSet bool
+}
+
+// Name implements Grouper.
+func (AGTS) Name() string { return "AG-TS" }
+
+// Affinity returns the Eq. (6) affinity between accounts i and j of ds.
+// m is taken from the dataset. Accounts with no observations have affinity
+// with T=0, L=|other's tasks|.
+func (AGTS) Affinity(ds *mcs.Dataset, i, j int) float64 {
+	m := ds.NumTasks()
+	if m == 0 {
+		return 0
+	}
+	si := ds.Accounts[i].TaskSet()
+	sj := ds.Accounts[j].TaskSet()
+	return affinity(si, sj, m)
+}
+
+func affinity(si, sj map[int]bool, m int) float64 {
+	var both, alone int
+	for t := range si {
+		if sj[t] {
+			both++
+		} else {
+			alone++
+		}
+	}
+	for t := range sj {
+		if !si[t] {
+			alone++
+		}
+	}
+	return float64(both-2*alone) * float64(both+alone) / float64(m)
+}
+
+// Group implements Grouper.
+func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
+	if ds == nil {
+		return Grouping{}, ErrNilDataset
+	}
+	n := ds.NumAccounts()
+	if n == 0 {
+		return Grouping{}, nil
+	}
+	rho := g.Rho
+	if rho == 0 && !g.RhoSet {
+		rho = DefaultRho
+	}
+	m := ds.NumTasks()
+	sets := make([]map[int]bool, n)
+	for i := range ds.Accounts {
+		sets[i] = ds.Accounts[i].TaskSet()
+	}
+	weight := func(i, j int) float64 {
+		if m == 0 {
+			return 0
+		}
+		return affinity(sets[i], sets[j], m)
+	}
+	ug := graph.ThresholdAbove(n, weight, rho)
+	return fromComponents(ug.ConnectedComponents()), nil
+}
+
+var _ Grouper = AGTS{}

@@ -1,0 +1,108 @@
+package grouping
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sybiltd/internal/mcs"
+)
+
+// fixedGrouper returns a preset partition regardless of the dataset.
+type fixedGrouper struct {
+	name   string
+	groups [][]int
+	err    error
+}
+
+func (f fixedGrouper) Name() string { return f.name }
+func (f fixedGrouper) Group(*mcs.Dataset) (Grouping, error) {
+	if f.err != nil {
+		return Grouping{}, f.err
+	}
+	return Grouping{Groups: f.groups}, nil
+}
+
+func comboDataset(n int) *mcs.Dataset {
+	ds := mcs.NewDataset(1)
+	for i := 0; i < n; i++ {
+		ds.AddAccount(mcs.Account{ID: string(rune('a' + i))})
+	}
+	return ds
+}
+
+func TestComboIntersect(t *testing.T) {
+	a := fixedGrouper{name: "A", groups: [][]int{{0, 1, 2}, {3}}}
+	b := fixedGrouper{name: "B", groups: [][]int{{0, 1}, {2, 3}}}
+	g, err := Combo{Members: []Grouper{a, b}, Mode: CombineIntersect}.Group(comboDataset(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2}, {3}}
+	if !reflect.DeepEqual(g.Groups, want) {
+		t.Errorf("intersect = %v, want %v", g.Groups, want)
+	}
+}
+
+func TestComboUnion(t *testing.T) {
+	a := fixedGrouper{name: "A", groups: [][]int{{0, 1}, {2}, {3}}}
+	b := fixedGrouper{name: "B", groups: [][]int{{0}, {1, 2}, {3}}}
+	g, err := Combo{Members: []Grouper{a, b}, Mode: CombineUnion}.Group(comboDataset(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-1 from A, 1-2 from B: transitive closure merges {0,1,2}.
+	want := [][]int{{0, 1, 2}, {3}}
+	if !reflect.DeepEqual(g.Groups, want) {
+		t.Errorf("union = %v, want %v", g.Groups, want)
+	}
+}
+
+func TestComboMajority(t *testing.T) {
+	a := fixedGrouper{name: "A", groups: [][]int{{0, 1}, {2}}}
+	b := fixedGrouper{name: "B", groups: [][]int{{0, 1}, {2}}}
+	c := fixedGrouper{name: "C", groups: [][]int{{0}, {1, 2}}}
+	g, err := Combo{Members: []Grouper{a, b, c}, Mode: CombineMajority}.Group(comboDataset(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (0,1) has 2/3 votes -> grouped; (1,2) has 1/3 -> not.
+	want := [][]int{{0, 1}, {2}}
+	if !reflect.DeepEqual(g.Groups, want) {
+		t.Errorf("majority = %v, want %v", g.Groups, want)
+	}
+}
+
+func TestComboDefaultsToIntersect(t *testing.T) {
+	a := fixedGrouper{name: "A", groups: [][]int{{0, 1}}}
+	b := fixedGrouper{name: "B", groups: [][]int{{0}, {1}}}
+	g, err := Combo{Members: []Grouper{a, b}}.Group(comboDataset(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 2 {
+		t.Errorf("default mode should intersect: %v", g.Groups)
+	}
+}
+
+func TestComboPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	c := Combo{Members: []Grouper{fixedGrouper{name: "bad", err: boom}}}
+	if _, err := c.Group(comboDataset(2)); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if _, err := (Combo{}).Group(comboDataset(2)); err == nil {
+		t.Error("empty member list should error")
+	}
+}
+
+func TestCombineModeString(t *testing.T) {
+	if CombineIntersect.String() != "intersect" ||
+		CombineUnion.String() != "union" ||
+		CombineMajority.String() != "majority" {
+		t.Error("mode strings wrong")
+	}
+	if CombineMode(99).String() == "" {
+		t.Error("unknown mode should stringify")
+	}
+}

@@ -1,0 +1,130 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sybiltd/internal/mcs"
+)
+
+// randomCampaign builds a random small dataset (no fingerprints, so AG-FP
+// degenerates to singletons — tested separately on simulated scenarios).
+func randomCampaign(seed int64) *mcs.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	m := 2 + rng.Intn(8)
+	n := rng.Intn(10)
+	ds := mcs.NewDataset(m)
+	base := time.Date(2026, 7, 2, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		var obs []mcs.Observation
+		for j := 0; j < m; j++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			obs = append(obs, mcs.Observation{
+				Task:  j,
+				Value: rng.NormFloat64() * 20,
+				Time:  base.Add(time.Duration(rng.Intn(7200)) * time.Second),
+			})
+		}
+		ds.AddAccount(mcs.Account{ID: string(rune('a' + i)), Observations: obs})
+	}
+	return ds
+}
+
+// Property: every grouping method always returns a valid partition of the
+// accounts, for arbitrary datasets and thresholds.
+func TestGroupersAlwaysPartitionProperty(t *testing.T) {
+	f := func(seed int64, rhoRaw, phiRaw uint8) bool {
+		ds := randomCampaign(seed)
+		rho := float64(rhoRaw)/32 - 2 // spans negative..positive
+		phi := float64(phiRaw) / 64
+		groupers := []Grouper{
+			AGTS{Rho: rho, RhoSet: true},
+			AGTR{Phi: phi, PhiSet: true},
+			AGTR{Phi: phi, PhiSet: true, Mode: TRAbsolute},
+			Combo{Members: []Grouper{AGTS{}, AGTR{}}, Mode: CombineUnion},
+			Combo{Members: []Grouper{AGTS{}, AGTR{}}, Mode: CombineMajority},
+		}
+		for _, gr := range groupers {
+			g, err := gr.Group(ds)
+			if err != nil {
+				return false
+			}
+			if err := g.Validate(ds.NumAccounts()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AG-TS affinity and AG-TR dissimilarity are symmetric on
+// arbitrary datasets.
+func TestPairwiseMeasuresSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomCampaign(seed)
+		n := ds.NumAccounts()
+		agts := AGTS{}
+		agtr := AGTR{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if agts.Affinity(ds, i, j) != agts.Affinity(ds, j, i) {
+					return false
+				}
+				dij := agtr.Dissimilarity(ds, i, j)
+				dji := agtr.Dissimilarity(ds, j, i)
+				// Both may be +Inf for idle accounts; NaN never.
+				if dij != dji && !(dij != dij && dji != dji) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising AG-TR's φ (more permissive) never increases the number
+// of groups; raising AG-TS's ρ (stricter) never decreases it.
+func TestThresholdMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomCampaign(seed)
+		if ds.NumAccounts() == 0 {
+			return true
+		}
+		prevGroups := -1
+		for _, phi := range []float64{0.01, 0.1, 0.5, 2, 10} {
+			g, err := AGTR{Phi: phi, PhiSet: true}.Group(ds)
+			if err != nil {
+				return false
+			}
+			if prevGroups != -1 && g.NumGroups() > prevGroups {
+				return false
+			}
+			prevGroups = g.NumGroups()
+		}
+		prevGroups = -1
+		for _, rho := range []float64{-5, 0, 1, 5, 20} {
+			g, err := AGTS{Rho: rho, RhoSet: true}.Group(ds)
+			if err != nil {
+				return false
+			}
+			if prevGroups != -1 && g.NumGroups() < prevGroups {
+				return false
+			}
+			prevGroups = g.NumGroups()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

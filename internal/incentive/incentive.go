@@ -1,0 +1,259 @@
+// Package incentive implements the user-selection substrate the paper's
+// Remarks invoke (§IV-C): an MSensing-style reverse auction (Yang, Xue,
+// Fang, Tang — MobiCom 2012, reference [32]) in which users declare the
+// task set they can perform and a bid (their cost), and the platform
+// greedily selects the users whose marginal task coverage exceeds their
+// bid, paying each winner a critical (truthful) price.
+//
+// The paper observes that such selection also suppresses Sybil accounts:
+// once one of an attacker's accounts is selected, its siblings' task sets
+// add no marginal value, so they are unlikely to be selected — reducing
+// the false positives and the attack surface of the grouping methods.
+// The ext-selection experiment quantifies exactly that effect.
+package incentive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Offer is one user's declared contribution: the tasks it can perform and
+// the payment it demands.
+type Offer struct {
+	// User identifies the offering account.
+	User string
+	// Tasks are the task indices the user offers to perform.
+	Tasks []int
+	// Bid is the user's asking price (its claimed cost), > 0.
+	Bid float64
+}
+
+// Outcome is the auction result.
+type Outcome struct {
+	// Winners lists selected offers' indices in selection order.
+	Winners []int
+	// Payments[k] is the payment to Winners[k]; always >= the winner's bid
+	// (individual rationality).
+	Payments []float64
+	// Covered is the set of tasks covered by the winners.
+	Covered map[int]bool
+}
+
+// IsWinner reports whether offer index i won.
+func (o Outcome) IsWinner(i int) bool {
+	for _, w := range o.Winners {
+		if w == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Auction is an MSensing-style reverse auction. TaskValue is the
+// platform's value for each distinct covered task.
+type Auction struct {
+	// TaskValue is the value of covering one task; must be > 0.
+	TaskValue float64
+	// NumTasks bounds valid task indices.
+	NumTasks int
+	// DepthValues, when non-empty, makes the auction redundancy-aware: the
+	// k-th account covering a task contributes DepthValues[k-1] (0 beyond
+	// the list). Plain MSensing is DepthValues = [TaskValue]. Diminishing
+	// depth values (e.g. 10, 6, 3) buy the measurement redundancy that
+	// truth discovery needs while still suppressing fully redundant Sybil
+	// siblings — see the ext-selection experiment.
+	DepthValues []float64
+}
+
+// depthValues returns the effective per-depth values.
+func (a Auction) depthValues() []float64 {
+	if len(a.DepthValues) > 0 {
+		return a.DepthValues
+	}
+	return []float64{a.TaskValue}
+}
+
+// marginal returns the value the offer adds given per-task coverage counts.
+func (a Auction) marginal(offer Offer, coverage map[int]int) float64 {
+	depths := a.depthValues()
+	var value float64
+	seen := make(map[int]bool, len(offer.Tasks))
+	for _, t := range offer.Tasks {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if c := coverage[t]; c < len(depths) {
+			value += depths[c]
+		}
+	}
+	return value
+}
+
+// validate checks the auction parameters and offers.
+func (a Auction) validate(offers []Offer) error {
+	if a.TaskValue <= 0 && len(a.DepthValues) == 0 {
+		return errors.New("incentive: TaskValue must be positive")
+	}
+	for k, v := range a.DepthValues {
+		if v <= 0 {
+			return fmt.Errorf("incentive: DepthValues[%d] must be positive", k)
+		}
+		if k > 0 && v > a.DepthValues[k-1] {
+			return fmt.Errorf("incentive: DepthValues must be non-increasing (got %v)", a.DepthValues)
+		}
+	}
+	if a.NumTasks <= 0 {
+		return errors.New("incentive: NumTasks must be positive")
+	}
+	for i, o := range offers {
+		if o.Bid <= 0 {
+			return fmt.Errorf("incentive: offer %d (%s) has non-positive bid", i, o.User)
+		}
+		for _, t := range o.Tasks {
+			if t < 0 || t >= a.NumTasks {
+				return fmt.Errorf("incentive: offer %d (%s) task %d out of range [0,%d)", i, o.User, t, a.NumTasks)
+			}
+		}
+	}
+	return nil
+}
+
+// selectGreedy runs the MSensing winner-selection loop over the offers
+// whose index passes include, returning winner indices in selection order.
+func (a Auction) selectGreedy(offers []Offer, include func(int) bool) []int {
+	coverage := make(map[int]int)
+	chosen := make(map[int]bool)
+	var winners []int
+	for {
+		best := -1
+		bestUtil := 0.0
+		for i, o := range offers {
+			if chosen[i] || (include != nil && !include(i)) {
+				continue
+			}
+			util := a.marginal(o, coverage) - o.Bid
+			// Deterministic tie-break: higher utility, then lower index.
+			if best == -1 || util > bestUtil+1e-12 {
+				if util > 0 {
+					best = i
+					bestUtil = util
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen[best] = true
+		winners = append(winners, best)
+		addCoverage(coverage, offers[best])
+	}
+	return winners
+}
+
+// addCoverage bumps the coverage count of each distinct task in the offer.
+func addCoverage(coverage map[int]int, o Offer) {
+	seen := make(map[int]bool, len(o.Tasks))
+	for _, t := range o.Tasks {
+		if !seen[t] {
+			coverage[t]++
+			seen[t] = true
+		}
+	}
+}
+
+// Run executes winner selection and critical payments.
+//
+// Payment rule (MSensing): for winner i, rerun the greedy selection over
+// the other offers; at each round j of that run, i could have replaced the
+// round's pick by bidding up to
+//
+//	min( ν_i(S) − (ν_j(S) − b_j), ν_i(S) )
+//
+// where S is the coverage before round j; the payment is the maximum of
+// those thresholds (including the terminal round where i's marginal value
+// alone bounds the bid). This makes truthful bidding a dominant strategy
+// and guarantees p_i >= b_i for winners.
+func (a Auction) Run(offers []Offer) (Outcome, error) {
+	if err := a.validate(offers); err != nil {
+		return Outcome{}, err
+	}
+	winners := a.selectGreedy(offers, nil)
+	out := Outcome{Covered: make(map[int]bool)}
+	for _, w := range winners {
+		out.Winners = append(out.Winners, w)
+		for _, t := range offers[w].Tasks {
+			out.Covered[t] = true
+		}
+	}
+
+	for _, w := range winners {
+		out.Payments = append(out.Payments, a.criticalPayment(offers, w))
+	}
+	return out, nil
+}
+
+// criticalPayment computes winner i's payment per the rule above.
+func (a Auction) criticalPayment(offers []Offer, i int) float64 {
+	coverage := make(map[int]int)
+	chosen := make(map[int]bool)
+	payment := 0.0
+	for {
+		// The round's pick among offers other than i.
+		best := -1
+		bestUtil := 0.0
+		for j, o := range offers {
+			if j == i || chosen[j] {
+				continue
+			}
+			util := a.marginal(o, coverage) - o.Bid
+			if best == -1 || util > bestUtil+1e-12 {
+				if util > 0 {
+					best = j
+					bestUtil = util
+				}
+			}
+		}
+		vi := a.marginal(offers[i], coverage)
+		if best == -1 {
+			// Terminal round: i wins by bidding anything below its
+			// marginal value.
+			if vi > payment {
+				payment = vi
+			}
+			break
+		}
+		// i could displace this round's pick by bidding below the
+		// threshold; cap at i's marginal value.
+		threshold := vi - bestUtil
+		if vi < threshold {
+			threshold = vi
+		}
+		if threshold > payment {
+			payment = threshold
+		}
+		chosen[best] = true
+		addCoverage(coverage, offers[best])
+	}
+	return payment
+}
+
+// TotalPayment sums the outcome's payments.
+func (o Outcome) TotalPayment() float64 {
+	var sum float64
+	for _, p := range o.Payments {
+		sum += p
+	}
+	return sum
+}
+
+// WinnersByUser returns the winning users' names, sorted.
+func (o Outcome) WinnersByUser(offers []Offer) []string {
+	names := make([]string, 0, len(o.Winners))
+	for _, w := range o.Winners {
+		names = append(names, offers[w].User)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,44 @@
+package mcs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJSON checks that arbitrary input never panics the decoder and
+// that anything it accepts is a valid dataset that round-trips.
+func FuzzDecodeJSON(f *testing.F) {
+	var buf bytes.Buffer
+	ds := NewDataset(2)
+	ds.AddAccount(Account{ID: "a", Observations: []Observation{{Task: 0, Value: 1}}})
+	if err := ds.EncodeJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"tasks":[],"accounts":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"tasks":[{"id":0}],"accounts":[{"id":""}]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := DecodeJSON(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid dataset: %v", err)
+		}
+		var out bytes.Buffer
+		if err := ds.EncodeJSON(&out); err != nil {
+			t.Fatalf("accepted dataset failed to re-encode: %v", err)
+		}
+		back, err := DecodeJSON(&out)
+		if err != nil {
+			t.Fatalf("re-encoded dataset failed to decode: %v", err)
+		}
+		if back.NumTasks() != ds.NumTasks() || back.NumAccounts() != ds.NumAccounts() {
+			t.Fatal("round-trip changed the dataset shape")
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package mcs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := sampleDataset()
+	ds.Accounts[0].Fingerprint = []float64{1.5, -2.5, 3}
+	ds.Accounts[1].Fingerprint = []float64{0, 1, 2}
+	ds.Tasks[0].Name = "POI-A"
+	ds.Tasks[0].X = 12.5
+	ds.Tasks[0].Y = -3
+
+	var buf bytes.Buffer
+	if err := ds.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != ds.NumTasks() || back.NumAccounts() != ds.NumAccounts() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.NumTasks(), back.NumAccounts(), ds.NumTasks(), ds.NumAccounts())
+	}
+	if back.Tasks[0].Name != "POI-A" || back.Tasks[0].X != 12.5 || back.Tasks[0].Y != -3 {
+		t.Errorf("task 0 = %+v", back.Tasks[0])
+	}
+	for ai := range ds.Accounts {
+		want := ds.Accounts[ai]
+		got := back.Accounts[ai]
+		if got.ID != want.ID {
+			t.Fatalf("account %d ID %q vs %q", ai, got.ID, want.ID)
+		}
+		if len(got.Observations) != len(want.Observations) {
+			t.Fatalf("account %d observation count", ai)
+		}
+		for k := range want.Observations {
+			if got.Observations[k].Value != want.Observations[k].Value ||
+				!got.Observations[k].Time.Equal(want.Observations[k].Time) {
+				t.Errorf("account %d obs %d differs", ai, k)
+			}
+		}
+		if len(got.Fingerprint) != len(want.Fingerprint) {
+			t.Errorf("account %d fingerprint length", ai)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsGarbage(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage should error")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`{"version": 99, "tasks": [], "accounts": []}`)); err == nil {
+		t.Error("wrong schema version should error")
+	}
+	// Structurally valid JSON but semantically invalid dataset.
+	bad := `{"version":1,"tasks":[{"id":0,"name":"T1"}],"accounts":[{"id":"a","observations":[{"task":5,"value":1,"time":"2026-07-01T00:00:00Z"}]}]}`
+	if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range task should be rejected by validation")
+	}
+}
+
+func TestEncodeJSONEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDataset(2).EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != 2 || back.NumAccounts() != 0 {
+		t.Errorf("shape = %d tasks, %d accounts", back.NumTasks(), back.NumAccounts())
+	}
+}

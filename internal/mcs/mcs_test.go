@@ -1,0 +1,171 @@
+package mcs
+
+import (
+	"testing"
+	"time"
+)
+
+func ts(minute int) time.Time {
+	return time.Date(2019, 3, 1, 10, minute, 0, 0, time.UTC)
+}
+
+func sampleDataset() *Dataset {
+	ds := NewDataset(4)
+	ds.AddAccount(Account{ID: "u1", Observations: []Observation{
+		{Task: 0, Value: -84.48, Time: ts(0)},
+		{Task: 1, Value: -82.11, Time: ts(2)},
+		{Task: 2, Value: -75.16, Time: ts(10)},
+		{Task: 3, Value: -72.71, Time: ts(13)},
+	}})
+	ds.AddAccount(Account{ID: "u2", Observations: []Observation{
+		{Task: 1, Value: -72.27, Time: ts(4)},
+		{Task: 2, Value: -77.21, Time: ts(6)},
+	}})
+	return ds
+}
+
+func TestNewDataset(t *testing.T) {
+	ds := NewDataset(3)
+	if ds.NumTasks() != 3 {
+		t.Fatalf("NumTasks = %d, want 3", ds.NumTasks())
+	}
+	if ds.Tasks[0].Name != "T1" || ds.Tasks[2].Name != "T3" {
+		t.Errorf("task names = %v", ds.Tasks)
+	}
+	if ds.Tasks[1].ID != 1 {
+		t.Errorf("task ID = %d, want 1", ds.Tasks[1].ID)
+	}
+	if ds.NumAccounts() != 0 {
+		t.Errorf("NumAccounts = %d, want 0", ds.NumAccounts())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := sampleDataset()
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+
+	dup := sampleDataset()
+	dup.AddAccount(Account{ID: "u1"})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ID should be rejected")
+	}
+
+	empty := sampleDataset()
+	empty.AddAccount(Account{ID: ""})
+	if err := empty.Validate(); err == nil {
+		t.Error("empty ID should be rejected")
+	}
+
+	oob := sampleDataset()
+	oob.Accounts[0].Observations = append(oob.Accounts[0].Observations, Observation{Task: 99})
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range task should be rejected")
+	}
+
+	multi := sampleDataset()
+	multi.Accounts[0].Observations = append(multi.Accounts[0].Observations, Observation{Task: 0, Value: 1})
+	if err := multi.Validate(); err == nil {
+		t.Error("duplicate task per account should be rejected")
+	}
+
+	fp := sampleDataset()
+	fp.Accounts[0].Fingerprint = []float64{1, 2, 3}
+	fp.Accounts[1].Fingerprint = []float64{1, 2}
+	if err := fp.Validate(); err == nil {
+		t.Error("inconsistent fingerprint lengths should be rejected")
+	}
+	fp.Accounts[1].Fingerprint = []float64{4, 5, 6}
+	if err := fp.Validate(); err != nil {
+		t.Errorf("consistent fingerprints rejected: %v", err)
+	}
+}
+
+func TestSubmitters(t *testing.T) {
+	ds := sampleDataset()
+	subs := ds.Submitters()
+	if len(subs) != 4 {
+		t.Fatalf("len = %d, want 4", len(subs))
+	}
+	if len(subs[0]) != 1 || subs[0][0] != 0 {
+		t.Errorf("task 0 submitters = %v, want [0]", subs[0])
+	}
+	if len(subs[1]) != 2 {
+		t.Errorf("task 1 submitters = %v, want two", subs[1])
+	}
+	if len(subs[3]) != 1 {
+		t.Errorf("task 3 submitters = %v", subs[3])
+	}
+}
+
+func TestValue(t *testing.T) {
+	ds := sampleDataset()
+	v, ok := ds.Value(1, 2)
+	if !ok || v != -77.21 {
+		t.Errorf("Value(1,2) = %v, %v", v, ok)
+	}
+	if _, ok := ds.Value(1, 0); ok {
+		t.Error("Value for missing observation should be !ok")
+	}
+	if _, ok := ds.Value(99, 0); ok {
+		t.Error("Value for bad account should be !ok")
+	}
+	if _, ok := ds.Value(-1, 0); ok {
+		t.Error("Value for negative account should be !ok")
+	}
+}
+
+func TestActiveness(t *testing.T) {
+	ds := sampleDataset()
+	if got := ds.Activeness(0); got != 1 {
+		t.Errorf("activeness(u1) = %v, want 1", got)
+	}
+	if got := ds.Activeness(1); got != 0.5 {
+		t.Errorf("activeness(u2) = %v, want 0.5", got)
+	}
+	if got := ds.Activeness(99); got != 0 {
+		t.Errorf("activeness(bad) = %v, want 0", got)
+	}
+	if got := NewDataset(0).Activeness(0); got != 0 {
+		t.Errorf("activeness with no tasks = %v, want 0", got)
+	}
+}
+
+func TestTaskSetAndSortedObservations(t *testing.T) {
+	a := Account{ID: "x", Observations: []Observation{
+		{Task: 2, Time: ts(5)},
+		{Task: 0, Time: ts(1)},
+		{Task: 1, Time: ts(5)},
+	}}
+	set := a.TaskSet()
+	if len(set) != 3 || !set[0] || !set[1] || !set[2] {
+		t.Errorf("TaskSet = %v", set)
+	}
+	sorted := a.SortedObservations()
+	if sorted[0].Task != 0 {
+		t.Errorf("first sorted obs task = %d, want 0", sorted[0].Task)
+	}
+	// Tie on time: task order breaks it.
+	if sorted[1].Task != 1 || sorted[2].Task != 2 {
+		t.Errorf("tie-broken order = %v", sorted)
+	}
+	// Original untouched.
+	if a.Observations[0].Task != 2 {
+		t.Error("SortedObservations mutated the account")
+	}
+}
+
+func TestTimeSpan(t *testing.T) {
+	ds := sampleDataset()
+	first, last, ok := ds.TimeSpan()
+	if !ok {
+		t.Fatal("TimeSpan not ok on non-empty dataset")
+	}
+	if !first.Equal(ts(0)) || !last.Equal(ts(13)) {
+		t.Errorf("span = %v..%v", first, last)
+	}
+	if _, _, ok := NewDataset(2).TimeSpan(); ok {
+		t.Error("TimeSpan of empty dataset should be !ok")
+	}
+}

@@ -1,0 +1,137 @@
+package mems
+
+import "math/rand"
+
+// The model parameters below are synthetic but chosen so that (a) units of
+// the same model sit close together in fingerprint-feature space and (b)
+// different models are separable — the two properties the paper observes
+// in Figs. 2 and 8. Gain errors are a fraction of a percent and offsets a
+// few hundredths of m/s^2 (rad/s for gyro bias), in line with the MEMS
+// datasheet tolerances discussed by Das et al.
+
+// Models used in the paper's experiment (Table IV).
+var (
+	ModelIPhoneSE = Model{
+		Name: "iPhone SE", OS: "iOS",
+		AccelFilterRho: 0.15, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.55, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 1.0031, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: 0.052, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.012, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 1.0018, GyroGainSpread: 0.0003,
+		GyroBiasCenter: 0.011, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0026, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelIPhone6 = Model{
+		Name: "iPhone 6", OS: "iOS",
+		AccelFilterRho: 0.35, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.25, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 0.9952, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: -0.038, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.016, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 0.9978, GyroGainSpread: 0.0003,
+		GyroBiasCenter: -0.009, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0031, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelIPhone6S = Model{
+		Name: "iPhone 6S", OS: "iOS",
+		AccelFilterRho: 0.25, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.4, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 1.0014, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: 0.021, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.013, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 1.0042, GyroGainSpread: 0.0003,
+		GyroBiasCenter: 0.006, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0024, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelIPhone7 = Model{
+		Name: "iPhone 7", OS: "iOS",
+		AccelFilterRho: 0.1, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.65, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 0.9985, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: -0.064, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.011, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 0.9991, GyroGainSpread: 0.0003,
+		GyroBiasCenter: -0.014, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0022, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelIPhoneX = Model{
+		Name: "iPhone X", OS: "iOS",
+		AccelFilterRho: 0.45, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.15, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 1.0058, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: 0.083, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.010, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 1.0009, GyroGainSpread: 0.0003,
+		GyroBiasCenter: 0.018, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0019, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelNexus6P = Model{
+		Name: "Nexus 6P", OS: "Android",
+		AccelFilterRho: 0.6, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.5, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 0.9921, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: 0.107, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.021, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 1.0071, GyroGainSpread: 0.0003,
+		GyroBiasCenter: -0.021, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0038, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelLGG5 = Model{
+		Name: "LG G5", OS: "Android",
+		AccelFilterRho: 0.05, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.3, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 1.0089, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: -0.095, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.024, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 0.9942, GyroGainSpread: 0.0003,
+		GyroBiasCenter: 0.024, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0041, GyroNoiseSpreadFrac: 0.05,
+	}
+	ModelNexus5 = Model{
+		Name: "Nexus 5", OS: "Android",
+		AccelFilterRho: 0.5, AccelFilterRhoSpread: 0.02,
+		GyroFilterRho: 0.7, GyroFilterRhoSpread: 0.02,
+		AccelGainCenter: 0.9896, AccelGainSpread: 0.0004,
+		AccelOffsetCenter: 0.031, AccelOffsetSpread: 0.006,
+		AccelNoise: 0.028, AccelNoiseSpreadFrac: 0.05,
+		GyroGainCenter: 0.9913, GyroGainSpread: 0.0003,
+		GyroBiasCenter: -0.027, GyroBiasSpread: 0.0015,
+		GyroNoise: 0.0046, GyroNoiseSpreadFrac: 0.05,
+	}
+)
+
+// InventoryEntry is one row of the Table IV device inventory.
+type InventoryEntry struct {
+	Model    Model
+	Quantity int
+}
+
+// PaperInventory returns the 11-smartphone inventory of Table IV:
+// 1 iPhone SE, 1 iPhone 6, 2 iPhone 6S, 1 iPhone 7, 1 iPhone X,
+// 3 Nexus 6P, 1 LG G5, 1 Nexus 5.
+func PaperInventory() []InventoryEntry {
+	return []InventoryEntry{
+		{Model: ModelIPhoneSE, Quantity: 1},
+		{Model: ModelIPhone6, Quantity: 1},
+		{Model: ModelIPhone6S, Quantity: 2},
+		{Model: ModelIPhone7, Quantity: 1},
+		{Model: ModelIPhoneX, Quantity: 1},
+		{Model: ModelNexus6P, Quantity: 3},
+		{Model: ModelLGG5, Quantity: 1},
+		{Model: ModelNexus5, Quantity: 1},
+	}
+}
+
+// BuildInventory manufactures one Device per unit of the inventory using
+// rng for the per-unit imperfections. Devices are returned in inventory
+// order with serial numbers starting at 1 within each model.
+func BuildInventory(entries []InventoryEntry, rng *rand.Rand) []*Device {
+	var devices []*Device
+	for _, e := range entries {
+		for serial := 1; serial <= e.Quantity; serial++ {
+			devices = append(devices, NewDevice(e.Model, serial, rng))
+		}
+	}
+	return devices
+}

@@ -1,0 +1,282 @@
+// Package mems simulates MEMS motion sensors (accelerometer and gyroscope)
+// with per-device manufacturing imperfections, standing in for the physical
+// smartphones of the paper's experiment (Table IV).
+//
+// The fingerprinting attack of Das et al. (NDSS 2016), which the paper's
+// AG-FP method builds on, relies on two physical facts that this simulator
+// reproduces as explicit parameters:
+//
+//  1. Each sensor unit has stable gain and offset errors caused by
+//     electrode-gap imperfections introduced at manufacturing time, so the
+//     same device always produces the same systematic distortion.
+//  2. Units of the same model come off the same production line, so their
+//     imperfections are drawn from a tighter distribution than units of
+//     different models — which is exactly why the paper observes that
+//     "smartphones of the same model are usually grouped together".
+//
+// A Device is created from a Model via NewDevice; Capture produces the
+// stationary handheld recording (gravity plus physiological hand tremor
+// plus thermal noise, all distorted by the unit's imperfections) that the
+// platform records for T seconds when an account signs in.
+package mems
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gravity is the standard gravitational acceleration in m/s^2 seen by a
+// stationary accelerometer.
+const Gravity = 9.80665
+
+// Model describes a smartphone model: the center and spread of the
+// manufacturing-imperfection distribution its units are drawn from, plus
+// the noise characteristics of its sensor chips.
+type Model struct {
+	// Name is the marketing name, e.g. "iPhone 6S".
+	Name string
+	// OS is the operating-system family, e.g. "iOS" or "Android".
+	OS string
+
+	// AccelGainCenter is the model-typical multiplicative gain error of the
+	// accelerometer (1.0 = perfect). AccelGainSpread is the unit-to-unit
+	// standard deviation around that center.
+	AccelGainCenter float64
+	AccelGainSpread float64
+	// AccelOffsetCenter/Spread describe the additive bias (m/s^2) per axis.
+	AccelOffsetCenter float64
+	AccelOffsetSpread float64
+	// AccelNoise is the model-typical standard deviation of the white
+	// measurement noise (m/s^2) of the accelerometer chip.
+	AccelNoise float64
+	// AccelNoiseSpreadFrac is the unit-to-unit fractional spread of the
+	// noise floor: a unit's actual noise sigma is drawn as
+	// AccelNoise * (1 + N(0, spread)). Chip noise floors genuinely differ
+	// per unit (they depend on the same electrode geometry that causes
+	// gain/offset errors), and this is what makes the variance- and
+	// spectrum-derived Table II features device-discriminative.
+	AccelNoiseSpreadFrac float64
+
+	// GyroGainCenter/Spread and GyroBiasCenter/Spread describe the
+	// gyroscope's multiplicative and additive (rad/s) errors.
+	GyroGainCenter float64
+	GyroGainSpread float64
+	GyroBiasCenter float64
+	GyroBiasSpread float64
+	// GyroNoise is the model-typical white-noise standard deviation (rad/s)
+	// of the gyroscope chip.
+	GyroNoise float64
+	// GyroNoiseSpreadFrac is the unit-to-unit fractional spread of the
+	// gyroscope noise floor (see AccelNoiseSpreadFrac).
+	GyroNoiseSpreadFrac float64
+
+	// AccelFilterRho is the model-typical first-order autocorrelation of
+	// the accelerometer's noise, produced by the chip's analog low-pass /
+	// anti-alias filtering. It shapes the noise spectrum, which is what the
+	// spectral Table II features (centroid, rolloff, brightness, ...) pick
+	// up. 0 = white noise; values toward 1 tilt energy to low frequencies.
+	AccelFilterRho float64
+	// AccelFilterRhoSpread is the unit-to-unit spread of AccelFilterRho.
+	AccelFilterRhoSpread float64
+	// GyroFilterRho / GyroFilterRhoSpread: same for the gyroscope.
+	GyroFilterRho       float64
+	GyroFilterRhoSpread float64
+}
+
+// axisError is the realized imperfection of one sensor axis of one unit.
+type axisError struct {
+	gain   float64
+	offset float64
+}
+
+// Device is a single physical unit of a Model with its manufacturing
+// imperfections fixed at construction time. A Device is immutable after
+// NewDevice; captures from the same Device therefore share the same
+// systematic distortion, which is what makes fingerprinting possible.
+type Device struct {
+	model  Model
+	serial int
+
+	accel [3]axisError
+	gyro  [3]axisError
+	// Per-unit realized noise floors and noise-filter coefficients.
+	accelNoise float64
+	gyroNoise  float64
+	accelRho   float64
+	gyroRho    float64
+}
+
+// NewDevice manufactures unit serial of model. The unit's per-axis gains
+// and offsets are drawn deterministically from the model's imperfection
+// distribution using rng, so rebuilding the same inventory from the same
+// seed yields identical hardware.
+func NewDevice(model Model, serial int, rng *rand.Rand) *Device {
+	d := &Device{model: model, serial: serial}
+	for axis := 0; axis < 3; axis++ {
+		d.accel[axis] = axisError{
+			gain:   model.AccelGainCenter + rng.NormFloat64()*model.AccelGainSpread,
+			offset: model.AccelOffsetCenter + rng.NormFloat64()*model.AccelOffsetSpread,
+		}
+		d.gyro[axis] = axisError{
+			gain:   model.GyroGainCenter + rng.NormFloat64()*model.GyroGainSpread,
+			offset: model.GyroBiasCenter + rng.NormFloat64()*model.GyroBiasSpread,
+		}
+	}
+	d.accelNoise = model.AccelNoise * (1 + rng.NormFloat64()*model.AccelNoiseSpreadFrac)
+	if d.accelNoise < model.AccelNoise*0.25 {
+		d.accelNoise = model.AccelNoise * 0.25
+	}
+	d.gyroNoise = model.GyroNoise * (1 + rng.NormFloat64()*model.GyroNoiseSpreadFrac)
+	if d.gyroNoise < model.GyroNoise*0.25 {
+		d.gyroNoise = model.GyroNoise * 0.25
+	}
+	d.accelRho = clampRho(model.AccelFilterRho + rng.NormFloat64()*model.AccelFilterRhoSpread)
+	d.gyroRho = clampRho(model.GyroFilterRho + rng.NormFloat64()*model.GyroFilterRhoSpread)
+	return d
+}
+
+// clampRho keeps an AR(1) coefficient stable and non-negative.
+func clampRho(rho float64) float64 {
+	if rho < 0 {
+		return 0
+	}
+	if rho > 0.95 {
+		return 0.95
+	}
+	return rho
+}
+
+// Model returns the device's model description.
+func (d *Device) Model() Model { return d.model }
+
+// ID returns a human-readable identifier such as "iPhone 6S#1".
+func (d *Device) ID() string { return fmt.Sprintf("%s#%d", d.model.Name, d.serial) }
+
+// Recording is a raw stationary capture from a device: three accelerometer
+// axes and three gyroscope axes sampled at SampleRate Hz.
+type Recording struct {
+	SampleRate float64
+	AccelX     []float64
+	AccelY     []float64
+	AccelZ     []float64
+	GyroX      []float64
+	GyroY      []float64
+	GyroZ      []float64
+}
+
+// Len returns the number of samples per stream.
+func (r Recording) Len() int { return len(r.AccelX) }
+
+// CaptureSpec configures a stationary handheld capture.
+type CaptureSpec struct {
+	// Duration is the capture length in seconds (the paper uses 6 s).
+	Duration float64
+	// SampleRate is the sampling frequency in Hz (browser sensor APIs
+	// typically deliver 50-100 Hz; we default to 100).
+	SampleRate float64
+	// TremorFreq is the dominant physiological hand-tremor frequency in Hz
+	// (human postural tremor is 8-12 Hz). Zero selects the default 10 Hz.
+	TremorFreq float64
+	// TremorAmp is the tremor acceleration amplitude in m/s^2.
+	// Zero selects a small default.
+	TremorAmp float64
+}
+
+// withDefaults fills zero fields with sensible defaults.
+func (s CaptureSpec) withDefaults() CaptureSpec {
+	if s.Duration == 0 {
+		s.Duration = 6
+	}
+	if s.SampleRate == 0 {
+		s.SampleRate = 100
+	}
+	if s.TremorFreq == 0 {
+		s.TremorFreq = 10
+	}
+	if s.TremorAmp == 0 {
+		s.TremorAmp = 0.015
+	}
+	return s
+}
+
+// DefaultCaptureSpec returns the capture used throughout the experiments:
+// 6 seconds at 100 Hz, matching the paper's sign-in procedure ("hold the
+// smartphones in hand for 6 seconds").
+func DefaultCaptureSpec() CaptureSpec {
+	return CaptureSpec{}.withDefaults()
+}
+
+// Capture simulates holding the device stationary in hand and recording
+// both motion sensors. rng drives the stochastic part (tremor phase, hand
+// orientation, thermal noise); the device's systematic imperfections are
+// applied on top. Each call represents one sign-in capture, so repeated
+// captures from the same device share gains/offsets but differ in noise.
+func (d *Device) Capture(spec CaptureSpec, rng *rand.Rand) Recording {
+	spec = spec.withDefaults()
+	n := int(spec.Duration * spec.SampleRate)
+	if n < 1 {
+		n = 1
+	}
+	rec := Recording{
+		SampleRate: spec.SampleRate,
+		AccelX:     make([]float64, n),
+		AccelY:     make([]float64, n),
+		AccelZ:     make([]float64, n),
+		GyroX:      make([]float64, n),
+		GyroY:      make([]float64, n),
+		GyroZ:      make([]float64, n),
+	}
+
+	// Random but fixed hand orientation for this capture: gravity is
+	// distributed across the three axes.
+	theta := rng.Float64() * math.Pi / 6 // tilt from vertical, up to 30 deg
+	phi := rng.Float64() * 2 * math.Pi
+	gx := Gravity * math.Sin(theta) * math.Cos(phi)
+	gy := Gravity * math.Sin(theta) * math.Sin(phi)
+	gz := Gravity * math.Cos(theta)
+
+	// Tremor: a dominant oscillation with a weaker second harmonic and a
+	// random phase per axis. Holding a phone still, the tremor appears in
+	// both linear acceleration and angular velocity.
+	tremorPhase := [3]float64{rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi}
+	dt := 1 / spec.SampleRate
+	omega := 2 * math.Pi * spec.TremorFreq
+
+	// AR(1) colored measurement noise with the unit's filter coefficient;
+	// innovations are scaled so the stationary variance equals the unit's
+	// noise floor squared.
+	var accelState, gyroState [3]float64
+	accelInno := d.accelNoise * math.Sqrt(1-d.accelRho*d.accelRho)
+	gyroInno := d.gyroNoise * math.Sqrt(1-d.gyroRho*d.gyroRho)
+
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		tremor := func(axis int) float64 {
+			base := math.Sin(omega*t + tremorPhase[axis])
+			harm := 0.3 * math.Sin(2*omega*t+2*tremorPhase[axis])
+			return spec.TremorAmp * (base + harm)
+		}
+		trueAccel := [3]float64{gx + tremor(0), gy + tremor(1), gz + tremor(2)}
+		// Angular tremor is the derivative of a small rocking motion; model
+		// it as a cosine at the tremor frequency whose amplitude tracks the
+		// linear tremor (a shakier hand also rotates more).
+		gyroAmp := 0.25 * spec.TremorAmp
+		trueGyro := [3]float64{
+			gyroAmp * math.Cos(omega*t+tremorPhase[0]),
+			gyroAmp * math.Cos(omega*t+tremorPhase[1]),
+			0.75 * gyroAmp * math.Cos(omega*t+tremorPhase[2]),
+		}
+		a := [3]*[]float64{&rec.AccelX, &rec.AccelY, &rec.AccelZ}
+		g := [3]*[]float64{&rec.GyroX, &rec.GyroY, &rec.GyroZ}
+		for axis := 0; axis < 3; axis++ {
+			ae := d.accel[axis]
+			ge := d.gyro[axis]
+			accelState[axis] = d.accelRho*accelState[axis] + rng.NormFloat64()*accelInno
+			gyroState[axis] = d.gyroRho*gyroState[axis] + rng.NormFloat64()*gyroInno
+			(*a[axis])[i] = ae.gain*trueAccel[axis] + ae.offset + accelState[axis]
+			(*g[axis])[i] = ge.gain*trueGyro[axis] + ge.offset + gyroState[axis]
+		}
+	}
+	return rec
+}

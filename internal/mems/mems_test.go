@@ -1,0 +1,145 @@
+package mems
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sybiltd/internal/signal"
+)
+
+func TestNewDeviceDeterministic(t *testing.T) {
+	a := NewDevice(ModelIPhone6S, 1, rand.New(rand.NewSource(9)))
+	b := NewDevice(ModelIPhone6S, 1, rand.New(rand.NewSource(9)))
+	if *a != *b {
+		t.Error("same seed should manufacture identical devices")
+	}
+	c := NewDevice(ModelIPhone6S, 1, rand.New(rand.NewSource(10)))
+	if *a == *c {
+		t.Error("different seeds should manufacture different devices")
+	}
+}
+
+func TestDeviceID(t *testing.T) {
+	d := NewDevice(ModelNexus5, 2, rand.New(rand.NewSource(1)))
+	if got, want := d.ID(), "Nexus 5#2"; got != want {
+		t.Errorf("ID = %q, want %q", got, want)
+	}
+	if d.Model().OS != "Android" {
+		t.Errorf("Model().OS = %q, want Android", d.Model().OS)
+	}
+}
+
+func TestCaptureShape(t *testing.T) {
+	d := NewDevice(ModelIPhone7, 1, rand.New(rand.NewSource(2)))
+	rec := d.Capture(CaptureSpec{Duration: 6, SampleRate: 100}, rand.New(rand.NewSource(3)))
+	if rec.Len() != 600 {
+		t.Fatalf("Len = %d, want 600", rec.Len())
+	}
+	for name, s := range map[string][]float64{
+		"AccelX": rec.AccelX, "AccelY": rec.AccelY, "AccelZ": rec.AccelZ,
+		"GyroX": rec.GyroX, "GyroY": rec.GyroY, "GyroZ": rec.GyroZ,
+	} {
+		if len(s) != 600 {
+			t.Errorf("%s len = %d, want 600", name, len(s))
+		}
+		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s[%d] = %v", name, i, v)
+			}
+		}
+	}
+	if rec.SampleRate != 100 {
+		t.Errorf("SampleRate = %v, want 100", rec.SampleRate)
+	}
+}
+
+func TestCaptureDefaults(t *testing.T) {
+	d := NewDevice(ModelIPhoneX, 1, rand.New(rand.NewSource(4)))
+	rec := d.Capture(CaptureSpec{}, rand.New(rand.NewSource(5)))
+	if rec.Len() != 600 { // 6 s * 100 Hz defaults
+		t.Errorf("default capture Len = %d, want 600", rec.Len())
+	}
+	spec := DefaultCaptureSpec()
+	if spec.Duration != 6 || spec.SampleRate != 100 {
+		t.Errorf("DefaultCaptureSpec = %+v", spec)
+	}
+}
+
+func TestCaptureMeasuresGravity(t *testing.T) {
+	d := NewDevice(ModelIPhone6, 1, rand.New(rand.NewSource(6)))
+	rec := d.Capture(DefaultCaptureSpec(), rand.New(rand.NewSource(7)))
+	mag := signal.Magnitude3(rec.AccelX, rec.AccelY, rec.AccelZ)
+	mu := signal.Mean(mag)
+	if math.Abs(mu-Gravity) > 0.5 {
+		t.Errorf("mean |a| = %v, want ~%v", mu, Gravity)
+	}
+	// Gyro of a stationary device stays near its bias: small magnitude.
+	gmag := signal.Magnitude3(rec.GyroX, rec.GyroY, rec.GyroZ)
+	if gm := signal.Mean(gmag); gm > 0.3 {
+		t.Errorf("mean |w| = %v, want < 0.3 rad/s for stationary device", gm)
+	}
+}
+
+func TestSameDeviceStableAcrossCaptures(t *testing.T) {
+	// The systematic part (mean of each stream) must be far more stable
+	// across captures of one device than across two different devices of
+	// different models.
+	rng := rand.New(rand.NewSource(8))
+	d1 := NewDevice(ModelNexus6P, 1, rng)
+	d2 := NewDevice(ModelLGG5, 1, rng)
+	capRng := rand.New(rand.NewSource(99))
+	biasOf := func(d *Device) float64 {
+		rec := d.Capture(DefaultCaptureSpec(), capRng)
+		return signal.Mean(rec.GyroX) + signal.Mean(rec.GyroY) + signal.Mean(rec.GyroZ)
+	}
+	a1, a2 := biasOf(d1), biasOf(d1)
+	b1 := biasOf(d2)
+	within := math.Abs(a1 - a2)
+	between := math.Abs(a1 - b1)
+	if within >= between {
+		t.Errorf("within-device bias drift %v should be < between-device %v", within, between)
+	}
+}
+
+func TestPaperInventory(t *testing.T) {
+	inv := PaperInventory()
+	var total int
+	for _, e := range inv {
+		total += e.Quantity
+	}
+	if total != 11 {
+		t.Errorf("inventory total = %d, want 11 (Table IV)", total)
+	}
+	devices := BuildInventory(inv, rand.New(rand.NewSource(11)))
+	if len(devices) != 11 {
+		t.Fatalf("BuildInventory produced %d devices, want 11", len(devices))
+	}
+	// Two iPhone 6S and three Nexus 6P units.
+	counts := map[string]int{}
+	for _, d := range devices {
+		counts[d.Model().Name]++
+	}
+	if counts["iPhone 6S"] != 2 {
+		t.Errorf("iPhone 6S count = %d, want 2", counts["iPhone 6S"])
+	}
+	if counts["Nexus 6P"] != 3 {
+		t.Errorf("Nexus 6P count = %d, want 3", counts["Nexus 6P"])
+	}
+	// Unique IDs.
+	seen := map[string]bool{}
+	for _, d := range devices {
+		if seen[d.ID()] {
+			t.Errorf("duplicate device ID %q", d.ID())
+		}
+		seen[d.ID()] = true
+	}
+}
+
+func TestCaptureMinimumOneSample(t *testing.T) {
+	d := NewDevice(ModelIPhoneSE, 1, rand.New(rand.NewSource(12)))
+	rec := d.Capture(CaptureSpec{Duration: 0.001, SampleRate: 100}, rand.New(rand.NewSource(13)))
+	if rec.Len() < 1 {
+		t.Errorf("capture should contain at least one sample, got %d", rec.Len())
+	}
+}

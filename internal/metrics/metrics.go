@@ -1,0 +1,179 @@
+// Package metrics implements the evaluation metrics of the paper's §V:
+// the Adjusted Rand Index for grouping quality (Hubert & Arabie 1985) and
+// the mean absolute error for aggregation accuracy, plus supporting
+// precision/recall diagnostics for pairwise grouping decisions.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrLengthMismatch is returned when two parallel slices differ in length.
+var ErrLengthMismatch = errors.New("metrics: length mismatch")
+
+// AdjustedRandIndex computes the ARI between two labelings of the same
+// items. Labels are arbitrary ints; only co-membership matters. The result
+// lies in [-1, 1]: 1 for identical partitions, ~0 for independent random
+// ones. Both labelings must be non-empty and of equal length.
+//
+// ARI = (Index - ExpectedIndex) / (MaxIndex - ExpectedIndex), computed over
+// pair counts n_ij of the contingency table between the two partitions.
+func AdjustedRandIndex(truth, pred []int) (float64, error) {
+	n := len(truth)
+	if n == 0 {
+		return 0, errors.New("metrics: empty labeling")
+	}
+	if len(pred) != n {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, n, len(pred))
+	}
+
+	// Contingency table.
+	table := make(map[[2]int]int)
+	rowSums := make(map[int]int)
+	colSums := make(map[int]int)
+	for i := 0; i < n; i++ {
+		table[[2]int{truth[i], pred[i]}]++
+		rowSums[truth[i]]++
+		colSums[pred[i]]++
+	}
+
+	var sumComb, rowComb, colComb float64
+	for _, c := range table {
+		sumComb += choose2(c)
+	}
+	for _, c := range rowSums {
+		rowComb += choose2(c)
+	}
+	for _, c := range colSums {
+		colComb += choose2(c)
+	}
+	totalComb := choose2(n)
+	if totalComb == 0 {
+		// Single item: both partitions are trivially identical.
+		return 1, nil
+	}
+	expected := rowComb * colComb / totalComb
+	maxIndex := (rowComb + colComb) / 2
+	if maxIndex == expected {
+		// Degenerate: both partitions are all-singletons or all-one-cluster
+		// in a way that leaves no room for adjustment; identical partitions
+		// get 1, anything else 0.
+		if sumComb == maxIndex {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return (sumComb - expected) / (maxIndex - expected), nil
+}
+
+func choose2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}
+
+// MAE returns the mean absolute error between estimated and truth values
+// (Eq. in §V: (1/m) Σ |d_j − d*_j|).
+func MAE(estimated, truth []float64) (float64, error) {
+	if len(estimated) != len(truth) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(estimated), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	var sum float64
+	for i := range truth {
+		sum += math.Abs(estimated[i] - truth[i])
+	}
+	return sum / float64(len(truth)), nil
+}
+
+// RMSE returns the root mean squared error between estimated and truth.
+func RMSE(estimated, truth []float64) (float64, error) {
+	if len(estimated) != len(truth) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(estimated), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	var sum float64
+	for i := range truth {
+		d := estimated[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(truth))), nil
+}
+
+// PairwiseScores holds precision/recall/F1 of the pairwise co-membership
+// decisions implied by a predicted partition against the true partition:
+// a true positive is a pair of items grouped together in both.
+type PairwiseScores struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TP, FP, FN count item pairs.
+	TP, FP, FN int
+}
+
+// PairwiseGrouping computes PairwiseScores between two labelings.
+func PairwiseGrouping(truth, pred []int) (PairwiseScores, error) {
+	n := len(truth)
+	if len(pred) != n {
+		return PairwiseScores{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, n, len(pred))
+	}
+	var s PairwiseScores
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameTruth := truth[i] == truth[j]
+			samePred := pred[i] == pred[j]
+			switch {
+			case sameTruth && samePred:
+				s.TP++
+			case !sameTruth && samePred:
+				s.FP++
+			case sameTruth && !samePred:
+				s.FN++
+			}
+		}
+	}
+	if s.TP+s.FP > 0 {
+		s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+	}
+	if s.TP+s.FN > 0 {
+		s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s, nil
+}
+
+// GroupsToLabels converts a partition expressed as index groups into a
+// label vector of length n. Items not covered by any group get fresh
+// singleton labels. Items listed twice keep the first label.
+func GroupsToLabels(groups [][]int, n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := 0
+	for _, g := range groups {
+		assigned := false
+		for _, v := range g {
+			if v >= 0 && v < n && labels[v] == -1 {
+				labels[v] = next
+				assigned = true
+			}
+		}
+		if assigned {
+			next++
+		}
+	}
+	for i := range labels {
+		if labels[i] == -1 {
+			labels[i] = next
+			next++
+		}
+	}
+	return labels
+}

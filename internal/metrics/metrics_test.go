@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestARIIdenticalPartitions(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	got, err := AdjustedRandIndex(truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI identical = %v, want 1", got)
+	}
+	// Relabeled but identical structure.
+	relabeled := []int{7, 7, 3, 3, 9, 9}
+	got, err = AdjustedRandIndex(truth, relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI relabeled = %v, want 1", got)
+	}
+}
+
+func TestARIKnownValue(t *testing.T) {
+	// Standard worked example: ARI of these partitions is ~0.2424...
+	truth := []int{0, 0, 0, 1, 1, 1}
+	pred := []int{0, 0, 1, 1, 2, 2}
+	got, err := AdjustedRandIndex(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute expected by hand: contingency {0,0}:2 {0,1}:1 {1,1}:1 {1,2}:2
+	// sumComb = 1 + 0 + 0 + 1 = 2; rows: C(3,2)*2 = 6; cols: 1+1+1 = 3.
+	// total C(6,2)=15; expected = 6*3/15 = 1.2; max = 4.5.
+	want := (2.0 - 1.2) / (4.5 - 1.2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestARIOppositeStructure(t *testing.T) {
+	// Predicting one big cluster when truth has structure: ARI 0 (degenerate
+	// adjustment gives <= 0).
+	truth := []int{0, 0, 1, 1}
+	pred := []int{0, 0, 0, 0}
+	got, err := AdjustedRandIndex(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-12 {
+		t.Errorf("ARI all-merged = %v, want <= 0", got)
+	}
+}
+
+func TestARIErrors(t *testing.T) {
+	if _, err := AdjustedRandIndex(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := AdjustedRandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Error("mismatch should error")
+	}
+}
+
+func TestARISingleItem(t *testing.T) {
+	got, err := AdjustedRandIndex([]int{3}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("single-item ARI = %v, want 1", got)
+	}
+}
+
+func TestARIDegenerateAllSingletons(t *testing.T) {
+	// Both partitions all singletons: identical, ARI 1.
+	got, err := AdjustedRandIndex([]int{0, 1, 2}, []int{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("all-singletons ARI = %v, want 1", got)
+	}
+	// One all-singletons vs one all-merged: not identical, degenerate 0.
+	got, err = AdjustedRandIndex([]int{0, 1, 2}, []int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("singletons-vs-merged ARI = %v, want 0", got)
+	}
+}
+
+// Property: ARI is symmetric, bounded by 1, and invariant to relabeling.
+func TestARIProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		ab, err1 := AdjustedRandIndex(a, b)
+		ba, err2 := AdjustedRandIndex(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(ab-ba) > 1e-12 {
+			return false
+		}
+		if ab > 1+1e-12 {
+			return false
+		}
+		// Relabel b by adding 100 to every label: same partition.
+		b2 := make([]int, n)
+		for i := range b {
+			b2[i] = b[i] + 100
+		}
+		ab2, err := AdjustedRandIndex(a, b2)
+		return err == nil && math.Abs(ab-ab2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatch should error")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	perfect, err := MAE([]float64{4, 5}, []float64{4, 5})
+	if err != nil || perfect != 0 {
+		t.Errorf("perfect MAE = %v, %v", perfect, err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(12.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE(nil, []float64{1}); err == nil {
+		t.Error("mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+// Property: RMSE >= MAE always (power-mean inequality).
+func TestRMSEAtLeastMAE(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+			b[i] = rng.NormFloat64() * 10
+		}
+		mae, err1 := MAE(a, b)
+		rmse, err2 := RMSE(a, b)
+		return err1 == nil && err2 == nil && rmse+1e-9 >= mae
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseGrouping(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	// Perfect prediction.
+	s, err := PairwiseGrouping(truth, []int{5, 5, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Precision != 1 || s.Recall != 1 || s.F1 != 1 {
+		t.Errorf("perfect scores = %+v", s)
+	}
+	// All merged: recall 1, precision 2/6.
+	s, err = PairwiseGrouping(truth, []int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recall != 1 {
+		t.Errorf("recall = %v, want 1", s.Recall)
+	}
+	if math.Abs(s.Precision-2.0/6.0) > 1e-12 {
+		t.Errorf("precision = %v, want 1/3", s.Precision)
+	}
+	// All singletons: no predicted pairs; precision 0 by convention.
+	s, err = PairwiseGrouping(truth, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TP != 0 || s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("singleton scores = %+v", s)
+	}
+	if _, err := PairwiseGrouping([]int{1}, []int{1, 2}); err == nil {
+		t.Error("mismatch should error")
+	}
+}
+
+func TestGroupsToLabels(t *testing.T) {
+	labels := GroupsToLabels([][]int{{0, 2}, {1}}, 4)
+	// items 0 and 2 share a label; 1 has its own; 3 uncovered gets fresh.
+	if labels[0] != labels[2] {
+		t.Error("grouped items should share a label")
+	}
+	if labels[1] == labels[0] || labels[3] == labels[0] || labels[3] == labels[1] {
+		t.Errorf("labels = %v", labels)
+	}
+	// Out-of-range and duplicate indices tolerated.
+	labels = GroupsToLabels([][]int{{0, 0, 9}, {-1}}, 2)
+	if len(labels) != 2 {
+		t.Fatalf("labels len = %d, want 2", len(labels))
+	}
+	if labels[0] == labels[1] {
+		t.Error("uncovered item must not join group 0")
+	}
+	// Empty groups list: all singletons.
+	labels = GroupsToLabels(nil, 3)
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Error("expected all-distinct labels")
+		}
+		seen[l] = true
+	}
+}

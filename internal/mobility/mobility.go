@@ -1,0 +1,188 @@
+// Package mobility simulates how crowdsensing participants move: POI
+// layouts and per-user walking traces over a chosen task subset, with
+// realistic walking speeds and dwell times. Traces supply the timestamps
+// that the AG-TR grouping method consumes, and reproduce the structure of
+// the paper's 54 collected walking traces.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Point is a location in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// LayoutPOIs places n POIs uniformly at random in [0,width]x[0,height],
+// rejecting placements closer than minGap to keep tasks geographically
+// distinct (POIs in the paper are distinct campus locations).
+func LayoutPOIs(n int, width, height, minGap float64, rng *rand.Rand) []Point {
+	pois := make([]Point, 0, n)
+	for len(pois) < n {
+		candidate := Point{X: rng.Float64() * width, Y: rng.Float64() * height}
+		ok := true
+		for _, p := range pois {
+			if p.Dist(candidate) < minGap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pois = append(pois, candidate)
+			continue
+		}
+		// Relax the gap gradually so dense requests still terminate.
+		minGap *= 0.99
+	}
+	return pois
+}
+
+// Visit is one POI visit in a trace.
+type Visit struct {
+	// POI indexes the layout (equivalently the task).
+	POI int
+	// Arrive is when the user reaches the POI and performs the task.
+	Arrive time.Time
+}
+
+// Trace is one user's walking trace: an ordered sequence of POI visits.
+type Trace struct {
+	Visits []Visit
+}
+
+// TaskOrder returns the visited POI indices in order.
+func (t Trace) TaskOrder() []int {
+	order := make([]int, len(t.Visits))
+	for i, v := range t.Visits {
+		order[i] = v.POI
+	}
+	return order
+}
+
+// Duration returns the time from first to last visit.
+func (t Trace) Duration() time.Duration {
+	if len(t.Visits) < 2 {
+		return 0
+	}
+	return t.Visits[len(t.Visits)-1].Arrive.Sub(t.Visits[0].Arrive)
+}
+
+// WalkSpec parameterizes a walking trace.
+type WalkSpec struct {
+	// Start is when the user begins walking toward the first POI.
+	Start time.Time
+	// SpeedMPS is walking speed in m/s; zero means 1.3 (average human).
+	SpeedMPS float64
+	// Dwell is the time spent performing the task at each POI; zero means
+	// 30 s.
+	Dwell time.Duration
+	// DwellJitterFrac randomizes each dwell by ±frac; zero means 0.2.
+	DwellJitterFrac float64
+	// Origin is where the user starts; zero value means the first POI.
+	Origin Point
+	// HasOrigin marks Origin as explicitly set.
+	HasOrigin bool
+}
+
+func (s WalkSpec) withDefaults() WalkSpec {
+	if s.SpeedMPS == 0 {
+		s.SpeedMPS = 1.3
+	}
+	if s.Dwell == 0 {
+		s.Dwell = 30 * time.Second
+	}
+	if s.DwellJitterFrac == 0 {
+		s.DwellJitterFrac = 0.2
+	}
+	return s
+}
+
+// ErrEmptyRoute is returned when a walk visits no POIs.
+var ErrEmptyRoute = errors.New("mobility: empty route")
+
+// Walk simulates walking the given POI route (indices into pois) and
+// returns the resulting trace. Travel time between consecutive POIs is
+// distance over speed; each visit adds a jittered dwell.
+func Walk(pois []Point, route []int, spec WalkSpec, rng *rand.Rand) (Trace, error) {
+	if len(route) == 0 {
+		return Trace{}, ErrEmptyRoute
+	}
+	spec = spec.withDefaults()
+	for _, p := range route {
+		if p < 0 || p >= len(pois) {
+			return Trace{}, fmt.Errorf("mobility: route POI %d out of range [0,%d)", p, len(pois))
+		}
+	}
+	cur := spec.Origin
+	if !spec.HasOrigin {
+		cur = pois[route[0]]
+	}
+	now := spec.Start
+	visits := make([]Visit, 0, len(route))
+	for _, p := range route {
+		target := pois[p]
+		travel := cur.Dist(target) / spec.SpeedMPS
+		now = now.Add(time.Duration(travel * float64(time.Second)))
+		visits = append(visits, Visit{POI: p, Arrive: now})
+		jitter := 1 + (rng.Float64()*2-1)*spec.DwellJitterFrac
+		now = now.Add(time.Duration(float64(spec.Dwell) * jitter))
+		cur = target
+	}
+	return Trace{Visits: visits}, nil
+}
+
+// NearestNeighborRoute orders the given POI subset as a greedy
+// nearest-neighbor tour starting from the subset member closest to start.
+// This is how a human volunteer plausibly strings POIs together.
+func NearestNeighborRoute(pois []Point, subset []int, start Point) []int {
+	if len(subset) == 0 {
+		return nil
+	}
+	remaining := make([]int, len(subset))
+	copy(remaining, subset)
+	route := make([]int, 0, len(subset))
+	cur := start
+	for len(remaining) > 0 {
+		best, bestD := 0, math.Inf(1)
+		for i, p := range remaining {
+			if d := cur.Dist(pois[p]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		next := remaining[best]
+		route = append(route, next)
+		cur = pois[next]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return route
+}
+
+// ChooseSubset picks ceil(activeness*len(pois)) distinct POI indices
+// uniformly at random (at least min, at most all). The paper requires each
+// account to perform at least two tasks, so callers pass min=2.
+func ChooseSubset(numPOIs int, activeness float64, min int, rng *rand.Rand) []int {
+	if numPOIs == 0 {
+		return nil
+	}
+	k := int(math.Ceil(activeness * float64(numPOIs)))
+	if k < min {
+		k = min
+	}
+	if k > numPOIs {
+		k = numPOIs
+	}
+	perm := rng.Perm(numPOIs)
+	subset := make([]int, k)
+	copy(subset, perm[:k])
+	return subset
+}

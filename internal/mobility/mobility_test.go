@@ -1,0 +1,159 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLayoutPOIs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pois := LayoutPOIs(10, 400, 300, 30, rng)
+	if len(pois) != 10 {
+		t.Fatalf("got %d POIs, want 10", len(pois))
+	}
+	for i, p := range pois {
+		if p.X < 0 || p.X > 400 || p.Y < 0 || p.Y > 300 {
+			t.Errorf("POI %d out of bounds: %+v", i, p)
+		}
+	}
+	// Pairwise gaps should mostly respect the minimum (allowing the
+	// relaxation path).
+	for i := 0; i < len(pois); i++ {
+		for j := i + 1; j < len(pois); j++ {
+			if d := pois[i].Dist(pois[j]); d < 5 {
+				t.Errorf("POIs %d,%d only %.1f m apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestLayoutPOIsDenseStillTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pois := LayoutPOIs(50, 10, 10, 30, rng) // impossible gap; must relax
+	if len(pois) != 50 {
+		t.Fatalf("got %d POIs, want 50", len(pois))
+	}
+}
+
+func TestWalkTimestampsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pois := LayoutPOIs(6, 400, 300, 30, rng)
+	route := []int{0, 3, 5, 1}
+	start := time.Date(2019, 3, 1, 9, 0, 0, 0, time.UTC)
+	trace, err := Walk(pois, route, WalkSpec{Start: start}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Visits) != 4 {
+		t.Fatalf("visits = %d, want 4", len(trace.Visits))
+	}
+	prev := start
+	for i, v := range trace.Visits {
+		if v.POI != route[i] {
+			t.Errorf("visit %d POI = %d, want %d", i, v.POI, route[i])
+		}
+		if !v.Arrive.After(prev) && i > 0 {
+			t.Errorf("visit %d time %v not after %v", i, v.Arrive, prev)
+		}
+		prev = v.Arrive
+	}
+	if got := trace.TaskOrder(); len(got) != 4 || got[1] != 3 {
+		t.Errorf("TaskOrder = %v", got)
+	}
+	if trace.Duration() <= 0 {
+		t.Error("multi-visit trace should have positive duration")
+	}
+}
+
+func TestWalkTravelTimeMatchesSpeed(t *testing.T) {
+	pois := []Point{{X: 0, Y: 0}, {X: 130, Y: 0}}
+	rng := rand.New(rand.NewSource(4))
+	start := time.Date(2019, 3, 1, 9, 0, 0, 0, time.UTC)
+	trace, err := Walk(pois, []int{0, 1}, WalkSpec{
+		Start:           start,
+		SpeedMPS:        1.3,
+		Dwell:           time.Nanosecond, // negligible
+		DwellJitterFrac: 1e-9,
+		Origin:          Point{X: 0, Y: 0},
+		HasOrigin:       true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 130 m at 1.3 m/s = 100 s between visits.
+	gap := trace.Visits[1].Arrive.Sub(trace.Visits[0].Arrive)
+	if gap < 99*time.Second || gap > 101*time.Second {
+		t.Errorf("gap = %v, want ~100 s", gap)
+	}
+}
+
+func TestWalkErrors(t *testing.T) {
+	pois := []Point{{X: 0, Y: 0}}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Walk(pois, nil, WalkSpec{}, rng); err == nil {
+		t.Error("empty route should error")
+	}
+	if _, err := Walk(pois, []int{5}, WalkSpec{}, rng); err == nil {
+		t.Error("out-of-range POI should error")
+	}
+}
+
+func TestNearestNeighborRoute(t *testing.T) {
+	pois := []Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 10, Y: 0}, {X: 50, Y: 0}}
+	route := NearestNeighborRoute(pois, []int{0, 1, 2, 3}, Point{X: -1, Y: 0})
+	want := []int{0, 2, 3, 1}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+	}
+	if r := NearestNeighborRoute(pois, nil, Point{}); r != nil {
+		t.Errorf("empty subset route = %v, want nil", r)
+	}
+	// Route covers exactly the subset.
+	route = NearestNeighborRoute(pois, []int{3, 1}, Point{})
+	if len(route) != 2 {
+		t.Errorf("route = %v", route)
+	}
+}
+
+func TestChooseSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := ChooseSubset(10, 0.5, 2, rng)
+	if len(s) != 5 {
+		t.Errorf("α=0.5 over 10 tasks -> %d, want 5", len(s))
+	}
+	// Minimum enforced.
+	s = ChooseSubset(10, 0.05, 2, rng)
+	if len(s) != 2 {
+		t.Errorf("min subset = %d, want 2", len(s))
+	}
+	// Ceiling: α=0.21 -> ceil(2.1)=3.
+	s = ChooseSubset(10, 0.21, 2, rng)
+	if len(s) != 3 {
+		t.Errorf("α=0.21 -> %d, want 3", len(s))
+	}
+	// Capped at numPOIs, distinct members.
+	s = ChooseSubset(4, 2.0, 2, rng)
+	if len(s) != 4 {
+		t.Errorf("capped subset = %d, want 4", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Error("duplicate POI in subset")
+		}
+		seen[v] = true
+	}
+	if got := ChooseSubset(0, 0.5, 2, rng); got != nil {
+		t.Errorf("no POIs -> %v, want nil", got)
+	}
+}
+
+func TestTraceDurationSingleVisit(t *testing.T) {
+	tr := Trace{Visits: []Visit{{POI: 0, Arrive: time.Now()}}}
+	if tr.Duration() != 0 {
+		t.Error("single-visit duration should be 0")
+	}
+}

@@ -1,0 +1,235 @@
+// Package pca implements principal component analysis via a cyclic Jacobi
+// eigendecomposition of the sample covariance matrix. It is used to project
+// 80-dimensional device fingerprints onto the first two principal
+// components, reproducing the feature-space scatter plots of Figs. 2 and 8.
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned when PCA is attempted on an empty matrix.
+var ErrNoData = errors.New("pca: no data")
+
+// Model is a fitted PCA basis.
+type Model struct {
+	// Mean is the per-column mean of the training data.
+	Mean []float64
+	// Components[c] is the c-th principal axis (unit length), ordered by
+	// decreasing eigenvalue.
+	Components [][]float64
+	// Variances[c] is the eigenvalue (variance along component c).
+	Variances []float64
+}
+
+// Fit computes a PCA basis from data (rows = observations, columns =
+// features), keeping at most maxComponents components (0 keeps all).
+func Fit(data [][]float64, maxComponents int) (*Model, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, ErrNoData
+	}
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("pca: row %d has %d columns, want %d", i, len(row), dim)
+		}
+	}
+
+	mean := make([]float64, dim)
+	for _, row := range data {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	// Sample covariance matrix (divide by n-1; by n when n == 1).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	denom := float64(n - 1)
+	if n == 1 {
+		denom = 1
+	}
+	centered := make([]float64, dim)
+	for _, row := range data {
+		for j := range row {
+			centered[j] = row[j] - mean[j]
+		}
+		for a := 0; a < dim; a++ {
+			ca := centered[a]
+			if ca == 0 {
+				continue
+			}
+			for b := a; b < dim; b++ {
+				cov[a][b] += ca * centered[b]
+			}
+		}
+	}
+	for a := 0; a < dim; a++ {
+		for b := a; b < dim; b++ {
+			cov[a][b] /= denom
+			cov[b][a] = cov[a][b]
+		}
+	}
+
+	values, vectors := jacobiEigen(cov)
+
+	// Order by decreasing eigenvalue.
+	order := make([]int, dim)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return values[order[i]] > values[order[j]] })
+
+	keep := dim
+	if maxComponents > 0 && maxComponents < dim {
+		keep = maxComponents
+	}
+	m := &Model{
+		Mean:       mean,
+		Components: make([][]float64, keep),
+		Variances:  make([]float64, keep),
+	}
+	for c := 0; c < keep; c++ {
+		idx := order[c]
+		comp := make([]float64, dim)
+		for r := 0; r < dim; r++ {
+			comp[r] = vectors[r][idx]
+		}
+		m.Components[c] = comp
+		v := values[idx]
+		if v < 0 {
+			v = 0 // tiny negative eigenvalues are numerical noise
+		}
+		m.Variances[c] = v
+	}
+	return m, nil
+}
+
+// Transform projects each row of data onto the model's components.
+func (m *Model) Transform(data [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		if len(row) != len(m.Mean) {
+			return nil, fmt.Errorf("pca: row %d has %d columns, want %d", i, len(row), len(m.Mean))
+		}
+		proj := make([]float64, len(m.Components))
+		for c, comp := range m.Components {
+			var dot float64
+			for j := range row {
+				dot += (row[j] - m.Mean[j]) * comp[j]
+			}
+			proj[c] = dot
+		}
+		out[i] = proj
+	}
+	return out, nil
+}
+
+// ExplainedVarianceRatio returns each kept component's share of the total
+// retained variance. If all variance is zero the ratios are zero.
+func (m *Model) ExplainedVarianceRatio() []float64 {
+	var total float64
+	for _, v := range m.Variances {
+		total += v
+	}
+	out := make([]float64, len(m.Variances))
+	if total == 0 {
+		return out
+	}
+	for i, v := range m.Variances {
+		out[i] = v / total
+	}
+	return out
+}
+
+// jacobiEigen computes the eigenvalues and eigenvectors of a real symmetric
+// matrix using the cyclic Jacobi rotation method. vectors[r][c] is
+// component r of eigenvector c; values[c] is its eigenvalue.
+func jacobiEigen(a [][]float64) (values []float64, vectors [][]float64) {
+	n := len(a)
+	// Work on a copy; build the accumulated rotation in v.
+	m := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		copy(m[i], a[i])
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				rotate(m, v, p, q)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m[i][i]
+	}
+	return values, v
+}
+
+// rotate applies one Jacobi rotation zeroing m[p][q].
+func rotate(m, v [][]float64, p, q int) {
+	n := len(m)
+	apq := m[p][q]
+	app := m[p][p]
+	aqq := m[q][q]
+	theta := (aqq - app) / (2 * apq)
+	t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+	c := 1 / math.Sqrt(t*t+1)
+	s := t * c
+
+	for k := 0; k < n; k++ {
+		mkp := m[k][p]
+		mkq := m[k][q]
+		m[k][p] = c*mkp - s*mkq
+		m[k][q] = s*mkp + c*mkq
+	}
+	for k := 0; k < n; k++ {
+		mpk := m[p][k]
+		mqk := m[q][k]
+		m[p][k] = c*mpk - s*mqk
+		m[q][k] = s*mpk + c*mqk
+	}
+	for k := 0; k < n; k++ {
+		vkp := v[k][p]
+		vkq := v[k][q]
+		v[k][p] = c*vkp - s*vkq
+		v[k][q] = s*vkp + c*vkq
+	}
+}
+
+func offDiagNorm(m [][]float64) float64 {
+	var sum float64
+	n := len(m)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += m[i][j] * m[i][j]
+		}
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,197 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 2); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := Fit([][]float64{{}}, 2); err == nil {
+		t.Error("zero-dim data should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, 2); err == nil {
+		t.Error("ragged data should error")
+	}
+}
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Points along y = 2x with tiny noise: PC1 must align with (1,2)/sqrt5.
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]float64, 200)
+	for i := range data {
+		x := rng.NormFloat64() * 5
+		data[i] = []float64{x + rng.NormFloat64()*0.01, 2*x + rng.NormFloat64()*0.01}
+	}
+	m, err := Fit(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc1 := m.Components[0]
+	// Direction up to sign.
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	dot := pc1[0]*want[0] + pc1[1]*want[1]
+	if math.Abs(math.Abs(dot)-1) > 1e-3 {
+		t.Errorf("PC1 = %v, want ±%v (|dot|=%v)", pc1, want, math.Abs(dot))
+	}
+	if m.Variances[0] <= m.Variances[1] {
+		t.Errorf("variances not ordered: %v", m.Variances)
+	}
+	ratio := m.ExplainedVarianceRatio()
+	if ratio[0] < 0.99 {
+		t.Errorf("PC1 explained ratio = %v, want > 0.99", ratio[0])
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 2, rng.NormFloat64() * 3, rng.NormFloat64()}
+	}
+	m, err := Fit(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) != 4 {
+		t.Fatalf("kept %d components, want 4", len(m.Components))
+	}
+	for i := range m.Components {
+		for j := i; j < len(m.Components); j++ {
+			var dot float64
+			for k := range m.Components[i] {
+				dot += m.Components[i][k] * m.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Errorf("<PC%d, PC%d> = %v, want %v", i+1, j+1, dot, want)
+			}
+		}
+	}
+}
+
+func TestTransform(t *testing.T) {
+	data := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	m, err := Fit(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := m.Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 4 || len(proj[0]) != 1 {
+		t.Fatalf("proj shape = %dx%d, want 4x1", len(proj), len(proj[0]))
+	}
+	// Projections of collinear equally spaced points are equally spaced and
+	// centered.
+	var sum float64
+	for _, p := range proj {
+		sum += p[0]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("projections not centered: sum = %v", sum)
+	}
+	gap01 := proj[1][0] - proj[0][0]
+	gap12 := proj[2][0] - proj[1][0]
+	if math.Abs(gap01-gap12) > 1e-9 {
+		t.Errorf("projections not equally spaced: %v", proj)
+	}
+	// Wrong width rejected.
+	if _, err := m.Transform([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("Transform should reject mismatched width")
+	}
+}
+
+func TestTransformPreservesDistances(t *testing.T) {
+	// Full-rank PCA is a rotation: pairwise distances are preserved.
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]float64, 20)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	m, err := Fit(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := m.Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	for i := 0; i < len(data); i++ {
+		for j := i + 1; j < len(data); j++ {
+			d0 := dist(data[i], data[j])
+			d1 := dist(proj[i], proj[j])
+			if math.Abs(d0-d1) > 1e-8 {
+				t.Fatalf("distance (%d,%d) changed: %v -> %v", i, j, d0, d1)
+			}
+		}
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	data := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	m, err := Fit(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Variances {
+		if v != 0 {
+			t.Errorf("variance of constant data = %v, want 0", v)
+		}
+	}
+	for _, r := range m.ExplainedVarianceRatio() {
+		if r != 0 {
+			t.Errorf("explained ratio of constant data = %v, want 0", r)
+		}
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	m, err := Fit([][]float64{{1, 2, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := m.Transform([][]float64{{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range proj[0] {
+		if math.Abs(v) > 1e-9 {
+			t.Errorf("projection of the mean itself = %v, want 0", v)
+		}
+	}
+}
+
+func BenchmarkFit80Dim(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([][]float64, 60)
+	for i := range data {
+		row := make([]float64, 80)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(data, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sybiltd/internal/attack"
+	"sybiltd/internal/mems"
+	"sybiltd/internal/mobility"
+	"sybiltd/internal/radio"
+)
+
+// AgentConfig parameterizes a simulated crowd driving a platform over
+// HTTP (used by cmd/mcsagent and the integration tests).
+type AgentConfig struct {
+	// NumLegit honest users; zero means 8.
+	NumLegit int
+	// SybilAccounts per attacker; zero disables the attackers.
+	SybilAccounts int
+	// Activeness per account in (0, 1]; zero means 0.5.
+	Activeness float64
+	// Target is the fabricated value; zero means -50.
+	Target float64
+	// Seed drives all randomness; campaigns are reproducible.
+	Seed int64
+	// Start anchors timestamps; zero means time.Now().UTC().
+	Start time.Time
+	// Methods to aggregate with at the end; nil means
+	// crh, td-fp, td-ts, td-tr.
+	Methods []string
+	// AccountPrefix prefixes every account name, letting several agents
+	// share one platform without ID collisions.
+	AccountPrefix string
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.NumLegit == 0 {
+		c.NumLegit = 8
+	}
+	if c.Activeness == 0 {
+		c.Activeness = 0.5
+	}
+	if c.Target == 0 {
+		c.Target = -50
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Now().UTC()
+	}
+	if c.Methods == nil {
+		c.Methods = []string{"crh", "td-fp", "td-ts", "td-tr"}
+	}
+	return c
+}
+
+// MethodOutcome is one aggregation method's result in an AgentReport.
+type MethodOutcome struct {
+	Method    string
+	MAE       float64
+	Converged bool
+}
+
+// AgentReport summarizes a driven campaign.
+type AgentReport struct {
+	Accounts int
+	Tasks    int
+	Outcomes []MethodOutcome
+}
+
+// DriveCampaign plays a full campaign against the platform behind client:
+// honest walkers submit noisy measurements with sign-in fingerprints, one
+// Attack-I and one Attack-II attacker (when enabled) fabricate, and the
+// report compares the configured aggregation methods against the agent's
+// own radio ground truth.
+func DriveCampaign(ctx context.Context, client *Client, cfg AgentConfig) (AgentReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumLegit < 1 {
+		return AgentReport{}, errors.New("platform: agent needs at least one honest user")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	taskDTOs, err := client.Tasks(ctx)
+	if err != nil {
+		return AgentReport{}, fmt.Errorf("platform: agent fetch tasks: %w", err)
+	}
+	if len(taskDTOs) < 2 {
+		return AgentReport{}, fmt.Errorf("platform: %d tasks published; need at least 2", len(taskDTOs))
+	}
+	pois := make([]mobility.Point, len(taskDTOs))
+	for i, t := range taskDTOs {
+		pois[i] = mobility.Point{X: t.X, Y: t.Y}
+	}
+	env, err := radio.NewEnvironment(radio.Config{}, rng)
+	if err != nil {
+		return AgentReport{}, fmt.Errorf("platform: agent radio: %w", err)
+	}
+
+	devices := mems.BuildInventory(mems.PaperInventory(), rng)
+	cursor := 0
+	nextDevice := func() *mems.Device {
+		d := devices[cursor%len(devices)]
+		cursor++
+		return d
+	}
+
+	signIn := func(account string, dev *mems.Device) error {
+		return client.RecordFingerprint(ctx, account, dev.Capture(mems.DefaultCaptureSpec(), rng))
+	}
+	makeTrace := func(act float64) (mobility.Trace, error) {
+		subset := mobility.ChooseSubset(len(pois), act, 2, rng)
+		origin := mobility.Point{X: rng.Float64() * 400, Y: rng.Float64() * 300}
+		route := mobility.NearestNeighborRoute(pois, subset, origin)
+		return mobility.Walk(pois, route, mobility.WalkSpec{
+			Start:     cfg.Start.Add(time.Duration(rng.Float64() * float64(90*time.Minute))),
+			SpeedMPS:  1.3 + rng.NormFloat64()*0.15,
+			Origin:    origin,
+			HasOrigin: true,
+		}, rng)
+	}
+	submitTrace := func(account string, trace mobility.Trace, lag time.Duration, value func(task int) float64) error {
+		for _, v := range trace.Visits {
+			err := client.Submit(ctx, SubmissionRequest{
+				Account: account, Task: v.POI, Value: value(v.POI), Time: v.Arrive.Add(lag),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Honest users.
+	for u := 0; u < cfg.NumLegit; u++ {
+		account := fmt.Sprintf("%suser%02d", cfg.AccountPrefix, u+1)
+		if err := signIn(account, nextDevice()); err != nil {
+			return AgentReport{}, fmt.Errorf("platform: %s sign-in: %w", account, err)
+		}
+		trace, err := makeTrace(cfg.Activeness)
+		if err != nil {
+			return AgentReport{}, fmt.Errorf("platform: %s trace: %w", account, err)
+		}
+		noise := 0.5 + rng.Float64()*2
+		err = submitTrace(account, trace, 0, func(task int) float64 {
+			return env.Observe(pois[task].X, pois[task].Y, noise, rng)
+		})
+		if err != nil {
+			return AgentReport{}, fmt.Errorf("platform: %s submit: %w", account, err)
+		}
+	}
+
+	// Sybil attackers: one Attack-I, one Attack-II, as in the paper.
+	if cfg.SybilAccounts > 0 {
+		profiles := []attack.Profile{
+			{Kind: attack.AttackI, NumAccounts: cfg.SybilAccounts, Activeness: cfg.Activeness, Strategy: attack.Fabricate{Target: cfg.Target}},
+			{Kind: attack.AttackII, NumAccounts: cfg.SybilAccounts, NumDevices: 2, Activeness: cfg.Activeness, Strategy: attack.Fabricate{Target: cfg.Target}},
+		}
+		for aIdx, prof := range profiles {
+			prof = prof.Normalize()
+			attDevices := make([]*mems.Device, prof.NumDevices)
+			for d := range attDevices {
+				attDevices[d] = nextDevice()
+			}
+			trace, err := makeTrace(prof.Activeness)
+			if err != nil {
+				return AgentReport{}, fmt.Errorf("platform: attacker %d trace: %w", aIdx+1, err)
+			}
+			for s := 0; s < prof.NumAccounts; s++ {
+				account := fmt.Sprintf("%ssybil%02d-%d", cfg.AccountPrefix, aIdx+1, s+1)
+				if err := signIn(account, attDevices[s%len(attDevices)]); err != nil {
+					return AgentReport{}, fmt.Errorf("platform: %s sign-in: %w", account, err)
+				}
+				strategy := prof.Strategy
+				idx := s
+				lag := time.Duration(s) * 45 * time.Second
+				err := submitTrace(account, trace, lag, func(task int) float64 {
+					truthVal := env.TruthAt(pois[task].X, pois[task].Y)
+					return strategy.Fabricate(truthVal, truthVal, idx, rng)
+				})
+				if err != nil {
+					return AgentReport{}, fmt.Errorf("platform: %s submit: %w", account, err)
+				}
+			}
+		}
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return AgentReport{}, fmt.Errorf("platform: agent stats: %w", err)
+	}
+	report := AgentReport{Accounts: stats.Accounts, Tasks: stats.Tasks}
+
+	for _, method := range cfg.Methods {
+		resp, err := client.Aggregate(ctx, method)
+		if err != nil {
+			return AgentReport{}, fmt.Errorf("platform: agent aggregate %s: %w", method, err)
+		}
+		var sum float64
+		var n int
+		for _, tr := range resp.Truths {
+			if !tr.Estimated {
+				continue
+			}
+			gt := env.TruthAt(pois[tr.Task].X, pois[tr.Task].Y)
+			sum += math.Abs(tr.Value - gt)
+			n++
+		}
+		mae := math.NaN()
+		if n > 0 {
+			mae = sum / float64(n)
+		}
+		report.Outcomes = append(report.Outcomes, MethodOutcome{
+			Method:    method,
+			MAE:       mae,
+			Converged: resp.Meta.Converged,
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/mems"
+)
+
+// Client is a typed HTTP client for the platform API, used by cmd/mcsagent
+// and integration tests.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets baseURL (e.g. "http://localhost:8080"). httpClient may
+// be nil for a default with a 10 s timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// Tasks lists the published tasks.
+func (c *Client) Tasks(ctx context.Context) ([]TaskDTO, error) {
+	var out []TaskDTO
+	if err := c.do(ctx, http.MethodGet, "/v1/tasks", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit reports one observation.
+func (c *Client) Submit(ctx context.Context, req SubmissionRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/submissions", req, nil)
+}
+
+// RecordFingerprint uploads a sign-in motion capture.
+func (c *Client) RecordFingerprint(ctx context.Context, account string, rec mems.Recording) error {
+	req := FingerprintRequest{
+		Account:    account,
+		SampleRate: rec.SampleRate,
+		AccelX:     rec.AccelX, AccelY: rec.AccelY, AccelZ: rec.AccelZ,
+		GyroX: rec.GyroX, GyroY: rec.GyroY, GyroZ: rec.GyroZ,
+	}
+	return c.do(ctx, http.MethodPost, "/v1/fingerprints", req, nil)
+}
+
+// RecordFeatureFingerprint uploads an already-extracted fingerprint
+// feature vector (the replay/import path).
+func (c *Client) RecordFeatureFingerprint(ctx context.Context, account string, features []float64) error {
+	req := FingerprintRequest{Account: account, Features: features}
+	return c.do(ctx, http.MethodPost, "/v1/fingerprints", req, nil)
+}
+
+// Aggregate runs an aggregation method on the platform.
+func (c *Client) Aggregate(ctx context.Context, method string) (AggregateResponse, error) {
+	var out AggregateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/aggregate", AggregateRequest{Method: method}, &out)
+	return out, err
+}
+
+// Dataset downloads the full campaign snapshot in the mcs JSON schema.
+func (c *Client) Dataset(ctx context.Context) (*mcs.Dataset, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/dataset", nil)
+	if err != nil {
+		return nil, fmt.Errorf("platform client: request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("platform client: GET /v1/dataset: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("platform client: GET /v1/dataset: HTTP %d", resp.StatusCode)
+	}
+	ds, err := mcs.DecodeJSON(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("platform client: %w", err)
+	}
+	return ds, nil
+}
+
+// Stats fetches store counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("platform client: marshal: %w", err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("platform client: request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("platform client: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		var apiErr errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			return fmt.Errorf("platform client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("platform client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("platform client: decode: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/mems"
+)
+
+// API DTOs. Field names form the wire contract of the platform service.
+type (
+	// TaskDTO describes a published task.
+	TaskDTO struct {
+		ID   int     `json:"id"`
+		Name string  `json:"name"`
+		X    float64 `json:"x"`
+		Y    float64 `json:"y"`
+	}
+	// SubmissionRequest is one sensing report.
+	SubmissionRequest struct {
+		Account string    `json:"account"`
+		Task    int       `json:"task"`
+		Value   float64   `json:"value"`
+		Time    time.Time `json:"time"`
+	}
+	// FingerprintRequest carries a sign-in fingerprint: either a raw
+	// motion capture (the live path) or an already-extracted feature
+	// vector (the replay/import path). Exactly one form must be present.
+	FingerprintRequest struct {
+		Account    string    `json:"account"`
+		SampleRate float64   `json:"sample_rate,omitempty"`
+		AccelX     []float64 `json:"accel_x,omitempty"`
+		AccelY     []float64 `json:"accel_y,omitempty"`
+		AccelZ     []float64 `json:"accel_z,omitempty"`
+		GyroX      []float64 `json:"gyro_x,omitempty"`
+		GyroY      []float64 `json:"gyro_y,omitempty"`
+		GyroZ      []float64 `json:"gyro_z,omitempty"`
+		Features   []float64 `json:"features,omitempty"`
+	}
+	// AggregateRequest names the aggregation method to run.
+	AggregateRequest struct {
+		Method string `json:"method"`
+	}
+	// AggregateResponse returns per-task estimates. Tasks with no data are
+	// reported with Estimated=false.
+	AggregateResponse struct {
+		Method string      `json:"method"`
+		Truths []TruthDTO  `json:"truths"`
+		Meta   ResponseMet `json:"meta"`
+	}
+	// TruthDTO is one task's estimate. Uncertainty is the weighted
+	// standard error (omitted when unavailable or infinite, e.g. for
+	// single-report tasks).
+	TruthDTO struct {
+		Task        int     `json:"task"`
+		Value       float64 `json:"value,omitempty"`
+		Estimated   bool    `json:"estimated"`
+		Uncertainty float64 `json:"uncertainty,omitempty"`
+	}
+	// ResponseMet carries loop metadata.
+	ResponseMet struct {
+		Iterations int  `json:"iterations"`
+		Converged  bool `json:"converged"`
+	}
+	// StatsResponse summarizes the store.
+	StatsResponse struct {
+		Tasks    int `json:"tasks"`
+		Accounts int `json:"accounts"`
+	}
+	// errorResponse is the uniform error body.
+	errorResponse struct {
+		Error string `json:"error"`
+	}
+)
+
+// Server exposes a Store over HTTP.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+	log   *log.Logger
+}
+
+// NewServer wires the HTTP handlers. logger may be nil to disable logging.
+func NewServer(store *Store, logger *log.Logger) *Server {
+	s := &Server{store: store, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/fingerprints", s.handleFingerprint)
+	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/dataset", s.handleDataset)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("platform: encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownTask),
+		errors.Is(err, ErrEmptyAccount),
+		errors.Is(err, ErrBadFingerprint),
+		errors.Is(err, ErrUnknownAggregation):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrDuplicateReport):
+		status = http.StatusConflict
+	case errors.Is(err, ErrTooManyAccounts):
+		status = http.StatusTooManyRequests
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("malformed request: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, _ *http.Request) {
+	tasks := s.store.Tasks()
+	out := make([]TaskDTO, len(tasks))
+	for i, t := range tasks {
+		out[i] = TaskDTO{ID: t.ID, Name: t.Name, X: t.X, Y: t.Y}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmissionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Time.IsZero() {
+		req.Time = time.Now().UTC()
+	}
+	if err := s.store.Submit(req.Account, req.Task, req.Value, req.Time); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "accepted"})
+}
+
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	var req FingerprintRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Features) > 0 {
+		if err := s.store.RecordFingerprintFeatures(req.Account, req.Features); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusCreated, map[string]string{"status": "recorded"})
+		return
+	}
+	rec := mems.Recording{
+		SampleRate: req.SampleRate,
+		AccelX:     req.AccelX, AccelY: req.AccelY, AccelZ: req.AccelZ,
+		GyroX: req.GyroX, GyroY: req.GyroY, GyroZ: req.GyroZ,
+	}
+	if err := s.store.RecordFingerprint(req.Account, rec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req AggregateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	res, unc, err := s.store.AggregateWithUncertainty(req.Method)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := AggregateResponse{
+		Method: req.Method,
+		Meta:   ResponseMet{Iterations: res.Iterations, Converged: res.Converged},
+	}
+	for j, v := range res.Truths {
+		dto := TruthDTO{Task: j}
+		if v == v { // not NaN
+			dto.Value = v
+			dto.Estimated = true
+			if j < len(unc) && !math.IsNaN(unc[j]) && !math.IsInf(unc[j], 0) {
+				dto.Uncertainty = unc[j]
+			}
+		}
+		resp.Truths = append(resp.Truths, dto)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDataset exports the full campaign in the mcs JSON schema, so a
+// campaign can be archived and re-aggregated offline.
+func (s *Server) handleDataset(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.store.Dataset().EncodeJSON(w); err != nil {
+		s.logf("platform: export dataset: %v", err)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Tasks:    len(s.store.Tasks()),
+		Accounts: s.store.NumAccounts(),
+	})
+}
+
+// TasksFromPOIs builds platform tasks from named coordinates.
+func TasksFromPOIs(names []string, xs, ys []float64) ([]mcs.Task, error) {
+	if len(names) != len(xs) || len(xs) != len(ys) {
+		return nil, errors.New("platform: names/xs/ys length mismatch")
+	}
+	tasks := make([]mcs.Task, len(names))
+	for i := range names {
+		tasks[i] = mcs.Task{ID: i, Name: names[i], X: xs[i], Y: ys[i]}
+	}
+	return tasks, nil
+}

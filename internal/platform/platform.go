@@ -1,0 +1,236 @@
+// Package platform implements a cloud MCS platform as an HTTP service: it
+// publishes sensing tasks, ingests timestamped submissions and sign-in
+// fingerprint captures from accounts, and serves Sybil-resistant
+// aggregation on demand. It is the system-shaped wrapper around the
+// library: cmd/mcsplatform serves it, cmd/mcsagent drives it, and the
+// JSON API mirrors what the paper's crowd of volunteers did by hand.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sybiltd/internal/core"
+	"sybiltd/internal/fingerprint"
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/mems"
+	"sybiltd/internal/truth"
+)
+
+// Store is the platform's in-memory state. It is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	tasks    []mcs.Task
+	accounts map[string]*accountState
+	order    []string // account registration order, for stable indices
+	// maxAccounts bounds registrations (0 = unlimited); a public campaign
+	// needs some cap or a Sybil flood can exhaust memory before any
+	// aggregation-level defense runs.
+	maxAccounts int
+}
+
+// SetMaxAccounts caps the number of accounts the store accepts; 0 removes
+// the cap. Existing accounts are never evicted.
+func (s *Store) SetMaxAccounts(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxAccounts = n
+}
+
+type accountState struct {
+	observations map[int]mcs.Observation
+	fingerprint  []float64
+}
+
+// NewStore creates a store with the given tasks.
+func NewStore(tasks []mcs.Task) *Store {
+	ts := make([]mcs.Task, len(tasks))
+	copy(ts, tasks)
+	for i := range ts {
+		ts[i].ID = i
+		if ts[i].Name == "" {
+			ts[i].Name = fmt.Sprintf("T%d", i+1)
+		}
+	}
+	return &Store{tasks: ts, accounts: make(map[string]*accountState)}
+}
+
+// Errors returned by store operations.
+var (
+	ErrTooManyAccounts    = errors.New("platform: account limit reached")
+	ErrUnknownTask        = errors.New("platform: unknown task")
+	ErrDuplicateReport    = errors.New("platform: account already reported on this task")
+	ErrEmptyAccount       = errors.New("platform: empty account ID")
+	ErrBadFingerprint     = errors.New("platform: malformed fingerprint capture")
+	ErrUnknownAggregation = errors.New("platform: unknown aggregation method")
+)
+
+// Tasks returns a copy of the published tasks.
+func (s *Store) Tasks() []mcs.Task {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]mcs.Task, len(s.tasks))
+	copy(out, s.tasks)
+	return out
+}
+
+// ensureAccountLocked returns the account state, creating it on first use.
+// Caller must hold mu. It fails when the account cap is reached.
+func (s *Store) ensureAccountLocked(id string) (*accountState, error) {
+	st, ok := s.accounts[id]
+	if !ok {
+		if s.maxAccounts > 0 && len(s.accounts) >= s.maxAccounts {
+			return nil, fmt.Errorf("%w (%d)", ErrTooManyAccounts, s.maxAccounts)
+		}
+		st = &accountState{observations: make(map[int]mcs.Observation)}
+		s.accounts[id] = st
+		s.order = append(s.order, id)
+	}
+	return st, nil
+}
+
+// Submit records one observation for an account. Each account may report
+// on each task at most once (§III-C).
+func (s *Store) Submit(account string, task int, value float64, at time.Time) error {
+	if account == "" {
+		return ErrEmptyAccount
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if task < 0 || task >= len(s.tasks) {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, task)
+	}
+	st, err := s.ensureAccountLocked(account)
+	if err != nil {
+		return err
+	}
+	if _, dup := st.observations[task]; dup {
+		return fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, account, task)
+	}
+	st.observations[task] = mcs.Observation{Task: task, Value: value, Time: at}
+	return nil
+}
+
+// RecordFingerprint extracts Table II features from a raw sign-in capture
+// and stores them for the account. All six streams must be non-empty and
+// of equal length.
+func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
+	if account == "" {
+		return ErrEmptyAccount
+	}
+	n := rec.Len()
+	if n == 0 || rec.SampleRate <= 0 ||
+		len(rec.AccelY) != n || len(rec.AccelZ) != n ||
+		len(rec.GyroX) != n || len(rec.GyroY) != n || len(rec.GyroZ) != n {
+		return ErrBadFingerprint
+	}
+	vec := fingerprint.Extract(rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.ensureAccountLocked(account)
+	if err != nil {
+		return err
+	}
+	st.fingerprint = vec
+	return nil
+}
+
+// RecordFingerprintFeatures stores an already-extracted fingerprint
+// feature vector for the account (the replay path: archived campaigns
+// hold features, not raw captures).
+func (s *Store) RecordFingerprintFeatures(account string, features []float64) error {
+	if account == "" {
+		return ErrEmptyAccount
+	}
+	if len(features) == 0 {
+		return ErrBadFingerprint
+	}
+	vec := append([]float64(nil), features...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.ensureAccountLocked(account)
+	if err != nil {
+		return err
+	}
+	st.fingerprint = vec
+	return nil
+}
+
+// Dataset snapshots the store as an mcs.Dataset (accounts in registration
+// order).
+func (s *Store) Dataset() *mcs.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds := &mcs.Dataset{Tasks: make([]mcs.Task, len(s.tasks))}
+	copy(ds.Tasks, s.tasks)
+	for _, id := range s.order {
+		st := s.accounts[id]
+		acct := mcs.Account{ID: id}
+		for _, o := range st.observations {
+			acct.Observations = append(acct.Observations, o)
+		}
+		// Stable order inside the account.
+		acct.Observations = (&acct).SortedObservations()
+		if len(st.fingerprint) > 0 {
+			acct.Fingerprint = append([]float64(nil), st.fingerprint...)
+		}
+		ds.Accounts = append(ds.Accounts, acct)
+	}
+	return ds
+}
+
+// NumAccounts returns the number of registered accounts.
+func (s *Store) NumAccounts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.accounts)
+}
+
+// Aggregate runs the named aggregation method over the current dataset.
+// Methods: "crh", "mean", "median", "td-fp", "td-ts", "td-tr".
+func (s *Store) Aggregate(method string) (truth.Result, error) {
+	res, _, err := s.AggregateWithUncertainty(method)
+	return res, err
+}
+
+// AggregateWithUncertainty is Aggregate plus the per-task weighted
+// standard errors (see truth.Uncertainty).
+func (s *Store) AggregateWithUncertainty(method string) (truth.Result, []float64, error) {
+	alg, err := AlgorithmByName(method)
+	if err != nil {
+		return truth.Result{}, nil, err
+	}
+	ds := s.Dataset()
+	res, err := alg.Run(ds)
+	if err != nil {
+		return truth.Result{}, nil, fmt.Errorf("platform: aggregate %s: %w", method, err)
+	}
+	unc, err := truth.Uncertainty(ds, res)
+	if err != nil {
+		return truth.Result{}, nil, fmt.Errorf("platform: uncertainty %s: %w", method, err)
+	}
+	return res, unc, nil
+}
+
+// AlgorithmByName maps API method names to algorithms.
+func AlgorithmByName(method string) (truth.Algorithm, error) {
+	switch method {
+	case "crh":
+		return truth.CRH{}, nil
+	case "mean":
+		return truth.Mean{}, nil
+	case "median":
+		return truth.Median{}, nil
+	case "td-fp":
+		return core.Framework{Grouper: grouping.AGFP{}}, nil
+	case "td-ts":
+		return core.Framework{Grouper: grouping.AGTS{}}, nil
+	case "td-tr":
+		return core.Framework{Grouper: grouping.AGTR{Phi: 0.3}}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregation, method)
+	}
+}

@@ -1,0 +1,115 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sybiltd/internal/mcs"
+)
+
+// ReplayOptions tunes ReplayDataset.
+type ReplayOptions struct {
+	// Pace, when positive, sleeps scaled wall-clock time between events:
+	// a gap of G in the data waits G/Pace (Pace 60 replays an hour of
+	// campaign per minute). Zero replays as fast as possible.
+	Pace float64
+	// OnEvent, when non-nil, is called after each successful submission
+	// with the running count. Use it for progress reporting.
+	OnEvent func(submitted int)
+}
+
+// ReplayDataset feeds an archived campaign through the platform in global
+// timestamp order, as if the crowd were live. Fingerprints are attached
+// before an account's first submission (the sign-in order of the real
+// flow). It returns the number of submissions delivered.
+//
+// Replaying lets an operator rebuild a production campaign on a fresh
+// platform instance — for a post-incident audit of a suspected Sybil
+// attack, or to compare aggregation methods on the same traffic.
+func ReplayDataset(ctx context.Context, client *Client, ds *mcs.Dataset, opts ReplayOptions) (int, error) {
+	if client == nil {
+		return 0, errors.New("platform: replay needs a client")
+	}
+	if ds == nil {
+		return 0, errors.New("platform: replay needs a dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return 0, fmt.Errorf("platform: replay: %w", err)
+	}
+
+	type event struct {
+		account string
+		obs     mcs.Observation
+		first   bool // first event of this account: attach fingerprint
+	}
+	var events []event
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			events = append(events, event{account: ds.Accounts[ai].ID, obs: o})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if !events[i].obs.Time.Equal(events[j].obs.Time) {
+			return events[i].obs.Time.Before(events[j].obs.Time)
+		}
+		return events[i].account < events[j].account
+	})
+	seen := make(map[string]bool, ds.NumAccounts())
+	for i := range events {
+		if !seen[events[i].account] {
+			events[i].first = true
+			seen[events[i].account] = true
+		}
+	}
+
+	fingerprints := make(map[string][]float64, ds.NumAccounts())
+	for ai := range ds.Accounts {
+		if fp := ds.Accounts[ai].Fingerprint; len(fp) > 0 {
+			fingerprints[ds.Accounts[ai].ID] = fp
+		}
+	}
+
+	var submitted int
+	var prev time.Time
+	for _, ev := range events {
+		if err := ctx.Err(); err != nil {
+			return submitted, fmt.Errorf("platform: replay interrupted: %w", err)
+		}
+		if opts.Pace > 0 && !prev.IsZero() {
+			if gap := ev.obs.Time.Sub(prev); gap > 0 {
+				wait := time.Duration(float64(gap) / opts.Pace)
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return submitted, fmt.Errorf("platform: replay interrupted: %w", ctx.Err())
+				}
+			}
+		}
+		prev = ev.obs.Time
+
+		if ev.first {
+			if fp, ok := fingerprints[ev.account]; ok {
+				if err := client.RecordFeatureFingerprint(ctx, ev.account, fp); err != nil {
+					return submitted, fmt.Errorf("platform: replay fingerprint %s: %w", ev.account, err)
+				}
+			}
+		}
+		err := client.Submit(ctx, SubmissionRequest{
+			Account: ev.account,
+			Task:    ev.obs.Task,
+			Value:   ev.obs.Value,
+			Time:    ev.obs.Time,
+		})
+		if err != nil {
+			return submitted, fmt.Errorf("platform: replay submit %s/%d: %w", ev.account, ev.obs.Task, err)
+		}
+		submitted++
+		if opts.OnEvent != nil {
+			opts.OnEvent(submitted)
+		}
+	}
+	return submitted, nil
+}

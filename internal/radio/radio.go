@@ -1,0 +1,157 @@
+// Package radio simulates the Wi-Fi signal-strength landscape the paper's
+// campaign measures: access points placed in a campus-scale area, a
+// log-distance path-loss model with per-location shadowing, and noisy
+// per-user observations. It supplies the ground truths d*_j that the
+// paper obtains by averaging repeated physical measurements at each POI.
+package radio
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// AccessPoint is one Wi-Fi transmitter.
+type AccessPoint struct {
+	// X, Y locate the AP in meters.
+	X, Y float64
+	// TxPowerDBm is the received power at the reference distance (1 m),
+	// typically around -30 dBm for consumer APs.
+	TxPowerDBm float64
+}
+
+// Environment is a static radio environment. Construct with NewEnvironment;
+// the shadowing field is frozen at construction so ground truths are
+// stable for the lifetime of the environment (as they are in the paper,
+// where each POI has one true signal strength).
+type Environment struct {
+	aps []AccessPoint
+	// pathLossExp is the path-loss exponent n (2 free space, 2.7-3.5
+	// indoor/urban).
+	pathLossExp float64
+	// shadowSigma is the standard deviation (dB) of the log-normal
+	// shadowing applied per query location via a deterministic hash-like
+	// lattice, so that nearby queries see correlated shadowing.
+	shadowSigma float64
+	shadowSeed  int64
+	// floorDBm is the sensitivity floor: weaker signals clamp here.
+	floorDBm float64
+}
+
+// Config parameterizes an Environment.
+type Config struct {
+	// NumAPs access points are placed uniformly in [0,Width]x[0,Height].
+	NumAPs        int
+	Width, Height float64
+	// TxPowerDBm is the per-AP reference power; zero means -30.
+	TxPowerDBm float64
+	// PathLossExponent; zero means 3.0 (typical campus outdoor/indoor mix).
+	PathLossExponent float64
+	// ShadowSigmaDB; zero means 4 dB.
+	ShadowSigmaDB float64
+	// FloorDBm clamps weak signals; zero means -95.
+	FloorDBm float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumAPs == 0 {
+		c.NumAPs = 6
+	}
+	if c.Width == 0 {
+		c.Width = 400
+	}
+	if c.Height == 0 {
+		c.Height = 300
+	}
+	if c.TxPowerDBm == 0 {
+		c.TxPowerDBm = -30
+	}
+	if c.PathLossExponent == 0 {
+		c.PathLossExponent = 3.0
+	}
+	if c.ShadowSigmaDB == 0 {
+		c.ShadowSigmaDB = 4
+	}
+	if c.FloorDBm == 0 {
+		c.FloorDBm = -95
+	}
+	return c
+}
+
+// ErrNoAPs is returned when an environment would contain no transmitters.
+var ErrNoAPs = errors.New("radio: environment needs at least one access point")
+
+// NewEnvironment builds a random environment using rng for AP placement
+// and the shadowing seed.
+func NewEnvironment(cfg Config, rng *rand.Rand) (*Environment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumAPs < 1 {
+		return nil, ErrNoAPs
+	}
+	env := &Environment{
+		pathLossExp: cfg.PathLossExponent,
+		shadowSigma: cfg.ShadowSigmaDB,
+		shadowSeed:  rng.Int63(),
+		floorDBm:    cfg.FloorDBm,
+		aps:         make([]AccessPoint, cfg.NumAPs),
+	}
+	for i := range env.aps {
+		env.aps[i] = AccessPoint{
+			X:          rng.Float64() * cfg.Width,
+			Y:          rng.Float64() * cfg.Height,
+			TxPowerDBm: cfg.TxPowerDBm + rng.NormFloat64()*2,
+		}
+	}
+	return env, nil
+}
+
+// TruthAt returns the true Wi-Fi signal strength (dBm) at (x, y): the
+// strongest AP under log-distance path loss plus frozen shadowing, clamped
+// to the sensitivity floor. Deterministic in (x, y).
+func (e *Environment) TruthAt(x, y float64) float64 {
+	best := math.Inf(-1)
+	for _, ap := range e.aps {
+		d := math.Hypot(x-ap.X, y-ap.Y)
+		if d < 1 {
+			d = 1
+		}
+		rssi := ap.TxPowerDBm - 10*e.pathLossExp*math.Log10(d)
+		if rssi > best {
+			best = rssi
+		}
+	}
+	best += e.shadowAt(x, y)
+	if best < e.floorDBm {
+		best = e.floorDBm
+	}
+	return best
+}
+
+// Observe returns a noisy measurement of the truth at (x, y) by a device
+// with the given measurement noise (dB std dev), using rng.
+func (e *Environment) Observe(x, y, noiseSigma float64, rng *rand.Rand) float64 {
+	v := e.TruthAt(x, y) + rng.NormFloat64()*noiseSigma
+	if v < e.floorDBm {
+		v = e.floorDBm
+	}
+	return v
+}
+
+// shadowAt produces deterministic, spatially stable shadowing: the
+// location is snapped to a 10 m lattice and the cell index seeds a local
+// PRNG. Same cell, same shadowing — repeat measurements at a POI agree.
+func (e *Environment) shadowAt(x, y float64) float64 {
+	const cell = 10.0
+	cx := int64(math.Floor(x / cell))
+	cy := int64(math.Floor(y / cell))
+	const (
+		mixX = int64(-7046029254386353131) // 0x9E3779B97F4A7C15 as int64
+		mixY = int64(-4417276706812531889) // 0xC2B2AE3D27D4EB4F as int64
+	)
+	h := e.shadowSeed ^ (cx * mixX) ^ (cy * mixY)
+	local := rand.New(rand.NewSource(h))
+	return local.NormFloat64() * e.shadowSigma
+}
+
+// NumAPs returns the number of access points.
+func (e *Environment) NumAPs() int { return len(e.aps) }

@@ -1,0 +1,136 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newTestEnv(t *testing.T, seed int64) *Environment {
+	t.Helper()
+	env, err := NewEnvironment(Config{}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewEnvironmentDefaults(t *testing.T) {
+	env := newTestEnv(t, 1)
+	if env.NumAPs() != 6 {
+		t.Errorf("NumAPs = %d, want 6", env.NumAPs())
+	}
+}
+
+func TestNewEnvironmentRejectsNoAPs(t *testing.T) {
+	if _, err := NewEnvironment(Config{NumAPs: -1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative AP count should error")
+	}
+}
+
+func TestTruthDeterministic(t *testing.T) {
+	env := newTestEnv(t, 2)
+	a := env.TruthAt(100, 50)
+	b := env.TruthAt(100, 50)
+	if a != b {
+		t.Errorf("TruthAt not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTruthRealisticRange(t *testing.T) {
+	env := newTestEnv(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		v := env.TruthAt(rng.Float64()*400, rng.Float64()*300)
+		if v < -95-1e-9 || v > -10 {
+			t.Fatalf("truth %v outside plausible dBm range", v)
+		}
+	}
+}
+
+func TestSignalDecaysWithDistance(t *testing.T) {
+	// Build a single-AP environment; signal at the AP must beat signal far
+	// away (averaging over shadowing cells).
+	env, err := NewEnvironment(Config{NumAPs: 1, Width: 1, Height: 1, ShadowSigmaDB: 0.001}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := env.TruthAt(0.5, 0.5)
+	far := env.TruthAt(300, 300)
+	if near <= far {
+		t.Errorf("near %v should beat far %v", near, far)
+	}
+}
+
+func TestObserveNoiseStatistics(t *testing.T) {
+	env := newTestEnv(t, 6)
+	rng := rand.New(rand.NewSource(7))
+	const sigma = 2.0
+	// Pick a spot comfortably above the sensitivity floor so clamping does
+	// not bias the statistics.
+	var x, y, truthVal float64
+	found := false
+	for ty := 0.0; ty < 300 && !found; ty += 25 {
+		for tx := 0.0; tx < 400 && !found; tx += 25 {
+			if v := env.TruthAt(tx, ty); v > -80 {
+				x, y, truthVal, found = tx, ty, v, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no above-floor location found")
+	}
+	var sum, sumSq float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		v := env.Observe(x, y, sigma, rng)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-truthVal) > 0.2 {
+		t.Errorf("observation mean %v far from truth %v", mean, truthVal)
+	}
+	if math.Abs(math.Sqrt(variance)-sigma) > 0.3 {
+		t.Errorf("observation std %v, want ~%v", math.Sqrt(variance), sigma)
+	}
+}
+
+func TestObserveClampsAtFloor(t *testing.T) {
+	env, err := NewEnvironment(Config{NumAPs: 1, Width: 1, Height: 1, FloorDBm: -95}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if v := env.Observe(5000, 5000, 10, rng); v < -95 {
+			t.Fatalf("observation %v below floor", v)
+		}
+	}
+}
+
+func TestShadowingSpatiallyStable(t *testing.T) {
+	env := newTestEnv(t, 10)
+	// Points in the same 10 m cell share shadowing; truth varies smoothly
+	// only via path loss.
+	a := env.TruthAt(101, 101)
+	b := env.TruthAt(102, 102)
+	if math.Abs(a-b) > 3 {
+		t.Errorf("same-cell truths differ too much: %v vs %v", a, b)
+	}
+}
+
+func TestEnvironmentsDifferBySeed(t *testing.T) {
+	e1 := newTestEnv(t, 11)
+	e2 := newTestEnv(t, 12)
+	same := true
+	for _, p := range [][2]float64{{50, 50}, {200, 100}, {350, 250}} {
+		if e1.TruthAt(p[0], p[1]) != e2.TruthAt(p[0], p[1]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different environments")
+	}
+}

@@ -1,0 +1,10 @@
+// Package signal provides the digital-signal-processing substrate used by
+// the device-fingerprinting pipeline: descriptive statistics over sampled
+// sensor streams, discrete Fourier transforms (radix-2 Cooley-Tukey with a
+// Bluestein fallback for arbitrary lengths), window functions, and power
+// spectra.
+//
+// The package is intentionally dependency-free (stdlib only) and allocates
+// predictably: every transform has an _Into variant planned via Plan for
+// hot paths such as per-account fingerprint extraction.
+package signal

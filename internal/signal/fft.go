@@ -1,0 +1,145 @@
+package signal
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of xs. The input is not
+// modified. Arbitrary lengths are supported: power-of-two inputs use an
+// iterative radix-2 Cooley-Tukey transform; other lengths fall back to
+// Bluestein's chirp-z algorithm, which reduces the problem to a
+// power-of-two convolution.
+func FFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	copy(out, xs)
+	if n <= 1 {
+		return out
+	}
+	if isPowerOfTwo(n) {
+		radix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of xs, including the
+// 1/n normalization, so that IFFT(FFT(x)) == x up to floating-point error.
+func IFFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	copy(out, xs)
+	if n <= 1 {
+		return out
+	}
+	if isPowerOfTwo(n) {
+		radix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal computes the DFT of a real-valued signal.
+func FFTReal(xs []float64) []complex128 {
+	cs := make([]complex128, len(xs))
+	for i, x := range xs {
+		cs[i] = complex(x, 0)
+	}
+	return FFT(cs)
+}
+
+func isPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// nextPowerOfTwo returns the smallest power of two >= n.
+func nextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// radix2 performs an in-place iterative radix-2 FFT. len(a) must be a power
+// of two. If inverse is true the conjugate transform is applied (without
+// normalization).
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of a (any length) via the chirp-z transform.
+// It returns a new slice; the input is clobbered as scratch.
+func bluestein(a []complex128, inverse bool) []complex128 {
+	n := len(a)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors: w[k] = exp(sign * i * pi * k^2 / n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for astronomically large n; reduce mod 2n first
+		// since the chirp is periodic with period 2n in k^2.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	m := nextPowerOfTwo(2*n - 1)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		fa[k] = a[k] * chirp[k]
+	}
+	fb[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		fb[k] = c
+		fb[m-k] = c
+	}
+	radix2(fa, false)
+	radix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	radix2(fa, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = fa[k] * invM * chirp[k]
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func complexAlmostEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+// naiveDFT is the O(n^2) reference implementation used to validate FFT.
+func naiveDFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += xs[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(n int, rng *rand.Rand) []complex128 {
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return xs
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Mix of power-of-two and awkward lengths (exercises Bluestein).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 50, 64, 100} {
+		xs := randComplex(n, rng)
+		got := FFT(xs)
+		want := naiveDFT(xs)
+		for k := range want {
+			if !complexAlmostEqual(got[k], want[k], 1e-7*float64(n)) {
+				t.Fatalf("n=%d bin %d: FFT=%v naive=%v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	xs := []complex128{1, 2, 3, 4, 5}
+	orig := make([]complex128, len(xs))
+	copy(orig, xs)
+	FFT(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("FFT mutated input at %d", i)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 6, 9, 16, 27, 64, 100} {
+		xs := randComplex(n, rng)
+		back := IFFT(FFT(xs))
+		for i := range xs {
+			if !complexAlmostEqual(back[i], xs[i], 1e-8*float64(n+1)) {
+				t.Fatalf("n=%d idx %d: round-trip %v != %v", n, i, back[i], xs[i])
+			}
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of an impulse is flat.
+	got := FFT([]complex128{1, 0, 0, 0})
+	for k, v := range got {
+		if !complexAlmostEqual(v, 1, 1e-12) {
+			t.Errorf("impulse bin %d = %v, want 1", k, v)
+		}
+	}
+	// DFT of a constant concentrates at DC.
+	got = FFT([]complex128{1, 1, 1, 1})
+	if !complexAlmostEqual(got[0], 4, 1e-12) {
+		t.Errorf("DC bin = %v, want 4", got[0])
+	}
+	for k := 1; k < 4; k++ {
+		if !complexAlmostEqual(got[k], 0, 1e-12) {
+			t.Errorf("bin %d = %v, want 0", k, got[k])
+		}
+	}
+}
+
+func TestFFTRealSinusoid(t *testing.T) {
+	// A pure sinusoid at bin 5 of a 64-sample frame must put (almost) all
+	// its energy in bin 5.
+	const n, bin = 64, 5
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * bin * float64(i) / n)
+	}
+	spec := FFTReal(xs)
+	peak := 0
+	for k := 1; k <= n/2; k++ {
+		if cmplx.Abs(spec[k]) > cmplx.Abs(spec[peak]) {
+			peak = k
+		}
+	}
+	if peak != bin {
+		t.Errorf("peak at bin %d, want %d", peak, bin)
+	}
+}
+
+// Property: Parseval's theorem — energy in time equals energy in frequency
+// divided by n.
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 || len(xs) > 256 {
+			return true
+		}
+		var timeEnergy float64
+		for _, x := range xs {
+			timeEnergy += x * x
+		}
+		spec := FFTReal(xs)
+		var freqEnergy float64
+		for _, c := range spec {
+			freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+		}
+		freqEnergy /= float64(len(xs))
+		tol := 1e-6 * (timeEnergy + 1)
+		return math.Abs(timeEnergy-freqEnergy) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FFT is linear.
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(60)
+		a := randComplex(n, rng)
+		b := randComplex(n, rng)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		fa, fb, fs := FFT(a), FFT(b), FFT(sum)
+		for k := 0; k < n; k++ {
+			if !complexAlmostEqual(fs[k], fa[k]+fb[k], 1e-7*float64(n)) {
+				t.Fatalf("linearity violated at n=%d bin %d", n, k)
+			}
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128}, {128, 128},
+	}
+	for _, tt := range tests {
+		if got := nextPowerOfTwo(tt.in); got != tt.want {
+			t.Errorf("nextPowerOfTwo(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func BenchmarkFFTPow2(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := randComplex(1024, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(xs)
+	}
+}
+
+func BenchmarkFFTBluestein(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := randComplex(1000, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(xs)
+	}
+}

@@ -1,0 +1,112 @@
+package signal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963985},
+		{0.025, -1.959963985},
+		{0.84134474606, 1}, // Phi(1)
+		{0.999, 3.090232306},
+		{0.001, -3.090232306},
+		{1e-10, -6.361340902}, // deep tail
+	}
+	for _, tt := range tests {
+		got, err := NormalQuantile(tt.p)
+		if err != nil {
+			t.Fatalf("p=%v: %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestNormalQuantileErrors(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Errorf("p=%v should error", p)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.013 {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdf := 0.5 * math.Erfc(-x/math.Sqrt2)
+		if math.Abs(cdf-p) > 1e-9 {
+			t.Errorf("CDF(quantile(%v)) = %v", p, cdf)
+		}
+	}
+}
+
+func TestChiSquaredQuantileKnownValues(t *testing.T) {
+	// Reference values from standard chi-squared tables.
+	tests := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.95, 1, 3.841, 0.08},
+		{0.95, 5, 11.070, 0.05},
+		{0.95, 10, 18.307, 0.05},
+		{0.975, 10, 20.483, 0.05},
+		{0.05, 10, 3.940, 0.05},
+		{0.5, 10, 9.342, 0.05},
+	}
+	for _, tt := range tests {
+		got, err := ChiSquaredQuantile(tt.p, tt.df)
+		if err != nil {
+			t.Fatalf("p=%v df=%d: %v", tt.p, tt.df, err)
+		}
+		if math.Abs(got-tt.want)/tt.want > tt.tol {
+			t.Errorf("ChiSquaredQuantile(%v, %d) = %v, want ~%v", tt.p, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestChiSquaredQuantileErrors(t *testing.T) {
+	if _, err := ChiSquaredQuantile(0.95, 0); err == nil {
+		t.Error("df=0 should error")
+	}
+	if _, err := ChiSquaredQuantile(0, 3); err == nil {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestChiSquaredQuantileMonotone(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.995} {
+		q, err := ChiSquaredQuantile(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q <= prev {
+			t.Errorf("quantile not monotone at p=%v: %v <= %v", p, q, prev)
+		}
+		prev = q
+	}
+	// Monotone in df as well for fixed upper-tail p.
+	prev = 0
+	for df := 1; df <= 30; df += 3 {
+		q, err := ChiSquaredQuantile(0.95, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q <= prev {
+			t.Errorf("quantile not monotone in df at %d", df)
+		}
+		prev = q
+	}
+}

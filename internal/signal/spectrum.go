@@ -1,0 +1,102 @@
+package signal
+
+import "math"
+
+// Window is a window function applied to a frame before transforming it.
+type Window func(n int) []float64
+
+// Hann returns the Hann (raised-cosine) window of length n. For n <= 1 the
+// window is all ones.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns the Hamming window of length n.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Rectangular returns the all-ones window of length n.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Spectrum holds the one-sided magnitude spectrum of a real signal:
+// Freqs[i] is the frequency (Hz) of bin i and Mags[i] its magnitude.
+// The DC bin is included; bins above the Nyquist frequency are not.
+type Spectrum struct {
+	Freqs []float64
+	Mags  []float64
+}
+
+// PowerSpectrum computes the one-sided magnitude spectrum of xs sampled at
+// sampleRate Hz, after removing the mean and applying window (nil means
+// rectangular).
+func PowerSpectrum(xs []float64, sampleRate float64, window Window) Spectrum {
+	n := len(xs)
+	if n == 0 {
+		return Spectrum{}
+	}
+	mu := Mean(xs)
+	frame := make([]float64, n)
+	for i, x := range xs {
+		frame[i] = x - mu
+	}
+	if window != nil {
+		w := window(n)
+		for i := range frame {
+			frame[i] *= w[i]
+		}
+	}
+	bins := FFTReal(frame)
+	half := n/2 + 1
+	sp := Spectrum{
+		Freqs: make([]float64, half),
+		Mags:  make([]float64, half),
+	}
+	for i := 0; i < half; i++ {
+		sp.Freqs[i] = float64(i) * sampleRate / float64(n)
+		re := real(bins[i])
+		im := imag(bins[i])
+		sp.Mags[i] = math.Hypot(re, im)
+	}
+	return sp
+}
+
+// TotalEnergy returns the sum of squared magnitudes of the spectrum.
+func (s Spectrum) TotalEnergy() float64 {
+	var e float64
+	for _, m := range s.Mags {
+		e += m * m
+	}
+	return e
+}
+
+// TotalMagnitude returns the sum of magnitudes of the spectrum.
+func (s Spectrum) TotalMagnitude() float64 {
+	var t float64
+	for _, m := range s.Mags {
+		t += m
+	}
+	return t
+}

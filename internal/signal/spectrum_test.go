@@ -1,0 +1,103 @@
+package signal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHannWindow(t *testing.T) {
+	w := Hann(8)
+	if len(w) != 8 {
+		t.Fatalf("len = %d, want 8", len(w))
+	}
+	if !almostEqual(w[0], 0, eps) || !almostEqual(w[7], 0, eps) {
+		t.Errorf("Hann endpoints = %v, %v; want 0", w[0], w[7])
+	}
+	// Symmetry.
+	for i := 0; i < 4; i++ {
+		if !almostEqual(w[i], w[7-i], eps) {
+			t.Errorf("Hann not symmetric at %d: %v vs %v", i, w[i], w[7-i])
+		}
+	}
+	if got := Hann(1); got[0] != 1 {
+		t.Errorf("Hann(1) = %v, want [1]", got)
+	}
+}
+
+func TestHammingWindow(t *testing.T) {
+	w := Hamming(8)
+	if !almostEqual(w[0], 0.08, 1e-12) {
+		t.Errorf("Hamming[0] = %v, want 0.08", w[0])
+	}
+	for i := 0; i < 4; i++ {
+		if !almostEqual(w[i], w[7-i], eps) {
+			t.Errorf("Hamming not symmetric at %d", i)
+		}
+	}
+	if got := Hamming(1); got[0] != 1 {
+		t.Errorf("Hamming(1) = %v, want [1]", got)
+	}
+}
+
+func TestRectangularWindow(t *testing.T) {
+	for _, v := range Rectangular(5) {
+		if v != 1 {
+			t.Errorf("Rectangular produced %v, want 1", v)
+		}
+	}
+}
+
+func TestPowerSpectrumPeak(t *testing.T) {
+	// 10 Hz sinusoid sampled at 100 Hz for 1 s must peak at the 10 Hz bin.
+	const sampleRate = 100.0
+	const freq = 10.0
+	n := 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 3 * math.Sin(2*math.Pi*freq*float64(i)/sampleRate)
+	}
+	sp := PowerSpectrum(xs, sampleRate, Hann)
+	if len(sp.Freqs) != n/2+1 {
+		t.Fatalf("bins = %d, want %d", len(sp.Freqs), n/2+1)
+	}
+	peak := 0
+	for i := range sp.Mags {
+		if sp.Mags[i] > sp.Mags[peak] {
+			peak = i
+		}
+	}
+	if !almostEqual(sp.Freqs[peak], freq, 1e-9) {
+		t.Errorf("peak at %v Hz, want %v", sp.Freqs[peak], freq)
+	}
+}
+
+func TestPowerSpectrumRemovesDC(t *testing.T) {
+	// Constant signal: after mean removal the spectrum is all zeros.
+	xs := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	sp := PowerSpectrum(xs, 8, nil)
+	for i, m := range sp.Mags {
+		if m > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want ~0", i, m)
+		}
+	}
+}
+
+func TestPowerSpectrumEmpty(t *testing.T) {
+	sp := PowerSpectrum(nil, 100, Hann)
+	if len(sp.Freqs) != 0 || len(sp.Mags) != 0 {
+		t.Errorf("empty spectrum should be empty, got %d bins", len(sp.Freqs))
+	}
+	if sp.TotalEnergy() != 0 || sp.TotalMagnitude() != 0 {
+		t.Error("empty spectrum energy should be 0")
+	}
+}
+
+func TestSpectrumTotals(t *testing.T) {
+	sp := Spectrum{Mags: []float64{3, 4}}
+	if got := sp.TotalEnergy(); !almostEqual(got, 25, eps) {
+		t.Errorf("TotalEnergy = %v, want 25", got)
+	}
+	if got := sp.TotalMagnitude(); !almostEqual(got, 7, eps) {
+		t.Errorf("TotalMagnitude = %v, want 7", got)
+	}
+}

@@ -1,0 +1,289 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"symmetric", []float64{-1, 0, 1}, 0},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, -4}, -3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, eps) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, eps) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, eps) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3, 3, 3}); got != 0 {
+		t.Errorf("Variance of constant = %v, want 0", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	if got := Skewness([]float64{-1, 0, 1}); !almostEqual(got, 0, eps) {
+		t.Errorf("Skewness symmetric = %v, want 0", got)
+	}
+	// Right-skewed data should have positive skewness.
+	if got := Skewness([]float64{1, 1, 1, 1, 10}); got <= 0 {
+		t.Errorf("Skewness right-tail = %v, want > 0", got)
+	}
+	// Left-skewed data should have negative skewness.
+	if got := Skewness([]float64{-10, 1, 1, 1, 1}); got >= 0 {
+		t.Errorf("Skewness left-tail = %v, want < 0", got)
+	}
+	if got := Skewness([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("Skewness of constant = %v, want 0", got)
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Uniform two-point distribution {-1, 1} has kurtosis 1.
+	if got := Kurtosis([]float64{-1, 1, -1, 1}); !almostEqual(got, 1, eps) {
+		t.Errorf("Kurtosis two-point = %v, want 1", got)
+	}
+	if got := Kurtosis([]float64{2, 2}); got != 0 {
+		t.Errorf("Kurtosis of constant = %v, want 0", got)
+	}
+	// A spiky distribution has higher kurtosis than a flat one.
+	spiky := Kurtosis([]float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 100})
+	flat := Kurtosis([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if spiky <= flat {
+		t.Errorf("Kurtosis spiky=%v should exceed flat=%v", spiky, flat)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4, 0, 0}); !almostEqual(got, 2.5, eps) {
+		t.Errorf("RMS = %v, want 2.5", got)
+	}
+	if got := RMS(nil); got != 0 {
+		t.Errorf("RMS(nil) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -7, 2, 9, 0}
+	mx, err := Max(xs)
+	if err != nil || mx != 9 {
+		t.Errorf("Max = %v, %v; want 9, nil", mx, err)
+	}
+	mn, err := Min(xs)
+	if err != nil || mn != -7 {
+		t.Errorf("Min = %v, %v; want -7, nil", mn, err)
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+}
+
+func TestZeroCrossingRate(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"alternating", []float64{1, -1, 1, -1}, 1},
+		{"constant positive", []float64{1, 1, 1}, 0},
+		{"one crossing", []float64{1, 1, -1}, 0.5},
+		{"too short", []float64{1}, 0},
+		{"zero treated non-negative", []float64{0, 1, 0, -1}, 1.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ZeroCrossingRate(tt.in); !almostEqual(got, tt.want, eps) {
+				t.Errorf("ZCR(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNonNegativeCount(t *testing.T) {
+	if got := NonNegativeCount([]float64{-1, 0, 1, 2, -3}); got != 3 {
+		t.Errorf("NonNegativeCount = %d, want 3", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got, err := Median([]float64{3, 1, 2}); err != nil || got != 2 {
+		t.Errorf("Median odd = %v, %v; want 2", got, err)
+	}
+	if got, err := Median([]float64{4, 1, 3, 2}); err != nil || got != 2.5 {
+		t.Errorf("Median even = %v, %v; want 2.5", got, err)
+	}
+	if _, err := Median(nil); err == nil {
+		t.Error("Median(nil) should error")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if err != nil || !almostEqual(got, 2, eps) {
+		t.Errorf("WeightedMean equal weights = %v, %v; want 2", got, err)
+	}
+	got, err = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if err != nil || !almostEqual(got, 1.5, eps) {
+		t.Errorf("WeightedMean = %v, %v; want 1.5", got, err)
+	}
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Error("WeightedMean(nil) should error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("WeightedMean length mismatch should error")
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("WeightedMean zero weight should error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], eps) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Constant input maps to zeros.
+	for _, v := range Normalize([]float64{7, 7}) {
+		if v != 0 {
+			t.Errorf("Normalize constant produced %v, want 0", v)
+		}
+	}
+	if got := Normalize(nil); len(got) != 0 {
+		t.Errorf("Normalize(nil) len = %d, want 0", len(got))
+	}
+}
+
+func TestZScore(t *testing.T) {
+	got := ZScore([]float64{1, 2, 3, 4, 5})
+	if !almostEqual(Mean(got), 0, eps) {
+		t.Errorf("ZScore mean = %v, want 0", Mean(got))
+	}
+	if !almostEqual(StdDev(got), 1, eps) {
+		t.Errorf("ZScore std = %v, want 1", StdDev(got))
+	}
+	for _, v := range ZScore([]float64{4, 4, 4}) {
+		if v != 0 {
+			t.Errorf("ZScore constant produced %v, want 0", v)
+		}
+	}
+}
+
+func TestMagnitude3(t *testing.T) {
+	got := Magnitude3([]float64{3, 0}, []float64{4, 0}, []float64{0, 5})
+	if !almostEqual(got[0], 5, eps) || !almostEqual(got[1], 5, eps) {
+		t.Errorf("Magnitude3 = %v, want [5 5]", got)
+	}
+	// Truncates to shortest.
+	if got := Magnitude3([]float64{1, 2, 3}, []float64{1}, []float64{1, 2}); len(got) != 1 {
+		t.Errorf("Magnitude3 truncation len = %d, want 1", len(got))
+	}
+}
+
+// Property: mean of z-scored data is always ~0 and std ~1 (for non-constant
+// input), and normalization always lands in [0,1].
+func TestStatsProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		norm := Normalize(xs)
+		for _, v := range norm {
+			if v < -eps || v > 1+eps {
+				return false
+			}
+		}
+		z := ZScore(xs)
+		if !almostEqual(Mean(z), 0, 1e-6) {
+			return false
+		}
+		if StdDev(xs) > 0 && !almostEqual(StdDev(z), 1, 1e-6) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min <= mean <= max, and RMS >= |mean|.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		mu := Mean(xs)
+		if mu < mn-eps || mu > mx+eps {
+			return false
+		}
+		return RMS(xs)+1e-6 >= math.Abs(mu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize clamps quick-generated values into a sane finite range so that
+// floating-point overflow does not dominate the property checks.
+func sanitize(raw []float64) []float64 {
+	xs := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v > 1e6 {
+			v = 1e6
+		}
+		if v < -1e6 {
+			v = -1e6
+		}
+		xs = append(xs, v)
+	}
+	return xs
+}

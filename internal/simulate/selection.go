@@ -1,0 +1,128 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sybiltd/internal/incentive"
+	"sybiltd/internal/mcs"
+)
+
+// SelectionConfig parameterizes pre-aggregation user selection via the
+// incentive auction (the paper's Remarks: incentive mechanisms suppress
+// redundant Sybil accounts because siblings add no marginal coverage).
+type SelectionConfig struct {
+	// TaskValue is the platform's value per covered task; zero means 10.
+	TaskValue float64
+	// BaseCost and PerTaskCost shape honest users' bids:
+	// bid = BaseCost + PerTaskCost·|tasks| · (1 ± 20%). Zeros mean 1 and 2.
+	BaseCost    float64
+	PerTaskCost float64
+	// SybilDiscount scales Sybil accounts' bids (an attacker eager to be
+	// selected underbids); zero means 0.7.
+	SybilDiscount float64
+	// DepthValues, when non-empty, makes the auction redundancy-aware
+	// (see incentive.Auction.DepthValues): the k-th coverer of a task is
+	// worth DepthValues[k-1]. Empty keeps the plain MSensing coverage
+	// auction.
+	DepthValues []float64
+}
+
+func (c SelectionConfig) withDefaults() SelectionConfig {
+	if c.TaskValue == 0 {
+		c.TaskValue = 10
+	}
+	if c.BaseCost == 0 {
+		c.BaseCost = 1
+	}
+	if c.PerTaskCost == 0 {
+		c.PerTaskCost = 2
+	}
+	if c.SybilDiscount == 0 {
+		c.SybilDiscount = 0.7
+	}
+	return c
+}
+
+// SelectionResult reports what the auction did to a scenario.
+type SelectionResult struct {
+	// Scenario is the filtered campaign containing only selected accounts.
+	Scenario *Scenario
+	// Outcome is the raw auction outcome over the original accounts.
+	Outcome incentive.Outcome
+	// SelectedSybil / TotalSybil count Sybil accounts before and after.
+	SelectedSybil int
+	TotalSybil    int
+}
+
+// ApplySelection runs the incentive auction over a built scenario's
+// accounts and returns a filtered scenario containing only the selected
+// ones. rng perturbs the bids; the original scenario is not modified.
+func ApplySelection(sc *Scenario, cfg SelectionConfig, rng *rand.Rand) (SelectionResult, error) {
+	cfg = cfg.withDefaults()
+	sybil := make(map[int]bool, len(sc.SybilAccounts))
+	for _, i := range sc.SybilAccounts {
+		sybil[i] = true
+	}
+
+	offers := make([]incentive.Offer, sc.Dataset.NumAccounts())
+	for i := range sc.Dataset.Accounts {
+		a := &sc.Dataset.Accounts[i]
+		var tasks []int
+		for t := range a.TaskSet() {
+			tasks = append(tasks, t)
+		}
+		bid := (cfg.BaseCost + cfg.PerTaskCost*float64(len(tasks))) * (0.8 + rng.Float64()*0.4)
+		if sybil[i] {
+			bid *= cfg.SybilDiscount
+		}
+		offers[i] = incentive.Offer{User: a.ID, Tasks: tasks, Bid: bid}
+	}
+	auction := incentive.Auction{
+		TaskValue:   cfg.TaskValue,
+		NumTasks:    sc.Dataset.NumTasks(),
+		DepthValues: cfg.DepthValues,
+	}
+	out, err := auction.Run(offers)
+	if err != nil {
+		return SelectionResult{}, fmt.Errorf("simulate: selection auction: %w", err)
+	}
+
+	selected := make(map[int]bool, len(out.Winners))
+	for _, w := range out.Winners {
+		selected[w] = true
+	}
+
+	filtered := &Scenario{
+		Dataset:     &mcs.Dataset{Tasks: append([]mcs.Task(nil), sc.Dataset.Tasks...)},
+		GroundTruth: append([]float64(nil), sc.GroundTruth...),
+		Devices:     sc.Devices,
+		POIs:        sc.POIs,
+		Env:         sc.Env,
+		NumLegit:    0,
+	}
+	res := SelectionResult{Outcome: out, TotalSybil: len(sc.SybilAccounts)}
+	for i := range sc.Dataset.Accounts {
+		if !selected[i] {
+			continue
+		}
+		idx := filtered.Dataset.AddAccount(cloneAccount(&sc.Dataset.Accounts[i]))
+		filtered.OwnerLabels = append(filtered.OwnerLabels, sc.OwnerLabels[i])
+		filtered.DeviceLabels = append(filtered.DeviceLabels, sc.DeviceLabels[i])
+		if sybil[i] {
+			filtered.SybilAccounts = append(filtered.SybilAccounts, idx)
+			res.SelectedSybil++
+		} else {
+			filtered.NumLegit++
+		}
+	}
+	res.Scenario = filtered
+	return res, nil
+}
+
+func cloneAccount(a *mcs.Account) mcs.Account {
+	out := mcs.Account{ID: a.ID}
+	out.Observations = append([]mcs.Observation(nil), a.Observations...)
+	out.Fingerprint = append([]float64(nil), a.Fingerprint...)
+	return out
+}

@@ -1,0 +1,83 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestApplySelectionSuppressesSybilSiblings(t *testing.T) {
+	sc, err := Build(Config{Seed: 5, SybilActiveness: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApplySelection(sc, SelectionConfig{}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSybil != 10 {
+		t.Fatalf("total sybil = %d, want 10", res.TotalSybil)
+	}
+	// Each attacker's accounts share one task set, so at most one account
+	// per attacker can carry positive marginal value — at most 2 selected.
+	if res.SelectedSybil > 2 {
+		t.Errorf("selected sybil accounts = %d, want <= 2", res.SelectedSybil)
+	}
+	if res.SelectedSybil >= res.TotalSybil {
+		t.Error("selection removed no Sybil accounts")
+	}
+	// The filtered scenario is structurally sound.
+	if err := res.Scenario.Dataset.Validate(); err != nil {
+		t.Fatalf("filtered dataset invalid: %v", err)
+	}
+	if got := res.Scenario.Dataset.NumAccounts(); got != res.Scenario.NumLegit+len(res.Scenario.SybilAccounts) {
+		t.Errorf("account bookkeeping: %d accounts vs %d legit + %d sybil",
+			got, res.Scenario.NumLegit, len(res.Scenario.SybilAccounts))
+	}
+	if len(res.Scenario.OwnerLabels) != res.Scenario.Dataset.NumAccounts() {
+		t.Error("owner labels out of sync")
+	}
+	// Original scenario untouched.
+	if sc.Dataset.NumAccounts() != 18 {
+		t.Error("ApplySelection mutated the input scenario")
+	}
+}
+
+func TestApplySelectionKeepsHonestCoverage(t *testing.T) {
+	sc, err := Build(Config{Seed: 7, LegitActiveness: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApplySelection(sc, SelectionConfig{}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario.NumLegit < 2 {
+		t.Errorf("selection kept only %d honest users", res.Scenario.NumLegit)
+	}
+	// Every task someone reported on in the filtered set is in range.
+	for _, a := range res.Scenario.Dataset.Accounts {
+		for _, o := range a.Observations {
+			if o.Task < 0 || o.Task >= res.Scenario.Dataset.NumTasks() {
+				t.Fatalf("bad task %d after filtering", o.Task)
+			}
+		}
+	}
+}
+
+func TestApplySelectionDeterministicGivenRng(t *testing.T) {
+	sc, err := Build(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ApplySelection(sc, SelectionConfig{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApplySelection(sc, SelectionConfig{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scenario.Dataset.NumAccounts() != b.Scenario.Dataset.NumAccounts() {
+		t.Error("selection not deterministic")
+	}
+}

@@ -1,0 +1,327 @@
+// Package simulate builds complete synthetic crowdsensing campaigns: a
+// radio environment with ground truths, a POI layout, legitimate users
+// walking traces and submitting noisy measurements, and Sybil attackers
+// executing Attack-I / Attack-II with configurable strategies. It stands
+// in for the paper's real-world experiment (§V-A: 10 volunteers, 11
+// smartphones, 10 Wi-Fi POIs, 54 walking traces) and produces everything
+// the evaluation needs: the dataset, the per-task ground truth, and the
+// true account-to-user and account-to-device labels.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sybiltd/internal/attack"
+	"sybiltd/internal/fingerprint"
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/mems"
+	"sybiltd/internal/mobility"
+	"sybiltd/internal/radio"
+)
+
+// Config parameterizes a synthetic campaign. The zero value plus a Seed
+// reproduces the paper's setup: 10 tasks, 8 legitimate users, one Attack-I
+// attacker and one Attack-II attacker with 5 accounts each.
+type Config struct {
+	// NumTasks is the number of POIs/tasks; zero means 10.
+	NumTasks int
+	// NumLegit is the number of legitimate users (one account, one device
+	// each); zero means 8.
+	NumLegit int
+	// LegitActiveness is every legitimate account's activeness α (Eq. 9);
+	// zero means 0.5.
+	LegitActiveness float64
+	// Attackers describes the Sybil attackers; nil means the paper's pair
+	// (one Attack-I, one Attack-II, 5 accounts each, fabricating -50 dBm)
+	// with SybilActiveness.
+	Attackers []attack.Profile
+	// SybilActiveness sets the default attackers' activeness when
+	// Attackers is nil; zero means 0.5.
+	SybilActiveness float64
+	// Seed drives all randomness; campaigns with equal configs are
+	// identical.
+	Seed int64
+	// CampaignStart anchors all timestamps; zero means 2019-03-01 09:00 UTC.
+	CampaignStart time.Time
+	// StartSpread is the window over which users begin their walks; zero
+	// means 90 minutes. Larger spreads make legitimate trajectories more
+	// distinguishable.
+	StartSpread time.Duration
+	// AccountSwitchDelay is the time a Sybil attacker needs to switch
+	// accounts and resubmit; zero means 45 s.
+	AccountSwitchDelay time.Duration
+	// LegitNoiseMin/Max bound the per-user measurement noise sigma (dB);
+	// zero means [0.5, 2.5].
+	LegitNoiseMin, LegitNoiseMax float64
+	// TremorActivenessScale couples fingerprint-capture tremor to the
+	// owner's activeness: capture tremor amplitude is multiplied by
+	// (1 + scale*activeness). The paper observes AG-FP's ARI decreasing in
+	// activeness because busier participants produce noisier sign-in
+	// captures (and more same-model collisions); this knob reproduces that
+	// coupling. Zero means 2; negative disables (exact factor 1).
+	TremorActivenessScale float64
+	// Radio overrides the radio environment; zero value uses defaults.
+	Radio radio.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTasks == 0 {
+		c.NumTasks = 10
+	}
+	if c.NumLegit == 0 {
+		c.NumLegit = 8
+	}
+	if c.LegitActiveness == 0 {
+		c.LegitActiveness = 0.5
+	}
+	if c.SybilActiveness == 0 {
+		c.SybilActiveness = 0.5
+	}
+	if c.Attackers == nil {
+		c.Attackers = []attack.Profile{
+			{Kind: attack.AttackI, NumAccounts: 5, Activeness: c.SybilActiveness},
+			{Kind: attack.AttackII, NumAccounts: 5, NumDevices: 2, Activeness: c.SybilActiveness},
+		}
+	}
+	if c.CampaignStart.IsZero() {
+		c.CampaignStart = time.Date(2019, 3, 1, 9, 0, 0, 0, time.UTC)
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = 90 * time.Minute
+	}
+	if c.AccountSwitchDelay == 0 {
+		c.AccountSwitchDelay = 45 * time.Second
+	}
+	if c.LegitNoiseMin == 0 {
+		c.LegitNoiseMin = 0.5
+	}
+	if c.LegitNoiseMax == 0 {
+		c.LegitNoiseMax = 2.5
+	}
+	if c.TremorActivenessScale == 0 {
+		c.TremorActivenessScale = 2
+	}
+	if c.TremorActivenessScale < 0 {
+		c.TremorActivenessScale = 0
+	}
+	return c
+}
+
+// Scenario is a fully built campaign.
+type Scenario struct {
+	// Dataset is the platform's view: accounts, observations, fingerprints.
+	Dataset *mcs.Dataset
+	// GroundTruth[j] is the true value of task j.
+	GroundTruth []float64
+	// OwnerLabels[i] is the true user behind account i (legit users first,
+	// then one label per attacker). This is the reference partition for
+	// ARI.
+	OwnerLabels []int
+	// DeviceLabels[i] indexes Devices for account i's device.
+	DeviceLabels []int
+	// Devices is the physical inventory in use.
+	Devices []*mems.Device
+	// POIs are the task locations.
+	POIs []mobility.Point
+	// Env is the radio environment.
+	Env *radio.Environment
+	// NumLegit is the number of legitimate users.
+	NumLegit int
+	// SybilAccounts lists the dataset indices of all Sybil accounts.
+	SybilAccounts []int
+}
+
+// Build constructs the campaign described by cfg.
+func Build(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumTasks < 2 {
+		return nil, errors.New("simulate: need at least 2 tasks")
+	}
+	if cfg.NumLegit < 1 {
+		return nil, errors.New("simulate: need at least 1 legitimate user")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	env, err := radio.NewEnvironment(cfg.Radio, rng)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	pois := mobility.LayoutPOIs(cfg.NumTasks, 400, 300, 30, rng)
+
+	ds := mcs.NewDataset(cfg.NumTasks)
+	truthVals := make([]float64, cfg.NumTasks)
+	for j := range ds.Tasks {
+		ds.Tasks[j].Name = fmt.Sprintf("POI-%d", j+1)
+		ds.Tasks[j].X = pois[j].X
+		ds.Tasks[j].Y = pois[j].Y
+		truthVals[j] = env.TruthAt(pois[j].X, pois[j].Y)
+	}
+
+	// Device pool: the paper's Table IV inventory, extended by cycling
+	// models when a scenario needs more hardware.
+	devices := buildDevicePool(cfg, rng)
+
+	sc := &Scenario{
+		Dataset:     ds,
+		GroundTruth: truthVals,
+		Devices:     devices,
+		POIs:        pois,
+		Env:         env,
+		NumLegit:    cfg.NumLegit,
+	}
+
+	deviceCursor := 0
+	nextDevice := func() *mems.Device {
+		d := devices[deviceCursor%len(devices)]
+		deviceCursor++
+		return d
+	}
+	deviceIndex := func(d *mems.Device) int {
+		for i, dev := range devices {
+			if dev == d {
+				return i
+			}
+		}
+		return -1
+	}
+
+	captureFingerprint := func(d *mems.Device, activeness float64) []float64 {
+		spec := mems.DefaultCaptureSpec()
+		spec.TremorAmp = 0.015 * (1 + cfg.TremorActivenessScale*activeness)
+		rec := d.Capture(spec, rng)
+		return fingerprint.Extract(rec)
+	}
+
+	// Legitimate users.
+	for u := 0; u < cfg.NumLegit; u++ {
+		dev := nextDevice()
+		noise := cfg.LegitNoiseMin + rng.Float64()*(cfg.LegitNoiseMax-cfg.LegitNoiseMin)
+		subset := mobility.ChooseSubset(cfg.NumTasks, cfg.LegitActiveness, 2, rng)
+		origin := mobility.Point{X: rng.Float64() * 400, Y: rng.Float64() * 300}
+		route := mobility.NearestNeighborRoute(pois, subset, origin)
+		spec := mobility.WalkSpec{
+			Start:     cfg.CampaignStart.Add(time.Duration(rng.Float64() * float64(cfg.StartSpread))),
+			SpeedMPS:  1.3 + rng.NormFloat64()*0.15,
+			Origin:    origin,
+			HasOrigin: true,
+		}
+		trace, err := mobility.Walk(pois, route, spec, rng)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: user %d walk: %w", u, err)
+		}
+		obs := make([]mcs.Observation, 0, len(trace.Visits))
+		for _, v := range trace.Visits {
+			obs = append(obs, mcs.Observation{
+				Task:  v.POI,
+				Value: env.Observe(pois[v.POI].X, pois[v.POI].Y, noise, rng),
+				Time:  v.Arrive,
+			})
+		}
+		idx := ds.AddAccount(mcs.Account{
+			ID:           fmt.Sprintf("user%02d", u+1),
+			Observations: obs,
+			Fingerprint:  captureFingerprint(dev, cfg.LegitActiveness),
+		})
+		sc.OwnerLabels = append(sc.OwnerLabels, u)
+		sc.DeviceLabels = append(sc.DeviceLabels, deviceIndex(dev))
+		_ = idx
+	}
+
+	// Sybil attackers.
+	for aIdx, profRaw := range cfg.Attackers {
+		prof := profRaw.Normalize()
+		attDevices := make([]*mems.Device, prof.NumDevices)
+		for d := range attDevices {
+			attDevices[d] = nextDevice()
+		}
+		subset := mobility.ChooseSubset(cfg.NumTasks, prof.Activeness, 2, rng)
+		origin := mobility.Point{X: rng.Float64() * 400, Y: rng.Float64() * 300}
+		route := mobility.NearestNeighborRoute(pois, subset, origin)
+		spec := mobility.WalkSpec{
+			Start:     cfg.CampaignStart.Add(time.Duration(rng.Float64() * float64(cfg.StartSpread))),
+			SpeedMPS:  1.3 + rng.NormFloat64()*0.15,
+			Origin:    origin,
+			HasOrigin: true,
+		}
+		trace, err := mobility.Walk(pois, route, spec, rng)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: attacker %d walk: %w", aIdx, err)
+		}
+		// The attacker physically measures each POI once; Duplicate-style
+		// strategies resubmit this measurement.
+		measured := make(map[int]float64, len(trace.Visits))
+		attNoise := cfg.LegitNoiseMin + rng.Float64()*(cfg.LegitNoiseMax-cfg.LegitNoiseMin)
+		for _, v := range trace.Visits {
+			measured[v.POI] = env.Observe(pois[v.POI].X, pois[v.POI].Y, attNoise, rng)
+		}
+
+		ownerLabel := cfg.NumLegit + aIdx
+		for s := 0; s < prof.NumAccounts; s++ {
+			dev := attDevices[s%len(attDevices)]
+			obs := make([]mcs.Observation, 0, len(trace.Visits))
+			for _, v := range trace.Visits {
+				lag := time.Duration(s)*cfg.AccountSwitchDelay +
+					time.Duration(rng.Float64()*5*float64(time.Second))
+				obs = append(obs, mcs.Observation{
+					Task:  v.POI,
+					Value: prof.Strategy.Fabricate(truthVals[v.POI], measured[v.POI], s, rng),
+					Time:  v.Arrive.Add(lag),
+				})
+			}
+			idx := ds.AddAccount(mcs.Account{
+				ID:           fmt.Sprintf("sybil%02d-%d", aIdx+1, s+1),
+				Observations: obs,
+				Fingerprint:  captureFingerprint(dev, prof.Activeness),
+			})
+			sc.OwnerLabels = append(sc.OwnerLabels, ownerLabel)
+			sc.DeviceLabels = append(sc.DeviceLabels, deviceIndex(dev))
+			sc.SybilAccounts = append(sc.SybilAccounts, idx)
+		}
+	}
+
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("simulate: generated invalid dataset: %w", err)
+	}
+	return sc, nil
+}
+
+// buildDevicePool manufactures enough devices for the scenario, starting
+// from the paper's Table IV inventory and cycling models beyond it.
+func buildDevicePool(cfg Config, rng *rand.Rand) []*mems.Device {
+	needed := cfg.NumLegit
+	for _, p := range cfg.Attackers {
+		needed += p.Normalize().NumDevices
+	}
+	devices := mems.BuildInventory(mems.PaperInventory(), rng)
+	models := []mems.Model{
+		mems.ModelIPhoneSE, mems.ModelIPhone6, mems.ModelIPhone6S,
+		mems.ModelIPhone7, mems.ModelIPhoneX, mems.ModelNexus6P,
+		mems.ModelLGG5, mems.ModelNexus5,
+	}
+	serial := 100
+	for len(devices) < needed {
+		m := models[len(devices)%len(models)]
+		devices = append(devices, mems.NewDevice(m, serial, rng))
+		serial++
+	}
+	return devices
+}
+
+// TrueGrouping returns the reference partition (accounts grouped by true
+// owner) as label slice — the ARI ground truth of Fig. 6.
+func (s *Scenario) TrueGrouping() []int {
+	labels := make([]int, len(s.OwnerLabels))
+	copy(labels, s.OwnerLabels)
+	return labels
+}
+
+// DeviceGrouping returns the partition of accounts by physical device —
+// the best any fingerprint-only method could achieve.
+func (s *Scenario) DeviceGrouping() []int {
+	labels := make([]int, len(s.DeviceLabels))
+	copy(labels, s.DeviceLabels)
+	return labels
+}

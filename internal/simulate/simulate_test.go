@@ -1,0 +1,317 @@
+package simulate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sybiltd/internal/attack"
+	"sybiltd/internal/fingerprint"
+)
+
+func TestBuildDefaultScenario(t *testing.T) {
+	sc, err := Build(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sc.Dataset
+	// 8 legit + 2 attackers x 5 accounts = 18 accounts.
+	if ds.NumAccounts() != 18 {
+		t.Fatalf("accounts = %d, want 18", ds.NumAccounts())
+	}
+	if ds.NumTasks() != 10 {
+		t.Fatalf("tasks = %d, want 10", ds.NumTasks())
+	}
+	if len(sc.GroundTruth) != 10 {
+		t.Fatalf("ground truths = %d", len(sc.GroundTruth))
+	}
+	if len(sc.SybilAccounts) != 10 {
+		t.Fatalf("sybil accounts = %d, want 10", len(sc.SybilAccounts))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	// Owner labels: 8 distinct legit + 2 attacker labels.
+	if len(sc.OwnerLabels) != 18 {
+		t.Fatalf("owner labels = %d", len(sc.OwnerLabels))
+	}
+	distinct := map[int]bool{}
+	for _, l := range sc.OwnerLabels {
+		distinct[l] = true
+	}
+	if len(distinct) != 10 {
+		t.Errorf("distinct owners = %d, want 10", len(distinct))
+	}
+	// Sybil accounts share owner labels in blocks of 5.
+	for i := 1; i < 5; i++ {
+		if sc.OwnerLabels[8+i] != sc.OwnerLabels[8] {
+			t.Error("first attacker's accounts should share an owner label")
+		}
+		if sc.OwnerLabels[13+i] != sc.OwnerLabels[13] {
+			t.Error("second attacker's accounts should share an owner label")
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.GroundTruth {
+		if a.GroundTruth[j] != b.GroundTruth[j] {
+			t.Fatal("ground truths differ across identical builds")
+		}
+	}
+	for i := range a.Dataset.Accounts {
+		ao := a.Dataset.Accounts[i].Observations
+		bo := b.Dataset.Accounts[i].Observations
+		if len(ao) != len(bo) {
+			t.Fatal("observation counts differ")
+		}
+		for k := range ao {
+			if ao[k] != bo[k] {
+				t.Fatal("observations differ across identical builds")
+			}
+		}
+	}
+	c, err := Build(Config{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GroundTruth[0] == a.GroundTruth[0] && c.GroundTruth[1] == a.GroundTruth[1] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestActivenessRespected(t *testing.T) {
+	sc, err := Build(Config{Seed: 2, LegitActiveness: 0.3, SybilActiveness: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sc.Dataset
+	for i := 0; i < 8; i++ {
+		// ceil(0.3*10)=3 tasks.
+		if got := len(ds.Accounts[i].Observations); got != 3 {
+			t.Errorf("legit account %d has %d observations, want 3", i, got)
+		}
+	}
+	for _, i := range sc.SybilAccounts {
+		if got := len(ds.Accounts[i].Observations); got != 8 {
+			t.Errorf("sybil account %d has %d observations, want 8", i, got)
+		}
+	}
+}
+
+func TestAttackIAccountsShareDevice(t *testing.T) {
+	sc, err := Build(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First attacker (accounts 8-12) is Attack-I: one device for all.
+	dev := sc.DeviceLabels[8]
+	for i := 9; i < 13; i++ {
+		if sc.DeviceLabels[i] != dev {
+			t.Errorf("Attack-I account %d on device %d, want %d", i, sc.DeviceLabels[i], dev)
+		}
+	}
+	// Second attacker (accounts 13-17) is Attack-II: exactly two devices.
+	devs := map[int]bool{}
+	for i := 13; i < 18; i++ {
+		devs[sc.DeviceLabels[i]] = true
+	}
+	if len(devs) != 2 {
+		t.Errorf("Attack-II devices = %d, want 2", len(devs))
+	}
+	// Legit users each have their own device.
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		if seen[sc.DeviceLabels[i]] {
+			t.Error("legit users should not share devices")
+		}
+		seen[sc.DeviceLabels[i]] = true
+	}
+}
+
+func TestFingerprintsPresentAndSized(t *testing.T) {
+	sc, err := Build(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range sc.Dataset.Accounts {
+		if len(a.Fingerprint) != fingerprint.VectorLen {
+			t.Fatalf("account %d fingerprint len = %d, want %d", i, len(a.Fingerprint), fingerprint.VectorLen)
+		}
+	}
+}
+
+func TestSybilValuesFabricated(t *testing.T) {
+	sc, err := Build(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default strategy fabricates -50 dBm exactly.
+	for _, i := range sc.SybilAccounts {
+		for _, o := range sc.Dataset.Accounts[i].Observations {
+			if o.Value != -50 {
+				t.Fatalf("sybil observation value = %v, want -50", o.Value)
+			}
+		}
+	}
+	// Legit observations track ground truth within noise.
+	for i := 0; i < sc.NumLegit; i++ {
+		for _, o := range sc.Dataset.Accounts[i].Observations {
+			if math.Abs(o.Value-sc.GroundTruth[o.Task]) > 12 {
+				t.Errorf("legit observation %v too far from truth %v", o.Value, sc.GroundTruth[o.Task])
+			}
+		}
+	}
+}
+
+func TestSybilTimestampsLagged(t *testing.T) {
+	sc, err := Build(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sc.Dataset
+	// Accounts of one attacker visit the same tasks in the same order with
+	// increasing lags.
+	first := ds.Accounts[8].SortedObservations()
+	second := ds.Accounts[9].SortedObservations()
+	if len(first) != len(second) {
+		t.Fatal("attacker accounts should share the task set")
+	}
+	for k := range first {
+		if first[k].Task != second[k].Task {
+			t.Fatal("attacker accounts should share the task order")
+		}
+		if !second[k].Time.After(first[k].Time.Add(-6 * 1e9)) { // allow jitter overlap
+			t.Errorf("account lag wrong: %v vs %v", second[k].Time, first[k].Time)
+		}
+	}
+}
+
+func TestCustomAttackers(t *testing.T) {
+	sc, err := Build(Config{
+		Seed:     7,
+		NumLegit: 3,
+		Attackers: []attack.Profile{
+			{Kind: attack.AttackI, NumAccounts: 2, Strategy: attack.Duplicate{}, Activeness: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Dataset.NumAccounts() != 5 {
+		t.Fatalf("accounts = %d, want 5", sc.Dataset.NumAccounts())
+	}
+	// Duplicate strategy: account 0 of the attacker resubmits its real
+	// measurement, which should be near ground truth, not -50.
+	sybil := sc.SybilAccounts[0]
+	for _, o := range sc.Dataset.Accounts[sybil].Observations {
+		if math.Abs(o.Value-sc.GroundTruth[o.Task]) > 12 {
+			t.Errorf("duplicate-strategy value %v far from truth %v", o.Value, sc.GroundTruth[o.Task])
+		}
+	}
+}
+
+func TestNoAttackers(t *testing.T) {
+	sc, err := Build(Config{Seed: 8, Attackers: []attack.Profile{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.SybilAccounts) != 0 {
+		t.Errorf("sybil accounts = %v, want none", sc.SybilAccounts)
+	}
+	if sc.Dataset.NumAccounts() != 8 {
+		t.Errorf("accounts = %d, want 8", sc.Dataset.NumAccounts())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Seed: 9, NumTasks: 1}); err == nil {
+		t.Error("1 task should error")
+	}
+	if _, err := Build(Config{Seed: 9, NumLegit: -1}); err == nil {
+		t.Error("negative legit count should error")
+	}
+}
+
+func TestAccountIDsUnique(t *testing.T) {
+	sc, err := Build(Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range sc.Dataset.Accounts {
+		if seen[a.ID] {
+			t.Fatalf("duplicate ID %q", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	if !strings.HasPrefix(sc.Dataset.Accounts[8].ID, "sybil") {
+		t.Errorf("account 8 ID = %q, want sybil prefix", sc.Dataset.Accounts[8].ID)
+	}
+}
+
+func TestGroupingLabelHelpers(t *testing.T) {
+	sc, err := Build(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := sc.TrueGrouping()
+	dg := sc.DeviceGrouping()
+	if len(tg) != 18 || len(dg) != 18 {
+		t.Fatal("label lengths wrong")
+	}
+	// Mutating the copies must not affect the scenario.
+	tg[0] = 999
+	if sc.OwnerLabels[0] == 999 {
+		t.Error("TrueGrouping should copy")
+	}
+}
+
+func TestLargeCampaignScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large campaign skipped in -short mode")
+	}
+	// A city-scale campaign: 200 honest users, 40 tasks, 6 attackers.
+	var attackers []attack.Profile
+	for i := 0; i < 6; i++ {
+		kind := attack.AttackI
+		if i%2 == 1 {
+			kind = attack.AttackII
+		}
+		attackers = append(attackers, attack.Profile{Kind: kind, NumAccounts: 5, Activeness: 0.6})
+	}
+	sc, err := Build(Config{
+		Seed:      77,
+		NumTasks:  40,
+		NumLegit:  200,
+		Attackers: attackers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Dataset.NumAccounts() != 230 {
+		t.Fatalf("accounts = %d, want 230", sc.Dataset.NumAccounts())
+	}
+	if err := sc.Dataset.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Devices were extended beyond the Table IV inventory.
+	if len(sc.Devices) < 200 {
+		t.Errorf("devices = %d, want >= 200", len(sc.Devices))
+	}
+	// Every account's fingerprint is present and the scenario stays
+	// internally consistent at scale.
+	for i, a := range sc.Dataset.Accounts {
+		if len(a.Fingerprint) == 0 {
+			t.Fatalf("account %d missing fingerprint", i)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package spectral implements the eleven frequency-domain features of
+// Table II in the paper (features #10-#20): spectral centroid, spread,
+// skewness, kurtosis, flatness, irregularity, entropy, rolloff, brightness,
+// RMS, and roughness. The definitions follow Peeters, "A large set of audio
+// features for sound description" (CUIDADO technical report, 2004), the
+// reference the paper cites.
+//
+// All features operate on a one-sided magnitude spectrum produced by
+// signal.PowerSpectrum. Degenerate spectra (all-zero magnitude) yield zero
+// for every feature rather than NaN, so downstream clustering never sees
+// non-finite values.
+package spectral
+
+import (
+	"math"
+
+	"sybiltd/internal/signal"
+)
+
+// Centroid returns the spectral centroid: the magnitude-weighted mean
+// frequency, i.e. the center of mass of the spectral power distribution.
+func Centroid(s signal.Spectrum) float64 {
+	total := s.TotalMagnitude()
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, m := range s.Mags {
+		sum += s.Freqs[i] * m
+	}
+	return sum / total
+}
+
+// Spread returns the spectral spread: the magnitude-weighted standard
+// deviation of frequency around the centroid.
+func Spread(s signal.Spectrum) float64 {
+	total := s.TotalMagnitude()
+	if total == 0 {
+		return 0
+	}
+	c := Centroid(s)
+	var sum float64
+	for i, m := range s.Mags {
+		d := s.Freqs[i] - c
+		sum += d * d * m
+	}
+	return math.Sqrt(sum / total)
+}
+
+// Skewness returns the coefficient of skewness of the spectrum: the
+// magnitude-weighted third standardized moment of frequency.
+func Skewness(s signal.Spectrum) float64 {
+	total := s.TotalMagnitude()
+	if total == 0 {
+		return 0
+	}
+	c := Centroid(s)
+	sp := Spread(s)
+	if sp == 0 {
+		return 0
+	}
+	var sum float64
+	for i, m := range s.Mags {
+		d := s.Freqs[i] - c
+		sum += d * d * d * m
+	}
+	return sum / total / (sp * sp * sp)
+}
+
+// Kurtosis returns the magnitude-weighted fourth standardized moment of
+// frequency, measuring the flatness or spikiness of the spectral
+// distribution relative to a normal distribution.
+func Kurtosis(s signal.Spectrum) float64 {
+	total := s.TotalMagnitude()
+	if total == 0 {
+		return 0
+	}
+	c := Centroid(s)
+	sp := Spread(s)
+	if sp == 0 {
+		return 0
+	}
+	var sum float64
+	for i, m := range s.Mags {
+		d := s.Freqs[i] - c
+		d2 := d * d
+		sum += d2 * d2 * m
+	}
+	return sum / total / (sp * sp * sp * sp)
+}
+
+// Flatness returns the spectral flatness (Wiener entropy): the ratio of the
+// geometric mean to the arithmetic mean of the magnitude spectrum. It
+// measures how evenly energy is spread across the spectrum: 1 for white
+// noise, near 0 for a pure tone.
+func Flatness(s signal.Spectrum) float64 {
+	n := len(s.Mags)
+	if n == 0 {
+		return 0
+	}
+	const floor = 1e-12 // avoid log(0) for empty bins
+	var logSum, sum float64
+	for _, m := range s.Mags {
+		if m < floor {
+			m = floor
+		}
+		logSum += math.Log(m)
+		sum += m
+	}
+	arith := sum / float64(n)
+	if arith == 0 {
+		return 0
+	}
+	geo := math.Exp(logSum / float64(n))
+	return geo / arith
+}
+
+// Irregularity returns the degree of variation of successive spectral
+// amplitudes: the sum of squared differences between adjacent bins,
+// normalized by the total squared amplitude (Jensen's definition).
+func Irregularity(s signal.Spectrum) float64 {
+	if len(s.Mags) < 2 {
+		return 0
+	}
+	var num, den float64
+	for i := 1; i < len(s.Mags); i++ {
+		d := s.Mags[i] - s.Mags[i-1]
+		num += d * d
+	}
+	for _, m := range s.Mags {
+		den += m * m
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Entropy returns the Shannon entropy of the normalized spectral power
+// distribution, normalized to [0, 1] by dividing by log(number of bins).
+// A flat spectrum has entropy 1; a single-peak spectrum has entropy 0.
+func Entropy(s signal.Spectrum) float64 {
+	n := len(s.Mags)
+	if n < 2 {
+		return 0
+	}
+	total := s.TotalEnergy()
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, m := range s.Mags {
+		p := m * m / total
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(n))
+}
+
+// DefaultRolloffFraction is the energy fraction used by Rolloff when the
+// paper's definition ("the frequency below which 85% of the distribution
+// magnitude is concentrated") is wanted.
+const DefaultRolloffFraction = 0.85
+
+// Rolloff returns the frequency below which fraction of the total spectral
+// magnitude is concentrated. fraction is clamped into (0, 1].
+func Rolloff(s signal.Spectrum, fraction float64) float64 {
+	if len(s.Mags) == 0 {
+		return 0
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = DefaultRolloffFraction
+	}
+	total := s.TotalMagnitude()
+	if total == 0 {
+		return 0
+	}
+	target := fraction * total
+	var cum float64
+	for i, m := range s.Mags {
+		cum += m
+		if cum >= target {
+			return s.Freqs[i]
+		}
+	}
+	return s.Freqs[len(s.Freqs)-1]
+}
+
+// Brightness returns the fraction of spectral magnitude above cutoff Hz.
+func Brightness(s signal.Spectrum, cutoff float64) float64 {
+	total := s.TotalMagnitude()
+	if total == 0 {
+		return 0
+	}
+	var high float64
+	for i, m := range s.Mags {
+		if s.Freqs[i] >= cutoff {
+			high += m
+		}
+	}
+	return high / total
+}
+
+// RMS returns the root mean square of the spectral magnitudes.
+func RMS(s signal.Spectrum) float64 {
+	return signal.RMS(s.Mags)
+}
+
+// Roughness returns the average pairwise dissonance between spectral peaks,
+// using the Plomp-Levelt dissonance approximation (Sethares' parametric
+// fit). Peaks are local maxima of the magnitude spectrum.
+func Roughness(s signal.Spectrum) float64 {
+	peaks := findPeaks(s)
+	if len(peaks) < 2 {
+		return 0
+	}
+	var total float64
+	var pairs int
+	for i := 0; i < len(peaks); i++ {
+		for j := i + 1; j < len(peaks); j++ {
+			total += dissonance(peaks[i], peaks[j])
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+type peak struct {
+	freq float64
+	amp  float64
+}
+
+// findPeaks returns local maxima of the magnitude spectrum (strictly greater
+// than the left neighbour, at least as great as the right one).
+func findPeaks(s signal.Spectrum) []peak {
+	var peaks []peak
+	for i := 1; i < len(s.Mags)-1; i++ {
+		if s.Mags[i] > s.Mags[i-1] && s.Mags[i] >= s.Mags[i+1] && s.Mags[i] > 0 {
+			peaks = append(peaks, peak{freq: s.Freqs[i], amp: s.Mags[i]})
+		}
+	}
+	return peaks
+}
+
+// dissonance computes the Plomp-Levelt dissonance between two spectral
+// peaks using Sethares' parameterization.
+func dissonance(p, q peak) float64 {
+	const (
+		b1 = 3.5
+		b2 = 5.75
+		// dStar is the point of maximum dissonance; s1, s2 parameterize how
+		// the dissonance curve scales with register.
+		dStar = 0.24
+		s1    = 0.0207
+		s2    = 18.96
+	)
+	fLo, fHi := p.freq, q.freq
+	if fLo > fHi {
+		fLo, fHi = fHi, fLo
+	}
+	sc := dStar / (s1*fLo + s2)
+	d := fHi - fLo
+	a := p.amp * q.amp
+	return a * (math.Exp(-b1*sc*d) - math.Exp(-b2*sc*d))
+}

@@ -1,0 +1,200 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sybiltd/internal/signal"
+)
+
+func sinusoid(freq, sampleRate float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * freq * float64(i) / sampleRate)
+	}
+	return xs
+}
+
+func whiteNoise(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func spectrumOf(xs []float64) signal.Spectrum {
+	return signal.PowerSpectrum(xs, 100, signal.Hann)
+}
+
+func TestCentroidOfPureTone(t *testing.T) {
+	// Energy concentrated at 10 Hz puts the centroid near 10 Hz.
+	sp := spectrumOf(sinusoid(10, 100, 256))
+	c := Centroid(sp)
+	if math.Abs(c-10) > 1.5 {
+		t.Errorf("centroid = %v, want ~10", c)
+	}
+}
+
+func TestCentroidOrdersByFrequency(t *testing.T) {
+	lo := Centroid(spectrumOf(sinusoid(5, 100, 256)))
+	hi := Centroid(spectrumOf(sinusoid(30, 100, 256)))
+	if lo >= hi {
+		t.Errorf("centroid(5 Hz)=%v should be < centroid(30 Hz)=%v", lo, hi)
+	}
+}
+
+func TestSpreadToneVsNoise(t *testing.T) {
+	tone := Spread(spectrumOf(sinusoid(10, 100, 256)))
+	noise := Spread(spectrumOf(whiteNoise(256, 1)))
+	if tone >= noise {
+		t.Errorf("spread(tone)=%v should be < spread(noise)=%v", tone, noise)
+	}
+}
+
+func TestFlatnessBounds(t *testing.T) {
+	tone := Flatness(spectrumOf(sinusoid(10, 100, 256)))
+	noise := Flatness(spectrumOf(whiteNoise(256, 2)))
+	if tone < 0 || tone > 1 || noise < 0 || noise > 1 {
+		t.Fatalf("flatness out of [0,1]: tone=%v noise=%v", tone, noise)
+	}
+	if tone >= noise {
+		t.Errorf("flatness(tone)=%v should be < flatness(noise)=%v", tone, noise)
+	}
+}
+
+func TestEntropyBoundsAndOrdering(t *testing.T) {
+	tone := Entropy(spectrumOf(sinusoid(10, 100, 256)))
+	noise := Entropy(spectrumOf(whiteNoise(256, 3)))
+	if tone < 0 || tone > 1+1e-9 || noise < 0 || noise > 1+1e-9 {
+		t.Fatalf("entropy out of [0,1]: tone=%v noise=%v", tone, noise)
+	}
+	if tone >= noise {
+		t.Errorf("entropy(tone)=%v should be < entropy(noise)=%v", tone, noise)
+	}
+}
+
+func TestRolloff(t *testing.T) {
+	// For a pure 10 Hz tone nearly all magnitude sits at 10 Hz, so the 85%
+	// rolloff must be at or just above 10 Hz.
+	r := Rolloff(spectrumOf(sinusoid(10, 100, 256)), DefaultRolloffFraction)
+	if r < 8 || r > 14 {
+		t.Errorf("rolloff = %v, want near 10", r)
+	}
+	// Rolloff is monotone in the fraction.
+	sp := spectrumOf(whiteNoise(256, 4))
+	if Rolloff(sp, 0.5) > Rolloff(sp, 0.95) {
+		t.Error("rolloff should be monotone in fraction")
+	}
+	// Invalid fraction falls back to the default.
+	if got, want := Rolloff(sp, -1), Rolloff(sp, DefaultRolloffFraction); got != want {
+		t.Errorf("invalid fraction rolloff = %v, want %v", got, want)
+	}
+}
+
+func TestBrightness(t *testing.T) {
+	loTone := Brightness(spectrumOf(sinusoid(5, 100, 256)), 20)
+	hiTone := Brightness(spectrumOf(sinusoid(40, 100, 256)), 20)
+	if loTone >= hiTone {
+		t.Errorf("brightness(5 Hz)=%v should be < brightness(40 Hz)=%v", loTone, hiTone)
+	}
+	if b := Brightness(spectrumOf(sinusoid(40, 100, 256)), 0); math.Abs(b-1) > 1e-9 {
+		t.Errorf("brightness with zero cutoff = %v, want 1", b)
+	}
+}
+
+func TestSkewnessAndKurtosisFinite(t *testing.T) {
+	for _, xs := range [][]float64{
+		sinusoid(10, 100, 256),
+		whiteNoise(256, 5),
+	} {
+		sp := spectrumOf(xs)
+		for name, v := range map[string]float64{
+			"skewness": Skewness(sp),
+			"kurtosis": Kurtosis(sp),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s is not finite: %v", name, v)
+			}
+		}
+	}
+}
+
+func TestIrregularity(t *testing.T) {
+	smooth := signal.Spectrum{
+		Freqs: []float64{0, 1, 2, 3},
+		Mags:  []float64{1, 1, 1, 1},
+	}
+	jagged := signal.Spectrum{
+		Freqs: []float64{0, 1, 2, 3},
+		Mags:  []float64{1, 0, 1, 0},
+	}
+	if Irregularity(smooth) != 0 {
+		t.Errorf("irregularity of flat spectrum = %v, want 0", Irregularity(smooth))
+	}
+	if Irregularity(jagged) <= Irregularity(smooth) {
+		t.Error("jagged spectrum should be more irregular than flat")
+	}
+}
+
+func TestRoughness(t *testing.T) {
+	// Two close tones beat against each other: roughness > single tone.
+	two := make([]float64, 512)
+	for i := range two {
+		ti := float64(i) / 100
+		two[i] = math.Sin(2*math.Pi*20*ti) + math.Sin(2*math.Pi*24*ti)
+	}
+	one := sinusoid(20, 100, 512)
+	rTwo := Roughness(spectrumOf(two))
+	rOne := Roughness(spectrumOf(one))
+	if rTwo <= rOne {
+		t.Errorf("roughness(two close tones)=%v should exceed single tone=%v", rTwo, rOne)
+	}
+}
+
+func TestDegenerateSpectraAllZero(t *testing.T) {
+	empty := signal.Spectrum{}
+	zero := signal.Spectrum{Freqs: []float64{0, 1}, Mags: []float64{0, 0}}
+	for _, sp := range []signal.Spectrum{empty, zero} {
+		feats := map[string]float64{
+			"centroid":     Centroid(sp),
+			"spread":       Spread(sp),
+			"skewness":     Skewness(sp),
+			"kurtosis":     Kurtosis(sp),
+			"irregularity": Irregularity(sp),
+			"entropy":      Entropy(sp),
+			"rolloff":      Rolloff(sp, 0.85),
+			"brightness":   Brightness(sp, 10),
+			"rms":          RMS(sp),
+			"roughness":    Roughness(sp),
+		}
+		for name, v := range feats {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s on degenerate spectrum is %v, want finite", name, v)
+			}
+		}
+	}
+	// Flatness of an all-zero spectrum uses the floor; it must stay finite
+	// and within [0, 1].
+	if f := Flatness(zero); math.IsNaN(f) || f < 0 || f > 1+1e-9 {
+		t.Errorf("flatness degenerate = %v", f)
+	}
+}
+
+func TestAllFeaturesFiniteOnRandomSignals(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		sp := spectrumOf(whiteNoise(128, seed))
+		vals := []float64{
+			Centroid(sp), Spread(sp), Skewness(sp), Kurtosis(sp),
+			Flatness(sp), Irregularity(sp), Entropy(sp),
+			Rolloff(sp, 0.85), Brightness(sp, 10), RMS(sp), Roughness(sp),
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("seed %d feature %d not finite: %v", seed, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package truth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sybiltd/internal/mcs"
+)
+
+// buildCrowd creates m tasks with known truths and a crowd of reliable
+// users plus optional unreliable ones.
+func buildCrowd(t *testing.T, m, reliable, unreliable int, seed int64) (*mcs.Dataset, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := mcs.NewDataset(m)
+	truthVals := make([]float64, m)
+	for j := range truthVals {
+		truthVals[j] = -80 + rng.Float64()*30
+	}
+	add := func(id string, noise, bias float64) {
+		obs := make([]mcs.Observation, m)
+		for j := 0; j < m; j++ {
+			obs[j] = obsAt(j, truthVals[j]+bias+rng.NormFloat64()*noise)
+		}
+		ds.AddAccount(mcs.Account{ID: id, Observations: obs})
+	}
+	for u := 0; u < reliable; u++ {
+		add("good"+string(rune('a'+u)), 0.5, 0)
+	}
+	for u := 0; u < unreliable; u++ {
+		add("bad"+string(rune('a'+u)), 6, 10)
+	}
+	return ds, truthVals
+}
+
+func TestCATDRecoversTruths(t *testing.T) {
+	ds, truthVals := buildCrowd(t, 10, 5, 2, 1)
+	res, err := CATD{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("CATD did not converge")
+	}
+	for j, want := range truthVals {
+		if math.Abs(res.Truths[j]-want) > 2 {
+			t.Errorf("T%d = %.2f, want ~%.2f", j, res.Truths[j], want)
+		}
+	}
+	// Reliable sources out-weigh unreliable ones.
+	for u := 0; u < 5; u++ {
+		if res.Weights[u] <= res.Weights[5] {
+			t.Errorf("reliable weight %v <= unreliable %v", res.Weights[u], res.Weights[5])
+		}
+	}
+}
+
+func TestCATDLongTailBehavior(t *testing.T) {
+	// CATD's point: a source with ONE perfectly-agreeing claim should not
+	// dominate sources with many good claims, because its variance bound
+	// is loose. Build 3 many-claim reliable sources and 1 single-claim
+	// source; the single-claim source's weight must not exceed theirs.
+	ds, _ := buildCrowd(t, 12, 3, 0, 2)
+	oneShot := mcs.Account{ID: "oneshot", Observations: []mcs.Observation{obsAt(0, ds.Accounts[0].Observations[0].Value)}}
+	ds.AddAccount(oneShot)
+	res, err := CATD{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		if res.Weights[3] > res.Weights[u] {
+			t.Errorf("single-claim source weight %v exceeds many-claim source %v", res.Weights[3], res.Weights[u])
+		}
+	}
+}
+
+func TestGTMRecoversTruths(t *testing.T) {
+	ds, truthVals := buildCrowd(t, 10, 5, 2, 3)
+	res, err := GTM{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("GTM did not converge")
+	}
+	for j, want := range truthVals {
+		if math.Abs(res.Truths[j]-want) > 2 {
+			t.Errorf("T%d = %.2f, want ~%.2f", j, res.Truths[j], want)
+		}
+	}
+	for u := 0; u < 5; u++ {
+		if res.Weights[u] <= res.Weights[5] {
+			t.Errorf("reliable precision %v <= unreliable %v", res.Weights[u], res.Weights[5])
+		}
+	}
+}
+
+func TestNewAlgorithmsHandleEdgeCases(t *testing.T) {
+	for _, alg := range []Algorithm{CATD{}, GTM{}} {
+		if _, err := alg.Run(nil); err == nil {
+			t.Errorf("%s: nil dataset should error", alg.Name())
+		}
+		// Empty task -> NaN; idle account -> zero weight.
+		ds := mcs.NewDataset(2)
+		ds.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{obsAt(0, 5)}})
+		ds.AddAccount(mcs.Account{ID: "idle"})
+		res, err := alg.Run(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !math.IsNaN(res.Truths[1]) {
+			t.Errorf("%s: empty task = %v, want NaN", alg.Name(), res.Truths[1])
+		}
+		if res.Weights[1] != 0 {
+			t.Errorf("%s: idle weight = %v, want 0", alg.Name(), res.Weights[1])
+		}
+	}
+}
+
+func TestAllAlgorithmsVulnerableToSybil(t *testing.T) {
+	// §III-C's claim generalizes: every truth-discovery algorithm of the
+	// family caves to the Table I attack, not just CRH.
+	honestRef, err := CRH{}.Run(PaperExampleHonest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{CRH{}, CATD{}, GTM{}, Mean{}} {
+		res, err := alg.Run(PaperExampleWithSybil())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		// Attacked task T1 must be dragged at least 10 dB toward -50.
+		if res.Truths[0] < honestRef.Truths[0]+10 {
+			t.Errorf("%s: T1 = %.2f — unexpectedly resistant (honest %.2f); the vulnerability demo fails",
+				alg.Name(), res.Truths[0], honestRef.Truths[0])
+		}
+	}
+}
+
+func TestOnlineTracksDriftingTruth(t *testing.T) {
+	o, err := NewOnline(1, OnlineConfig{Decay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Phase 1: truth is 10.
+	for round := 0; round < 5; round++ {
+		for u := 0; u < 4; u++ {
+			if err := o.Observe("u"+string(rune('a'+u)), 0, 10+rng.NormFloat64()*0.2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o.Tick()
+	}
+	if est := o.Estimate()[0]; math.Abs(est-10) > 0.5 {
+		t.Fatalf("phase-1 estimate = %v, want ~10", est)
+	}
+	// Phase 2: the phenomenon drifts to 20. With decay 0.5 the estimate
+	// must follow within a few rounds.
+	for round := 0; round < 6; round++ {
+		for u := 0; u < 4; u++ {
+			if err := o.Observe("u"+string(rune('a'+u)), 0, 20+rng.NormFloat64()*0.2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o.Tick()
+	}
+	if est := o.Estimate()[0]; math.Abs(est-20) > 0.5 {
+		t.Errorf("post-drift estimate = %v, want ~20", est)
+	}
+	if o.Round() != 11 {
+		t.Errorf("round = %d, want 11", o.Round())
+	}
+	if o.NumAccounts() != 4 {
+		t.Errorf("accounts = %d, want 4", o.NumAccounts())
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	if _, err := NewOnline(0, OnlineConfig{}); err == nil {
+		t.Error("zero tasks should error")
+	}
+	if _, err := NewOnline(1, OnlineConfig{Decay: 1.5}); err == nil {
+		t.Error("decay > 1 should error")
+	}
+	o, err := NewOnline(2, OnlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("", 0, 1); err == nil {
+		t.Error("empty account should error")
+	}
+	if err := o.Observe("a", 7, 1); err == nil {
+		t.Error("out-of-range task should error")
+	}
+	// Unobserved tasks stay NaN.
+	if err := o.Observe("a", 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	est := o.Estimate()
+	if est[0] != 5 || !math.IsNaN(est[1]) {
+		t.Errorf("estimate = %v", est)
+	}
+}
+
+func TestOnlineSupersedesReports(t *testing.T) {
+	o, err := NewOnline(1, OnlineConfig{Decay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("a", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("a", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if est := o.Estimate()[0]; est != 7 {
+		t.Errorf("estimate = %v, want 7 (newest report wins)", est)
+	}
+}
+
+func TestOnlineFullDecayDropsHistory(t *testing.T) {
+	o, err := NewOnline(1, OnlineConfig{Decay: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("old", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		o.Tick()
+	}
+	if err := o.Observe("new", 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if est := o.Estimate()[0]; math.Abs(est-5) > 0.01 {
+		t.Errorf("estimate = %v, want 5 (history fully decayed)", est)
+	}
+}

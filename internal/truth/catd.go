@@ -1,0 +1,173 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/signal"
+)
+
+// CATD implements the Confidence-Aware Truth Discovery algorithm of Li et
+// al. (VLDB 2015), reference [9] of the paper. CATD targets the long-tail
+// regime where most sources provide few claims: instead of a point
+// estimate of each source's error variance, it uses the upper bound of the
+// variance's (1−Alpha) confidence interval, so sources with little data
+// are not over-trusted:
+//
+//	w_i = chi²_{Alpha/2, n_i} / Σ_{j∈T_i} (d_j^i − x_j)²/std_j
+//
+// where n_i is the number of claims of source i. Like CRH it alternates
+// weight and truth estimation until the truths stabilize.
+type CATD struct {
+	// Alpha is the significance level of the variance confidence interval;
+	// zero means 0.05 (the paper's choice).
+	Alpha float64
+	// MaxIterations caps the loop; zero means 100.
+	MaxIterations int
+	// Tolerance stops the loop when the largest truth update falls below
+	// it; zero means 1e-6.
+	Tolerance float64
+}
+
+// Name implements Algorithm.
+func (CATD) Name() string { return "CATD" }
+
+// Run implements Algorithm.
+func (c CATD) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validate(ds); err != nil {
+		return Result{}, err
+	}
+	alpha := c.Alpha
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	maxIter := c.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	tol := c.Tolerance
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	n := ds.NumAccounts()
+	m := ds.NumTasks()
+	vals := valuesByTask(ds)
+
+	std := make([]float64, m)
+	for j := range std {
+		s := signal.StdDev(vals[j])
+		if s < 1e-9 {
+			s = 1e-9
+		}
+		std[j] = s
+	}
+
+	truths := make([]float64, m)
+	hasData := make([]bool, m)
+	for j := range truths {
+		if len(vals[j]) == 0 {
+			truths[j] = math.NaN()
+			continue
+		}
+		med, err := signal.Median(vals[j])
+		if err != nil {
+			return Result{}, fmt.Errorf("truth: CATD init task %d: %w", j, err)
+		}
+		truths[j] = med
+		hasData[j] = true
+	}
+
+	// Per-source chi-squared numerators (depend only on claim counts).
+	chi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ni := len(ds.Accounts[i].Observations)
+		if ni == 0 {
+			continue
+		}
+		q, err := signal.ChiSquaredQuantile(alpha/2, ni)
+		if err != nil {
+			return Result{}, fmt.Errorf("truth: CATD chi² for source %d: %w", i, err)
+		}
+		// Guard the df=1 deep-left-tail case where Wilson-Hilferty clamps
+		// to zero: fall back to a tiny positive numerator.
+		if q <= 0 {
+			q = 1e-4
+		}
+		chi[i] = q
+	}
+
+	type report struct {
+		acct  int
+		value float64
+	}
+	reportsByTask := make([][]report, m)
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			reportsByTask[o.Task] = append(reportsByTask[o.Task], report{acct: ai, value: o.Value})
+		}
+	}
+
+	weights := make([]float64, n)
+	converged := false
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		for i := 0; i < n; i++ {
+			if len(ds.Accounts[i].Observations) == 0 {
+				weights[i] = 0
+				continue
+			}
+			var loss float64
+			var cnt int
+			for _, o := range ds.Accounts[i].Observations {
+				if !hasData[o.Task] {
+					continue
+				}
+				d := o.Value - truths[o.Task]
+				loss += d * d / std[o.Task]
+				cnt++
+			}
+			// Floor the loss at a small normalized residual per claim, so
+			// a source whose few claims happen to sit exactly on the
+			// estimate cannot acquire unbounded weight — the situation the
+			// confidence interval exists to prevent.
+			if floor := float64(cnt)*1e-3 + 1e-9; loss < floor {
+				loss = floor
+			}
+			weights[i] = chi[i] / loss
+		}
+
+		maxDelta := 0.0
+		for j := 0; j < m; j++ {
+			if !hasData[j] {
+				continue
+			}
+			var num, den float64
+			for _, r := range reportsByTask[j] {
+				num += weights[r.acct] * r.value
+				den += weights[r.acct]
+			}
+			var next float64
+			if den == 0 {
+				next = signal.Mean(vals[j])
+			} else {
+				next = num / den
+			}
+			if d := math.Abs(next - truths[j]); d > maxDelta {
+				maxDelta = d
+			}
+			truths[j] = next
+		}
+		if maxDelta < tol {
+			converged = true
+			break
+		}
+	}
+	if iter > maxIter {
+		iter = maxIter
+	}
+	return Result{Truths: truths, Weights: weights, Iterations: iter, Converged: converged}, nil
+}
+
+var _ Algorithm = CATD{}

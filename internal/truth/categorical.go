@@ -1,0 +1,192 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"sybiltd/internal/mcs"
+)
+
+// Categorical truth discovery for tasks whose answers are discrete labels
+// (is there a pothole? which of K states is the signal in?). Labels are
+// encoded as non-negative integers carried in Observation.Value; the
+// estimators never interpolate between labels. This extends the library
+// beyond the paper's numeric focus to the other half of the truth
+// discovery literature (TruthFinder-style categorical data, the paper's
+// reference [34]).
+
+// MajorityVote is the unweighted baseline: each task's truth is the label
+// most accounts reported (ties break toward the smaller label).
+type MajorityVote struct{}
+
+// Name implements Algorithm.
+func (MajorityVote) Name() string { return "MajorityVote" }
+
+// Run implements Algorithm.
+func (MajorityVote) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validateCategorical(ds); err != nil {
+		return Result{}, err
+	}
+	truths := make([]float64, ds.NumTasks())
+	counts := make([]map[int]float64, ds.NumTasks())
+	for j := range counts {
+		counts[j] = map[int]float64{}
+	}
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			counts[o.Task][int(o.Value)]++
+		}
+	}
+	for j := range truths {
+		truths[j] = argmaxLabel(counts[j])
+	}
+	return Result{Truths: truths, Weights: uniformWeights(ds.NumAccounts()), Iterations: 1, Converged: true}, nil
+}
+
+// CategoricalCRH is the CRH-style iterative estimator for labels: the loss
+// of an account is the weighted fraction of its reports that disagree with
+// the current truth estimates (0/1 distance), weights follow the CRH
+// log-ratio rule, and truths are the weighted plurality labels.
+type CategoricalCRH struct {
+	// MaxIterations caps the loop; zero means 100.
+	MaxIterations int
+}
+
+// Name implements Algorithm.
+func (CategoricalCRH) Name() string { return "CategoricalCRH" }
+
+// Run implements Algorithm.
+func (c CategoricalCRH) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validateCategorical(ds); err != nil {
+		return Result{}, err
+	}
+	maxIter := c.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	n := ds.NumAccounts()
+	m := ds.NumTasks()
+
+	// Initialize with the unweighted majority.
+	init, err := MajorityVote{}.Run(ds)
+	if err != nil {
+		return Result{}, err
+	}
+	truths := init.Truths
+
+	type report struct {
+		acct  int
+		label int
+	}
+	reportsByTask := make([][]report, m)
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			reportsByTask[o.Task] = append(reportsByTask[o.Task], report{acct: ai, label: int(o.Value)})
+		}
+	}
+
+	weights := uniformWeights(n)
+	converged := false
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		// Weight estimation: loss = #disagreements + smoothing.
+		var total float64
+		losses := make([]float64, n)
+		for ai := range ds.Accounts {
+			obs := ds.Accounts[ai].Observations
+			if len(obs) == 0 {
+				continue
+			}
+			loss := 0.5 // Laplace-style smoothing keeps perfect agreers finite
+			for _, o := range obs {
+				if math.IsNaN(truths[o.Task]) {
+					continue
+				}
+				if int(o.Value) != int(truths[o.Task]) {
+					loss++
+				}
+			}
+			losses[ai] = loss
+			total += loss
+		}
+		for ai := range ds.Accounts {
+			if len(ds.Accounts[ai].Observations) == 0 {
+				weights[ai] = 0
+				continue
+			}
+			w := math.Log(total / losses[ai])
+			if w < 0 {
+				w = 0
+			}
+			weights[ai] = w
+		}
+
+		// Truth estimation: weighted plurality.
+		changed := false
+		for j := 0; j < m; j++ {
+			if len(reportsByTask[j]) == 0 {
+				continue
+			}
+			votes := map[int]float64{}
+			for _, r := range reportsByTask[j] {
+				w := weights[r.acct]
+				if w == 0 {
+					w = 1e-9 // keep all-zero-weight tasks decidable
+				}
+				votes[r.label] += w
+			}
+			next := argmaxLabel(votes)
+			if next != truths[j] {
+				truths[j] = next
+				changed = true
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+	}
+	if iter > maxIter {
+		iter = maxIter
+	}
+	return Result{Truths: truths, Weights: weights, Iterations: iter, Converged: converged}, nil
+}
+
+// validateCategorical extends the shared validation with label checks:
+// every value must be a non-negative integer.
+func validateCategorical(ds *mcs.Dataset) error {
+	if err := validate(ds); err != nil {
+		return err
+	}
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			if o.Value < 0 || o.Value != math.Trunc(o.Value) {
+				return fmt.Errorf("truth: account %q task %d: %v is not a categorical label",
+					ds.Accounts[ai].ID, o.Task, o.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// argmaxLabel returns the label with the highest vote mass, breaking ties
+// toward the smaller label; NaN when votes is empty.
+func argmaxLabel(votes map[int]float64) float64 {
+	best := -1
+	bestMass := math.Inf(-1)
+	for label, mass := range votes {
+		if mass > bestMass || (mass == bestMass && label < best) {
+			best = label
+			bestMass = mass
+		}
+	}
+	if best < 0 {
+		return math.NaN()
+	}
+	return float64(best)
+}
+
+var (
+	_ Algorithm = MajorityVote{}
+	_ Algorithm = CategoricalCRH{}
+)

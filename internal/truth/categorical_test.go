@@ -1,0 +1,208 @@
+package truth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sybiltd/internal/mcs"
+)
+
+func labelObs(task, label int) mcs.Observation {
+	o := obsAt(task, float64(label))
+	return o
+}
+
+func TestMajorityVote(t *testing.T) {
+	ds := mcs.NewDataset(2)
+	ds.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{labelObs(0, 1), labelObs(1, 0)}})
+	ds.AddAccount(mcs.Account{ID: "b", Observations: []mcs.Observation{labelObs(0, 1)}})
+	ds.AddAccount(mcs.Account{ID: "c", Observations: []mcs.Observation{labelObs(0, 2)}})
+	res, err := MajorityVote{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 1 {
+		t.Errorf("T1 = %v, want 1", res.Truths[0])
+	}
+	if res.Truths[1] != 0 {
+		t.Errorf("T2 = %v, want 0", res.Truths[1])
+	}
+	if (MajorityVote{}).Name() != "MajorityVote" {
+		t.Error("name")
+	}
+}
+
+func TestMajorityVoteTieBreaksLow(t *testing.T) {
+	ds := mcs.NewDataset(1)
+	ds.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{labelObs(0, 3)}})
+	ds.AddAccount(mcs.Account{ID: "b", Observations: []mcs.Observation{labelObs(0, 1)}})
+	res, err := MajorityVote{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 1 {
+		t.Errorf("tie broke to %v, want 1", res.Truths[0])
+	}
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	bad := mcs.NewDataset(1)
+	bad.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{obsAt(0, 1.5)}})
+	for _, alg := range []Algorithm{MajorityVote{}, CategoricalCRH{}} {
+		if _, err := alg.Run(bad); err == nil {
+			t.Errorf("%s: fractional label should error", alg.Name())
+		}
+		if _, err := alg.Run(nil); err == nil {
+			t.Errorf("%s: nil dataset should error", alg.Name())
+		}
+	}
+	neg := mcs.NewDataset(1)
+	neg.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{obsAt(0, -1)}})
+	if _, err := (CategoricalCRH{}).Run(neg); err == nil {
+		t.Error("negative label should error")
+	}
+}
+
+func TestCategoricalCRHOutvotesUnreliableMajority(t *testing.T) {
+	// 3 reliable accounts agree on many tasks; 4 unreliable accounts give
+	// random labels but happen to collude on task 0. Weighted voting must
+	// recover the truth on task 0 even though the raw majority is wrong.
+	const m = 12
+	rng := rand.New(rand.NewSource(1))
+	ds := mcs.NewDataset(m)
+	truthLabels := make([]int, m)
+	for j := range truthLabels {
+		truthLabels[j] = rng.Intn(3)
+	}
+	for u := 0; u < 3; u++ {
+		obs := make([]mcs.Observation, m)
+		for j := 0; j < m; j++ {
+			obs[j] = labelObs(j, truthLabels[j])
+		}
+		ds.AddAccount(mcs.Account{ID: "good" + string(rune('a'+u)), Observations: obs})
+	}
+	wrong := (truthLabels[0] + 1) % 3
+	for u := 0; u < 4; u++ {
+		obs := make([]mcs.Observation, m)
+		obs[0] = labelObs(0, wrong)
+		for j := 1; j < m; j++ {
+			obs[j] = labelObs(j, rng.Intn(3))
+		}
+		ds.AddAccount(mcs.Account{ID: "bad" + string(rune('a'+u)), Observations: obs})
+	}
+
+	naive, err := MajorityVote{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Truths[0] != float64(wrong) {
+		t.Fatalf("test premise broken: raw majority on T1 = %v, want %d", naive.Truths[0], wrong)
+	}
+	res, err := CategoricalCRH{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+	if res.Truths[0] != float64(truthLabels[0]) {
+		t.Errorf("weighted T1 = %v, want %d", res.Truths[0], truthLabels[0])
+	}
+	// Overall accuracy high.
+	var correct int
+	for j := 0; j < m; j++ {
+		if res.Truths[j] == float64(truthLabels[j]) {
+			correct++
+		}
+	}
+	if correct < m-1 {
+		t.Errorf("accuracy = %d/%d", correct, m)
+	}
+	// Reliable accounts out-weigh unreliable ones.
+	for u := 0; u < 3; u++ {
+		if res.Weights[u] <= res.Weights[3] {
+			t.Errorf("good weight %v <= bad %v", res.Weights[u], res.Weights[3])
+		}
+	}
+}
+
+func TestCategoricalCRHEdgeCases(t *testing.T) {
+	ds := mcs.NewDataset(2)
+	ds.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{labelObs(0, 4)}})
+	ds.AddAccount(mcs.Account{ID: "idle"})
+	res, err := CategoricalCRH{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 4 {
+		t.Errorf("single-report label = %v", res.Truths[0])
+	}
+	if !math.IsNaN(res.Truths[1]) {
+		t.Errorf("empty task = %v, want NaN", res.Truths[1])
+	}
+	if res.Weights[1] != 0 {
+		t.Errorf("idle weight = %v", res.Weights[1])
+	}
+}
+
+func TestCategoricalFrameworkWithSybilAttack(t *testing.T) {
+	// Pothole reporting: label 1 = pothole. Honest users report the true
+	// labels; a Sybil attacker's five accounts flip task 0. With median
+	// group aggregation the framework restores the honest answer because
+	// the attacker's accounts collapse into one voice.
+	ds := mcs.NewDataset(3)
+	truthLabels := []int{1, 0, 1}
+	for u := 0; u < 3; u++ {
+		var obs []mcs.Observation
+		for j, l := range truthLabels {
+			o := labelObs(j, l)
+			o.Time = o.Time.Add(time.Duration(u*13+j) * time.Minute)
+			obs = append(obs, o)
+		}
+		ds.AddAccount(mcs.Account{ID: "good" + string(rune('a'+u)), Observations: obs})
+	}
+	for s := 0; s < 5; s++ {
+		var obs []mcs.Observation
+		for j := range truthLabels {
+			label := truthLabels[j]
+			if j == 0 {
+				label = 0 // deny the pothole
+			}
+			o := labelObs(j, label)
+			o.Time = o.Time.Add(time.Duration(100+s) * time.Minute)
+			obs = append(obs, o)
+		}
+		ds.AddAccount(mcs.Account{ID: "syb" + string(rune('0'+s)), Observations: obs})
+	}
+
+	naive, err := CategoricalCRH{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Truths[0] != 0 {
+		t.Fatalf("premise broken: plain categorical CRH T1 = %v, want captured (0)", naive.Truths[0])
+	}
+	// Oracle grouping (the grouping methods are value-agnostic and tested
+	// elsewhere); median group aggregation preserves labels.
+	// Importing core here would cycle; emulate the framework's collapse by
+	// replacing the five Sybil accounts with their majority voice.
+	collapsed := mcs.NewDataset(3)
+	for u := 0; u < 3; u++ {
+		collapsed.AddAccount(ds.Accounts[u])
+	}
+	var sybObs []mcs.Observation
+	for j := range truthLabels {
+		o := ds.Accounts[3].Observations[j]
+		sybObs = append(sybObs, o)
+	}
+	collapsed.AddAccount(mcs.Account{ID: "syb-group", Observations: sybObs})
+	defended, err := CategoricalCRH{}.Run(collapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defended.Truths[0] != 1 {
+		t.Errorf("collapsed T1 = %v, want honest 1", defended.Truths[0])
+	}
+}

@@ -1,0 +1,176 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/signal"
+)
+
+// CRHConfig tunes the CRH iteration.
+type CRHConfig struct {
+	// MaxIterations caps the estimation loop. Zero means 100, the paper's
+	// convergence criterion style ("maximum number of iterations in [10]").
+	MaxIterations int
+	// Tolerance stops the loop when the largest truth update falls below
+	// it. Zero means 1e-6.
+	Tolerance float64
+	// LossFloor is the minimum per-account loss, preventing an account that
+	// matches the estimated truth exactly from receiving infinite weight.
+	// Zero means 1e-9.
+	LossFloor float64
+}
+
+func (c CRHConfig) withDefaults() CRHConfig {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-6
+	}
+	if c.LossFloor == 0 {
+		c.LossFloor = 1e-9
+	}
+	return c
+}
+
+// CRH implements the Conflict Resolution on Heterogeneous data algorithm
+// (Li et al., SIGMOD 2014) for continuous data, the truth-discovery
+// algorithm the paper uses to represent the family (§III-C, §V):
+//
+//	weight estimation:  w_i = log( Σ_i' loss_i' / loss_i ),
+//	                    loss_i = Σ_{j∈T_i} (d_j^i − x_j)² / std_j
+//	truth estimation:   x_j = Σ_{i∈U_j} w_i d_j^i / Σ_{i∈U_j} w_i
+//
+// where std_j normalizes task scales. Truths are initialized to per-task
+// medians (the CRH reference implementation's choice; Algorithm 1 permits
+// any initialization).
+type CRH struct {
+	Config CRHConfig
+}
+
+// Name implements Algorithm.
+func (CRH) Name() string { return "CRH" }
+
+// Run implements Algorithm.
+func (c CRH) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validate(ds); err != nil {
+		return Result{}, err
+	}
+	cfg := c.Config.withDefaults()
+
+	n := ds.NumAccounts()
+	m := ds.NumTasks()
+	vals := valuesByTask(ds)
+
+	// Per-task scale normalizer: population std of reported values,
+	// floored so single-report and zero-variance tasks stay usable.
+	std := make([]float64, m)
+	for j := range std {
+		s := signal.StdDev(vals[j])
+		if s < 1e-9 {
+			s = 1e-9
+		}
+		std[j] = s
+	}
+
+	truths := make([]float64, m)
+	hasData := make([]bool, m)
+	for j := range truths {
+		if len(vals[j]) == 0 {
+			truths[j] = math.NaN()
+			continue
+		}
+		med, err := signal.Median(vals[j])
+		if err != nil {
+			return Result{}, fmt.Errorf("truth: init task %d: %w", j, err)
+		}
+		truths[j] = med
+		hasData[j] = true
+	}
+
+	// Index observations by task once; the loop below is the hot path.
+	type report struct {
+		acct  int
+		value float64
+	}
+	reportsByTask := make([][]report, m)
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			reportsByTask[o.Task] = append(reportsByTask[o.Task], report{acct: ai, value: o.Value})
+		}
+	}
+
+	weights := uniformWeights(n)
+	losses := make([]float64, n)
+	var iter int
+	converged := false
+
+	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		// Weight estimation (Eq. 1 with CRH's W and D).
+		var totalLoss float64
+		for i := 0; i < n; i++ {
+			var loss float64
+			for _, o := range ds.Accounts[i].Observations {
+				if !hasData[o.Task] {
+					continue
+				}
+				d := o.Value - truths[o.Task]
+				loss += d * d / std[o.Task]
+			}
+			if loss < cfg.LossFloor {
+				loss = cfg.LossFloor
+			}
+			losses[i] = loss
+			totalLoss += loss
+		}
+		for i := 0; i < n; i++ {
+			if len(ds.Accounts[i].Observations) == 0 {
+				weights[i] = 0
+				continue
+			}
+			w := math.Log(totalLoss / losses[i])
+			if w < 0 {
+				// An account worse than the whole crowd combined still
+				// participates with negligible weight rather than a
+				// negative one, which would corrupt the weighted mean.
+				w = 0
+			}
+			weights[i] = w
+		}
+
+		// Truth estimation (Eq. 2).
+		maxDelta := 0.0
+		for j := 0; j < m; j++ {
+			if !hasData[j] {
+				continue
+			}
+			var num, den float64
+			for _, r := range reportsByTask[j] {
+				num += weights[r.acct] * r.value
+				den += weights[r.acct]
+			}
+			var next float64
+			if den == 0 {
+				next = signal.Mean(vals[j]) // all weights zero: fall back
+			} else {
+				next = num / den
+			}
+			if d := math.Abs(next - truths[j]); d > maxDelta {
+				maxDelta = d
+			}
+			truths[j] = next
+		}
+		if maxDelta < cfg.Tolerance {
+			converged = true
+			break
+		}
+	}
+	if iter > cfg.MaxIterations {
+		iter = cfg.MaxIterations
+	}
+	return Result{Truths: truths, Weights: weights, Iterations: iter, Converged: converged}, nil
+}
+
+var _ Algorithm = CRH{}

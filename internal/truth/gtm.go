@@ -1,0 +1,170 @@
+package truth
+
+import (
+	"math"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/signal"
+)
+
+// GTM implements a Gaussian Truth Model (Zhao & Han's GTM, the standard
+// probabilistic baseline for numeric truth discovery): each observation is
+// modeled as d_j^i = x_j + ε_i with ε_i ~ N(0, σ_i²), and an EM loop
+// alternates estimating the truths (precision-weighted means) and the
+// per-source variances (posterior means under an inverse-gamma prior,
+// which keeps one-claim sources from collapsing to zero variance).
+type GTM struct {
+	// PriorAlpha/PriorBeta parameterize the inverse-gamma prior over
+	// source variances. Zeros mean (2, 2·initialVariance), a weakly
+	// informative prior centered on the crowd's dispersion.
+	PriorAlpha float64
+	PriorBeta  float64
+	// MaxIterations caps the EM loop; zero means 100.
+	MaxIterations int
+	// Tolerance stops the loop when the largest truth update falls below
+	// it; zero means 1e-6.
+	Tolerance float64
+}
+
+// Name implements Algorithm.
+func (GTM) Name() string { return "GTM" }
+
+// Run implements Algorithm.
+func (g GTM) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validate(ds); err != nil {
+		return Result{}, err
+	}
+	maxIter := g.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	tol := g.Tolerance
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	n := ds.NumAccounts()
+	m := ds.NumTasks()
+	vals := valuesByTask(ds)
+
+	truths := make([]float64, m)
+	hasData := make([]bool, m)
+	var crowdVar float64
+	var varCount int
+	for j := range truths {
+		if len(vals[j]) == 0 {
+			truths[j] = math.NaN()
+			continue
+		}
+		med, err := signal.Median(vals[j])
+		if err != nil {
+			return Result{}, err
+		}
+		truths[j] = med
+		hasData[j] = true
+		if v := signal.Variance(vals[j]); v > 0 {
+			crowdVar += v
+			varCount++
+		}
+	}
+	if varCount > 0 {
+		crowdVar /= float64(varCount)
+	}
+	if crowdVar < 1e-6 {
+		crowdVar = 1e-6
+	}
+
+	alpha := g.PriorAlpha
+	if alpha == 0 {
+		alpha = 2
+	}
+	beta := g.PriorBeta
+	if beta == 0 {
+		beta = 2 * crowdVar
+	}
+
+	type report struct {
+		acct  int
+		value float64
+	}
+	reportsByTask := make([][]report, m)
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			reportsByTask[o.Task] = append(reportsByTask[o.Task], report{acct: ai, value: o.Value})
+		}
+	}
+
+	variances := make([]float64, n)
+	for i := range variances {
+		variances[i] = crowdVar
+	}
+	converged := false
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		// M-step: per-source variance posterior mean under IG(alpha, beta):
+		// (beta + SSR/2) / (alpha + n_i/2 - 1).
+		for i := 0; i < n; i++ {
+			obs := ds.Accounts[i].Observations
+			if len(obs) == 0 {
+				variances[i] = crowdVar
+				continue
+			}
+			var ssr float64
+			var cnt int
+			for _, o := range obs {
+				if !hasData[o.Task] {
+					continue
+				}
+				d := o.Value - truths[o.Task]
+				ssr += d * d
+				cnt++
+			}
+			den := alpha + float64(cnt)/2 - 1
+			if den < 0.5 {
+				den = 0.5
+			}
+			v := (beta + ssr/2) / den
+			if v < 1e-9 {
+				v = 1e-9
+			}
+			variances[i] = v
+		}
+
+		// E-step: truths as precision-weighted means.
+		maxDelta := 0.0
+		for j := 0; j < m; j++ {
+			if !hasData[j] {
+				continue
+			}
+			var num, den float64
+			for _, r := range reportsByTask[j] {
+				w := 1 / variances[r.acct]
+				num += w * r.value
+				den += w
+			}
+			next := num / den
+			if d := math.Abs(next - truths[j]); d > maxDelta {
+				maxDelta = d
+			}
+			truths[j] = next
+		}
+		if maxDelta < tol {
+			converged = true
+			break
+		}
+	}
+	if iter > maxIter {
+		iter = maxIter
+	}
+
+	weights := make([]float64, n)
+	for i := range weights {
+		if len(ds.Accounts[i].Observations) == 0 {
+			continue
+		}
+		weights[i] = 1 / variances[i]
+	}
+	return Result{Truths: truths, Weights: weights, Iterations: iter, Converged: converged}, nil
+}
+
+var _ Algorithm = GTM{}

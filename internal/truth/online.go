@@ -1,0 +1,222 @@
+package truth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sybiltd/internal/signal"
+)
+
+// Online is an evolving-truth estimator in the spirit of "On the discovery
+// of evolving truth" (Li et al., KDD 2015 — reference [11] of the paper):
+// a streaming CRH whose observations decay with age, so the estimated
+// truths track phenomena that drift over time (rush-hour noise levels,
+// moving Wi-Fi interference) while source weights accumulate across
+// rounds.
+//
+// Usage: Observe values during a round, call Tick to close the round, and
+// read Estimate at any time. The zero value is not usable; call NewOnline.
+type Online struct {
+	numTasks int
+	decay    float64
+	maxIter  int
+	tol      float64
+
+	round int
+	// latest[account][task] = the newest report (older reports of the same
+	// account/task pair are superseded, per the one-report rule).
+	latest map[string]map[int]onlineObs
+	truths []float64
+}
+
+type onlineObs struct {
+	value float64
+	round int
+}
+
+// OnlineConfig tunes an Online estimator.
+type OnlineConfig struct {
+	// Decay in (0, 1] is the per-round forgetting factor applied to each
+	// observation's influence; 1 never forgets. Zero means 0.9.
+	Decay float64
+	// MaxIterations caps each Estimate's refinement loop; zero means 50.
+	MaxIterations int
+	// Tolerance stops the refinement early; zero means 1e-6.
+	Tolerance float64
+}
+
+// NewOnline creates an evolving-truth estimator over numTasks tasks.
+func NewOnline(numTasks int, cfg OnlineConfig) (*Online, error) {
+	if numTasks < 1 {
+		return nil, errors.New("truth: online estimator needs at least one task")
+	}
+	if cfg.Decay == 0 {
+		cfg.Decay = 0.9
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		return nil, fmt.Errorf("truth: decay %v outside (0, 1]", cfg.Decay)
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 50
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 1e-6
+	}
+	truths := make([]float64, numTasks)
+	for j := range truths {
+		truths[j] = math.NaN()
+	}
+	return &Online{
+		numTasks: numTasks,
+		decay:    cfg.Decay,
+		maxIter:  cfg.MaxIterations,
+		tol:      cfg.Tolerance,
+		latest:   make(map[string]map[int]onlineObs),
+		truths:   truths,
+	}, nil
+}
+
+// Observe ingests one report in the current round. A newer report from the
+// same account for the same task supersedes the older one.
+func (o *Online) Observe(account string, task int, value float64) error {
+	if account == "" {
+		return errors.New("truth: empty account")
+	}
+	if task < 0 || task >= o.numTasks {
+		return fmt.Errorf("truth: task %d out of range [0,%d)", task, o.numTasks)
+	}
+	byTask, ok := o.latest[account]
+	if !ok {
+		byTask = make(map[int]onlineObs)
+		o.latest[account] = byTask
+	}
+	byTask[task] = onlineObs{value: value, round: o.round}
+	return nil
+}
+
+// Tick closes the current round: subsequent observations belong to the
+// next round and all existing observations age by one decay step.
+func (o *Online) Tick() { o.round++ }
+
+// Round returns the current round number (starting at 0).
+func (o *Online) Round() int { return o.round }
+
+// Estimate refines and returns the current truth estimates. Tasks that
+// have never been observed stay NaN. The returned slice is a copy.
+func (o *Online) Estimate() []float64 {
+	type rep struct {
+		account string
+		value   float64
+		recency float64
+	}
+	byTask := make([][]rep, o.numTasks)
+	for account, obs := range o.latest {
+		for task, ob := range obs {
+			age := o.round - ob.round
+			recency := math.Pow(o.decay, float64(age))
+			if recency < 1e-6 {
+				continue // fully faded
+			}
+			byTask[task] = append(byTask[task], rep{account: account, value: ob.value, recency: recency})
+		}
+	}
+
+	// Warm-start truths; initialize fresh tasks from their recency-weighted
+	// median-ish mean.
+	std := make([]float64, o.numTasks)
+	for j := range byTask {
+		if len(byTask[j]) == 0 {
+			continue
+		}
+		vals := make([]float64, len(byTask[j]))
+		for k, r := range byTask[j] {
+			vals[k] = r.value
+		}
+		s := signal.StdDev(vals)
+		if s < 1e-9 {
+			s = 1e-9
+		}
+		std[j] = s
+		if math.IsNaN(o.truths[j]) {
+			med, err := signal.Median(vals)
+			if err == nil {
+				o.truths[j] = med
+			}
+		}
+	}
+
+	losses := make(map[string]float64, len(o.latest))
+	for iter := 0; iter < o.maxIter; iter++ {
+		// Weight estimation with recency-discounted losses.
+		var total float64
+		for account := range o.latest {
+			losses[account] = 0
+		}
+		counted := make(map[string]bool, len(o.latest))
+		for j, reps := range byTask {
+			if math.IsNaN(o.truths[j]) {
+				continue
+			}
+			for _, r := range reps {
+				d := r.value - o.truths[j]
+				losses[r.account] += r.recency * d * d / std[j]
+				counted[r.account] = true
+			}
+		}
+		for account := range counted {
+			if losses[account] < 1e-9 {
+				losses[account] = 1e-9
+			}
+			total += losses[account]
+		}
+
+		weight := func(account string) float64 {
+			if !counted[account] {
+				return 0
+			}
+			w := math.Log(total / losses[account])
+			if w < 0 {
+				w = 0
+			}
+			return w
+		}
+
+		// Truth estimation.
+		maxDelta := 0.0
+		for j, reps := range byTask {
+			if len(reps) == 0 {
+				continue
+			}
+			var num, den, sum float64
+			for _, r := range reps {
+				w := weight(r.account) * r.recency
+				num += w * r.value
+				den += w
+				sum += r.value
+			}
+			var next float64
+			if den == 0 {
+				next = sum / float64(len(reps))
+			} else {
+				next = num / den
+			}
+			if !math.IsNaN(o.truths[j]) {
+				if d := math.Abs(next - o.truths[j]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			o.truths[j] = next
+		}
+		if maxDelta < o.tol {
+			break
+		}
+	}
+
+	out := make([]float64, o.numTasks)
+	copy(out, o.truths)
+	return out
+}
+
+// NumAccounts returns the number of accounts that have ever observed.
+func (o *Online) NumAccounts() int { return len(o.latest) }

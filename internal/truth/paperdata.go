@@ -1,0 +1,67 @@
+package truth
+
+import (
+	"time"
+
+	"sybiltd/internal/mcs"
+)
+
+// Table I / Table III of the paper: a 4-task, 4-user example in which user
+// 4 is an Attack-I Sybil attacker with accounts 4', 4'', 4''' submitting
+// fabricated -50 dBm readings for tasks 1, 3, and 4. These fixtures drive
+// the vulnerability demonstration (Table I) and the AG-TS / AG-TR
+// walkthroughs (Figs. 3-4).
+
+// paperTime builds the timestamps of Table III (10:MM:SS a.m.).
+func paperTime(min, sec int) time.Time {
+	return time.Date(2019, 3, 1, 10, min, sec, 0, time.UTC)
+}
+
+// PaperExampleHonest returns the Table I dataset without the Sybil
+// attacker: users 1-3 only.
+func PaperExampleHonest() *mcs.Dataset {
+	ds := mcs.NewDataset(4)
+	ds.AddAccount(mcs.Account{ID: "1", Observations: []mcs.Observation{
+		{Task: 0, Value: -84.48, Time: paperTime(0, 35)},
+		{Task: 1, Value: -82.11, Time: paperTime(2, 42)},
+		{Task: 2, Value: -75.16, Time: paperTime(10, 22)},
+		{Task: 3, Value: -72.71, Time: paperTime(13, 41)},
+	}})
+	ds.AddAccount(mcs.Account{ID: "2", Observations: []mcs.Observation{
+		{Task: 1, Value: -72.27, Time: paperTime(4, 15)},
+		{Task: 2, Value: -77.21, Time: paperTime(6, 1)},
+	}})
+	ds.AddAccount(mcs.Account{ID: "3", Observations: []mcs.Observation{
+		{Task: 0, Value: -72.41, Time: paperTime(1, 21)},
+		{Task: 1, Value: -91.49, Time: paperTime(4, 5)},
+		{Task: 3, Value: -73.55, Time: paperTime(8, 28)},
+	}})
+	return ds
+}
+
+// PaperExampleWithSybil returns the Table I dataset including the Attack-I
+// attacker's three accounts (4', 4”, 4”') with their Table III
+// timestamps.
+func PaperExampleWithSybil() *mcs.Dataset {
+	ds := PaperExampleHonest()
+	ds.AddAccount(mcs.Account{ID: "4'", Observations: []mcs.Observation{
+		{Task: 0, Value: -50, Time: paperTime(1, 10)},
+		{Task: 2, Value: -50, Time: paperTime(15, 24)},
+		{Task: 3, Value: -50, Time: paperTime(20, 6)},
+	}})
+	ds.AddAccount(mcs.Account{ID: "4''", Observations: []mcs.Observation{
+		{Task: 0, Value: -50, Time: paperTime(1, 34)},
+		{Task: 2, Value: -50, Time: paperTime(16, 8)},
+		{Task: 3, Value: -50, Time: paperTime(21, 25)},
+	}})
+	ds.AddAccount(mcs.Account{ID: "4'''", Observations: []mcs.Observation{
+		{Task: 0, Value: -50, Time: paperTime(2, 35)},
+		{Task: 2, Value: -50, Time: paperTime(17, 35)},
+		{Task: 3, Value: -50, Time: paperTime(22, 2)},
+	}})
+	return ds
+}
+
+// PaperSybilAccountIndices returns the dataset indices of the attacker's
+// accounts in PaperExampleWithSybil.
+func PaperSybilAccountIndices() []int { return []int{3, 4, 5} }

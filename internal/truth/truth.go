@@ -1,0 +1,130 @@
+// Package truth implements the truth-discovery substrate of the paper's
+// §III-B: the general iterative weight-estimation / truth-estimation loop
+// of Algorithm 1, with CRH (Li et al., SIGMOD 2014) as the representative
+// instance, plus naive mean and median aggregation baselines.
+//
+// All algorithms consume an mcs.Dataset and produce a Result with one
+// estimated truth per task. Tasks nobody reported on get NaN truths; the
+// caller decides what that means (the experiment harness excludes them
+// from MAE).
+package truth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/signal"
+)
+
+// Result is the output of a truth-discovery run.
+type Result struct {
+	// Truths[j] is the estimated truth for task j; NaN when no account
+	// reported on the task.
+	Truths []float64
+	// Weights[i] is the final reliability weight of account i. Baselines
+	// that do not estimate weights return uniform weights.
+	Weights []float64
+	// Iterations is the number of estimation rounds performed.
+	Iterations int
+	// Converged reports whether the loop met its tolerance before hitting
+	// the iteration cap.
+	Converged bool
+}
+
+// Algorithm is a data aggregation algorithm for MCS campaigns.
+type Algorithm interface {
+	// Name returns a short identifier such as "CRH".
+	Name() string
+	// Run aggregates the dataset into per-task truth estimates.
+	Run(ds *mcs.Dataset) (Result, error)
+}
+
+// ErrNilDataset is returned when Run receives a nil dataset.
+var ErrNilDataset = errors.New("truth: nil dataset")
+
+// validate performs the checks shared by all algorithms.
+func validate(ds *mcs.Dataset) error {
+	if ds == nil {
+		return ErrNilDataset
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("truth: %w", err)
+	}
+	return nil
+}
+
+// Mean is the unweighted-average baseline: the truth of each task is the
+// arithmetic mean of the values reported for it.
+type Mean struct{}
+
+// Name implements Algorithm.
+func (Mean) Name() string { return "Mean" }
+
+// Run implements Algorithm.
+func (Mean) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validate(ds); err != nil {
+		return Result{}, err
+	}
+	truths := make([]float64, ds.NumTasks())
+	for j, vals := range valuesByTask(ds) {
+		if len(vals) == 0 {
+			truths[j] = math.NaN()
+			continue
+		}
+		truths[j] = signal.Mean(vals)
+	}
+	return Result{Truths: truths, Weights: uniformWeights(ds.NumAccounts()), Iterations: 1, Converged: true}, nil
+}
+
+// Median is the robust baseline: the truth of each task is the median of
+// the values reported for it.
+type Median struct{}
+
+// Name implements Algorithm.
+func (Median) Name() string { return "Median" }
+
+// Run implements Algorithm.
+func (Median) Run(ds *mcs.Dataset) (Result, error) {
+	if err := validate(ds); err != nil {
+		return Result{}, err
+	}
+	truths := make([]float64, ds.NumTasks())
+	for j, vals := range valuesByTask(ds) {
+		if len(vals) == 0 {
+			truths[j] = math.NaN()
+			continue
+		}
+		med, err := signal.Median(vals)
+		if err != nil {
+			return Result{}, fmt.Errorf("truth: median of task %d: %w", j, err)
+		}
+		truths[j] = med
+	}
+	return Result{Truths: truths, Weights: uniformWeights(ds.NumAccounts()), Iterations: 1, Converged: true}, nil
+}
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// valuesByTask collects the reported values per task index.
+func valuesByTask(ds *mcs.Dataset) [][]float64 {
+	vals := make([][]float64, ds.NumTasks())
+	for ai := range ds.Accounts {
+		for _, o := range ds.Accounts[ai].Observations {
+			vals[o.Task] = append(vals[o.Task], o.Value)
+		}
+	}
+	return vals
+}
+
+var (
+	_ Algorithm = Mean{}
+	_ Algorithm = Median{}
+)

@@ -1,0 +1,115 @@
+package truth
+
+import (
+	"math"
+	"testing"
+
+	"sybiltd/internal/mcs"
+)
+
+func TestUncertaintyValidation(t *testing.T) {
+	ds := mcs.NewDataset(1)
+	ds.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{obsAt(0, 1)}})
+	if _, err := Uncertainty(nil, Result{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := Uncertainty(ds, Result{Truths: []float64{1, 2}, Weights: []float64{1}}); err == nil {
+		t.Error("task-count mismatch should error")
+	}
+	if _, err := Uncertainty(ds, Result{Truths: []float64{1}, Weights: nil}); err == nil {
+		t.Error("weight-count mismatch should error")
+	}
+}
+
+func TestUncertaintyEdgeCases(t *testing.T) {
+	ds := mcs.NewDataset(3)
+	ds.AddAccount(mcs.Account{ID: "a", Observations: []mcs.Observation{obsAt(0, 5)}})
+	// Task 1: no data. Task 2: no data either.
+	res, err := CRH{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := Uncertainty(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(unc[0], 1) {
+		t.Errorf("single-report uncertainty = %v, want +Inf", unc[0])
+	}
+	if !math.IsNaN(unc[1]) || !math.IsNaN(unc[2]) {
+		t.Errorf("no-data uncertainty = %v, %v, want NaN", unc[1], unc[2])
+	}
+}
+
+func TestUncertaintyShrinksWithAgreement(t *testing.T) {
+	// Many agreeing reporters -> small uncertainty; few conflicting ones
+	// -> large.
+	agree := mcs.NewDataset(1)
+	for i := 0; i < 10; i++ {
+		agree.AddAccount(mcs.Account{ID: string(rune('a' + i)), Observations: []mcs.Observation{
+			obsAt(0, 50+0.1*float64(i%3)),
+		}})
+	}
+	conflict := mcs.NewDataset(1)
+	for i, v := range []float64{20, 50, 80} {
+		conflict.AddAccount(mcs.Account{ID: string(rune('a' + i)), Observations: []mcs.Observation{obsAt(0, v)}})
+	}
+	uncOf := func(ds *mcs.Dataset) float64 {
+		t.Helper()
+		res, err := CRH{}.Run(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unc, err := Uncertainty(ds, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return unc[0]
+	}
+	a, c := uncOf(agree), uncOf(conflict)
+	if a >= c {
+		t.Errorf("agreement uncertainty %v should be below conflict %v", a, c)
+	}
+	if a > 0.2 {
+		t.Errorf("tight agreement uncertainty = %v, want small", a)
+	}
+}
+
+func TestUncertaintyOnPaperExample(t *testing.T) {
+	// Every multi-report task yields a finite positive standard error, and
+	// a task whose reports agree closely (honest T4: -72.71 vs -73.55)
+	// scores far below a task with an internal conflict (honest T2:
+	// -82.11 vs -72.27 vs -91.49).
+	ds := PaperExampleHonest()
+	res, err := CRH{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := Uncertainty(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, u := range unc {
+		if math.IsNaN(u) || u <= 0 {
+			t.Errorf("T%d uncertainty = %v, want positive", j+1, u)
+		}
+	}
+	if !(unc[3] < unc[1]) {
+		t.Errorf("agreeing T4 uncertainty %v should be below conflicted T2 %v", unc[3], unc[1])
+	}
+	// The attacked dataset still yields finite uncertainties everywhere.
+	atk := PaperExampleWithSybil()
+	resAtk, err := CRH{}.Run(atk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncAtk, err := Uncertainty(atk, resAtk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, u := range uncAtk {
+		if math.IsNaN(u) || math.IsInf(u, 0) || u <= 0 {
+			t.Errorf("attacked T%d uncertainty = %v", j+1, u)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package sybiltd is a Sybil-resistant truth discovery library for mobile
+// crowdsensing (MCS), reproducing Lin et al., "A Sybil-Resistant Truth
+// Discovery Framework for Mobile Crowdsensing" (ICDCS 2019).
+//
+// An MCS platform publishes sensing tasks, collects numeric observations
+// from accounts, and aggregates them into per-task truth estimates. Plain
+// truth discovery (CRH and its family) is easily manipulated by a Sybil
+// attacker who submits fabricated data from many accounts. This library
+// provides:
+//
+//   - Truth discovery algorithms: CRH plus mean/median baselines.
+//   - Three account grouping methods that cluster accounts likely owned by
+//     the same user: AGFP (motion-sensor device fingerprints), AGTS
+//     (accomplished-task-set affinity), and AGTR (trajectory similarity via
+//     dynamic time warping) — plus Combo, which combines them.
+//   - The Sybil-resistant Framework, which pairs any grouping method with
+//     a group-level truth discovery loop so that an attacker's accounts
+//     count as one voice.
+//   - A full synthetic campaign generator (simulated MEMS fingerprints,
+//     Wi-Fi radio environment, walking traces, and Attack-I / Attack-II
+//     adversaries) and the experiment harness regenerating every table and
+//     figure of the paper.
+//
+// Quickstart:
+//
+//	ds := sybiltd.NewDataset(4)
+//	ds.AddAccount(sybiltd.Account{ID: "alice", Observations: []sybiltd.Observation{
+//		{Task: 0, Value: -84.5, Time: t0},
+//	}})
+//	fw := sybiltd.Framework{Grouper: sybiltd.AGTR{}}
+//	res, err := fw.Run(ds)
+//	// res.Truths[j] is the Sybil-resistant estimate for task j.
+//
+// The subpackages under internal/ hold the implementations; this package
+// re-exports the stable surface that applications are expected to use.
+package sybiltd
+
+import (
+	"sybiltd/internal/attack"
+	"sybiltd/internal/core"
+	"sybiltd/internal/experiment"
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/metrics"
+	"sybiltd/internal/simulate"
+	"sybiltd/internal/truth"
+)
+
+// Data model (see internal/mcs).
+type (
+	// Dataset is a crowdsensing campaign: tasks plus accounts with their
+	// observations and optional device fingerprints.
+	Dataset = mcs.Dataset
+	// Task is one sensing task at a point of interest.
+	Task = mcs.Task
+	// Account is one platform account and everything it submitted.
+	Account = mcs.Account
+	// Observation is one numeric report for one task at one time.
+	Observation = mcs.Observation
+)
+
+// NewDataset creates a dataset with m tasks named T1..Tm.
+func NewDataset(m int) *Dataset { return mcs.NewDataset(m) }
+
+// Truth discovery (see internal/truth).
+type (
+	// Algorithm aggregates a dataset into per-task truth estimates.
+	Algorithm = truth.Algorithm
+	// Result carries estimated truths, account weights, and loop metadata.
+	Result = truth.Result
+	// CRH is the iterative truth discovery baseline (Li et al. 2014).
+	CRH = truth.CRH
+	// CRHConfig tunes CRH's iteration.
+	CRHConfig = truth.CRHConfig
+	// Mean is the unweighted-average baseline.
+	Mean = truth.Mean
+	// Median is the robust median baseline.
+	Median = truth.Median
+	// CATD is the confidence-aware algorithm for long-tail sources
+	// (reference [9] of the paper).
+	CATD = truth.CATD
+	// GTM is the Gaussian truth model (EM over per-source variances).
+	GTM = truth.GTM
+	// Online is the evolving-truth streaming estimator (reference [11]);
+	// construct with NewOnline.
+	Online = truth.Online
+	// OnlineConfig tunes an Online estimator.
+	OnlineConfig = truth.OnlineConfig
+	// MajorityVote is the unweighted categorical baseline (labels as
+	// non-negative integer Values).
+	MajorityVote = truth.MajorityVote
+	// CategoricalCRH is iterative weighted voting for categorical tasks.
+	CategoricalCRH = truth.CategoricalCRH
+)
+
+// NewOnline creates an evolving-truth streaming estimator over numTasks
+// tasks.
+func NewOnline(numTasks int, cfg OnlineConfig) (*Online, error) {
+	return truth.NewOnline(numTasks, cfg)
+}
+
+// Account grouping (see internal/grouping).
+type (
+	// Grouper partitions accounts into groups likely owned by one user.
+	Grouper = grouping.Grouper
+	// Grouping is a partition of account indices.
+	Grouping = grouping.Grouping
+	// AGFP groups by motion-sensor device fingerprint (defends Attack-I).
+	AGFP = grouping.AGFP
+	// AGTS groups by accomplished-task-set affinity (defends Attack-II
+	// when task sets are diverse).
+	AGTS = grouping.AGTS
+	// AGTR groups by trajectory DTW similarity (defends Attack-II even
+	// with similar task sets).
+	AGTR = grouping.AGTR
+	// Combo combines several groupers (intersection/union/majority).
+	Combo = grouping.Combo
+)
+
+// Combination modes for Combo.
+const (
+	CombineIntersect = grouping.CombineIntersect
+	CombineUnion     = grouping.CombineUnion
+	CombineMajority  = grouping.CombineMajority
+)
+
+// The Sybil-resistant framework (see internal/core).
+type (
+	// Framework pairs a Grouper with group-level truth discovery
+	// (Algorithm 2 of the paper). It implements Algorithm.
+	Framework = core.Framework
+	// FrameworkConfig tunes the framework's aggregation and iteration.
+	FrameworkConfig = core.Config
+	// Aggregator selects the within-group data-collapse strategy (Eq. 3).
+	Aggregator = core.Aggregator
+	// Windowed evaluates an Algorithm over a sliding time window,
+	// producing evolving Sybil-resistant estimates.
+	Windowed = core.Windowed
+	// WindowPoint is one estimate of a Windowed time series.
+	WindowPoint = core.WindowPoint
+)
+
+// Uncertainty returns the weighted standard error of each task's estimate
+// (NaN without data, +Inf for single-report tasks), letting platforms flag
+// low-evidence estimates.
+func Uncertainty(ds *Dataset, res Result) ([]float64, error) {
+	return truth.Uncertainty(ds, res)
+}
+
+// Group aggregation strategies.
+const (
+	AggregateMean             = core.AggregateMean
+	AggregateMedian           = core.AggregateMedian
+	AggregateInverseDeviation = core.AggregateInverseDeviation
+	AggregateMajority         = core.AggregateMajority
+)
+
+// Adversary models (see internal/attack).
+type (
+	// AttackProfile describes one Sybil attacker for the simulator.
+	AttackProfile = attack.Profile
+	// AttackStrategy fabricates the values Sybil accounts submit.
+	AttackStrategy = attack.Strategy
+	// FabricateStrategy reports a fixed target value from every account.
+	FabricateStrategy = attack.Fabricate
+	// DuplicateStrategy resubmits the attacker's one real measurement.
+	DuplicateStrategy = attack.Duplicate
+	// OffsetStrategy biases the real measurement by a constant.
+	OffsetStrategy = attack.Offset
+)
+
+// Attack kinds.
+const (
+	AttackI  = attack.AttackI
+	AttackII = attack.AttackII
+)
+
+// Simulation (see internal/simulate).
+type (
+	// ScenarioConfig parameterizes a synthetic campaign.
+	ScenarioConfig = simulate.Config
+	// Scenario is a built campaign: dataset, ground truth, true labels.
+	Scenario = simulate.Scenario
+)
+
+// BuildScenario constructs a synthetic campaign (the paper's experimental
+// setup by default: 10 tasks, 8 legitimate users, one Attack-I and one
+// Attack-II attacker with 5 accounts each).
+func BuildScenario(cfg ScenarioConfig) (*Scenario, error) { return simulate.Build(cfg) }
+
+// Metrics (see internal/metrics).
+
+// MAE returns the mean absolute error between estimates and ground truth.
+func MAE(estimated, groundTruth []float64) (float64, error) {
+	return metrics.MAE(estimated, groundTruth)
+}
+
+// AdjustedRandIndex scores a predicted grouping against the true one.
+func AdjustedRandIndex(truthLabels, predicted []int) (float64, error) {
+	return metrics.AdjustedRandIndex(truthLabels, predicted)
+}
+
+// Experiments (see internal/experiment).
+type (
+	// ExperimentOptions tunes a registry experiment run.
+	ExperimentOptions = experiment.Options
+	// ExperimentRunner is one reproducible paper table/figure.
+	ExperimentRunner = experiment.Runner
+)
+
+// Experiments returns the registry of paper tables/figures by ID
+// (table1, fig2, fig3, fig4, fig6, fig7, fig8, table4).
+func Experiments() map[string]ExperimentRunner { return experiment.Registry() }
+
+// ExperimentIDs lists the available experiment IDs, sorted.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// PaperExampleHonest returns the Table I example dataset without the
+// attacker; PaperExampleWithSybil includes the attacker's three accounts.
+func PaperExampleHonest() *Dataset { return truth.PaperExampleHonest() }
+
+// PaperExampleWithSybil returns the Table I example dataset including the
+// Sybil attacker's accounts.
+func PaperExampleWithSybil() *Dataset { return truth.PaperExampleWithSybil() }

@@ -1,0 +1,134 @@
+package sybiltd_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sybiltd"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The full public-API path: build a scenario, run CRH and the
+	// framework, compare accuracy.
+	sc, err := sybiltd.BuildScenario(sybiltd.ScenarioConfig{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crhRes, err := sybiltd.CRH{}.Run(sc.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := sybiltd.Framework{Grouper: sybiltd.AGTR{Phi: 0.3}}
+	fwRes, err := fw.Run(sc.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maeOf := func(r sybiltd.Result) float64 {
+		var est, gt []float64
+		for j, v := range r.Truths {
+			if !math.IsNaN(v) {
+				est = append(est, v)
+				gt = append(gt, sc.GroundTruth[j])
+			}
+		}
+		m, err := sybiltd.MAE(est, gt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if maeOf(fwRes) >= maeOf(crhRes) {
+		t.Errorf("framework MAE %.2f should beat CRH %.2f", maeOf(fwRes), maeOf(crhRes))
+	}
+}
+
+func TestFacadeGroupingAndARI(t *testing.T) {
+	ds := sybiltd.PaperExampleWithSybil()
+	g, err := sybiltd.AGTR{Mode: 2 /* TRAbsolute */}.Group(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := g.Labels(ds.NumAccounts())
+	want := []int{0, 1, 2, 3, 3, 3}
+	ari, err := sybiltd.AdjustedRandIndex(want, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Errorf("ARI = %v, want 1 on the walkthrough", ari)
+	}
+}
+
+func TestFacadeManualDataset(t *testing.T) {
+	ds := sybiltd.NewDataset(2)
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	ds.AddAccount(sybiltd.Account{ID: "alice", Observations: []sybiltd.Observation{
+		{Task: 0, Value: 10, Time: base},
+		{Task: 1, Value: 20, Time: base.Add(time.Minute)},
+	}})
+	ds.AddAccount(sybiltd.Account{ID: "bob", Observations: []sybiltd.Observation{
+		{Task: 0, Value: 12, Time: base.Add(2 * time.Minute)},
+	}})
+	res, err := sybiltd.Median{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths[0] != 11 || res.Truths[1] != 20 {
+		t.Errorf("truths = %v", res.Truths)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := sybiltd.ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(ids))
+	}
+	if _, ok := sybiltd.Experiments()["fig7"]; !ok {
+		t.Error("fig7 missing from registry")
+	}
+}
+
+func TestFacadeComboGrouper(t *testing.T) {
+	ds := sybiltd.PaperExampleWithSybil()
+	combo := sybiltd.Combo{
+		Members: []sybiltd.Grouper{sybiltd.AGTS{}, sybiltd.AGTR{Mode: 2}},
+		Mode:    sybiltd.CombineIntersect,
+	}
+	g, err := combo.Group(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 4 {
+		t.Errorf("combo groups = %v", g.Groups)
+	}
+}
+
+func TestFacadeWindowedAndUncertainty(t *testing.T) {
+	ds := sybiltd.NewDataset(1)
+	base := time.Date(2026, 7, 4, 9, 0, 0, 0, time.UTC)
+	for i, v := range []float64{5, 5.2, 4.9} {
+		ds.AddAccount(sybiltd.Account{ID: string(rune('a' + i)), Observations: []sybiltd.Observation{
+			{Task: 0, Value: v, Time: base.Add(time.Duration(i) * time.Minute)},
+		}})
+	}
+	res, err := sybiltd.CRH{}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := sybiltd.Uncertainty(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unc[0] <= 0 || unc[0] > 1 {
+		t.Errorf("uncertainty = %v", unc[0])
+	}
+	w := sybiltd.Windowed{Algorithm: sybiltd.Median{}, Window: time.Hour}
+	series, err := w.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || math.Abs(series[0].Truths[0]-5) > 0.5 {
+		t.Errorf("series = %+v", series)
+	}
+}
