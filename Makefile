@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs the full suite under the race detector; the parallel grouping,
+# clustering, and experiment paths all spawn worker pools, so this is the
+# tier-1 verification for any change touching them.
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+# Regenerates every paper table/figure plus the ablations and the parallel
+# grouping scaling benchmark (see EXPERIMENTS.md for a curated run).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDistance -fuzztime=30s ./internal/dtw/

@@ -12,6 +12,8 @@ import (
 	"fmt"
 
 	"os"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -317,6 +319,49 @@ func BenchmarkAblationCombo(b *testing.B) {
 				lastARI = ari
 			}
 			b.ReportMetric(lastARI, "ARI")
+		})
+	}
+}
+
+// BenchmarkAGTRGrouping500 measures the parallel pairwise-distance engine
+// on a 500-account synthetic campaign (490 legitimate users plus two
+// default attackers with 5 accounts each): ~125k account pairs, each
+// costing two DTW evaluations. The procs=1 case is the sequential path;
+// higher procs fan the packed dissimilarity matrix out across workers with
+// per-worker DTW buffers. The first iteration of each case cross-checks
+// that the partitions are byte-identical regardless of parallelism.
+func BenchmarkAGTRGrouping500(b *testing.B) {
+	sc, err := simulate.Build(simulate.Config{Seed: 11, NumLegit: 490, SybilActiveness: 0.8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := sc.Dataset.NumAccounts(); n < 500 {
+		b.Fatalf("campaign has %d accounts, want >= 500", n)
+	}
+	grouper := grouping.AGTR{Phi: 0.3}
+	var baseline grouping.Grouping
+	var baselineSet bool
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := grouper.Group(sc.Dataset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.StopTimer()
+					if !baselineSet {
+						baseline, baselineSet = g, true
+					} else if !reflect.DeepEqual(baseline, g) {
+						b.Fatalf("procs=%d partition differs from sequential baseline", procs)
+					}
+					b.StartTimer()
+				}
+			}
 		})
 	}
 }

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"math"
+
+	"sybiltd/internal/parallel"
 )
 
 // ElbowResult reports an elbow-method sweep.
@@ -32,20 +34,67 @@ func Elbow(points [][]float64, maxK int, cfg Config) (ElbowResult, error) {
 	if maxK < 1 {
 		maxK = 1
 	}
+	results, err := sweep(points, 1, maxK, cfg)
+	if err != nil {
+		return ElbowResult{}, err
+	}
 	sses := make([]float64, maxK)
-	results := make([]Result, maxK)
-	for k := 1; k <= maxK; k++ {
-		c := cfg
-		c.K = k
-		res, err := KMeans(points, c)
-		if err != nil {
-			return ElbowResult{}, err
-		}
-		sses[k-1] = res.SSE
-		results[k-1] = res
+	for i, res := range results {
+		sses[i] = res.SSE
 	}
 	k := kneeIndex(sses) + 1
 	return ElbowResult{K: k, SSEs: sses, Result: results[k-1]}, nil
+}
+
+// sweep runs KMeans for every k in [kMin, kMax] with all Lloyd runs of the
+// whole sweep fanned out across one parallel batch. Seedings are drawn
+// sequentially in (k, restart) order, each k consuming the same rng stream
+// a sequential KMeans call would (a fresh fixed-seed source per k when
+// cfg.Rand is nil, the shared stream otherwise), and each k's winner is
+// reduced in restart order — so the sweep's results are identical to
+// calling KMeans per k, at any GOMAXPROCS.
+func sweep(points [][]float64, kMin, kMax int, cfg Config) ([]Result, error) {
+	if err := validatePoints(points); err != nil {
+		return nil, err
+	}
+	nK := kMax - kMin + 1
+	cfgs := make([]Config, nK)
+	seeds := make([][][][]float64, nK) // [k-index][restart] initial centroids
+	totalRuns := 0
+	for idx := range cfgs {
+		c := cfg
+		c.K = kMin + idx
+		c = c.withDefaults()
+		cfgs[idx] = c
+		seeds[idx] = seedRestarts(points, c)
+		totalRuns += len(seeds[idx])
+	}
+	type slot struct{ kIdx, restart int }
+	slots := make([]slot, 0, totalRuns)
+	for idx := range seeds {
+		for r := range seeds[idx] {
+			slots = append(slots, slot{idx, r})
+		}
+	}
+	runs := make([]Result, len(slots))
+	_ = parallel.ForEach(len(slots), func(i int) error {
+		s := slots[i]
+		runs[i] = lloydFrom(points, seeds[s.kIdx][s.restart], cfgs[s.kIdx])
+		return nil
+	})
+	results := make([]Result, nK)
+	i := 0
+	for idx := range results {
+		best := Result{SSE: math.Inf(1)}
+		for r := 0; r < len(seeds[idx]); r++ {
+			if res := runs[i]; res.SSE < best.SSE {
+				best = res
+			}
+			i++
+		}
+		results[idx] = best
+	}
+	return results, nil
 }
 
 // kneeIndex returns the index of the knee of a decreasing curve ys using
@@ -160,18 +209,26 @@ func SilhouetteSelect(points [][]float64, maxK int, cfg Config) (ElbowResult, er
 		}
 		return ElbowResult{K: 1, SSEs: []float64{res.SSE}, Result: res}, nil
 	}
+	results, err := sweep(points, 2, maxK, cfg)
+	if err != nil {
+		return ElbowResult{}, err
+	}
+	// Silhouette scoring is O(n²) per k; score the candidate clusterings in
+	// parallel, then pick the winner in k order (ties keep the smallest k,
+	// like the sequential loop).
+	scores := make([]float64, len(results))
+	_ = parallel.ForEach(len(results), func(i int) error {
+		scores[i] = Silhouette(points, results[i].Assignments)
+		return nil
+	})
 	best := ElbowResult{K: 2}
 	bestScore := -2.0
-	sses := make([]float64, 0, maxK-1)
-	for k := 2; k <= maxK; k++ {
-		res, err := KMeans(points, withK(cfg, k))
-		if err != nil {
-			return ElbowResult{}, err
-		}
-		sses = append(sses, res.SSE)
-		if s := Silhouette(points, res.Assignments); s > bestScore {
-			bestScore = s
-			best = ElbowResult{K: k, Result: res}
+	sses := make([]float64, len(results))
+	for i, res := range results {
+		sses[i] = res.SSE
+		if scores[i] > bestScore {
+			bestScore = scores[i]
+			best = ElbowResult{K: i + 2, Result: res}
 		}
 	}
 	best.SSEs = sses

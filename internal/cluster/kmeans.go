@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"sybiltd/internal/parallel"
 )
 
 // ErrNoPoints is returned when clustering is attempted on an empty dataset.
@@ -72,24 +74,28 @@ func (c Config) withDefaults() Config {
 // KMeans clusters points into cfg.K clusters using Lloyd's algorithm with
 // k-means++ seeding and restarts. Points must be non-empty rows of equal
 // dimension.
+//
+// The restarts run on up to GOMAXPROCS workers. Randomness is only drawn
+// during seeding, so all initializations are drawn from cfg.Rand up front
+// in restart order — exactly the stream the sequential loop consumed — and
+// the deterministic Lloyd iterations fan out; the winner (lowest SSE, ties
+// to the earliest restart) is therefore independent of GOMAXPROCS.
 func KMeans(points [][]float64, cfg Config) (Result, error) {
-	if len(points) == 0 {
-		return Result{}, ErrNoPoints
-	}
-	dim := len(points[0])
-	for i, p := range points {
-		if len(p) != dim {
-			return Result{}, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
-		}
+	if err := validatePoints(points); err != nil {
+		return Result{}, err
 	}
 	cfg = cfg.withDefaults()
 	if cfg.K < 1 || cfg.K > len(points) {
 		return Result{}, fmt.Errorf("cluster: k=%d out of range [1, %d]", cfg.K, len(points))
 	}
-
+	seeds := seedRestarts(points, cfg)
+	results := make([]Result, len(seeds))
+	_ = parallel.ForEach(len(seeds), func(r int) error {
+		results[r] = lloydFrom(points, seeds[r], cfg)
+		return nil
+	})
 	best := Result{SSE: math.Inf(1)}
-	for r := 0; r < cfg.Restarts; r++ {
-		res := lloyd(points, cfg)
+	for _, res := range results {
 		if res.SSE < best.SSE {
 			best = res
 		}
@@ -97,10 +103,34 @@ func KMeans(points [][]float64, cfg Config) (Result, error) {
 	return best, nil
 }
 
-// lloyd runs one seeded Lloyd optimization.
-func lloyd(points [][]float64, cfg Config) Result {
+// validatePoints checks for a non-empty rectangular point matrix.
+func validatePoints(points [][]float64) error {
+	if len(points) == 0 {
+		return ErrNoPoints
+	}
 	dim := len(points[0])
-	centroids := seedPlusPlus(points, cfg.K, cfg.Rand)
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	return nil
+}
+
+// seedRestarts draws the k-means++ initialization for every restart. cfg
+// must already have defaults applied.
+func seedRestarts(points [][]float64, cfg Config) [][][]float64 {
+	seeds := make([][][]float64, cfg.Restarts)
+	for r := range seeds {
+		seeds[r] = seedPlusPlus(points, cfg.K, cfg.Rand)
+	}
+	return seeds
+}
+
+// lloydFrom runs one Lloyd optimization from the given initial centroids,
+// which it takes ownership of and mutates.
+func lloydFrom(points [][]float64, centroids [][]float64, cfg Config) Result {
+	dim := len(points[0])
 	assign := make([]int, len(points))
 	counts := make([]int, cfg.K)
 	var iters int
@@ -131,13 +161,18 @@ func lloyd(points [][]float64, cfg Config) Result {
 				centroids[c][d] += p[d]
 			}
 		}
+		var donors []int
 		for c := range centroids {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster at the point farthest from its
 				// centroid to keep exactly K clusters alive.
 				far := farthestPoint(points, centroids, assign)
+				donor := assign[far]
 				copy(centroids[c], points[far])
 				assign[far] = c
+				counts[c] = 1
+				counts[donor]--
+				donors = append(donors, donor)
 				continue
 			}
 			inv := 1 / float64(counts[c])
@@ -145,6 +180,34 @@ func lloyd(points [][]float64, cfg Config) Result {
 				centroids[c][d] *= inv
 			}
 		}
+		// A re-seed steals a point whose contribution is still baked into
+		// the donor's mean; recompute stolen-from centroids so neither the
+		// next assignment step nor the final SSE sees a stale center.
+		for _, donor := range donors {
+			if counts[donor] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[donor][d] = 0
+			}
+			for i, p := range points {
+				if assign[i] != donor {
+					continue
+				}
+				for d := 0; d < dim; d++ {
+					centroids[donor][d] += p[d]
+				}
+			}
+			inv := 1 / float64(counts[donor])
+			for d := 0; d < dim; d++ {
+				centroids[donor][d] *= inv
+			}
+		}
+	}
+	if iters > cfg.MaxIterations {
+		// The loop counter oversteps by one when the iteration cap is
+		// exhausted (same clamp as internal/core's CRH loop).
+		iters = cfg.MaxIterations
 	}
 
 	var sse float64

@@ -3,6 +3,8 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -320,5 +322,128 @@ func TestSilhouetteSelectEdgeCases(t *testing.T) {
 	}
 	if res.K != 1 {
 		t.Errorf("single-point K = %d, want 1", res.K)
+	}
+}
+
+// withProcs runs fn under the given GOMAXPROCS and restores the previous
+// value; goroutines multiplex fine onto fewer physical cores.
+func withProcs(t *testing.T, procs int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// TestLloydIterationsClamped forces a run that never converges (duplicate
+// centroids over identical points ping-pong forever) and checks the
+// reported iteration count no longer oversteps MaxIterations by one.
+func TestLloydIterationsClamped(t *testing.T) {
+	points := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	res := lloydFrom(points, [][]float64{{5, 5}, {5, 5}}, Config{K: 2, MaxIterations: 3})
+	if res.Iterations != 3 {
+		t.Errorf("Iterations = %d, want exactly MaxIterations = 3", res.Iterations)
+	}
+	// And through the public API with defaults.
+	kres, err := KMeans(points, Config{K: 2, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kres.Iterations > 5 {
+		t.Errorf("KMeans Iterations = %d > MaxIterations = 5", kres.Iterations)
+	}
+}
+
+// TestLloydReseedRecomputesDonorCentroid forces an empty-cluster re-seed on
+// the final iteration (MaxIterations = 1) and checks the donor cluster's
+// centroid no longer carries the stolen point's contribution, so the final
+// SSE is computed against true means.
+func TestLloydReseedRecomputesDonorCentroid(t *testing.T) {
+	// All three points land in cluster 1; cluster 0 re-seeds at point {4},
+	// stealing it from cluster 1, whose correct centroid is then the mean
+	// of {6} and {10}.
+	points := [][]float64{{4}, {6}, {10}}
+	res := lloydFrom(points, [][]float64{{100}, {7}}, Config{K: 2, MaxIterations: 1})
+	if got := res.Assignments; got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("assignments = %v, want [0 1 1]", got)
+	}
+	if c := res.Centroids[0][0]; c != 4 {
+		t.Errorf("re-seeded centroid = %v, want 4", c)
+	}
+	if c := res.Centroids[1][0]; c != 8 {
+		t.Errorf("donor centroid = %v, want 8 (mean of 6 and 10; stale mean would retain the stolen point)", c)
+	}
+	if math.Abs(res.SSE-8) > 1e-12 {
+		t.Errorf("SSE = %v, want 8", res.SSE)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1", res.Iterations)
+	}
+}
+
+// TestClusterParallelMatchesSequential pins the determinism guarantee:
+// KMeans, Elbow, and SilhouetteSelect return bit-identical results at
+// GOMAXPROCS=1 and GOMAXPROCS=8, because seedings are drawn sequentially
+// and reductions happen in index order.
+func TestClusterParallelMatchesSequential(t *testing.T) {
+	points, _ := blobs(4, 12, 1.5, 6)
+	var seqK, parK Result
+	var seqE, parE, seqS, parS ElbowResult
+	withProcs(t, 1, func() {
+		var err error
+		if seqK, err = KMeans(points, Config{K: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if seqE, err = Elbow(points, 8, Config{Restarts: 5}); err != nil {
+			t.Fatal(err)
+		}
+		if seqS, err = SilhouetteSelect(points, 8, Config{Restarts: 5}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withProcs(t, 8, func() {
+		var err error
+		if parK, err = KMeans(points, Config{K: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if parE, err = Elbow(points, 8, Config{Restarts: 5}); err != nil {
+			t.Fatal(err)
+		}
+		if parS, err = SilhouetteSelect(points, 8, Config{Restarts: 5}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(seqK, parK) {
+		t.Error("KMeans differs across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(seqE, parE) {
+		t.Error("ElbowResult differs across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(seqS, parS) {
+		t.Error("SilhouetteSelect result differs across GOMAXPROCS")
+	}
+}
+
+// TestClusterSharedRandParallelEquivalence repeats the check with a caller
+// supplied rng, whose stream must be consumed identically either way.
+func TestClusterSharedRandParallelEquivalence(t *testing.T) {
+	points, _ := blobs(3, 10, 1.0, 11)
+	run := func(procs int) (ElbowResult, error) {
+		var res ElbowResult
+		var err error
+		withProcs(t, procs, func() {
+			res, err = Elbow(points, 6, Config{Restarts: 3, Rand: rand.New(rand.NewSource(99))})
+		})
+		return res, err
+	}
+	seq, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("shared-rand ElbowResult differs across GOMAXPROCS")
 	}
 }

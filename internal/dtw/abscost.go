@@ -1,7 +1,5 @@
 package dtw
 
-import "math"
-
 // AbsoluteCost returns the classic unnormalized DTW cost with absolute
 // pointwise distance: the minimum over warping paths of Σ |a_i − b_j|.
 //
@@ -10,38 +8,11 @@ import "math"
 // absolute costs (e.g. DTW(X_1, X_2) = 2 for task series (1,2,3,4) vs
 // (2,3)); this function reproduces those numbers for the walkthrough
 // experiment. Empty-series conventions match Distance.
+//
+// The DP lives in Calculator.AbsoluteCost; this wrapper allocates a fresh
+// Calculator per call. Hot pairwise loops should hold a per-worker
+// Calculator instead.
 func AbsoluteCost(a, b []float64) float64 {
-	m, n := len(a), len(b)
-	switch {
-	case m == 0 && n == 0:
-		return 0
-	case m == 0 || n == 0:
-		return math.Inf(1)
-	}
-	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
-	for j := 0; j <= n; j++ {
-		prev[j] = inf
-	}
-	prev[0] = 0
-	for i := 1; i <= m; i++ {
-		cur[0] = inf
-		for j := 1; j <= n; j++ {
-			cost := math.Abs(a[i-1] - b[j-1])
-			best := prev[j-1]
-			if prev[j] < best {
-				best = prev[j]
-			}
-			if cur[j-1] < best {
-				best = cur[j-1]
-			}
-			cur[j] = cost + best
-		}
-		prev, cur = cur, prev
-		// After the first row, r(0,0) is no longer reachable as a path
-		// start, so the left border stays infinite.
-		prev[0] = inf
-	}
-	return prev[n]
+	var c Calculator
+	return c.AbsoluteCost(a, b)
 }

@@ -27,89 +27,13 @@ func Distance(a, b []float64) float64 {
 // (or wider than the length difference requires) means unconstrained.
 // The band is automatically widened to |len(a)-len(b)| so that a path
 // always exists.
+//
+// The DP lives in Calculator.WindowedDistance; this wrapper allocates a
+// fresh Calculator per call. Hot pairwise loops should hold a per-worker
+// Calculator instead.
 func WindowedDistance(a, b []float64, window int) float64 {
-	m, n := len(a), len(b)
-	switch {
-	case m == 0 && n == 0:
-		return 0
-	case m == 0 || n == 0:
-		return math.Inf(1)
-	}
-	if window <= 0 || window >= m+n {
-		window = m + n // effectively unconstrained
-	}
-	if d := m - n; d < 0 {
-		d = -d
-		if window < d {
-			window = d
-		}
-	} else if window < d {
-		window = d
-	}
-
-	// Rolling two-row DP over cumulative cost r(i,j) =
-	// dist(a_i, b_j) + min(r(i-1,j-1), r(i-1,j), r(i,j-1)).
-	// pathLen tracks K, the number of cells on the optimal path, needed for
-	// the length normalization of Eq. (7). Ties in cost prefer the diagonal
-	// (shortest path), matching the common DTW implementation.
-	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
-	prevLen := make([]int, n+1)
-	curLen := make([]int, n+1)
-	for j := 0; j <= n; j++ {
-		prev[j] = inf
-	}
-	prev[0] = 0
-
-	for i := 1; i <= m; i++ {
-		for j := 0; j <= n; j++ {
-			cur[j] = inf
-			curLen[j] = 0
-		}
-		lo, hi := i-window, i+window
-		if lo < 1 {
-			lo = 1
-		}
-		if hi > n {
-			hi = n
-		}
-		for j := lo; j <= hi; j++ {
-			d := a[i-1] - b[j-1]
-			cost := d * d
-			// Candidates: diagonal, up (from prev row), left (same row).
-			// Minimize (cost, pathLen) lexicographically: among equal-cost
-			// paths the shortest is kept, which makes the normalized
-			// distance independent of argument order even under ties.
-			bestCost := prev[j-1]
-			bestLen := prevLen[j-1]
-			if prev[j] < bestCost || (prev[j] == bestCost && prevLen[j] < bestLen) {
-				bestCost = prev[j]
-				bestLen = prevLen[j]
-			}
-			if cur[j-1] < bestCost || (cur[j-1] == bestCost && curLen[j-1] < bestLen) {
-				bestCost = cur[j-1]
-				bestLen = curLen[j-1]
-			}
-			if math.IsInf(bestCost, 1) {
-				continue
-			}
-			cur[j] = bestCost + cost
-			curLen[j] = bestLen + 1
-		}
-		// Special case: cell (1, j) can start from r(0,0) only via the
-		// diagonal when j==1; the loop above already handles it because
-		// prev[0] = 0 for i == 1. For i > 1, prev[0] must be inf.
-		prev, cur = cur, prev
-		prevLen, curLen = curLen, prevLen
-		prev[0] = inf
-	}
-	total := prev[n]
-	k := prevLen[n]
-	if math.IsInf(total, 1) || k == 0 {
-		return math.Inf(1)
-	}
-	return math.Sqrt(total / float64(k))
+	var c Calculator
+	return c.WindowedDistance(a, b, window)
 }
 
 // Path computes the optimal warping path between a and b (unconstrained)

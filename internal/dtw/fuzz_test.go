@@ -61,5 +61,18 @@ func FuzzDistance(f *testing.F) {
 		if abs := AbsoluteCost(a, b); abs < 0 || math.IsNaN(abs) {
 			t.Fatalf("AbsoluteCost = %v", abs)
 		}
+		// A reused Calculator must agree bit-for-bit with the free
+		// functions on every input (buffer reuse across the three calls
+		// exercises stale-state handling).
+		var calc Calculator
+		if cd := calc.Distance(a, b); cd != d {
+			t.Fatalf("Calculator.Distance = %v, free = %v", cd, d)
+		}
+		if cw, w := calc.WindowedDistance(a, b, 2), WindowedDistance(a, b, 2); cw != w {
+			t.Fatalf("Calculator.WindowedDistance = %v, free = %v", cw, w)
+		}
+		if ca, ab := calc.AbsoluteCost(a, b), AbsoluteCost(a, b); ca != ab {
+			t.Fatalf("Calculator.AbsoluteCost = %v, free = %v", ca, ab)
+		}
 	})
 }

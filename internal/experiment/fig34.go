@@ -134,16 +134,22 @@ func Fig4() (Fig4Result, error) {
 	}
 	agtr := grouping.AGTR{Mode: grouping.TRAbsolute}
 	origin, _, _ := ds.TimeSpan()
+	taskSeries := make([][]float64, n)
+	timeSeries := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		xi, yi := agtr.Series(ds, i, origin, 24*time.Hour)
+		taskSeries[i], timeSeries[i] = agtr.Series(ds, i, origin, 24*time.Hour)
+	}
+	calc := dtw.NewCalculator()
+	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			xj, yj := agtr.Series(ds, j, origin, 24*time.Hour)
-			r.DTWX[i][j] = dtw.AbsoluteCost(xi, xj)
-			r.DTWY[i][j] = dtw.AbsoluteCost(yi, yj)
-			r.D[i][j] = agtr.Dissimilarity(ds, i, j)
+			r.DTWX[i][j] = calc.AbsoluteCost(taskSeries[i], taskSeries[j])
+			r.DTWY[i][j] = calc.AbsoluteCost(timeSeries[i], timeSeries[j])
+			// Eq. (8): the dissimilarity is exactly the sum of the two DTW
+			// costs above (same origin, unit, and mode as Dissimilarity).
+			r.D[i][j] = r.DTWX[i][j] + r.DTWY[i][j]
 		}
 	}
 	g, err := agtr.Group(ds)

@@ -1,52 +1,15 @@
 package experiment
 
 import (
-	"runtime"
-	"sync"
+	"sybiltd/internal/parallel"
 )
 
 // forEachTrial runs fn(trial) for trial = 0..n-1 on up to GOMAXPROCS
-// workers and returns the first error. Results must be written into
-// per-trial slots by fn so that the caller can reduce them in trial order,
-// keeping floating-point sums deterministic regardless of scheduling.
+// workers and returns the first error; after a failure no further trials
+// are dispatched. Results must be written into per-trial slots by fn so
+// that the caller can reduce them in trial order, keeping floating-point
+// sums deterministic regardless of scheduling. Kept as a thin alias over
+// the shared substrate so experiment code reads in terms of trials.
 func forEachTrial(n int, fn func(trial int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for trial := 0; trial < n; trial++ {
-			if err := fn(trial); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	trials := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for trial := range trials {
-				if err := fn(trial); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for trial := 0; trial < n; trial++ {
-		trials <- trial
-	}
-	close(trials)
-	wg.Wait()
-	return firstErr
+	return parallel.ForEach(n, fn)
 }

@@ -132,6 +132,40 @@ func ThresholdBelow(n int, weight func(i, j int) float64, threshold float64) *Un
 	return g
 }
 
+// ThresholdAbovePacked is ThresholdAbove over a precomputed packed weight
+// matrix: weights holds the strict upper triangle in row-major order
+// ((0,1), (0,2), ..., (n-2,n-1), as produced by parallel.Pairwise), so its
+// length must be n*(n-1)/2. The grouping methods fill the packed matrix in
+// parallel and then build the graph here; scanning the triangle in the same
+// row-major order keeps edge insertion — and thus component discovery —
+// byte-identical to the sequential weight-function path.
+func ThresholdAbovePacked(n int, weights []float64, threshold float64) (*Undirected, error) {
+	return thresholdPacked(n, weights, func(w float64) bool { return w > threshold })
+}
+
+// ThresholdBelowPacked is ThresholdBelow over a packed weight matrix; see
+// ThresholdAbovePacked for the layout.
+func ThresholdBelowPacked(n int, weights []float64, threshold float64) (*Undirected, error) {
+	return thresholdPacked(n, weights, func(w float64) bool { return w < threshold })
+}
+
+func thresholdPacked(n int, weights []float64, keep func(w float64) bool) (*Undirected, error) {
+	if want := n * (n - 1) / 2; n >= 2 && len(weights) != want {
+		return nil, fmt.Errorf("graph: packed matrix has %d weights, want %d for n=%d", len(weights), want, n)
+	}
+	g := NewUndirected(n)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w := weights[k]; keep(w) {
+				_ = g.AddEdge(i, j, w)
+			}
+			k++
+		}
+	}
+	return g, nil
+}
+
 // UnionFind is a disjoint-set forest with union by rank and path
 // compression. It provides an independent implementation of component
 // discovery used to cross-validate DFS results in tests.

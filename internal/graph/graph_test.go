@@ -191,3 +191,56 @@ func mustEdge(t *testing.T, g *Undirected, u, v int) {
 		t.Fatal(err)
 	}
 }
+
+// TestPackedThresholdMatchesFunc checks that the packed-matrix builders
+// produce graphs identical to the weight-function builders on random
+// symmetric weights.
+func TestPackedThresholdMatchesFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 2, 5, 12} {
+		packed := make([]float64, n*(n-1)/2)
+		for k := range packed {
+			packed[k] = rng.Float64()
+		}
+		weight := func(i, j int) float64 {
+			return packed[i*(2*n-i-1)/2+(j-i-1)]
+		}
+		for _, threshold := range []float64{0.2, 0.5, 0.9} {
+			wantAbove := ThresholdAbove(n, weight, threshold)
+			gotAbove, err := ThresholdAbovePacked(n, packed, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantAbove.ConnectedComponents(), gotAbove.ConnectedComponents()) {
+				t.Errorf("n=%d t=%.1f: packed above components differ", n, threshold)
+			}
+			wantBelow := ThresholdBelow(n, weight, threshold)
+			gotBelow, err := ThresholdBelowPacked(n, packed, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantBelow.ConnectedComponents(), gotBelow.ConnectedComponents()) {
+				t.Errorf("n=%d t=%.1f: packed below components differ", n, threshold)
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if wantAbove.HasEdge(i, j) != gotAbove.HasEdge(i, j) {
+						t.Errorf("n=%d: edge (%d,%d) mismatch", n, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackedThresholdLengthValidation(t *testing.T) {
+	if _, err := ThresholdAbovePacked(4, []float64{1, 2}, 0); err == nil {
+		t.Error("short packed matrix should error")
+	}
+	if _, err := ThresholdBelowPacked(3, make([]float64, 5), 0); err == nil {
+		t.Error("long packed matrix should error")
+	}
+	if _, err := ThresholdBelowPacked(1, nil, 0); err != nil {
+		t.Errorf("n=1 with empty matrix should be fine: %v", err)
+	}
+}

@@ -1,11 +1,13 @@
 package grouping
 
 import (
+	"fmt"
 	"time"
 
 	"sybiltd/internal/dtw"
 	"sybiltd/internal/graph"
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/parallel"
 )
 
 // DefaultPhi is the dissimilarity threshold the paper uses in its worked
@@ -83,10 +85,18 @@ func (g AGTR) Dissimilarity(ds *mcs.Dataset, i, j int) float64 {
 }
 
 func (g AGTR) distance(a, b []float64) float64 {
+	var c dtw.Calculator
+	return g.calcDistance(&c, a, b)
+}
+
+// calcDistance is distance through a caller-owned Calculator, so the hot
+// pairwise loop reuses DP buffers instead of allocating four slices per
+// DTW evaluation.
+func (g AGTR) calcDistance(c *dtw.Calculator, a, b []float64) float64 {
 	if g.Mode == TRAbsolute {
-		return dtw.AbsoluteCost(a, b)
+		return c.AbsoluteCost(a, b)
 	}
-	return dtw.Distance(a, b)
+	return c.Distance(a, b)
 }
 
 // Group implements Grouper.
@@ -111,20 +121,33 @@ func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
 		origin = time.Time{}
 	}
 
-	// Precompute the series once; the pairwise loop is O(n^2) DTW calls.
+	// Precompute the series once; the pairwise stage is O(n^2) DTW calls —
+	// the framework's hot path. The packed Eq. (8) dissimilarity matrix is
+	// filled in parallel with a per-worker DTW calculator (each pair writes
+	// its own slot, so the matrix is bit-identical to the sequential loop),
+	// then thresholded into the account graph in row-major order.
 	taskSeries := make([][]float64, n)
 	timeSeries := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		taskSeries[i], timeSeries[i] = g.Series(ds, i, origin, unit)
 	}
-	weight := func(i, j int) float64 {
-		if len(taskSeries[i]) == 0 || len(taskSeries[j]) == 0 {
-			// No trajectory evidence: never group idle accounts.
-			return phi + 1
+	dis := make([]float64, parallel.NumPairs(n))
+	parallel.PairwiseWorkers(n, func() func(i, j, k int) {
+		calc := dtw.NewCalculator()
+		return func(i, j, k int) {
+			if len(taskSeries[i]) == 0 || len(taskSeries[j]) == 0 {
+				// No trajectory evidence: never group idle accounts.
+				dis[k] = phi + 1
+				return
+			}
+			dis[k] = g.calcDistance(calc, taskSeries[i], taskSeries[j]) +
+				g.calcDistance(calc, timeSeries[i], timeSeries[j])
 		}
-		return g.distance(taskSeries[i], taskSeries[j]) + g.distance(timeSeries[i], timeSeries[j])
+	})
+	ug, err := graph.ThresholdBelowPacked(n, dis, phi)
+	if err != nil {
+		return Grouping{}, fmt.Errorf("grouping: AG-TR: %w", err)
 	}
-	ug := graph.ThresholdBelow(n, weight, phi)
 	return fromComponents(ug.ConnectedComponents()), nil
 }
 

@@ -1,8 +1,11 @@
 package grouping
 
 import (
+	"fmt"
+
 	"sybiltd/internal/graph"
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/parallel"
 )
 
 // DefaultRho is the affinity threshold the paper uses in its worked
@@ -80,13 +83,21 @@ func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
 	for i := range ds.Accounts {
 		sets[i] = ds.Accounts[i].TaskSet()
 	}
-	weight := func(i, j int) float64 {
+	// The packed Eq. (6) affinity matrix is filled in parallel — each pair
+	// writes its own slot, so it is bit-identical to the sequential loop —
+	// and thresholded into the account graph in row-major order.
+	aff := make([]float64, parallel.NumPairs(n))
+	parallel.Pairwise(n, func(i, j, k int) {
 		if m == 0 {
-			return 0
+			aff[k] = 0
+			return
 		}
-		return affinity(sets[i], sets[j], m)
+		aff[k] = affinity(sets[i], sets[j], m)
+	})
+	ug, err := graph.ThresholdAbovePacked(n, aff, rho)
+	if err != nil {
+		return Grouping{}, fmt.Errorf("grouping: AG-TS: %w", err)
 	}
-	ug := graph.ThresholdAbove(n, weight, rho)
 	return fromComponents(ug.ConnectedComponents()), nil
 }
 

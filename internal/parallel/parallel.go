@@ -1,0 +1,159 @@
+// Package parallel is the shared worker-pool substrate for the framework's
+// embarrassingly parallel loops: independent experiment trials, k-means
+// restarts and k-sweeps, and the O(n²) pairwise dissimilarity/affinity
+// matrices of the account grouping methods.
+//
+// Every helper here preserves determinism by construction: callers write
+// results into preassigned per-index slots and reduce them in index order,
+// so the output is bit-identical regardless of GOMAXPROCS or goroutine
+// scheduling. The helpers themselves never reorder, sum, or otherwise
+// combine caller data.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for i = 0..n-1 on up to GOMAXPROCS workers and returns
+// the first error recorded. Once any invocation fails, no further indices
+// are handed out; invocations already in flight run to completion. Results
+// must be written into per-index slots by fn so that the caller can reduce
+// them in index order, keeping floating-point reductions deterministic
+// regardless of scheduling.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Pairwise invokes f(i, j, k) for every unordered pair 0 <= i < j < n,
+// where k = PairIndex(n, i, j) is the pair's row-major rank in the strict
+// upper triangle. The triangle is sharded across up to GOMAXPROCS workers
+// in contiguous k-ranges, so each pair is visited exactly once; f typically
+// writes its result into slot k of a preallocated packed matrix, which
+// keeps the output bit-identical to the sequential double loop.
+func Pairwise(n int, f func(i, j, k int)) {
+	PairwiseWorkers(n, func() func(i, j, k int) { return f })
+}
+
+// PairwiseWorkers is Pairwise with per-worker state: setup runs once in
+// each worker goroutine and returns the pair function applied to that
+// worker's share of the triangle. Use it when f needs scratch buffers that
+// are expensive to allocate per pair and unsafe to share across workers
+// (e.g. a dtw.Calculator).
+func PairwiseWorkers(n int, setup func() func(i, j, k int)) {
+	total := n * (n - 1) / 2
+	if total <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		f := setup()
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f(i, j, k)
+				k++
+			}
+		}
+		return
+	}
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f := setup()
+			i, j := PairAt(n, lo)
+			for k := lo; k < hi; k++ {
+				f(i, j, k)
+				j++
+				if j == n {
+					i++
+					j = i + 1
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// NumPairs returns the number of unordered pairs over n items, i.e. the
+// length of a packed strict-upper-triangle matrix.
+func NumPairs(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return n * (n - 1) / 2
+}
+
+// PairIndex returns the row-major rank of the pair (i, j), i < j, in the
+// strict upper triangle of an n×n matrix: (0,1), (0,2), ..., (n-2,n-1).
+func PairIndex(n, i, j int) int {
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+// PairAt inverts PairIndex: it returns the k-th pair in row-major order.
+func PairAt(n, k int) (i, j int) {
+	for rowLen := n - 1; k >= rowLen && rowLen > 0; rowLen-- {
+		k -= rowLen
+		i++
+	}
+	return i, i + 1 + k
+}
