@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench fuzz
+.PHONY: build test race vet fmt verify bench fuzz
 
 build:
 	$(GO) build ./...
+
+# Fails when any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -17,7 +21,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+verify: build fmt vet test race
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).

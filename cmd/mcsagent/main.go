@@ -9,11 +9,15 @@
 // The agent fetches the platform's task list, builds walking traces over
 // the tasks' POI coordinates, uploads sign-in fingerprint captures and
 // sensing reports for every account, and finally asks the platform to
-// aggregate with crh, td-fp, td-ts, and td-tr.
+// aggregate with crh, td-fp, td-ts, and td-tr. Transient platform
+// failures (connection errors, 5xx) are retried with exponential backoff
+// (-retries); permanent rejections are classified via the API's stable
+// error codes rather than by matching message text.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +30,18 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+		// The stable error codes let the agent explain platform
+		// rejections precisely instead of parsing message strings.
+		switch {
+		case errors.Is(err, platform.ErrTooManyAccounts):
+			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+			fmt.Fprintln(os.Stderr, "mcsagent: the platform's account cap is reached; raise -max-accounts on mcsplatform or drive fewer accounts")
+		case errors.Is(err, platform.ErrDuplicateReport):
+			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+			fmt.Fprintln(os.Stderr, "mcsagent: an account already reported on this task; use -prefix style isolation (AccountPrefix) or a fresh platform")
+		default:
+			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -39,13 +54,14 @@ func run() error {
 	target := flag.Float64("target", -50, "value the attackers fabricate")
 	seed := flag.Int64("seed", 1, "random seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall request timeout")
+	retries := flag.Int("retries", 2, "retry attempts for connection errors and 5xx responses")
 	replay := flag.String("replay", "", "replay an archived campaign JSON instead of simulating a crowd")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	client := platform.NewClient(*url, nil)
+	client := platform.NewClientWithConfig(*url, platform.ClientConfig{MaxRetries: *retries})
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -87,12 +103,19 @@ func run() error {
 }
 
 // printAggregates runs every standard method and prints the estimates
-// (replay mode has no agent-side ground truth to score against).
+// (replay mode has no agent-side ground truth to score against). A
+// platform build that lacks one of the methods reports it as unsupported
+// — detected via the unknown_aggregation error code, not message text —
+// without aborting the rest.
 func printAggregates(ctx context.Context, client *platform.Client) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "method\tconverged\testimates")
 	for _, method := range []string{"crh", "td-fp", "td-ts", "td-tr"} {
 		resp, err := client.Aggregate(ctx, method)
+		if errors.Is(err, platform.ErrUnknownAggregation) {
+			fmt.Fprintf(w, "%s\t-\tunsupported by this platform\n", method)
+			continue
+		}
 		if err != nil {
 			return err
 		}

@@ -2,11 +2,18 @@
 //
 // Usage:
 //
-//	mcsplatform -addr :8080 -tasks 10
+//	mcsplatform -addr :8080 -tasks 10 [-pprof]
 //
 // The platform publishes N sensing tasks laid out as a synthetic POI map,
 // accepts submissions and sign-in fingerprint captures, and serves
 // Sybil-resistant aggregation at POST /v1/aggregate.
+//
+// Observability: GET /v1/metrics returns the process metrics registry as
+// JSON (request counters, route latency histograms, framework stage
+// timings, truth-loop iteration counts, worker-pool utilization); GET
+// /metrics serves the same registry in the Prometheus text format. The
+// -pprof flag additionally mounts net/http/pprof under /debug/pprof/ for
+// CPU and heap profiling of a live platform.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +40,7 @@ func main() {
 	numTasks := flag.Int("tasks", 10, "number of sensing tasks to publish")
 	seed := flag.Int64("seed", 1, "seed for the POI layout")
 	maxAccounts := flag.Int("max-accounts", 0, "cap on registered accounts (0 = unlimited)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *numTasks < 1 {
@@ -51,9 +60,21 @@ func main() {
 	if *maxAccounts > 0 {
 		store.SetMaxAccounts(*maxAccounts)
 	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", platform.NewServer(store, logger))
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           platform.NewServer(store, logger),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
@@ -64,7 +85,7 @@ func main() {
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	logger.Printf("serving %d tasks on %s", *numTasks, *addr)
+	logger.Printf("serving %d tasks on %s (metrics at /metrics and /v1/metrics)", *numTasks, *addr)
 
 	select {
 	case err := <-errCh:

@@ -14,6 +14,7 @@ import (
 
 	"sybiltd/internal/grouping"
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/signal"
 	"sybiltd/internal/truth"
 )
@@ -73,6 +74,12 @@ type Config struct {
 	// LossFloor floors per-group losses in the CRH-style weight update.
 	// Zero means 1e-9.
 	LossFloor float64
+	// Observer, when non-nil, receives per-stage span callbacks
+	// (grouping, group_aggregation, truth_loop) and one Iteration
+	// callback per truth-loop round with its convergence delta. Stage
+	// timings are always recorded into the process metrics registry
+	// (obs.Default()) regardless.
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -137,9 +144,13 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: %w", err)
 	}
 	cfg := f.Config.withDefaults()
+	tr := obs.Tracer{Registry: obs.Default(), Observer: cfg.Observer, Prefix: "framework."}
+	obs.Default().Counter("framework.runs").Inc()
 
 	// Account grouping (Algorithm 2 line 1).
+	span := tr.Span("grouping")
 	g, err := f.Grouper.Group(ds)
+	span.End()
 	if err != nil {
 		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: account grouping: %w", err)
 	}
@@ -153,7 +164,9 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 	// Data grouping (lines 2-6): for each task, collapse each group's
 	// values to one aggregate (Eq. 3 strategy) and compute the initial
 	// anti-Sybil weight of Eq. (4).
+	span = tr.Span("group_aggregation")
 	groupValues, initWeights, err := groupData(ds, g, cfg.Aggregator)
+	span.End()
 	if err != nil {
 		return truth.Result{}, grouping.Grouping{}, err
 	}
@@ -208,6 +221,7 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 	}
 
 	// Iterative group weight / truth estimation (lines 8-15).
+	span = tr.Span("truth_loop")
 	weights := make([]float64, l)
 	losses := make([]float64, l)
 	converged := false
@@ -276,13 +290,19 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 			}
 			truths[j] = next
 		}
+		tr.Iteration("truth_loop", iter, maxDelta)
 		if maxDelta < cfg.Tolerance {
 			converged = true
 			break
 		}
 	}
+	span.End()
 	if iter > cfg.MaxIterations {
 		iter = cfg.MaxIterations
+	}
+	obs.Default().Histogram("framework.iterations").Observe(float64(iter))
+	if converged {
+		obs.Default().Counter("framework.converged").Inc()
 	}
 
 	// Expose per-account weights: each account inherits its group weight.

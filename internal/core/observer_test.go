@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/obs"
+	"sybiltd/internal/truth"
+)
+
+// stageObserver records the observability callbacks the framework emits.
+type stageObserver struct {
+	mu     sync.Mutex
+	starts []string
+	ends   []string
+	iters  []int
+	deltas []float64
+}
+
+func (o *stageObserver) SpanStart(name string) {
+	o.mu.Lock()
+	o.starts = append(o.starts, name)
+	o.mu.Unlock()
+}
+
+func (o *stageObserver) SpanEnd(name string, d time.Duration) {
+	o.mu.Lock()
+	o.ends = append(o.ends, name)
+	o.mu.Unlock()
+}
+
+func (o *stageObserver) Iteration(loop string, iter int, delta float64) {
+	o.mu.Lock()
+	o.iters = append(o.iters, iter)
+	o.deltas = append(o.deltas, delta)
+	o.mu.Unlock()
+}
+
+func TestFrameworkObserverSeesStagesAndIterations(t *testing.T) {
+	ds := truth.PaperExampleWithSybil()
+	var o stageObserver
+	fw := Framework{
+		Grouper: grouping.AGTR{Mode: grouping.TRAbsolute, Phi: 1},
+		Config:  Config{Observer: &o},
+	}
+	res, err := fw.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantStages := []string{"grouping", "group_aggregation", "truth_loop"}
+	if len(o.starts) != len(wantStages) || len(o.ends) != len(wantStages) {
+		t.Fatalf("spans: starts=%v ends=%v", o.starts, o.ends)
+	}
+	for i, want := range wantStages {
+		if o.starts[i] != want {
+			t.Errorf("start[%d] = %q, want %q", i, o.starts[i], want)
+		}
+		if o.ends[i] != want {
+			t.Errorf("end[%d] = %q, want %q", i, o.ends[i], want)
+		}
+	}
+
+	if len(o.iters) != res.Iterations {
+		t.Fatalf("iteration callbacks = %d, want %d", len(o.iters), res.Iterations)
+	}
+	for i, iter := range o.iters {
+		if iter != i+1 {
+			t.Errorf("iteration %d reported as %d", i+1, iter)
+		}
+	}
+	// Deltas must be finite and, for a converging run, the final delta
+	// must be below tolerance.
+	for i, d := range o.deltas {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Errorf("delta[%d] = %v", i, d)
+		}
+	}
+	if res.Converged && o.deltas[len(o.deltas)-1] >= 1e-6 {
+		t.Errorf("final delta = %v, want < tolerance", o.deltas[len(o.deltas)-1])
+	}
+}
+
+func TestFrameworkRecordsStageMetrics(t *testing.T) {
+	reg := obs.Default()
+	runsBefore := reg.Counter("framework.runs").Value()
+	iterObsBefore := reg.Histogram("framework.iterations").Count()
+	stageBefore := reg.Timer("framework.truth_loop_seconds").Histogram().Count()
+
+	fw := Framework{Grouper: grouping.AGTS{}}
+	if _, err := fw.Run(truth.PaperExampleHonest()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("framework.runs").Value(); got != runsBefore+1 {
+		t.Errorf("framework.runs = %d, want %d", got, runsBefore+1)
+	}
+	if got := reg.Histogram("framework.iterations").Count(); got != iterObsBefore+1 {
+		t.Errorf("framework.iterations count = %d, want %d", got, iterObsBefore+1)
+	}
+	if got := reg.Timer("framework.truth_loop_seconds").Histogram().Count(); got != stageBefore+1 {
+		t.Errorf("framework.truth_loop_seconds count = %d, want %d", got, stageBefore+1)
+	}
+}

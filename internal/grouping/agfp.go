@@ -6,6 +6,7 @@ import (
 	"sybiltd/internal/cluster"
 	"sybiltd/internal/fingerprint"
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/pca"
 )
 
@@ -78,11 +79,14 @@ func (g AGFP) Group(ds *mcs.Dataset) (Grouping, error) {
 			matrix[row] = fp
 		}
 		std := fingerprint.Standardize(matrix)
+		sw := obs.Default().Timer("grouping.agfp.pca_seconds").Start()
 		points, err := g.reduce(std)
+		sw.Stop()
 		if err != nil {
 			return Grouping{}, fmt.Errorf("grouping: AG-FP PCA: %w", err)
 		}
 
+		sw = obs.Default().Timer("grouping.agfp.clustering_seconds").Start()
 		var assignments []int
 		if g.FixedK > 0 {
 			k := g.FixedK
@@ -111,6 +115,7 @@ func (g AGFP) Group(ds *mcs.Dataset) (Grouping, error) {
 			}
 			assignments = res.Result.Assignments
 		}
+		sw.Stop()
 
 		byCluster := map[int][]int{}
 		for row, c := range assignments {

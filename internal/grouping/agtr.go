@@ -7,6 +7,7 @@ import (
 	"sybiltd/internal/dtw"
 	"sybiltd/internal/graph"
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/parallel"
 )
 
@@ -132,6 +133,7 @@ func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
 		taskSeries[i], timeSeries[i] = g.Series(ds, i, origin, unit)
 	}
 	dis := make([]float64, parallel.NumPairs(n))
+	sw := obs.Default().Timer("grouping.agtr.distance_matrix_seconds").Start()
 	parallel.PairwiseWorkers(n, func() func(i, j, k int) {
 		calc := dtw.NewCalculator()
 		return func(i, j, k int) {
@@ -144,11 +146,15 @@ func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
 				g.calcDistance(calc, timeSeries[i], timeSeries[j])
 		}
 	})
+	sw.Stop()
+	sw = obs.Default().Timer("grouping.agtr.components_seconds").Start()
 	ug, err := graph.ThresholdBelowPacked(n, dis, phi)
 	if err != nil {
 		return Grouping{}, fmt.Errorf("grouping: AG-TR: %w", err)
 	}
-	return fromComponents(ug.ConnectedComponents()), nil
+	grp := fromComponents(ug.ConnectedComponents())
+	sw.Stop()
+	return grp, nil
 }
 
 var _ Grouper = AGTR{}

@@ -5,6 +5,7 @@ import (
 
 	"sybiltd/internal/graph"
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/parallel"
 )
 
@@ -87,6 +88,7 @@ func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
 	// writes its own slot, so it is bit-identical to the sequential loop —
 	// and thresholded into the account graph in row-major order.
 	aff := make([]float64, parallel.NumPairs(n))
+	sw := obs.Default().Timer("grouping.agts.affinity_matrix_seconds").Start()
 	parallel.Pairwise(n, func(i, j, k int) {
 		if m == 0 {
 			aff[k] = 0
@@ -94,11 +96,15 @@ func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
 		}
 		aff[k] = affinity(sets[i], sets[j], m)
 	})
+	sw.Stop()
+	sw = obs.Default().Timer("grouping.agts.components_seconds").Start()
 	ug, err := graph.ThresholdAbovePacked(n, aff, rho)
 	if err != nil {
 		return Grouping{}, fmt.Errorf("grouping: AG-TS: %w", err)
 	}
-	return fromComponents(ug.ConnectedComponents()), nil
+	grp := fromComponents(ug.ConnectedComponents())
+	sw.Stop()
+	return grp, nil
 }
 
 var _ Grouper = AGTS{}

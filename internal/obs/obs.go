@@ -1,0 +1,338 @@
+// Package obs is the framework's dependency-free observability core:
+// atomic counters and gauges, bounded histograms with quantile estimates,
+// named timers, and a span-style stage tracer with an optional Observer
+// callback. Every instrumented package records into a Registry — by
+// default the process-wide one returned by Default() — and the platform
+// HTTP layer exposes its contents as JSON (/v1/metrics) and
+// Prometheus-style text (/metrics).
+//
+// The package deliberately uses only the standard library and keeps the
+// hot-path cost to an atomic add (counters, gauges) or a short mutexed
+// ring-buffer write (histograms), so instrumenting a loop that runs per
+// aggregation — not per account pair — is free at the scale of the
+// framework's O(n²) grouping work.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramCapacity is the number of most-recent samples a Histogram
+// retains for quantile estimation. Count, Sum, Min, and Max always cover
+// every observation ever made; only the quantiles are computed over this
+// sliding window, which bounds memory for long-running services.
+const HistogramCapacity = 512
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters only
+// move forward).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight
+// requests, busy workers).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records float64 observations. Count/Sum/Min/Max are exact
+// over all observations; quantiles are estimated over the most recent
+// HistogramCapacity samples. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+	ring   []float64
+	next   int
+	filled bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	if h.ring == nil {
+		h.ring = make([]float64, HistogramCapacity)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.ring[h.next] = v
+	h.next++
+	if h.next == len(h.ring) {
+		h.next = 0
+		h.filled = true
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) over the retained window,
+// or NaN when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	return h.Snapshot().quantile(p)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+
+	sorted []float64
+}
+
+// Snapshot copies the histogram state and computes p50/p95/p99.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	n := h.next
+	if h.filled {
+		n = len(h.ring)
+	}
+	if n > 0 {
+		s.sorted = make([]float64, n)
+		copy(s.sorted, h.ring[:n])
+	}
+	h.mu.Unlock()
+
+	sort.Float64s(s.sorted)
+	// Zero, not NaN, for the empty snapshot: NaN is not representable in
+	// JSON and an idle route's latency histogram must not break /v1/metrics.
+	if len(s.sorted) > 0 {
+		s.P50 = s.quantile(0.50)
+		s.P95 = s.quantile(0.95)
+		s.P99 = s.quantile(0.99)
+	}
+	return s
+}
+
+// quantile reads the p-quantile from the sorted sample window using the
+// nearest-rank method.
+func (s HistogramSnapshot) quantile(p float64) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.sorted[0]
+	}
+	if p >= 1 {
+		return s.sorted[len(s.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(s.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.sorted[idx]
+}
+
+// Timer is a histogram view that records durations in seconds. By
+// convention timer names end in "_seconds".
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Start begins a stopwatch; call its Stop to record the elapsed time.
+func (t Timer) Start() Stopwatch { return Stopwatch{t: t, begin: time.Now()} }
+
+// Histogram exposes the underlying histogram (for reading quantiles in
+// tests and dashboards).
+func (t Timer) Histogram() *Histogram { return t.h }
+
+// Stopwatch is one in-flight timing started by Timer.Start.
+type Stopwatch struct {
+	t     Timer
+	begin time.Time
+}
+
+// Stop records the elapsed duration and returns it.
+func (s Stopwatch) Stop() time.Duration {
+	d := time.Since(s.begin)
+	s.t.Observe(d)
+	return d
+}
+
+// Registry holds named metrics. Metric accessors create on first use, so
+// instrumented code never registers up front; names are dot-separated
+// ("http.post_v1_aggregate.latency_seconds") and sanitized to the
+// Prometheus charset only on export. Safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that instrumented library
+// code records into. The platform serves it at /metrics and /v1/metrics.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Timer returns the named timer (a seconds histogram), creating it on
+// first use.
+func (r *Registry) Timer(name string) Timer {
+	return Timer{h: r.Histogram(name)}
+}
+
+// Reset drops every metric. Intended for tests that need a clean slate on
+// the default registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+}
+
+// Snapshot is a point-in-time copy of a Registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(histograms)),
+	}
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter not idempotent by name")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %v, want 5050", s.Sum)
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("quantiles = %v/%v/%v, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+}
+
+func TestHistogramEmptyAndNaN(t *testing.T) {
+	var h Histogram
+	h.Observe(math.NaN()) // dropped
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("NaN observed: %+v", s)
+	}
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty quantiles = %+v, want zeros (JSON-safe)", s)
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("Quantile on empty histogram should be NaN")
+	}
+	// The snapshot of an empty histogram must survive JSON encoding (idle
+	// routes pre-create latency timers).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("marshal empty snapshot: %v", err)
+	}
+}
+
+func TestHistogramBoundedWindow(t *testing.T) {
+	var h Histogram
+	// Overflow the ring: quantiles should reflect only the newest samples,
+	// while count/sum/min/max stay exact over everything.
+	for i := 0; i < HistogramCapacity; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < HistogramCapacity; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 2*HistogramCapacity {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 1000 {
+		t.Errorf("p50 = %v, want 1000 (window holds only recent samples)", s.P50)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Gauge("shared.gauge").Add(-1)
+				r.Histogram("shared.hist").Observe(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+type recordingObserver struct {
+	mu         sync.Mutex
+	starts     []string
+	ends       []string
+	iterations []int
+}
+
+func (o *recordingObserver) SpanStart(name string) {
+	o.mu.Lock()
+	o.starts = append(o.starts, name)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) SpanEnd(name string, d time.Duration) {
+	o.mu.Lock()
+	o.ends = append(o.ends, name)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) Iteration(loop string, iter int, delta float64) {
+	o.mu.Lock()
+	o.iterations = append(o.iterations, iter)
+	o.mu.Unlock()
+}
+
+func TestTracerSpans(t *testing.T) {
+	r := NewRegistry()
+	var o recordingObserver
+	tr := Tracer{Registry: r, Observer: &o, Prefix: "stage."}
+
+	sp := tr.Span("work")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Errorf("span duration = %v", d)
+	}
+	tr.Iteration("loop", 1, 0.5)
+
+	if len(o.starts) != 1 || o.starts[0] != "work" {
+		t.Errorf("starts = %v", o.starts)
+	}
+	if len(o.ends) != 1 || o.ends[0] != "work" {
+		t.Errorf("ends = %v", o.ends)
+	}
+	if len(o.iterations) != 1 {
+		t.Errorf("iterations = %v", o.iterations)
+	}
+	if n := r.Timer("stage.work_seconds").Histogram().Count(); n != 1 {
+		t.Errorf("timer count = %d, want 1", n)
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	r := NewRegistry()
+	var o recordingObserver
+	tr := Tracer{Registry: r, Observer: &o}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("s").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.Timer("s_seconds").Histogram().Count(); n != 800 {
+		t.Errorf("timer count = %d, want 800", n)
+	}
+}
+
+func TestZeroTracerIsNoOp(t *testing.T) {
+	var tr Tracer
+	sp := tr.Span("anything")
+	if d := sp.End(); d != 0 {
+		t.Errorf("no-op span duration = %v", d)
+	}
+	tr.Iteration("loop", 1, 0) // must not panic
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(3)
+	r.Gauge("g").Set(-4)
+	r.Timer("t_seconds").Observe(2 * time.Second)
+	s := r.Snapshot()
+	if s.Counters["a.b"] != 3 || s.Gauges["g"] != -4 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if h := s.Histograms["t_seconds"]; h.Count != 1 || h.Sum != 2 {
+		t.Errorf("timer snapshot = %+v", h)
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.requests.get_v1_tasks").Add(2)
+	r.Gauge("http.in_flight").Set(1)
+	r.Histogram("framework.iterations").Observe(12)
+	r.Timer("empty_seconds") // registered but never observed
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests_get_v1_tasks counter",
+		"http_requests_get_v1_tasks 2",
+		"# TYPE http_in_flight gauge",
+		"http_in_flight 1",
+		"# TYPE framework_iterations summary",
+		`framework_iterations{quantile="0.5"} 12`,
+		"framework_iterations_sum 12",
+		"framework_iterations_count 1",
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// An unobserved summary must not emit quantile samples.
+	if strings.Contains(out, `empty_seconds{quantile`) {
+		t.Errorf("empty summary emitted quantiles:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"http.requests":    "http_requests",
+		"a-b c/d":          "a_b_c_d",
+		"9lives":           "_9lives",
+		"already_ok:total": "already_ok:total",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	name := "obs.test.default_shared"
+	before := Default().Counter(name).Value()
+	Default().Counter(name).Inc()
+	if got := Default().Counter(name).Value(); got != before+1 {
+		t.Errorf("default counter = %d, want %d", got, before+1)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import "time"
+
+// Observer receives stage and iteration callbacks from instrumented code.
+// It is the library-user-facing half of the observability layer: a caller
+// that sets FrameworkConfig.Observer sees every pipeline stage and every
+// convergence step of the truth loop as it happens, without polling a
+// registry. Implementations must be safe for concurrent use when the
+// instrumented code runs concurrently.
+type Observer interface {
+	// SpanStart fires when a named stage begins.
+	SpanStart(name string)
+	// SpanEnd fires when the stage ends, with its wall-clock duration.
+	SpanEnd(name string, d time.Duration)
+	// Iteration fires once per iteration of a named estimation loop with
+	// the largest truth update of that iteration (the convergence delta).
+	Iteration(loop string, iter int, delta float64)
+}
+
+// Tracer emits spans into a Registry (as "<Prefix><name>_seconds" timers)
+// and/or an Observer. Either field may be nil; the zero Tracer is a valid
+// no-op whose spans cost nothing beyond a nil check.
+type Tracer struct {
+	// Registry receives a timer observation per completed span; nil skips
+	// registry recording.
+	Registry *Registry
+	// Observer receives SpanStart/SpanEnd/Iteration callbacks; nil skips.
+	Observer Observer
+	// Prefix is prepended to span names for registry timer names
+	// (e.g. "framework.").
+	Prefix string
+}
+
+// enabled reports whether spans need timestamps at all.
+func (t Tracer) enabled() bool { return t.Registry != nil || t.Observer != nil }
+
+// Span starts a named stage. End the returned span to record it.
+func (t Tracer) Span(name string) Span {
+	s := Span{tracer: t, name: name}
+	if t.enabled() {
+		s.begin = time.Now()
+		if t.Observer != nil {
+			t.Observer.SpanStart(name)
+		}
+	}
+	return s
+}
+
+// Iteration forwards one loop iteration to the observer, if any.
+func (t Tracer) Iteration(loop string, iter int, delta float64) {
+	if t.Observer != nil {
+		t.Observer.Iteration(loop, iter, delta)
+	}
+}
+
+// Span is one in-flight stage started by Tracer.Span.
+type Span struct {
+	tracer Tracer
+	name   string
+	begin  time.Time
+}
+
+// End records the span: a "<Prefix><name>_seconds" timer observation in
+// the tracer's registry and a SpanEnd callback on its observer. End on a
+// span from a disabled tracer is a no-op. It returns the duration.
+func (s Span) End() time.Duration {
+	if !s.tracer.enabled() {
+		return 0
+	}
+	d := time.Since(s.begin)
+	if s.tracer.Registry != nil {
+		s.tracer.Registry.Timer(s.tracer.Prefix + s.name + "_seconds").Observe(d)
+	}
+	if s.tracer.Observer != nil {
+		s.tracer.Observer.SpanEnd(s.name, d)
+	}
+	return d
+}

@@ -14,7 +14,26 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sybiltd/internal/obs"
 )
+
+// Pool telemetry: one counter/gauge/histogram update per ForEach or
+// Pairwise call (plus two gauge moves per worker goroutine), never per
+// item — the pools sit under per-pair DTW loops where per-item accounting
+// would be measurable.
+func observePool(kind string, items, workers int) {
+	reg := obs.Default()
+	reg.Counter("parallel." + kind + ".calls").Inc()
+	reg.Counter("parallel." + kind + ".items").Add(int64(items))
+	reg.Histogram("parallel." + kind + ".workers").Observe(float64(workers))
+}
+
+// busyWorkers tracks how many pool worker goroutines are currently
+// running across all helpers — the live utilization gauge.
+func busyWorkers() *obs.Gauge {
+	return obs.Default().Gauge("parallel.workers_busy")
+}
 
 // ForEach runs fn(i) for i = 0..n-1 on up to GOMAXPROCS workers and returns
 // the first error recorded. Once any invocation fails, no further indices
@@ -30,6 +49,7 @@ func ForEach(n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	observePool("foreach", n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
@@ -38,6 +58,7 @@ func ForEach(n int, fn func(i int) error) error {
 		}
 		return nil
 	}
+	busy := busyWorkers()
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
@@ -49,6 +70,8 @@ func ForEach(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			busy.Add(1)
+			defer busy.Add(-1)
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -94,6 +117,7 @@ func PairwiseWorkers(n int, setup func() func(i, j, k int)) {
 	if workers > total {
 		workers = total
 	}
+	observePool("pairwise", total, workers)
 	if workers <= 1 {
 		f := setup()
 		k := 0
@@ -106,6 +130,7 @@ func PairwiseWorkers(n int, setup func() func(i, j, k int)) {
 		return
 	}
 	chunk := (total + workers - 1) / workers
+	busy := busyWorkers()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -119,6 +144,8 @@ func PairwiseWorkers(n int, setup func() func(i, j, k int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			busy.Add(1)
+			defer busy.Add(-1)
 			f := setup()
 			i, j := PairAt(n, lo)
 			for k := lo; k < hi; k++ {

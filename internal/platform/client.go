@@ -6,27 +6,96 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
 	"time"
 
 	"sybiltd/internal/mcs"
 	"sybiltd/internal/mems"
 )
 
+// APIError is a structured platform error decoded from the JSON error
+// body. Code is the stable machine-readable contract; callers should
+// branch with errors.Is against the platform sentinel errors (APIError
+// unwraps to the sentinel its code maps to) or by inspecting Code, never
+// by matching Message text.
+type APIError struct {
+	// Code is the stable wire code (see the Code* constants); empty when
+	// the server sent no structured body.
+	Code string
+	// Message is the human-readable error text.
+	Message string
+	// Status is the HTTP status code.
+	Status int
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("HTTP %d (%s)", e.Status, e.Code)
+	}
+	return fmt.Sprintf("%s (HTTP %d, %s)", e.Message, e.Status, e.Code)
+}
+
+// Unwrap maps the wire code back to its typed sentinel, so
+// errors.Is(err, platform.ErrUnknownTask) holds across the HTTP boundary.
+func (e *APIError) Unwrap() error { return sentinelForCode(e.Code) }
+
+// ClientConfig tunes a Client beyond the defaults.
+type ClientConfig struct {
+	// HTTPClient performs the requests; nil means a default client with a
+	// 10 s timeout.
+	HTTPClient *http.Client
+	// MaxRetries is the number of additional attempts after the first one
+	// fails with a connection error or a 5xx response. 4xx responses are
+	// never retried: the request is wrong, not the network. Zero disables
+	// retries.
+	MaxRetries int
+	// RetryBaseDelay is the backoff before the first retry; it doubles
+	// per attempt. Zero means 100 ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff. Zero means 2 s.
+	RetryMaxDelay time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.RetryMaxDelay == 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	return c
+}
+
 // Client is a typed HTTP client for the platform API, used by cmd/mcsagent
 // and integration tests.
 type Client struct {
 	base string
-	http *http.Client
+	cfg  ClientConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source, guarded by mu
 }
 
-// NewClient targets baseURL (e.g. "http://localhost:8080"). httpClient may
-// be nil for a default with a 10 s timeout.
+// NewClient targets baseURL (e.g. "http://localhost:8080") with no
+// retries. httpClient may be nil for a default with a 10 s timeout.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
+	return NewClientWithConfig(baseURL, ClientConfig{HTTPClient: httpClient})
+}
+
+// NewClientWithConfig targets baseURL with explicit retry/transport
+// configuration.
+func NewClientWithConfig(baseURL string, cfg ClientConfig) *Client {
+	return &Client{
+		base: baseURL,
+		cfg:  cfg.withDefaults(),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	return &Client{base: baseURL, http: httpClient}
 }
 
 // Tasks lists the published tasks.
@@ -68,13 +137,20 @@ func (c *Client) Aggregate(ctx context.Context, method string) (AggregateRespons
 	return out, err
 }
 
+// Metrics fetches the platform's metrics snapshot from /v1/metrics.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
+	return out, err
+}
+
 // Dataset downloads the full campaign snapshot in the mcs JSON schema.
 func (c *Client) Dataset(ctx context.Context) (*mcs.Dataset, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/dataset", nil)
 	if err != nil {
 		return nil, fmt.Errorf("platform client: request: %w", err)
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("platform client: GET /v1/dataset: %w", err)
 	}
@@ -83,7 +159,7 @@ func (c *Client) Dataset(ctx context.Context) (*mcs.Dataset, error) {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode >= 400 {
-		return nil, fmt.Errorf("platform client: GET /v1/dataset: HTTP %d", resp.StatusCode)
+		return nil, fmt.Errorf("platform client: GET /v1/dataset: %w", decodeAPIError(resp))
 	}
 	ds, err := mcs.DecodeJSON(resp.Body)
 	if err != nil {
@@ -99,41 +175,101 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	return out, err
 }
 
+// do performs one API call with bounded retry: connection errors and 5xx
+// responses back off exponentially (with jitter) up to MaxRetries extra
+// attempts; 4xx responses return immediately as *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var payload []byte
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("platform client: marshal: %w", err)
 		}
-		reader = bytes.NewReader(buf)
+		payload = buf
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err, retryable := c.attempt(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = fmt.Errorf("platform client: %s %s: %w", method, path, err)
+		if !retryable || attempt >= c.cfg.MaxRetries {
+			return lastErr
+		}
+		if err := c.sleep(ctx, attempt); err != nil {
+			return fmt.Errorf("platform client: %s %s: retry aborted: %w", method, path, err)
+		}
+	}
+}
+
+// attempt performs a single request. retryable reports whether the
+// failure class (connection error or 5xx) is worth another attempt.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) (err error, retryable bool) {
+	var reader io.Reader
+	if payload != nil {
+		reader = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
-		return fmt.Errorf("platform client: request: %w", err)
+		return err, false
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return fmt.Errorf("platform client: %s %s: %w", method, path, err)
+		// Connection-level failure. Retrying a cancelled context is
+		// pointless, so surface it immediately.
+		if ctx.Err() != nil {
+			return err, false
+		}
+		return err, true
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode >= 400 {
-		var apiErr errorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
-			return fmt.Errorf("platform client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("platform client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return decodeAPIError(resp), resp.StatusCode >= 500
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("platform client: decode: %w", err)
+			return fmt.Errorf("decode: %w", err), false
 		}
 	}
-	return nil
+	return nil, false
+}
+
+// decodeAPIError builds the *APIError for a >= 400 response, consuming
+// the body.
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	var body ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil {
+		apiErr.Code = body.Code
+		apiErr.Message = body.Error
+	}
+	return apiErr
+}
+
+// sleep blocks for the attempt's backoff delay (exponential from
+// RetryBaseDelay, capped at RetryMaxDelay, jittered to 50–100% of the
+// nominal value so synchronized clients spread out) or until ctx ends.
+func (c *Client) sleep(ctx context.Context, attempt int) error {
+	delay := c.cfg.RetryBaseDelay << uint(attempt)
+	if delay > c.cfg.RetryMaxDelay || delay <= 0 {
+		delay = c.cfg.RetryMaxDelay
+	}
+	c.mu.Lock()
+	frac := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	delay = time.Duration(float64(delay) * frac)
+	select {
+	case <-time.After(delay):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -7,10 +7,12 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"sybiltd/internal/mcs"
 	"sybiltd/internal/mems"
+	"sybiltd/internal/obs"
 )
 
 // API DTOs. Field names form the wire contract of the platform service.
@@ -50,21 +52,24 @@ type (
 	// AggregateResponse returns per-task estimates. Tasks with no data are
 	// reported with Estimated=false.
 	AggregateResponse struct {
-		Method string      `json:"method"`
-		Truths []TruthDTO  `json:"truths"`
-		Meta   ResponseMet `json:"meta"`
+		Method string       `json:"method"`
+		Truths []TruthDTO   `json:"truths"`
+		Meta   ResponseMeta `json:"meta"`
 	}
-	// TruthDTO is one task's estimate. Uncertainty is the weighted
-	// standard error (omitted when unavailable or infinite, e.g. for
-	// single-report tasks).
+	// TruthDTO is one task's estimate. Value is always serialized when
+	// present in the struct — a legitimate estimate of exactly 0 (a dBm
+	// offset, a categorical label 0) must survive the wire, so the field
+	// deliberately has no omitempty; gate on Estimated. Uncertainty is
+	// the weighted standard error (omitted when unavailable or infinite,
+	// e.g. for single-report tasks).
 	TruthDTO struct {
 		Task        int     `json:"task"`
-		Value       float64 `json:"value,omitempty"`
+		Value       float64 `json:"value"`
 		Estimated   bool    `json:"estimated"`
 		Uncertainty float64 `json:"uncertainty,omitempty"`
 	}
-	// ResponseMet carries loop metadata.
-	ResponseMet struct {
+	// ResponseMeta carries loop metadata.
+	ResponseMeta struct {
 		Iterations int  `json:"iterations"`
 		Converged  bool `json:"converged"`
 	}
@@ -73,29 +78,174 @@ type (
 		Tasks    int `json:"tasks"`
 		Accounts int `json:"accounts"`
 	}
-	// errorResponse is the uniform error body.
-	errorResponse struct {
+	// ErrorResponse is the uniform error body. Code is the stable
+	// machine-readable contract (see the Code* constants); Error is the
+	// human-readable message and may change between releases.
+	ErrorResponse struct {
+		Code  string `json:"code"`
 		Error string `json:"error"`
 	}
 )
 
-// Server exposes a Store over HTTP.
+// ResponseMet is the truncated pre-redesign name of ResponseMeta, kept as
+// an alias for one release so existing callers keep compiling.
+//
+// Deprecated: use ResponseMeta.
+type ResponseMet = ResponseMeta
+
+// MetricsSnapshot is the body served at /v1/metrics: a point-in-time copy
+// of the platform's metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Stable error codes carried in ErrorResponse.Code. Clients should branch
+// on these (or on the sentinel errors Client maps them to), never on the
+// error message text.
+const (
+	CodeAccountCapReached  = "account_cap_reached"
+	CodeUnknownTask        = "unknown_task"
+	CodeDuplicateReport    = "duplicate_report"
+	CodeEmptyAccount       = "empty_account"
+	CodeBadFingerprint     = "bad_fingerprint"
+	CodeUnknownAggregation = "unknown_aggregation"
+	CodeMalformedRequest   = "malformed_request"
+	CodeInternal           = "internal"
+)
+
+// codeForError maps a store/server error onto its wire code and HTTP
+// status. The zero return is the internal-error fallback.
+func codeForError(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, ErrUnknownTask):
+		return CodeUnknownTask, http.StatusBadRequest
+	case errors.Is(err, ErrEmptyAccount):
+		return CodeEmptyAccount, http.StatusBadRequest
+	case errors.Is(err, ErrBadFingerprint):
+		return CodeBadFingerprint, http.StatusBadRequest
+	case errors.Is(err, ErrUnknownAggregation):
+		return CodeUnknownAggregation, http.StatusBadRequest
+	case errors.Is(err, ErrMalformedRequest):
+		return CodeMalformedRequest, http.StatusBadRequest
+	case errors.Is(err, ErrDuplicateReport):
+		return CodeDuplicateReport, http.StatusConflict
+	case errors.Is(err, ErrTooManyAccounts):
+		return CodeAccountCapReached, http.StatusTooManyRequests
+	default:
+		return CodeInternal, http.StatusInternalServerError
+	}
+}
+
+// sentinelForCode is the client-side inverse of codeForError: a stable
+// code maps back to the typed sentinel error, so errors.Is works across
+// the wire.
+func sentinelForCode(code string) error {
+	switch code {
+	case CodeAccountCapReached:
+		return ErrTooManyAccounts
+	case CodeUnknownTask:
+		return ErrUnknownTask
+	case CodeDuplicateReport:
+		return ErrDuplicateReport
+	case CodeEmptyAccount:
+		return ErrEmptyAccount
+	case CodeBadFingerprint:
+		return ErrBadFingerprint
+	case CodeUnknownAggregation:
+		return ErrUnknownAggregation
+	case CodeMalformedRequest:
+		return ErrMalformedRequest
+	default:
+		return nil
+	}
+}
+
+// Server exposes a Store over HTTP. Every /v1 route is instrumented: a
+// per-route request counter, 4xx/5xx error counters, and a latency
+// histogram, plus a shared in-flight gauge, all in the server's metrics
+// registry. The registry itself is served at /v1/metrics (JSON) and
+// /metrics (Prometheus text).
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
 	log   *log.Logger
+	reg   *obs.Registry
 }
 
-// NewServer wires the HTTP handlers. logger may be nil to disable logging.
+// NewServer wires the HTTP handlers against the process-wide metrics
+// registry (obs.Default()), so the /metrics endpoints also expose the
+// framework/grouping/truth instrumentation recorded by the library.
+// logger may be nil to disable logging.
 func NewServer(store *Store, logger *log.Logger) *Server {
-	s := &Server{store: store, mux: http.NewServeMux(), log: logger}
-	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
-	s.mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
-	s.mux.HandleFunc("POST /v1/fingerprints", s.handleFingerprint)
-	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/dataset", s.handleDataset)
+	return NewServerWithRegistry(store, logger, nil)
+}
+
+// NewServerWithRegistry is NewServer with an explicit metrics registry;
+// nil means obs.Default(). Library metrics always flow to obs.Default(),
+// so pass a custom registry only when HTTP-layer isolation is wanted
+// (e.g. hermetic tests).
+func NewServerWithRegistry(store *Store, logger *log.Logger, reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Server{store: store, mux: http.NewServeMux(), log: logger, reg: reg}
+	s.handle("GET /v1/tasks", s.handleTasks)
+	s.handle("POST /v1/submissions", s.handleSubmit)
+	s.handle("POST /v1/fingerprints", s.handleFingerprint)
+	s.handle("POST /v1/aggregate", s.handleAggregate)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/dataset", s.handleDataset)
+	// The metrics endpoints themselves are not instrumented: scrapes
+	// every few seconds would dominate the request counters.
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	return s
+}
+
+// handle registers pattern with request counting, error counting, latency
+// timing, and in-flight tracking around h.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	base := "http." + routeMetricName(pattern)
+	requests := s.reg.Counter(base + ".requests")
+	errors4xx := s.reg.Counter(base + ".errors_4xx")
+	errors5xx := s.reg.Counter(base + ".errors_5xx")
+	latency := s.reg.Timer(base + ".latency_seconds")
+	inFlight := s.reg.Gauge("http.in_flight")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		sw := latency.Start()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		sw.Stop()
+		requests.Inc()
+		switch {
+		case rec.status >= 500:
+			errors5xx.Inc()
+		case rec.status >= 400:
+			errors4xx.Inc()
+		}
+	})
+}
+
+// routeMetricName turns a mux pattern like "POST /v1/aggregate" into a
+// metric segment like "post_v1_aggregate".
+func routeMetricName(pattern string) string {
+	name := strings.ToLower(pattern)
+	name = strings.Trim(strings.NewReplacer(" ", "_", "/", "_").Replace(name), "_")
+	for strings.Contains(name, "__") {
+		name = strings.ReplaceAll(name, "__", "_")
+	}
+	return name
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 // ServeHTTP implements http.Handler.
@@ -118,26 +268,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrUnknownTask),
-		errors.Is(err, ErrEmptyAccount),
-		errors.Is(err, ErrBadFingerprint),
-		errors.Is(err, ErrUnknownAggregation):
-		status = http.StatusBadRequest
-	case errors.Is(err, ErrDuplicateReport):
-		status = http.StatusConflict
-	case errors.Is(err, ErrTooManyAccounts):
-		status = http.StatusTooManyRequests
-	}
-	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+	code, status := codeForError(err)
+	s.writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("malformed request: %v", err)})
+		s.writeError(w, fmt.Errorf("%w: %v", ErrMalformedRequest, err))
 		return false
 	}
 	return true
@@ -172,7 +311,13 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	hasRaw := len(req.AccelX) > 0 || len(req.AccelY) > 0 || len(req.AccelZ) > 0 ||
+		len(req.GyroX) > 0 || len(req.GyroY) > 0 || len(req.GyroZ) > 0
 	if len(req.Features) > 0 {
+		if hasRaw {
+			s.writeError(w, fmt.Errorf("%w: both raw capture and feature vector present; send exactly one", ErrBadFingerprint))
+			return
+		}
 		if err := s.store.RecordFingerprintFeatures(req.Account, req.Features); err != nil {
 			s.writeError(w, err)
 			return
@@ -204,7 +349,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := AggregateResponse{
 		Method: req.Method,
-		Meta:   ResponseMet{Iterations: res.Iterations, Converged: res.Converged},
+		Meta:   ResponseMeta{Iterations: res.Iterations, Converged: res.Converged},
 	}
 	for j, v := range res.Truths {
 		dto := TruthDTO{Task: j}
@@ -234,6 +379,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Tasks:    len(s.store.Tasks()),
 		Accounts: s.store.NumAccounts(),
 	})
+}
+
+// handleMetricsJSON serves the registry snapshot as JSON: counters,
+// gauges, and histogram summaries (count/sum/min/max/p50/p95/p99).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// handleMetricsProm serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.logf("platform: write prometheus: %v", err)
+	}
 }
 
 // TasksFromPOIs builds platform tasks from named coordinates.

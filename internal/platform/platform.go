@@ -17,6 +17,7 @@ import (
 	"sybiltd/internal/grouping"
 	"sybiltd/internal/mcs"
 	"sybiltd/internal/mems"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/truth"
 )
 
@@ -58,7 +59,9 @@ func NewStore(tasks []mcs.Task) *Store {
 	return &Store{tasks: ts, accounts: make(map[string]*accountState)}
 }
 
-// Errors returned by store operations.
+// Errors returned by store and API operations. Each maps to a stable wire
+// code (see codeForError); Client decodes the code back into the same
+// sentinel so errors.Is works on both sides of the HTTP boundary.
 var (
 	ErrTooManyAccounts    = errors.New("platform: account limit reached")
 	ErrUnknownTask        = errors.New("platform: unknown task")
@@ -66,6 +69,7 @@ var (
 	ErrEmptyAccount       = errors.New("platform: empty account ID")
 	ErrBadFingerprint     = errors.New("platform: malformed fingerprint capture")
 	ErrUnknownAggregation = errors.New("platform: unknown aggregation method")
+	ErrMalformedRequest   = errors.New("platform: malformed request")
 )
 
 // Tasks returns a copy of the published tasks.
@@ -111,6 +115,7 @@ func (s *Store) Submit(account string, task int, value float64, at time.Time) er
 		return fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, account, task)
 	}
 	st.observations[task] = mcs.Observation{Task: task, Value: value, Time: at}
+	obs.Default().Counter("platform.submissions").Inc()
 	return nil
 }
 
@@ -135,6 +140,7 @@ func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
 		return err
 	}
 	st.fingerprint = vec
+	obs.Default().Counter("platform.fingerprints").Inc()
 	return nil
 }
 
@@ -156,6 +162,7 @@ func (s *Store) RecordFingerprintFeatures(account string, features []float64) er
 		return err
 	}
 	st.fingerprint = vec
+	obs.Default().Counter("platform.fingerprints").Inc()
 	return nil
 }
 
@@ -203,6 +210,7 @@ func (s *Store) AggregateWithUncertainty(method string) (truth.Result, []float64
 	if err != nil {
 		return truth.Result{}, nil, err
 	}
+	defer obs.Default().Timer("platform.aggregate_seconds").Start().Stop()
 	ds := s.Dataset()
 	res, err := alg.Run(ds)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/signal"
 )
 
@@ -38,6 +39,7 @@ func (c CATD) Run(ds *mcs.Dataset) (Result, error) {
 	if err := validate(ds); err != nil {
 		return Result{}, err
 	}
+	defer obs.Default().Timer("truth.catd.run_seconds").Start().Stop()
 	alpha := c.Alpha
 	if alpha == 0 {
 		alpha = 0.05
@@ -167,6 +169,7 @@ func (c CATD) Run(ds *mcs.Dataset) (Result, error) {
 	if iter > maxIter {
 		iter = maxIter
 	}
+	observeLoop("catd", iter, converged)
 	return Result{Truths: truths, Weights: weights, Iterations: iter, Converged: converged}, nil
 }
 

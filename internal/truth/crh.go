@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/signal"
 )
 
@@ -58,6 +59,7 @@ func (c CRH) Run(ds *mcs.Dataset) (Result, error) {
 	if err := validate(ds); err != nil {
 		return Result{}, err
 	}
+	defer obs.Default().Timer("truth.crh.run_seconds").Start().Stop()
 	cfg := c.Config.withDefaults()
 
 	n := ds.NumAccounts()
@@ -170,6 +172,7 @@ func (c CRH) Run(ds *mcs.Dataset) (Result, error) {
 	if iter > cfg.MaxIterations {
 		iter = cfg.MaxIterations
 	}
+	observeLoop("crh", iter, converged)
 	return Result{Truths: truths, Weights: weights, Iterations: iter, Converged: converged}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/signal"
 )
 
@@ -34,6 +35,7 @@ func (g GTM) Run(ds *mcs.Dataset) (Result, error) {
 	if err := validate(ds); err != nil {
 		return Result{}, err
 	}
+	defer obs.Default().Timer("truth.gtm.run_seconds").Start().Stop()
 	maxIter := g.MaxIterations
 	if maxIter == 0 {
 		maxIter = 100
@@ -156,6 +158,7 @@ func (g GTM) Run(ds *mcs.Dataset) (Result, error) {
 	if iter > maxIter {
 		iter = maxIter
 	}
+	observeLoop("gtm", iter, converged)
 
 	weights := make([]float64, n)
 	for i := range weights {

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/signal"
 )
 
@@ -103,6 +104,19 @@ func (Median) Run(ds *mcs.Dataset) (Result, error) {
 		truths[j] = med
 	}
 	return Result{Truths: truths, Weights: uniformWeights(ds.NumAccounts()), Iterations: 1, Converged: true}, nil
+}
+
+// observeLoop records one iterative algorithm run into the process
+// metrics registry: run count, iteration-count histogram, and how often
+// the loop converged before its cap. alg is a short lowercase label
+// ("crh", "catd", "gtm").
+func observeLoop(alg string, iterations int, converged bool) {
+	reg := obs.Default()
+	reg.Counter("truth." + alg + ".runs").Inc()
+	reg.Histogram("truth." + alg + ".iterations").Observe(float64(iterations))
+	if converged {
+		reg.Counter("truth." + alg + ".converged").Inc()
+	}
 }
 
 func uniformWeights(n int) []float64 {

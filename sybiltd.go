@@ -42,6 +42,7 @@ import (
 	"sybiltd/internal/grouping"
 	"sybiltd/internal/mcs"
 	"sybiltd/internal/metrics"
+	"sybiltd/internal/obs"
 	"sybiltd/internal/simulate"
 	"sybiltd/internal/truth"
 )
@@ -139,6 +140,27 @@ type (
 	// WindowPoint is one estimate of a Windowed time series.
 	WindowPoint = core.WindowPoint
 )
+
+// Observability (see internal/obs). Every algorithm instruments itself
+// against the process-wide default registry; Metrics exposes it so
+// applications embedding the library (rather than running mcsplatform)
+// can scrape the same counters, and FrameworkConfig.Observer receives
+// live span and per-iteration convergence callbacks.
+type (
+	// MetricsRegistry holds named counters, gauges, and histograms; all
+	// methods are safe for concurrent use.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-marshalable view of a
+	// registry.
+	MetricsSnapshot = obs.Snapshot
+	// Observer receives stage span and truth-loop iteration callbacks
+	// from an instrumented Framework run (set FrameworkConfig.Observer).
+	Observer = obs.Observer
+)
+
+// Metrics returns the process-wide default metrics registry that the
+// library's instrumentation records into.
+func Metrics() *MetricsRegistry { return obs.Default() }
 
 // Uncertainty returns the weighted standard error of each task's estimate
 // (NaN without data, +Inf for single-report tasks), letting platforms flag

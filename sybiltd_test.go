@@ -132,3 +132,43 @@ func TestFacadeWindowedAndUncertainty(t *testing.T) {
 		t.Errorf("series = %+v", series)
 	}
 }
+
+// facadeObserver records the callbacks a Framework run emits through the
+// re-exported Observer interface.
+type facadeObserver struct {
+	stages     []string
+	iterations int
+}
+
+func (o *facadeObserver) SpanStart(string)                     {}
+func (o *facadeObserver) SpanEnd(name string, _ time.Duration) { o.stages = append(o.stages, name) }
+func (o *facadeObserver) Iteration(string, int, float64)       { o.iterations++ }
+
+func TestFacadeObservability(t *testing.T) {
+	ds := sybiltd.PaperExampleWithSybil()
+	obsv := &facadeObserver{}
+	fw := sybiltd.Framework{
+		Grouper: sybiltd.AGTR{Mode: 2 /* TRAbsolute */, Phi: 1},
+		Config:  sybiltd.FrameworkConfig{Observer: obsv},
+	}
+	runsBefore := sybiltd.Metrics().Counter("framework.runs").Value()
+	res, err := fw.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obsv.stages) != 3 {
+		t.Errorf("stages = %v, want grouping/group_aggregation/truth_loop", obsv.stages)
+	}
+	if obsv.iterations != res.Iterations {
+		t.Errorf("observer saw %d iterations, result says %d", obsv.iterations, res.Iterations)
+	}
+	// The library instrumented itself against the shared registry.
+	if got := sybiltd.Metrics().Counter("framework.runs").Value(); got != runsBefore+1 {
+		t.Errorf("framework.runs = %d, want %d", got, runsBefore+1)
+	}
+	// The snapshot is a plain value usable without importing internals.
+	var snap sybiltd.MetricsSnapshot = sybiltd.Metrics().Snapshot()
+	if len(snap.Counters) == 0 {
+		t.Error("snapshot has no counters after a framework run")
+	}
+}
