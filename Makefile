@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench fuzz
+.PHONY: build test race vet fmt verify bench fuzz recovery
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: build fmt vet test race
+# Crash-recovery and fault-injection suite under the race detector: the
+# WAL corruption table, the injected write/fsync failures, and the
+# crash-at-every-byte-offset torture test (which strides offsets under
+# -short; this target runs it exhaustively).
+recovery:
+	$(GO) test -race -run 'WAL|Durable|Recovery|Torture|Crash|Fsync|Snapshot|Scan|Reset|ShortWrite|RoundTrip|OpenRepairs|FailSync' ./internal/wal ./internal/platform
+
+verify: build fmt vet test race recovery
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).

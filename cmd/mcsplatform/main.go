@@ -2,18 +2,26 @@
 //
 // Usage:
 //
-//	mcsplatform -addr :8080 -tasks 10 [-pprof]
+//	mcsplatform -addr :8080 -tasks 10 [-data-dir ./data] [-pprof]
 //
 // The platform publishes N sensing tasks laid out as a synthetic POI map,
 // accepts submissions and sign-in fingerprint captures, and serves
 // Sybil-resistant aggregation at POST /v1/aggregate.
 //
+// Durability: with -data-dir, every mutation is appended and fsynced to a
+// write-ahead log before it is acknowledged, and the log is periodically
+// compacted into snapshots (every -snapshot-every records, plus once at
+// shutdown). On startup the directory is recovered — snapshot first, then
+// the WAL tail, truncating any torn or corrupt final record — so a
+// kill -9 or power cut loses nothing that was acknowledged. Without
+// -data-dir the platform is purely in-memory, exactly as before.
+//
 // Observability: GET /v1/metrics returns the process metrics registry as
 // JSON (request counters, route latency histograms, framework stage
-// timings, truth-loop iteration counts, worker-pool utilization); GET
-// /metrics serves the same registry in the Prometheus text format. The
-// -pprof flag additionally mounts net/http/pprof under /debug/pprof/ for
-// CPU and heap profiling of a live platform.
+// timings, WAL append/fsync latency, snapshot counters, recovery gauges);
+// GET /metrics serves the same registry in the Prometheus text format.
+// The -pprof flag additionally mounts net/http/pprof under /debug/pprof/
+// for CPU and heap profiling of a live platform.
 package main
 
 import (
@@ -40,6 +48,9 @@ func main() {
 	numTasks := flag.Int("tasks", 10, "number of sensing tasks to publish")
 	seed := flag.Int64("seed", 1, "seed for the POI layout")
 	maxAccounts := flag.Int("max-accounts", 0, "cap on registered accounts (0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot compactions (with -data-dir)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request read/write timeout (0 disables; slowloris guard)")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -56,7 +67,27 @@ func main() {
 		tasks[i] = mcs.Task{ID: i, Name: fmt.Sprintf("POI-%d", i+1), X: p.X, Y: p.Y}
 	}
 
-	store := platform.NewStore(tasks)
+	var store *platform.Store
+	var durability *platform.Durability
+	if *dataDir != "" {
+		var stats platform.RecoveryStats
+		var err error
+		store, durability, stats, err = platform.OpenDurable(*dataDir, tasks, platform.DurableOptions{
+			SnapshotEvery: *snapshotEvery,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Printf("open data dir %s: %v", *dataDir, err)
+			os.Exit(1)
+		}
+		logger.Printf("durable: %s (snapshot seq %d, %d WAL records replayed, %d skipped, %d bytes truncated)",
+			*dataDir, stats.SnapshotSeq, stats.RecordsReplayed, stats.RecordsSkipped, stats.BytesTruncated)
+		if got := len(store.Tasks()); got != len(tasks) {
+			logger.Printf("durable: serving %d tasks recovered from snapshot (-tasks %d ignored)", got, *numTasks)
+		}
+	} else {
+		store = platform.NewStore(tasks)
+	}
 	if *maxAccounts > 0 {
 		store.SetMaxAccounts(*maxAccounts)
 	}
@@ -76,22 +107,44 @@ func main() {
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		// Full-request timeouts so a slowloris client dripping one byte at
+		// a time cannot hold a connection (and its goroutine) forever.
+		ReadTimeout:  *timeout,
+		WriteTimeout: *timeout,
+	}
+	if *timeout > 0 {
+		srv.IdleTimeout = 2 * *timeout
 	}
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// closeDurability writes the final snapshot; it must run after the
+	// server stops accepting mutations, on every exit path.
+	exitCode := 0
+	closeDurability := func() {
+		if durability == nil {
+			return
+		}
+		if err := durability.Close(); err != nil {
+			logger.Printf("durable close: %v", err)
+			exitCode = 1
+			return
+		}
+		logger.Printf("durable: final snapshot written to %s", *dataDir)
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	logger.Printf("serving %d tasks on %s (metrics at /metrics and /v1/metrics)", *numTasks, *addr)
+	logger.Printf("serving %d tasks on %s (metrics at /metrics and /v1/metrics)", len(store.Tasks()), *addr)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Printf("serve: %v", err)
-			os.Exit(1)
+			exitCode = 1
 		}
 	case <-ctx.Done():
 		logger.Printf("shutting down")
@@ -99,8 +152,10 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
-			os.Exit(1)
+			exitCode = 1
 		}
 		<-errCh // wait for the serve goroutine to exit
 	}
+	closeDurability()
+	os.Exit(exitCode)
 }

@@ -69,6 +69,22 @@ func TestErrorBodiesCarryStableCodes(t *testing.T) {
 			code:   CodeMalformedRequest, sentinel: ErrMalformedRequest,
 		},
 		{
+			// JSON cannot carry NaN/Inf literals, so a non-finite value
+			// arrives as an out-of-range float and must die in decode.
+			name:   "out-of-range number",
+			path:   "/v1/submissions",
+			body:   `{"account":"a","task":0,"value":1e999}`,
+			status: http.StatusBadRequest,
+			code:   CodeMalformedRequest, sentinel: ErrMalformedRequest,
+		},
+		{
+			name:   "non-finite fingerprint feature",
+			path:   "/v1/fingerprints",
+			body:   `{"account":"a","features":[1,2,1e999]}`,
+			status: http.StatusBadRequest,
+			code:   CodeMalformedRequest, sentinel: ErrMalformedRequest,
+		},
+		{
 			name:   "unknown aggregation method",
 			path:   "/v1/aggregate",
 			body:   `{"method":"quantum"}`,

@@ -1,0 +1,429 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
+	"sybiltd/internal/wal"
+)
+
+// Durable file layout inside a data directory.
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+	snapshotTempName = "snapshot.json.tmp"
+)
+
+// snapshotVersion gates the snapshot envelope schema.
+const snapshotVersion = 1
+
+// WAL operation tags carried in walRecord.Op.
+const (
+	opSubmit      = "submit"
+	opFingerprint = "fingerprint"
+)
+
+// walRecord is one durable mutation, JSON-encoded as the payload of a WAL
+// frame. Account registration is implicit: replaying an account's first
+// record re-registers it, in the same order the WAL was written.
+type walRecord struct {
+	Seq      uint64    `json:"seq"`
+	Op       string    `json:"op"`
+	Account  string    `json:"account"`
+	Task     int       `json:"task,omitempty"`
+	Value    float64   `json:"value,omitempty"`
+	Time     time.Time `json:"time"`
+	Features []float64 `json:"features,omitempty"`
+}
+
+// snapshotFile is the envelope written to snapshot.json: the campaign in
+// the stable mcs JSON schema plus the WAL sequence number it covers, so
+// recovery can skip WAL records the snapshot already contains (the
+// crash-between-snapshot-and-WAL-reset window).
+type snapshotFile struct {
+	Version int             `json:"version"`
+	Seq     uint64          `json:"seq"`
+	Dataset json.RawMessage `json:"dataset"`
+}
+
+// DurableOptions tunes OpenDurable.
+type DurableOptions struct {
+	// FS is the filesystem seam; nil means the real OS filesystem. Tests
+	// inject a wal.FaultFS here to script crashes.
+	FS wal.FS
+	// SnapshotEvery compacts the WAL into a fresh snapshot after this
+	// many appended records; 0 snapshots only at Close.
+	SnapshotEvery int
+	// Registry receives WAL metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Logger receives recovery and snapshot notices; nil disables them.
+	Logger *log.Logger
+}
+
+// RecoveryStats summarizes what OpenDurable reconstructed from disk.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a snapshot file was found.
+	SnapshotLoaded bool
+	// SnapshotSeq is the WAL sequence number the snapshot covers.
+	SnapshotSeq uint64
+	// WALRecords is the number of valid records in the WAL.
+	WALRecords int
+	// RecordsReplayed is how many WAL records changed recovered state.
+	RecordsReplayed int
+	// RecordsSkipped counts stale records (already covered by the
+	// snapshot) and records the replay validator rejected.
+	RecordsSkipped int
+	// BytesTruncated is the torn/corrupt tail cut off the WAL.
+	BytesTruncated int64
+	// CorruptReason explains the truncation ("" when the tail was clean).
+	CorruptReason string
+}
+
+// Durability journals a Store's mutations into a write-ahead log and
+// periodically compacts the log into snapshots. All methods that touch
+// the WAL run under the owning store's mutex: appendLocked and
+// maybeCompactLocked are called by the store with the lock held, and the
+// public Snapshot/Close take it themselves.
+type Durability struct {
+	dir           string
+	fs            wal.FS
+	w             *wal.Writer
+	store         *Store
+	seq           uint64 // sequence number of the last frame written
+	sinceSnapshot int
+	snapshotEvery int
+	reg           *obs.Registry
+	log           *log.Logger
+	closed        bool
+}
+
+// OpenDurable opens (or creates) the durable platform state in dir and
+// returns the recovered store with its attached durability layer. The
+// recovery sequence is: load snapshot.json if present, then replay the
+// WAL tail on top, truncating at the first torn or corrupt record — a
+// damaged directory recovers to the longest valid prefix and serves,
+// rather than crash-looping. tasks is used only when no snapshot exists
+// (a snapshot carries its own task list).
+func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*Store, *Durability, RecoveryStats, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = wal.OS()
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	var stats RecoveryStats
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, stats, fmt.Errorf("platform: durable dir: %w", err)
+	}
+	// A leftover temp file is a crash mid-snapshot-write; the durable
+	// snapshot is still the previous one, so discard the partial file.
+	_ = fsys.Remove(filepath.Join(dir, snapshotTempName))
+
+	store := NewStore(tasks)
+	var seq uint64
+	snapPath := filepath.Join(dir, snapshotFileName)
+	if _, err := fsys.Stat(snapPath); err == nil {
+		snap, ds, err := readSnapshot(fsys, snapPath)
+		if err != nil {
+			return nil, nil, stats, fmt.Errorf("platform: snapshot %s: %w", snapPath, err)
+		}
+		store = storeFromDataset(ds)
+		seq = snap.Seq
+		stats.SnapshotLoaded = true
+		stats.SnapshotSeq = snap.Seq
+	}
+
+	w, scan, err := wal.Open(fsys, filepath.Join(dir, walFileName))
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("platform: %w", err)
+	}
+	stats.WALRecords = len(scan.Records)
+	stats.BytesTruncated = scan.Truncated()
+	if scan.Corrupt != nil {
+		stats.CorruptReason = scan.Corrupt.Error()
+	}
+
+	for i, payload := range scan.Records {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// CRC-valid but undecodable: same treatment as a corrupt
+			// tail — keep the prefix, cut the rest.
+			if terr := w.TruncateTo(scan.Offsets[i]); terr != nil {
+				_ = w.Close()
+				return nil, nil, stats, fmt.Errorf("platform: wal repair: %w", terr)
+			}
+			stats.BytesTruncated += scan.Valid - scan.Offsets[i]
+			stats.WALRecords = i
+			stats.CorruptReason = fmt.Sprintf("record %d undecodable: %v", i, err)
+			break
+		}
+		if rec.Seq <= seq {
+			stats.RecordsSkipped++ // snapshot already covers it
+			continue
+		}
+		if store.replayRecord(rec) {
+			stats.RecordsReplayed++
+		} else {
+			stats.RecordsSkipped++
+		}
+		seq = rec.Seq
+	}
+
+	d := &Durability{
+		dir:           dir,
+		fs:            fsys,
+		w:             w,
+		store:         store,
+		seq:           seq,
+		snapshotEvery: opts.SnapshotEvery,
+		reg:           reg,
+		log:           opts.Logger,
+	}
+	store.journal = d
+	reg.Gauge("wal.size_bytes").Set(w.Size())
+	reg.Gauge("wal.recovery_records_replayed").Set(int64(stats.RecordsReplayed))
+	reg.Gauge("wal.recovery_bytes_truncated").Set(stats.BytesTruncated)
+	d.logf("durability: recovered %s: snapshot=%v (seq %d), wal records=%d replayed=%d skipped=%d truncated=%d bytes",
+		dir, stats.SnapshotLoaded, stats.SnapshotSeq, stats.WALRecords,
+		stats.RecordsReplayed, stats.RecordsSkipped, stats.BytesTruncated)
+	if stats.CorruptReason != "" {
+		d.logf("durability: WAL tail repaired: %s", stats.CorruptReason)
+	}
+	return store, d, stats, nil
+}
+
+// readSnapshot decodes the snapshot envelope and its embedded dataset.
+func readSnapshot(fsys wal.FS, path string) (snapshotFile, *mcs.Dataset, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return snapshotFile{}, nil, err
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return snapshotFile{}, nil, fmt.Errorf("decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return snapshotFile{}, nil, fmt.Errorf("unsupported snapshot version %d", snap.Version)
+	}
+	ds, err := mcs.DecodeJSON(bytes.NewReader(snap.Dataset))
+	if err != nil {
+		return snapshotFile{}, nil, err
+	}
+	return snap, ds, nil
+}
+
+// storeFromDataset rebuilds in-memory store state from a snapshot
+// dataset, preserving account registration order.
+func storeFromDataset(ds *mcs.Dataset) *Store {
+	s := NewStore(ds.Tasks)
+	for i := range ds.Accounts {
+		acct := &ds.Accounts[i]
+		st := s.registerAccountLocked(acct.ID) // no lock needed: store not shared yet
+		for _, o := range acct.Observations {
+			st.observations[o.Task] = o
+		}
+		if len(acct.Fingerprint) > 0 {
+			st.fingerprint = append([]float64(nil), acct.Fingerprint...)
+		}
+	}
+	return s
+}
+
+// replayRecord applies one recovered WAL record. It tolerates records the
+// current state already contains — a crash between the snapshot rename
+// and the WAL reset leaves both holding the same operations — and
+// silently drops records that fail validation rather than refusing to
+// start. Returns whether state changed.
+func (s *Store) replayRecord(rec walRecord) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.Op {
+	case opSubmit:
+		if rec.Account == "" || rec.Task < 0 || rec.Task >= len(s.tasks) || !isFinite(rec.Value) {
+			return false
+		}
+		st := s.accounts[rec.Account]
+		if st == nil {
+			st = s.registerAccountLocked(rec.Account)
+		} else if _, dup := st.observations[rec.Task]; dup {
+			return false
+		}
+		st.observations[rec.Task] = mcs.Observation{Task: rec.Task, Value: rec.Value, Time: rec.Time}
+		return true
+	case opFingerprint:
+		if rec.Account == "" || len(rec.Features) == 0 {
+			return false
+		}
+		for _, f := range rec.Features {
+			if !isFinite(f) {
+				return false
+			}
+		}
+		st := s.accounts[rec.Account]
+		if st == nil {
+			st = s.registerAccountLocked(rec.Account)
+		}
+		st.fingerprint = append([]float64(nil), rec.Features...)
+		return true
+	}
+	return false
+}
+
+// appendLocked journals one mutation. Called by the store with its mutex
+// held and the record fully validated, before the mutation is applied:
+// the frame is written and fsynced before the caller may acknowledge, so
+// an acknowledged operation is a durable operation. On error the store
+// does not apply the mutation.
+func (d *Durability) appendLocked(rec walRecord) error {
+	if d.closed {
+		return fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	rec.Seq = d.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: encode: %v", ErrDurability, err)
+	}
+	sw := d.reg.Timer("wal.append_seconds").Start()
+	err = d.w.Append(payload)
+	sw.Stop()
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return fmt.Errorf("%w: append: %v", ErrDurability, err)
+	}
+	// The frame is on the log from here (even if the fsync below fails it
+	// may survive), so the sequence number is consumed either way.
+	d.seq++
+	fw := d.reg.Timer("wal.fsync_seconds").Start()
+	err = d.w.Sync()
+	fw.Stop()
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return fmt.Errorf("%w: fsync: %v", ErrDurability, err)
+	}
+	d.sinceSnapshot++
+	d.reg.Counter("wal.records").Inc()
+	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
+	return nil
+}
+
+// maybeCompactLocked snapshots and resets the WAL once SnapshotEvery
+// records have accumulated. Called with the store mutex held, after the
+// journaled mutation has been applied (the snapshot must contain it). A
+// failed compaction is operational, not data loss — every record is
+// still in the WAL — so it is logged and retried an interval later.
+func (d *Durability) maybeCompactLocked() {
+	if d.snapshotEvery <= 0 || d.sinceSnapshot < d.snapshotEvery {
+		return
+	}
+	if err := d.snapshotLocked(); err != nil {
+		d.sinceSnapshot = 0
+		d.reg.Counter("wal.snapshot_errors").Inc()
+		d.logf("durability: snapshot failed (WAL keeps growing): %v", err)
+	}
+}
+
+// Snapshot forces a compaction: the full campaign is written to a fresh
+// snapshot and the WAL is emptied.
+func (d *Durability) Snapshot() error {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	return d.snapshotLocked()
+}
+
+// snapshotLocked writes the snapshot (temp file, fsync, atomic rename)
+// and then resets the WAL. Crash windows: before the rename, the old
+// snapshot + full WAL still recover everything; after the rename but
+// before the reset, recovery skips the WAL records the snapshot already
+// covers by sequence number.
+func (d *Durability) snapshotLocked() error {
+	sw := d.reg.Timer("wal.snapshot_seconds").Start()
+	defer sw.Stop()
+	var buf bytes.Buffer
+	if err := d.store.datasetLocked().EncodeJSON(&buf); err != nil {
+		return fmt.Errorf("encode dataset: %w", err)
+	}
+	env, err := json.Marshal(snapshotFile{Version: snapshotVersion, Seq: d.seq, Dataset: buf.Bytes()})
+	if err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(d.dir, snapshotTempName)
+	f, err := d.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(env); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := d.fs.Rename(tmp, filepath.Join(d.dir, snapshotFileName)); err != nil {
+		return err
+	}
+	if err := d.w.Reset(); err != nil {
+		return fmt.Errorf("wal reset: %w", err)
+	}
+	d.sinceSnapshot = 0
+	d.reg.Counter("wal.snapshots").Inc()
+	d.reg.Gauge("wal.size_bytes").Set(0)
+	d.logf("durability: snapshot written (seq %d)", d.seq)
+	return nil
+}
+
+// Close writes a final snapshot and closes the WAL. The store keeps
+// serving reads, but further mutations fail with ErrDurability. Safe to
+// call more than once.
+func (d *Durability) Close() error {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	snapErr := d.snapshotLocked()
+	closeErr := d.w.Close()
+	if snapErr != nil {
+		// Not data loss: the WAL still holds everything the snapshot
+		// missed, and the next open replays it.
+		return fmt.Errorf("platform: close snapshot: %w", snapErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("platform: close wal: %w", closeErr)
+	}
+	return nil
+}
+
+// Dir returns the durable data directory.
+func (d *Durability) Dir() string { return d.dir }
+
+// WALSize returns the current WAL length in bytes (for tests and
+// dashboards; the same value is exported as the wal.size_bytes gauge).
+func (d *Durability) WALSize() int64 {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	return d.w.Size()
+}
+
+func (d *Durability) logf(format string, args ...any) {
+	if d.log != nil {
+		d.log.Printf(format, args...)
+	}
+}

@@ -108,6 +108,7 @@ const (
 	CodeBadFingerprint     = "bad_fingerprint"
 	CodeUnknownAggregation = "unknown_aggregation"
 	CodeMalformedRequest   = "malformed_request"
+	CodeDurability         = "durability_unavailable"
 	CodeInternal           = "internal"
 )
 
@@ -129,6 +130,10 @@ func codeForError(err error) (code string, status int) {
 		return CodeDuplicateReport, http.StatusConflict
 	case errors.Is(err, ErrTooManyAccounts):
 		return CodeAccountCapReached, http.StatusTooManyRequests
+	case errors.Is(err, ErrDurability):
+		// 503, not 500: the request was valid and the client's bounded
+		// retry may land after the disk recovers.
+		return CodeDurability, http.StatusServiceUnavailable
 	default:
 		return CodeInternal, http.StatusInternalServerError
 	}
@@ -153,6 +158,8 @@ func sentinelForCode(code string) error {
 		return ErrUnknownAggregation
 	case CodeMalformedRequest:
 		return ErrMalformedRequest
+	case CodeDurability:
+		return ErrDurability
 	default:
 		return nil
 	}

@@ -9,6 +9,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -31,6 +32,11 @@ type Store struct {
 	// needs some cap or a Sybil flood can exhaust memory before any
 	// aggregation-level defense runs.
 	maxAccounts int
+	// journal, when non-nil, makes every mutation durable: the operation
+	// is appended and fsynced to a write-ahead log before it is applied
+	// (and before the caller sees nil). A nil journal — the default — is
+	// the original purely in-memory store. Attached by OpenDurable.
+	journal *Durability
 }
 
 // SetMaxAccounts caps the number of accounts the store accepts; 0 removes
@@ -70,7 +76,20 @@ var (
 	ErrBadFingerprint     = errors.New("platform: malformed fingerprint capture")
 	ErrUnknownAggregation = errors.New("platform: unknown aggregation method")
 	ErrMalformedRequest   = errors.New("platform: malformed request")
+	// ErrDurability means the write-ahead log could not persist the
+	// operation; the mutation was NOT applied (the store never
+	// acknowledges what it cannot make durable). Maps to HTTP 503, which
+	// the client treats as retryable.
+	ErrDurability = errors.New("platform: durability failure")
 )
+
+// isFinite reports whether v is a usable measurement. NaN and ±Inf are
+// rejected at the store boundary: a single non-finite observation
+// poisons every weighted mean downstream, which for a truth-discovery
+// platform is a one-report data-poisoning attack.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
 
 // Tasks returns a copy of the published tasks.
 func (s *Store) Tasks() []mcs.Task {
@@ -81,47 +100,70 @@ func (s *Store) Tasks() []mcs.Task {
 	return out
 }
 
-// ensureAccountLocked returns the account state, creating it on first use.
-// Caller must hold mu. It fails when the account cap is reached.
-func (s *Store) ensureAccountLocked(id string) (*accountState, error) {
-	st, ok := s.accounts[id]
-	if !ok {
-		if s.maxAccounts > 0 && len(s.accounts) >= s.maxAccounts {
-			return nil, fmt.Errorf("%w (%d)", ErrTooManyAccounts, s.maxAccounts)
-		}
-		st = &accountState{observations: make(map[int]mcs.Observation)}
-		s.accounts[id] = st
-		s.order = append(s.order, id)
+// roomForAccountLocked fails when registering one more account would
+// exceed the cap. Caller must hold mu.
+func (s *Store) roomForAccountLocked() error {
+	if s.maxAccounts > 0 && len(s.accounts) >= s.maxAccounts {
+		return fmt.Errorf("%w (%d)", ErrTooManyAccounts, s.maxAccounts)
 	}
-	return st, nil
+	return nil
+}
+
+// registerAccountLocked creates the account state. Caller must hold mu
+// and have validated the cap via roomForAccountLocked.
+func (s *Store) registerAccountLocked(id string) *accountState {
+	st := &accountState{observations: make(map[int]mcs.Observation)}
+	s.accounts[id] = st
+	s.order = append(s.order, id)
+	return st
 }
 
 // Submit records one observation for an account. Each account may report
-// on each task at most once (§III-C).
+// on each task at most once (§III-C). The mutation is fully validated
+// before it is journaled, and journaled (synced to the WAL) before it is
+// applied or acknowledged.
 func (s *Store) Submit(account string, task int, value float64, at time.Time) error {
 	if account == "" {
 		return ErrEmptyAccount
+	}
+	if !isFinite(value) {
+		return fmt.Errorf("%w: non-finite observation value %v", ErrMalformedRequest, value)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if task < 0 || task >= len(s.tasks) {
 		return fmt.Errorf("%w: %d", ErrUnknownTask, task)
 	}
-	st, err := s.ensureAccountLocked(account)
-	if err != nil {
-		return err
-	}
-	if _, dup := st.observations[task]; dup {
+	st := s.accounts[account]
+	if st == nil {
+		if err := s.roomForAccountLocked(); err != nil {
+			return err
+		}
+	} else if _, dup := st.observations[task]; dup {
 		return fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, account, task)
+	}
+	if s.journal != nil {
+		err := s.journal.appendLocked(walRecord{Op: opSubmit, Account: account, Task: task, Value: value, Time: at})
+		if err != nil {
+			return err
+		}
+	}
+	if st == nil {
+		st = s.registerAccountLocked(account)
 	}
 	st.observations[task] = mcs.Observation{Task: task, Value: value, Time: at}
 	obs.Default().Counter("platform.submissions").Inc()
+	if s.journal != nil {
+		s.journal.maybeCompactLocked()
+	}
 	return nil
 }
 
 // RecordFingerprint extracts Table II features from a raw sign-in capture
 // and stores them for the account. All six streams must be non-empty and
-// of equal length.
+// of equal length. The journal stores the extracted feature vector, not
+// the raw capture: extraction is deterministic and the features are the
+// only thing the store keeps, so logging them keeps the WAL small.
 func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
 	if account == "" {
 		return ErrEmptyAccount
@@ -133,15 +175,12 @@ func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
 		return ErrBadFingerprint
 	}
 	vec := fingerprint.Extract(rec)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.ensureAccountLocked(account)
-	if err != nil {
-		return err
+	for _, f := range vec {
+		if !isFinite(f) {
+			return fmt.Errorf("%w: capture yields non-finite features", ErrBadFingerprint)
+		}
 	}
-	st.fingerprint = vec
-	obs.Default().Counter("platform.fingerprints").Inc()
-	return nil
+	return s.setFingerprint(account, vec)
 }
 
 // RecordFingerprintFeatures stores an already-extracted fingerprint
@@ -154,15 +193,39 @@ func (s *Store) RecordFingerprintFeatures(account string, features []float64) er
 	if len(features) == 0 {
 		return ErrBadFingerprint
 	}
-	vec := append([]float64(nil), features...)
+	for _, f := range features {
+		if !isFinite(f) {
+			return fmt.Errorf("%w: non-finite feature %v", ErrBadFingerprint, f)
+		}
+	}
+	return s.setFingerprint(account, append([]float64(nil), features...))
+}
+
+// setFingerprint journals and applies a validated feature vector. vec
+// ownership transfers to the store.
+func (s *Store) setFingerprint(account string, vec []float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, err := s.ensureAccountLocked(account)
-	if err != nil {
-		return err
+	st := s.accounts[account]
+	if st == nil {
+		if err := s.roomForAccountLocked(); err != nil {
+			return err
+		}
+	}
+	if s.journal != nil {
+		err := s.journal.appendLocked(walRecord{Op: opFingerprint, Account: account, Features: vec})
+		if err != nil {
+			return err
+		}
+	}
+	if st == nil {
+		st = s.registerAccountLocked(account)
 	}
 	st.fingerprint = vec
 	obs.Default().Counter("platform.fingerprints").Inc()
+	if s.journal != nil {
+		s.journal.maybeCompactLocked()
+	}
 	return nil
 }
 
@@ -171,6 +234,12 @@ func (s *Store) RecordFingerprintFeatures(account string, features []float64) er
 func (s *Store) Dataset() *mcs.Dataset {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.datasetLocked()
+}
+
+// datasetLocked is Dataset for callers that already hold mu (the
+// durability snapshot runs under the write lock).
+func (s *Store) datasetLocked() *mcs.Dataset {
 	ds := &mcs.Dataset{Tasks: make([]mcs.Task, len(s.tasks))}
 	copy(ds.Tasks, s.tasks)
 	for _, id := range s.order {

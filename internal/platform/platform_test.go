@@ -71,6 +71,39 @@ func TestStoreRejections(t *testing.T) {
 	}
 }
 
+// TestStoreRejectsNonFiniteValues: a single NaN observation would poison
+// CRH/mean aggregation for its task, so non-finite values die at the
+// store boundary with typed, wire-codeable errors — and without
+// registering the submitting account as a side effect.
+func TestStoreRejectsNonFiniteValues(t *testing.T) {
+	s := NewStore(testTasks(2))
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := s.Submit("a", 0, v, at(0)); !errors.Is(err, ErrMalformedRequest) {
+			t.Errorf("Submit(%v) = %v, want ErrMalformedRequest", v, err)
+		}
+	}
+	for _, feats := range [][]float64{
+		{1, math.NaN(), 3},
+		{math.Inf(1)},
+		{1, 2, math.Inf(-1)},
+	} {
+		if err := s.RecordFingerprintFeatures("a", feats); !errors.Is(err, ErrBadFingerprint) {
+			t.Errorf("RecordFingerprintFeatures(%v) = %v, want ErrBadFingerprint", feats, err)
+		}
+	}
+	// A raw capture whose streams contain non-finite samples extracts to
+	// non-finite features and must be rejected the same way.
+	dev := mems.NewDevice(mems.ModelIPhone7, 1, rand.New(rand.NewSource(1)))
+	rec := dev.Capture(mems.DefaultCaptureSpec(), rand.New(rand.NewSource(2)))
+	rec.AccelX[3] = math.NaN()
+	if err := s.RecordFingerprint("a", rec); !errors.Is(err, ErrBadFingerprint) {
+		t.Errorf("RecordFingerprint(NaN capture) = %v, want ErrBadFingerprint", err)
+	}
+	if s.NumAccounts() != 0 {
+		t.Errorf("rejected writes registered %d accounts", s.NumAccounts())
+	}
+}
+
 func TestStoreFingerprint(t *testing.T) {
 	s := NewStore(testTasks(1))
 	dev := mems.NewDevice(mems.ModelIPhone7, 1, rand.New(rand.NewSource(1)))
