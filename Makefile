@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench fuzz recovery
+.PHONY: build test race vet fmt verify bench fuzz recovery chaos
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,16 @@ race:
 recovery:
 	$(GO) test -race -run 'WAL|Durable|Recovery|Torture|Crash|Fsync|Snapshot|Scan|Reset|ShortWrite|RoundTrip|OpenRepairs|FailSync' ./internal/wal ./internal/platform
 
-verify: build fmt vet test race recovery
+# Overload-protection and chaos suite under the race detector: the fault
+# injector's campaign (drops, 5xx/429 bursts, torn bodies) with the
+# zero-acknowledged-loss check, the admission gate / rate limiter / client
+# breaker state machines, retry semantics (Retry-After honored, semantic
+# 4xx never retried), and graceful degradation of the framework under
+# cancelled grouping.
+chaos:
+	$(GO) test -race -run 'Chaos|Overload|Breaker|Gate|AccountLimiter|RateLimit|RetryAfter|Retry|Degrad|Ctx|Draining|RequestDeadline|ZeroLimits' ./internal/chaos ./internal/platform ./internal/core ./internal/parallel
+
+verify: build fmt vet test race recovery chaos
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).

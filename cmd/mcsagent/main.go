@@ -39,6 +39,12 @@ func main() {
 		case errors.Is(err, platform.ErrDuplicateReport):
 			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
 			fmt.Fprintln(os.Stderr, "mcsagent: an account already reported on this task; use -prefix style isolation (AccountPrefix) or a fresh platform")
+		case errors.Is(err, platform.ErrCircuitOpen):
+			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+			fmt.Fprintln(os.Stderr, "mcsagent: the client circuit breaker is open after repeated transport failures; check the platform, then retry (tune -breaker-threshold / -breaker-cooldown)")
+		case errors.Is(err, platform.ErrRateLimited), errors.Is(err, platform.ErrOverloaded):
+			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
+			fmt.Fprintln(os.Stderr, "mcsagent: the platform is shedding load; slow down (fewer accounts, lower -activeness) or raise the platform's limits")
 		default:
 			fmt.Fprintf(os.Stderr, "mcsagent: %v\n", err)
 		}
@@ -54,14 +60,20 @@ func run() error {
 	target := flag.Float64("target", -50, "value the attackers fabricate")
 	seed := flag.Int64("seed", 1, "random seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall request timeout")
-	retries := flag.Int("retries", 2, "retry attempts for connection errors and 5xx responses")
+	retries := flag.Int("retries", 2, "retry attempts for connection errors, 5xx responses, and rate-limit 429s")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open the client circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "circuit breaker open -> half-open delay")
 	replay := flag.String("replay", "", "replay an archived campaign JSON instead of simulating a crowd")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	client := platform.NewClientWithConfig(*url, platform.ClientConfig{MaxRetries: *retries})
+	client := platform.NewClientWithConfig(*url, platform.ClientConfig{
+		MaxRetries:       *retries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -90,6 +102,12 @@ func run() error {
 		Seed:          *seed,
 	})
 	if err != nil {
+		// Surface the breaker position alongside the failure so the
+		// operator can tell "platform down, breaker protecting us" from a
+		// one-off error.
+		if st := client.BreakerState(); st != platform.BreakerClosed {
+			return fmt.Errorf("%w (client circuit breaker: %s)", err, st)
+		}
 		return err
 	}
 

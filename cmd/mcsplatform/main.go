@@ -22,6 +22,15 @@
 // GET /metrics serves the same registry in the Prometheus text format.
 // The -pprof flag additionally mounts net/http/pprof under /debug/pprof/
 // for CPU and heap profiling of a live platform.
+//
+// Overload protection: every /v1 route passes a weighted-concurrency
+// admission gate (-max-concurrent, -max-queue, -queue-timeout) and carries
+// a propagated deadline (-request-timeout); mutating routes are optionally
+// rate-limited per account (-rate, -rate-burst). Shed requests get 503 (or
+// 429) with a Retry-After header. GET /healthz is liveness, GET /readyz is
+// readiness (503 while draining or saturated). On SIGINT/SIGTERM the
+// server flips /readyz, drains in-flight requests for up to
+// -drain-timeout, and only then writes the final snapshot.
 package main
 
 import (
@@ -52,6 +61,13 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot compactions (with -data-dir)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request read/write timeout (0 disables; slowloris guard)")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	maxConcurrent := flag.Int("max-concurrent", 64, "admission gate capacity in weight units (aggregate=4, dataset=2, rest=1; 0 disables the gate)")
+	maxQueue := flag.Int("max-queue", 128, "requests allowed to wait for admission before shedding with 503")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "max wait for admission before shedding with 503")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "deadline propagated into store/durability/aggregation work (0 disables)")
+	rate := flag.Float64("rate", 0, "per-account token-bucket rate limit in requests/sec for mutating routes (0 disables)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst size (0 = ceil(rate))")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM before forcing shutdown")
 	flag.Parse()
 
 	if *numTasks < 1 {
@@ -92,8 +108,19 @@ func main() {
 		store.SetMaxAccounts(*maxAccounts)
 	}
 
+	apiServer := platform.NewServerWithOptions(store, platform.ServerOptions{
+		Logger: logger,
+		Limits: platform.ServerLimits{
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			QueueTimeout:   *queueTimeout,
+			RequestTimeout: *requestTimeout,
+			RatePerSec:     *rate,
+			RateBurst:      *rateBurst,
+		},
+	})
 	mux := http.NewServeMux()
-	mux.Handle("/", platform.NewServer(store, logger))
+	mux.Handle("/", apiServer)
 	if *enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -147,8 +174,12 @@ func main() {
 			exitCode = 1
 		}
 	case <-ctx.Done():
-		logger.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: flip /readyz first so load balancers stop
+		// routing here, then let in-flight requests finish (bounded by
+		// -drain-timeout), and only then write the final snapshot.
+		logger.Printf("shutting down: draining in-flight requests (up to %v)", *drainTimeout)
+		apiServer.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("shutdown: %v", err)

@@ -1,0 +1,328 @@
+// Package chaos is the network-fault injector for resilience testing: a
+// deterministic http.RoundTripper wrapper (and an equivalent server-side
+// middleware) that perturbs traffic with latency spikes, dropped
+// connections, synthesized 5xx/429 bursts, and truncated response bodies,
+// per-route and reproducibly seeded.
+//
+// It mirrors the injectable-seam style of internal/wal's FaultFS: the
+// production code path is untouched, the seams are explicit, and every
+// fault a flaky mobile network can produce has a switch a test can flip.
+// Injected failures never reach the origin server (drops and synthesized
+// statuses fail before the request is sent), so a test can account for
+// acknowledged writes exactly; only truncation corrupts a response the
+// server really produced — the ack-was-lost case retry logic must absorb.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the transport error a dropped connection surfaces.
+// It reaches http.Client callers wrapped in a *url.Error, exactly like a
+// real connection reset.
+var ErrInjectedDrop = errors.New("chaos: injected connection drop")
+
+// ErrInjectedTruncation is returned by a truncated response body after
+// its byte budget is spent — an abrupt mid-body failure, like a peer
+// closing the socket halfway through the payload.
+var ErrInjectedTruncation = errors.New("chaos: injected body truncation")
+
+// Fault is the per-route fault profile. Probabilities are in [0, 1] and
+// drawn independently per request in the order drop, 5xx, 429 — at most
+// one of the three fires; latency and truncation compose with any
+// outcome.
+type Fault struct {
+	// Latency is added to every request before anything else happens.
+	Latency time.Duration
+	// Jitter adds a uniform random extra in [0, Jitter).
+	Jitter time.Duration
+	// DropProb drops the connection before the request is sent: the
+	// caller sees a transport error and the origin never sees the
+	// request.
+	DropProb float64
+	// Error5xxProb synthesizes an HTTP 503 without contacting the origin.
+	Error5xxProb float64
+	// Error429Prob synthesizes an HTTP 429 with a Retry-After header
+	// without contacting the origin.
+	Error429Prob float64
+	// RetryAfter is advertised on injected 429s, rounded up to whole
+	// seconds (the header's granularity). Zero advertises "0".
+	RetryAfter time.Duration
+	// TruncateProb cuts the (real) response body short after a small
+	// random prefix, simulating a connection torn mid-transfer. The
+	// origin has already processed the request.
+	TruncateProb float64
+}
+
+// Plan is a deterministic fault schedule: a default profile plus per-route
+// overrides keyed "METHOD /path" (exact match on method and URL path).
+type Plan struct {
+	// Seed makes the whole fault sequence reproducible.
+	Seed int64
+	// Default applies to routes without an override.
+	Default Fault
+	// Routes maps "METHOD /path" to an override profile.
+	Routes map[string]Fault
+}
+
+func (p Plan) fault(method, path string) Fault {
+	if f, ok := p.Routes[method+" "+path]; ok {
+		return f
+	}
+	return p.Default
+}
+
+// Stats counts the faults a Transport or Middleware has injected.
+type Stats struct {
+	Requests    int64 // requests seen
+	Delays      int64 // requests that had latency added
+	Drops       int64 // injected connection drops
+	Injected5xx int64 // synthesized 503s
+	Injected429 int64 // synthesized 429s
+	Truncations int64 // truncated response bodies
+}
+
+// counters is the shared atomic backing for Stats.
+type counters struct {
+	requests, delays, drops, err5xx, err429, truncations atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Requests:    c.requests.Load(),
+		Delays:      c.delays.Load(),
+		Drops:       c.drops.Load(),
+		Injected5xx: c.err5xx.Load(),
+		Injected429: c.err429.Load(),
+		Truncations: c.truncations.Load(),
+	}
+}
+
+// Transport is the client-side fault injector: an http.RoundTripper that
+// perturbs requests according to a Plan before (or instead of) handing
+// them to the inner transport. Safe for concurrent use; the random
+// sequence is deterministic for a fixed seed and request order.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu   sync.Mutex
+	plan Plan
+	rng  *rand.Rand
+
+	stats counters
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with plan.
+func NewTransport(inner http.RoundTripper, plan Plan) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// SetPlan swaps the fault plan at runtime (e.g. to stage an outage and
+// then heal it). The random stream continues; only the profile changes.
+func (t *Transport) SetPlan(plan Plan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.plan = plan
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *Transport) Stats() Stats { return t.stats.snapshot() }
+
+// draw samples the request's fate under the current plan in one locked
+// pass, so concurrent requests cannot interleave the random stream
+// mid-decision.
+func (t *Transport) draw(method, path string) (f Fault, delay time.Duration, verdict int, truncateAt int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f = t.plan.fault(method, path)
+	delay = f.Latency
+	if f.Jitter > 0 {
+		delay += time.Duration(t.rng.Int63n(int64(f.Jitter)))
+	}
+	switch {
+	case f.DropProb > 0 && t.rng.Float64() < f.DropProb:
+		verdict = verdictDrop
+	case f.Error5xxProb > 0 && t.rng.Float64() < f.Error5xxProb:
+		verdict = verdict5xx
+	case f.Error429Prob > 0 && t.rng.Float64() < f.Error429Prob:
+		verdict = verdict429
+	case f.TruncateProb > 0 && t.rng.Float64() < f.TruncateProb:
+		verdict = verdictTruncate
+		truncateAt = t.rng.Int63n(24) // keep at most a useless prefix
+	}
+	return f, delay, verdict, truncateAt
+}
+
+const (
+	verdictPass = iota
+	verdictDrop
+	verdict5xx
+	verdict429
+	verdictTruncate
+)
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.stats.requests.Add(1)
+	f, delay, verdict, truncateAt := t.draw(req.Method, req.URL.Path)
+	if delay > 0 {
+		t.stats.delays.Add(1)
+		if err := sleepCtx(req.Context(), delay); err != nil {
+			return nil, err
+		}
+	}
+	switch verdict {
+	case verdictDrop:
+		t.stats.drops.Add(1)
+		return nil, ErrInjectedDrop
+	case verdict5xx:
+		t.stats.err5xx.Add(1)
+		return synthesized(req, http.StatusServiceUnavailable, nil), nil
+	case verdict429:
+		t.stats.err429.Add(1)
+		h := http.Header{}
+		h.Set("Retry-After", retryAfterSeconds(f.RetryAfter))
+		return synthesized(req, http.StatusTooManyRequests, h), nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if verdict == verdictTruncate {
+		t.stats.truncations.Add(1)
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: truncateAt}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// Middleware is the server-side twin of Transport: it wraps a handler and
+// applies the plan before the request reaches it. Drops abort the
+// connection via http.ErrAbortHandler (the client sees EOF); truncation
+// is not available server-side — inject it at the transport.
+func (p Plan) Middleware(next http.Handler) http.Handler {
+	t := &Transport{plan: p, rng: rand.New(rand.NewSource(p.Seed))}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.stats.requests.Add(1)
+		f, delay, verdict, _ := t.draw(r.Method, r.URL.Path)
+		if delay > 0 {
+			t.stats.delays.Add(1)
+			if err := sleepCtx(r.Context(), delay); err != nil {
+				return
+			}
+		}
+		switch verdict {
+		case verdictDrop:
+			t.stats.drops.Add(1)
+			panic(http.ErrAbortHandler)
+		case verdict5xx:
+			t.stats.err5xx.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, chaosBody(http.StatusServiceUnavailable))
+			return
+		case verdict429:
+			t.stats.err429.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", retryAfterSeconds(f.RetryAfter))
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, chaosBody(http.StatusTooManyRequests))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sleepCtx blocks for d or until ctx is done, returning the ctx error in
+// the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterSeconds renders d as the Retry-After header's whole-second
+// format, rounding up so the advertised wait is never shorter than the
+// intended one.
+func retryAfterSeconds(d time.Duration) string {
+	if d <= 0 {
+		return "0"
+	}
+	return strconv.Itoa(int(math.Ceil(d.Seconds())))
+}
+
+// chaosBody is the JSON error body carried by synthesized statuses. The
+// code is deliberately not a platform wire code: an injected fault must
+// be distinguishable from a real platform rejection.
+func chaosBody(status int) string {
+	return fmt.Sprintf(`{"code":"chaos_injected","error":"chaos: injected HTTP %d"}`, status)
+}
+
+// synthesized builds a response that never touched the origin server.
+func synthesized(req *http.Request, status int, h http.Header) *http.Response {
+	if h == nil {
+		h = http.Header{}
+	}
+	h.Set("Content-Type", "application/json")
+	body := chaosBody(status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody yields at most remaining bytes of the real body, then
+// fails with ErrInjectedTruncation — not io.EOF, because a clean EOF
+// would look like a complete (if short) message rather than a torn one.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, ErrInjectedTruncation
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The real body ended inside the budget: pass the EOF through so
+		// short responses are occasionally delivered intact.
+		return n, io.EOF
+	}
+	if b.remaining <= 0 && err == nil {
+		err = ErrInjectedTruncation
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newOrigin is a counting origin server: *calls says how many requests
+// really got through the injector.
+func newOrigin(t *testing.T, body string) (*httptest.Server, *int) {
+	t.Helper()
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	return resp, body, readErr
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv, calls := newOrigin(t, `{"ok":true}`)
+	c := &http.Client{Transport: NewTransport(srv.Client().Transport, Plan{})}
+	resp, body, err := get(t, c, srv.URL+"/v1/tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != `{"ok":true}` {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, body)
+	}
+	if *calls != 1 {
+		t.Fatalf("origin saw %d calls, want 1", *calls)
+	}
+}
+
+func TestTransportDropNeverReachesOrigin(t *testing.T) {
+	srv, calls := newOrigin(t, "x")
+	tr := NewTransport(srv.Client().Transport, Plan{Default: Fault{DropProb: 1}})
+	c := &http.Client{Transport: tr}
+	_, _, err := get(t, c, srv.URL+"/")
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("err = %v, want ErrInjectedDrop", err)
+	}
+	if *calls != 0 {
+		t.Fatalf("origin saw %d calls, want 0 — drops must fail before send", *calls)
+	}
+	if s := tr.Stats(); s.Drops != 1 || s.Requests != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTransportSynthesized5xxAnd429(t *testing.T) {
+	srv, calls := newOrigin(t, "x")
+	tr := NewTransport(srv.Client().Transport, Plan{Default: Fault{Error5xxProb: 1}})
+	c := &http.Client{Transport: tr}
+	resp, body, err := get(t, c, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos_injected") {
+		t.Fatalf("body = %q, want the chaos_injected code", body)
+	}
+
+	tr.SetPlan(Plan{Default: Fault{Error429Prob: 1, RetryAfter: 1500 * time.Millisecond}})
+	resp, _, err = get(t, c, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" { // 1.5s rounds up
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if *calls != 0 {
+		t.Fatalf("origin saw %d calls, want 0 — synthesized statuses must not reach it", *calls)
+	}
+}
+
+func TestTransportTruncationTearsBody(t *testing.T) {
+	long := strings.Repeat("payload-", 64) // 512 bytes, far past the 24-byte budget
+	srv, calls := newOrigin(t, long)
+	tr := NewTransport(srv.Client().Transport, Plan{Default: Fault{TruncateProb: 1}})
+	c := &http.Client{Transport: tr}
+	resp, err := c.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	if !errors.Is(readErr, ErrInjectedTruncation) {
+		t.Fatalf("read err = %v, want ErrInjectedTruncation", readErr)
+	}
+	if len(body) >= len(long) {
+		t.Fatalf("body not truncated: %d bytes", len(body))
+	}
+	// Truncation corrupts a response the origin really produced.
+	if *calls != 1 {
+		t.Fatalf("origin saw %d calls, want 1", *calls)
+	}
+}
+
+func TestTransportLatencyRespectsContext(t *testing.T) {
+	srv, _ := newOrigin(t, "x")
+	tr := NewTransport(srv.Client().Transport, Plan{Default: Fault{Latency: time.Minute}})
+	c := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/", nil)
+	start := time.Now()
+	_, err := c.Do(req)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("injected latency ignored the context: took %v", elapsed)
+	}
+}
+
+func TestPerRouteOverridesAndDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:    42,
+		Default: Fault{DropProb: 0.5},
+		Routes: map[string]Fault{
+			"GET /spared": {}, // no faults on this route
+		},
+	}
+	srv, _ := newOrigin(t, "x")
+
+	// The spared route never faults regardless of the default profile.
+	c := &http.Client{Transport: NewTransport(srv.Client().Transport, plan)}
+	for i := 0; i < 20; i++ {
+		if _, _, err := get(t, c, srv.URL+"/spared"); err != nil {
+			t.Fatalf("spared route faulted: %v", err)
+		}
+	}
+
+	// Identical seeds produce the identical fault sequence.
+	run := func() []bool {
+		tr := NewTransport(srv.Client().Transport, plan)
+		cl := &http.Client{Transport: tr}
+		var dropped []bool
+		for i := 0; i < 50; i++ {
+			_, _, err := get(t, cl, srv.URL+"/flaky")
+			dropped = append(dropped, errors.Is(err, ErrInjectedDrop))
+		}
+		return dropped
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at request %d despite identical seed", i)
+		}
+	}
+}
+
+func TestMiddlewareInjectsServerSide(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "real")
+	})
+	srv := httptest.NewServer(Plan{Default: Fault{Error429Prob: 1, RetryAfter: time.Second}}.Middleware(inner))
+	t.Cleanup(srv.Close)
+	resp, body, err := get(t, srv.Client(), srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if strings.Contains(string(body), "real") {
+		t.Fatal("injected 429 leaked the real handler's body")
+	}
+
+	// A server-side drop aborts the connection: the client sees a
+	// transport error, not a status.
+	srv2 := httptest.NewServer(Plan{Default: Fault{DropProb: 1}}.Middleware(inner))
+	t.Cleanup(srv2.Close)
+	if _, err := srv2.Client().Get(srv2.URL + "/"); err == nil {
+		t.Fatal("server-side drop must surface as a connection error")
+	}
+}
+
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{2500 * time.Millisecond, "3"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sybiltd/internal/grouping"
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/truth"
+)
+
+// slowGrouper blocks until its context is cancelled — a stand-in for an
+// O(n²) grouping pass that cannot finish inside the deadline.
+type slowGrouper struct{}
+
+func (slowGrouper) Name() string { return "AG-Slow" }
+func (g slowGrouper) Group(ds *mcs.Dataset) (grouping.Grouping, error) {
+	return g.GroupContext(context.Background(), ds)
+}
+func (slowGrouper) GroupContext(ctx context.Context, ds *mcs.Dataset) (grouping.Grouping, error) {
+	<-ctx.Done()
+	return grouping.Grouping{}, ctx.Err()
+}
+
+// failingGrouper errors immediately without touching the context.
+type failingGrouper struct{}
+
+func (failingGrouper) Name() string { return "AG-Fail" }
+func (failingGrouper) Group(*mcs.Dataset) (grouping.Grouping, error) {
+	return grouping.Grouping{}, errors.New("grouping exploded")
+}
+
+func TestGroupTimeoutDegradesToPerAccount(t *testing.T) {
+	ds := truth.PaperExampleWithSybil()
+	fw := Framework{
+		Grouper: slowGrouper{},
+		Config:  Config{GroupTimeout: 10 * time.Millisecond},
+	}
+	start := time.Now()
+	res, g, err := fw.RunDetailedContext(context.Background(), ds)
+	if err != nil {
+		t.Fatalf("degradation must answer, not error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("GroupTimeout not enforced: took %v", elapsed)
+	}
+	if !res.Degraded || res.DegradedReason != "grouping_timeout" {
+		t.Fatalf("Degraded=%v reason=%q, want degraded with grouping_timeout", res.Degraded, res.DegradedReason)
+	}
+	// The fallback partition is per-account: truth discovery still ran.
+	if g.NumGroups() != ds.NumAccounts() {
+		t.Fatalf("fallback groups = %d, want one per account (%d)", g.NumGroups(), ds.NumAccounts())
+	}
+	if len(res.Truths) != ds.NumTasks() {
+		t.Fatalf("truths = %d, want %d", len(res.Truths), ds.NumTasks())
+	}
+	for j, v := range res.Truths {
+		if v != v {
+			t.Fatalf("task %d has no estimate despite data", j)
+		}
+	}
+}
+
+func TestCallerCancellationDegrades(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fw := Framework{Grouper: slowGrouper{}}
+	res, err := fw.RunContext(ctx, truth.PaperExampleHonest())
+	if err != nil {
+		t.Fatalf("cancelled grouping must degrade, not error: %v", err)
+	}
+	if !res.Degraded || res.DegradedReason != "grouping_cancelled" {
+		t.Fatalf("Degraded=%v reason=%q", res.Degraded, res.DegradedReason)
+	}
+}
+
+func TestGroupingFailureDegradesOnlyWhenOptedIn(t *testing.T) {
+	ds := truth.PaperExampleHonest()
+
+	// Default: fail loud, exactly as before this feature existed.
+	fw := Framework{Grouper: failingGrouper{}}
+	if _, err := fw.RunContext(context.Background(), ds); err == nil {
+		t.Fatal("grouping failure without opt-in must propagate")
+	}
+
+	// Opted in (the serving platform's posture): degrade instead.
+	fw.Config.DegradeOnGroupingFailure = true
+	res, err := fw.RunContext(context.Background(), ds)
+	if err != nil {
+		t.Fatalf("opted-in degradation must answer: %v", err)
+	}
+	if !res.Degraded || res.DegradedReason != "grouping_failed" {
+		t.Fatalf("Degraded=%v reason=%q", res.Degraded, res.DegradedReason)
+	}
+}
+
+func TestHealthyRunIsNotDegraded(t *testing.T) {
+	fw := Framework{Grouper: grouping.AGTS{}}
+	res, err := fw.RunContext(context.Background(), truth.PaperExampleWithSybil())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.DegradedReason != "" {
+		t.Fatalf("healthy run flagged degraded: %+v", res)
+	}
+}
+
+func TestDegradedResultMatchesSingletonFramework(t *testing.T) {
+	// The degraded answer must be exactly what the framework produces with
+	// an explicit per-account partition — not some third behavior.
+	ds := truth.PaperExampleWithSybil()
+	degraded, err := Framework{
+		Grouper: slowGrouper{},
+		Config:  Config{GroupTimeout: 5 * time.Millisecond},
+	}.RunContext(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Framework{Grouper: singletonGrouper{n: ds.NumAccounts()}}.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range explicit.Truths {
+		if degraded.Truths[j] != explicit.Truths[j] {
+			t.Fatalf("task %d: degraded %v != singleton %v", j, degraded.Truths[j], explicit.Truths[j])
+		}
+	}
+}
+
+// singletonGrouper is the explicit per-account partition.
+type singletonGrouper struct{ n int }
+
+func (singletonGrouper) Name() string { return "AG-Singleton" }
+func (g singletonGrouper) Group(*mcs.Dataset) (grouping.Grouping, error) {
+	return grouping.Singletons(g.n), nil
+}

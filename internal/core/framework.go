@@ -8,9 +8,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sybiltd/internal/grouping"
 	"sybiltd/internal/mcs"
@@ -80,6 +82,19 @@ type Config struct {
 	// timings are always recorded into the process metrics registry
 	// (obs.Default()) regardless.
 	Observer obs.Observer
+	// GroupTimeout bounds the account-grouping stage when the framework
+	// runs under a context (RunContext): the stage gets a child context
+	// with this timeout, so a slow O(n²) grouping pass degrades to
+	// per-account truth discovery instead of eating the whole request
+	// deadline. Zero means no extra bound beyond the caller's context.
+	GroupTimeout time.Duration
+	// DegradeOnGroupingFailure extends graceful degradation to *any*
+	// grouping error, not just context cancellation: instead of failing
+	// the whole aggregation, the framework falls back to per-account
+	// (ungrouped) truth discovery and flags the result as degraded. A
+	// serving platform wants this (an answer beats an error mid-campaign);
+	// offline experiments keep the default fail-loud behavior.
+	DegradeOnGroupingFailure bool
 }
 
 func (c Config) withDefaults() Config {
@@ -131,9 +146,46 @@ func (f Framework) Run(ds *mcs.Dataset) (truth.Result, error) {
 	return res, err
 }
 
+// RunContext implements truth.ContextAlgorithm: Run under a cancellation
+// context, with graceful degradation. When the account-grouping stage is
+// cancelled (the caller's deadline, or Config.GroupTimeout) — or fails
+// outright and Config.DegradeOnGroupingFailure is set — the framework
+// does not error: it falls back to per-account (ungrouped) truth
+// discovery and flags the result as Degraded, so an overloaded platform
+// still answers every campaign. Cancellation mid truth-loop stops the
+// iteration early with the current estimates, likewise flagged.
+func (f Framework) RunContext(ctx context.Context, ds *mcs.Dataset) (truth.Result, error) {
+	res, _, err := f.RunDetailedContext(ctx, ds)
+	return res, err
+}
+
 // RunDetailed is Run plus the account grouping it used, for diagnostics
 // and the experiment harness.
 func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping, error) {
+	return f.RunDetailedContext(context.Background(), ds)
+}
+
+// degradeReason classifies a grouping failure: context errors always
+// degrade (the deadline fired), other errors degrade only when the config
+// opts in.
+func degradeReason(err error, cfg Config) (string, bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "grouping_timeout", true
+	case errors.Is(err, context.Canceled):
+		return "grouping_cancelled", true
+	case cfg.DegradeOnGroupingFailure:
+		return "grouping_failed", true
+	default:
+		return "", false
+	}
+}
+
+// RunDetailedContext is RunContext plus the account grouping it used.
+// When the result is degraded the returned grouping is the per-account
+// fallback actually used, not the partition the grouper failed to
+// produce.
+func (f Framework) RunDetailedContext(ctx context.Context, ds *mcs.Dataset) (truth.Result, grouping.Grouping, error) {
 	if f.Grouper == nil {
 		return truth.Result{}, grouping.Grouping{}, ErrNoGrouper
 	}
@@ -147,15 +199,36 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 	tr := obs.Tracer{Registry: obs.Default(), Observer: cfg.Observer, Prefix: "framework."}
 	obs.Default().Counter("framework.runs").Inc()
 
-	// Account grouping (Algorithm 2 line 1).
-	span := tr.Span("grouping")
-	g, err := f.Grouper.Group(ds)
-	span.End()
-	if err != nil {
-		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: account grouping: %w", err)
+	// Account grouping (Algorithm 2 line 1), bounded by the caller's
+	// context and optionally by GroupTimeout.
+	gctx := ctx
+	if cfg.GroupTimeout > 0 {
+		var cancel context.CancelFunc
+		gctx, cancel = context.WithTimeout(ctx, cfg.GroupTimeout)
+		defer cancel()
 	}
-	if err := g.Validate(ds.NumAccounts()); err != nil {
-		return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: grouper %s returned invalid partition: %w", f.Grouper.Name(), err)
+	degraded := false
+	degradedReason := ""
+	span := tr.Span("grouping")
+	g, err := grouping.GroupWithContext(gctx, f.Grouper, ds)
+	span.End()
+	if err == nil {
+		if verr := g.Validate(ds.NumAccounts()); verr != nil {
+			err = fmt.Errorf("grouper %s returned invalid partition: %w", f.Grouper.Name(), verr)
+		}
+	}
+	if err != nil {
+		reason, ok := degradeReason(err, cfg)
+		if !ok {
+			return truth.Result{}, grouping.Grouping{}, fmt.Errorf("core: account grouping: %w", err)
+		}
+		// Graceful degradation: every account becomes its own group, so
+		// the loop below reduces to plain per-account truth discovery.
+		// Weaker against Sybils, but the campaign still gets an answer.
+		degraded, degradedReason = true, reason
+		g = grouping.Singletons(ds.NumAccounts())
+		obs.Default().Counter("framework.degraded").Inc()
+		obs.Default().Counter("framework.degraded." + reason).Inc()
 	}
 
 	m := ds.NumTasks()
@@ -227,6 +300,18 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 	converged := false
 	var iter int
 	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		// Cooperative cancellation between rounds: hand back the current
+		// estimates (flagged degraded) instead of blocking past the
+		// caller's deadline.
+		if ctx.Err() != nil {
+			if !degraded {
+				degraded, degradedReason = true, "truth_loop_cancelled"
+				obs.Default().Counter("framework.degraded").Inc()
+				obs.Default().Counter("framework.degraded.truth_loop_cancelled").Inc()
+			}
+			iter--
+			break
+		}
 		var totalLoss float64
 		for k := 0; k < l; k++ {
 			var loss float64
@@ -313,10 +398,12 @@ func (f Framework) RunDetailed(ds *mcs.Dataset) (truth.Result, grouping.Grouping
 		}
 	}
 	return truth.Result{
-		Truths:     truths,
-		Weights:    acctWeights,
-		Iterations: iter,
-		Converged:  converged,
+		Truths:         truths,
+		Weights:        acctWeights,
+		Iterations:     iter,
+		Converged:      converged,
+		Degraded:       degraded,
+		DegradedReason: degradedReason,
 	}, g, nil
 }
 
@@ -405,4 +492,7 @@ func majorityValue(vals []float64) float64 {
 	return best
 }
 
-var _ truth.Algorithm = Framework{}
+var (
+	_ truth.Algorithm        = Framework{}
+	_ truth.ContextAlgorithm = Framework{}
+)

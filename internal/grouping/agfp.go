@@ -1,6 +1,7 @@
 package grouping
 
 import (
+	"context"
 	"fmt"
 
 	"sybiltd/internal/cluster"
@@ -48,8 +49,19 @@ func (AGFP) Name() string { return "AG-FP" }
 // about them, and the framework's false-positive caution (§IV-A) argues
 // against guessing.
 func (g AGFP) Group(ds *mcs.Dataset) (Grouping, error) {
+	return g.GroupContext(context.Background(), ds)
+}
+
+// GroupContext implements ContextGrouper. AG-FP's stages (standardize,
+// PCA, k-means sweep) are checked against ctx at their boundaries; the
+// k-means restarts themselves run to completion, so cancellation latency
+// is bounded by one clustering pass rather than the whole k sweep.
+func (g AGFP) GroupContext(ctx context.Context, ds *mcs.Dataset) (Grouping, error) {
 	if ds == nil {
 		return Grouping{}, ErrNilDataset
+	}
+	if err := ctx.Err(); err != nil {
+		return Grouping{}, fmt.Errorf("grouping: AG-FP cancelled: %w", err)
 	}
 	n := ds.NumAccounts()
 	if n == 0 {
@@ -84,6 +96,9 @@ func (g AGFP) Group(ds *mcs.Dataset) (Grouping, error) {
 		sw.Stop()
 		if err != nil {
 			return Grouping{}, fmt.Errorf("grouping: AG-FP PCA: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return Grouping{}, fmt.Errorf("grouping: AG-FP cancelled: %w", err)
 		}
 
 		sw = obs.Default().Timer("grouping.agfp.clustering_seconds").Start()
@@ -131,7 +146,10 @@ func (g AGFP) Group(ds *mcs.Dataset) (Grouping, error) {
 	return fromComponents(groups), nil
 }
 
-var _ Grouper = AGFP{}
+var (
+	_ Grouper        = AGFP{}
+	_ ContextGrouper = AGFP{}
+)
 
 // reduce projects standardized fingerprints onto the leading principal
 // components per PCAVarianceFrac.

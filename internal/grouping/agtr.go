@@ -1,6 +1,7 @@
 package grouping
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -102,6 +103,14 @@ func (g AGTR) calcDistance(c *dtw.Calculator, a, b []float64) float64 {
 
 // Group implements Grouper.
 func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
+	return g.GroupContext(context.Background(), ds)
+}
+
+// GroupContext implements ContextGrouper: the O(n²) DTW distance-matrix
+// fill — the framework's hottest stage — stops handing out pairs once ctx
+// is done and the context error is returned, so a request deadline can
+// bound a grouping pass that would otherwise run for seconds.
+func (g AGTR) GroupContext(ctx context.Context, ds *mcs.Dataset) (Grouping, error) {
 	if ds == nil {
 		return Grouping{}, ErrNilDataset
 	}
@@ -134,7 +143,7 @@ func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
 	}
 	dis := make([]float64, parallel.NumPairs(n))
 	sw := obs.Default().Timer("grouping.agtr.distance_matrix_seconds").Start()
-	parallel.PairwiseWorkers(n, func() func(i, j, k int) {
+	err := parallel.PairwiseWorkersCtx(ctx, n, func() func(i, j, k int) {
 		calc := dtw.NewCalculator()
 		return func(i, j, k int) {
 			if len(taskSeries[i]) == 0 || len(taskSeries[j]) == 0 {
@@ -147,6 +156,9 @@ func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
 		}
 	})
 	sw.Stop()
+	if err != nil {
+		return Grouping{}, fmt.Errorf("grouping: AG-TR cancelled: %w", err)
+	}
 	sw = obs.Default().Timer("grouping.agtr.components_seconds").Start()
 	ug, err := graph.ThresholdBelowPacked(n, dis, phi)
 	if err != nil {
@@ -157,4 +169,7 @@ func (g AGTR) Group(ds *mcs.Dataset) (Grouping, error) {
 	return grp, nil
 }
 
-var _ Grouper = AGTR{}
+var (
+	_ Grouper        = AGTR{}
+	_ ContextGrouper = AGTR{}
+)

@@ -1,6 +1,7 @@
 package grouping
 
 import (
+	"context"
 	"fmt"
 
 	"sybiltd/internal/graph"
@@ -68,6 +69,13 @@ func affinity(si, sj map[int]bool, m int) float64 {
 
 // Group implements Grouper.
 func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
+	return g.GroupContext(context.Background(), ds)
+}
+
+// GroupContext implements ContextGrouper: the O(n²) affinity-matrix fill
+// stops handing out pairs once ctx is done and the context error is
+// returned.
+func (g AGTS) GroupContext(ctx context.Context, ds *mcs.Dataset) (Grouping, error) {
 	if ds == nil {
 		return Grouping{}, ErrNilDataset
 	}
@@ -89,7 +97,7 @@ func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
 	// and thresholded into the account graph in row-major order.
 	aff := make([]float64, parallel.NumPairs(n))
 	sw := obs.Default().Timer("grouping.agts.affinity_matrix_seconds").Start()
-	parallel.Pairwise(n, func(i, j, k int) {
+	err := parallel.PairwiseCtx(ctx, n, func(i, j, k int) {
 		if m == 0 {
 			aff[k] = 0
 			return
@@ -97,6 +105,9 @@ func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
 		aff[k] = affinity(sets[i], sets[j], m)
 	})
 	sw.Stop()
+	if err != nil {
+		return Grouping{}, fmt.Errorf("grouping: AG-TS cancelled: %w", err)
+	}
 	sw = obs.Default().Timer("grouping.agts.components_seconds").Start()
 	ug, err := graph.ThresholdAbovePacked(n, aff, rho)
 	if err != nil {
@@ -107,4 +118,7 @@ func (g AGTS) Group(ds *mcs.Dataset) (Grouping, error) {
 	return grp, nil
 }
 
-var _ Grouper = AGTS{}
+var (
+	_ Grouper        = AGTS{}
+	_ ContextGrouper = AGTS{}
+)

@@ -1,6 +1,7 @@
 package grouping
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -62,6 +63,12 @@ func (c Combo) Name() string {
 
 // Group implements Grouper.
 func (c Combo) Group(ds *mcs.Dataset) (Grouping, error) {
+	return c.GroupContext(context.Background(), ds)
+}
+
+// GroupContext implements ContextGrouper: cancellation is forwarded to
+// every member that supports it and checked between members.
+func (c Combo) GroupContext(ctx context.Context, ds *mcs.Dataset) (Grouping, error) {
 	if ds == nil {
 		return Grouping{}, ErrNilDataset
 	}
@@ -75,7 +82,7 @@ func (c Combo) Group(ds *mcs.Dataset) (Grouping, error) {
 	n := ds.NumAccounts()
 	labelings := make([][]int, len(c.Members))
 	for mi, member := range c.Members {
-		g, err := member.Group(ds)
+		g, err := GroupWithContext(ctx, member, ds)
 		if err != nil {
 			return Grouping{}, fmt.Errorf("grouping: combo member %s: %w", member.Name(), err)
 		}
@@ -110,4 +117,7 @@ func (c Combo) Group(ds *mcs.Dataset) (Grouping, error) {
 	return fromComponents(uf.Components()), nil
 }
 
-var _ Grouper = Combo{}
+var (
+	_ Grouper        = Combo{}
+	_ ContextGrouper = Combo{}
+)

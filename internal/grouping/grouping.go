@@ -8,6 +8,7 @@
 package grouping
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -116,6 +117,31 @@ type Grouper interface {
 	Name() string
 	// Group partitions the dataset's accounts.
 	Group(ds *mcs.Dataset) (Grouping, error)
+}
+
+// ContextGrouper is a Grouper whose pairwise/clustering work can be
+// cancelled mid-flight. GroupContext must return promptly (with ctx's
+// error, possibly wrapped) once ctx is done; work already scheduled on a
+// worker pool is abandoned cooperatively, never leaked.
+type ContextGrouper interface {
+	Grouper
+	// GroupContext is Group under a cancellation context.
+	GroupContext(ctx context.Context, ds *mcs.Dataset) (Grouping, error)
+}
+
+// GroupWithContext partitions ds with g, honoring ctx when g implements
+// ContextGrouper. Groupers without context support run to completion; the
+// context is only checked before the call, so callers that need a hard
+// bound should prefer context-aware groupers (AG-FP, AG-TS, AG-TR all
+// are).
+func GroupWithContext(ctx context.Context, g Grouper, ds *mcs.Dataset) (Grouping, error) {
+	if cg, ok := g.(ContextGrouper); ok {
+		return cg.GroupContext(ctx, ds)
+	}
+	if err := ctx.Err(); err != nil {
+		return Grouping{}, err
+	}
+	return g.Group(ds)
 }
 
 // Singletons returns the trivial grouping in which every account is alone —

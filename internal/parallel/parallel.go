@@ -11,6 +11,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,23 @@ func ForEach(n int, fn func(i int) error) error {
 	return firstErr
 }
 
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no further indices are handed out (invocations already in flight run to
+// completion) and the context's error is returned. fn errors still win
+// over the context error when they were recorded first.
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := ForEach(n, func(i int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fn(i)
+	})
+	return err
+}
+
 // Pairwise invokes f(i, j, k) for every unordered pair 0 <= i < j < n,
 // where k = PairIndex(n, i, j) is the pair's row-major rank in the strict
 // upper triangle. The triangle is sharded across up to GOMAXPROCS workers
@@ -159,6 +177,51 @@ func PairwiseWorkers(n int, setup func() func(i, j, k int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// PairwiseCtx is Pairwise with cooperative cancellation: workers stop
+// picking up pairs shortly after ctx is done and the context's error is
+// returned. Pairs already visited keep their written results, so a caller
+// that sees a nil error has the complete, bit-identical matrix.
+func PairwiseCtx(ctx context.Context, n int, f func(i, j, k int)) error {
+	return PairwiseWorkersCtx(ctx, n, func() func(i, j, k int) { return f })
+}
+
+// PairwiseWorkersCtx is PairwiseWorkers with cooperative cancellation.
+// Cancellation is observed between pairs (a single f invocation is never
+// interrupted); the check is a shared atomic flag refreshed from ctx at a
+// small stride, so the per-pair overhead stays negligible under the DTW
+// inner loops.
+func PairwiseWorkersCtx(ctx context.Context, n int, setup func() func(i, j, k int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var stopped atomic.Bool
+	const stride = 16 // pairs between ctx.Err() refreshes per worker
+	PairwiseWorkers(n, func() func(i, j, k int) {
+		f := setup()
+		sinceCheck := 0
+		return func(i, j, k int) {
+			if stopped.Load() {
+				return
+			}
+			if sinceCheck++; sinceCheck >= stride {
+				sinceCheck = 0
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+			}
+			f(i, j, k)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stopped.Load() {
+		return context.Canceled
+	}
+	return nil
 }
 
 // NumPairs returns the number of unordered pairs over n items, i.e. the

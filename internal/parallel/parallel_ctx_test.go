@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCtxCompletesWithoutCancellation(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEachCtx(context.Background(), 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+}
+
+func TestForEachCtxStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 10_000, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("cancellation did not stop the loop early")
+	}
+}
+
+func TestForEachCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled context still ran %d items", ran.Load())
+	}
+}
+
+func TestForEachCtxFnErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEachCtx(context.Background(), 50, func(i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the fn error", err)
+	}
+}
+
+func TestPairwiseCtxCompleteMatrixOnNilError(t *testing.T) {
+	const n = 40
+	visited := make([]atomic.Int32, NumPairs(n))
+	if err := PairwiseCtx(context.Background(), n, func(i, j, k int) {
+		visited[k].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range visited {
+		if got := visited[k].Load(); got != 1 {
+			t.Fatalf("pair %d visited %d times, want exactly 1", k, got)
+		}
+	}
+}
+
+func TestPairwiseCtxStopsOnCancel(t *testing.T) {
+	// A large triangle with a slow pair function: cancellation mid-run
+	// must stop the workers well before all pairs are visited, and the
+	// call must return the context error rather than blocking.
+	const n = 256 // 32640 pairs
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- PairwiseCtx(ctx, n, func(i, j, k int) {
+			visited.Add(1)
+			time.Sleep(50 * time.Microsecond)
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("PairwiseCtx did not return after cancellation — stranded workers")
+	}
+	if got := visited.Load(); got >= int64(NumPairs(n)) {
+		t.Fatalf("all %d pairs visited despite cancellation", got)
+	}
+}
+
+func TestPairwiseWorkersCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var visited atomic.Int64
+	err := PairwiseWorkersCtx(ctx, 100, func() func(i, j, k int) {
+		return func(i, j, k int) { visited.Add(1) }
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if visited.Load() != 0 {
+		t.Fatalf("pre-cancelled context still visited %d pairs", visited.Load())
+	}
+}
+
+func TestPairwiseCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	err := PairwiseCtx(ctx, 512, func(i, j, k int) {
+		time.Sleep(20 * time.Microsecond)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

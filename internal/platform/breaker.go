@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"sync"
+	"time"
+
+	"sybiltd/internal/obs"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows normally; consecutive transport-level
+	// failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the failure threshold was reached; every call is
+	// refused locally with ErrCircuitOpen until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// allowed through. Success closes the circuit, failure reopens it.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a minimal closed/open/half-open circuit breaker. Failures
+// are transport-level only (connection errors, 5xx, torn bodies): a 4xx —
+// including 429 — proves the server is alive and answering, so it counts
+// as breaker success even though the request was refused.
+//
+// Transitions are recorded as counters in obs.Default()
+// (client.breaker.opened / half_open / closed), so a process embedding
+// the client exposes breaker behavior through the same /metrics endpoints
+// as everything else.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent now. In half-open state only
+// one in-flight probe is admitted; everything else is refused until the
+// probe settles.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		obs.Default().Counter("client.breaker.half_open").Inc()
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record reports one settled request outcome.
+func (b *breaker) record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		if b.state != BreakerClosed {
+			obs.Default().Counter("client.breaker.closed").Inc()
+		}
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		// The probe failed: reopen and restart the cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		obs.Default().Counter("client.breaker.opened").Inc()
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		obs.Default().Counter("client.breaker.opened").Inc()
+	}
+}
+
+// currentState returns the state, promoting open → half-open when the
+// cooldown has elapsed so callers see the probe-eligible state.
+func (b *breaker) currentState() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

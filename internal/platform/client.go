@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,15 +51,27 @@ type ClientConfig struct {
 	// 10 s timeout.
 	HTTPClient *http.Client
 	// MaxRetries is the number of additional attempts after the first one
-	// fails with a connection error or a 5xx response. 4xx responses are
-	// never retried: the request is wrong, not the network. Zero disables
-	// retries.
+	// fails with a connection error, a 5xx response, a torn response body,
+	// or a rate-limit 429 (one carrying Retry-After or the rate_limited
+	// code). Other 4xx responses are never retried: the request is wrong,
+	// not the network. Zero disables retries.
 	MaxRetries int
 	// RetryBaseDelay is the backoff before the first retry; it doubles
 	// per attempt. Zero means 100 ms.
 	RetryBaseDelay time.Duration
-	// RetryMaxDelay caps the backoff. Zero means 2 s.
+	// RetryMaxDelay caps the backoff. Zero means 2 s. A server-advertised
+	// Retry-After longer than the cap is still honored in full: hammering
+	// a shedding server early is worse than waiting.
 	RetryMaxDelay time.Duration
+	// BreakerThreshold opens the client's circuit breaker after this many
+	// consecutive transport-level failures (connection errors, 5xx, torn
+	// response bodies). While open, calls fail fast with ErrCircuitOpen
+	// instead of touching the network; after BreakerCooldown one probe is
+	// let through and its outcome closes or reopens the circuit. Zero
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay. Zero means 1 s.
+	BreakerCooldown time.Duration
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -75,8 +90,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // Client is a typed HTTP client for the platform API, used by cmd/mcsagent
 // and integration tests.
 type Client struct {
-	base string
-	cfg  ClientConfig
+	base    string
+	cfg     ClientConfig
+	breaker *breaker // nil when BreakerThreshold == 0
 
 	mu  sync.Mutex
 	rng *rand.Rand // jitter source, guarded by mu
@@ -91,11 +107,24 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 // NewClientWithConfig targets baseURL with explicit retry/transport
 // configuration.
 func NewClientWithConfig(baseURL string, cfg ClientConfig) *Client {
-	return &Client{
+	c := &Client{
 		base: baseURL,
 		cfg:  cfg.withDefaults(),
 		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	if cfg.BreakerThreshold > 0 {
+		c.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	return c
+}
+
+// BreakerState reports the circuit breaker's current state. Without a
+// configured breaker (BreakerThreshold == 0) it is always BreakerClosed.
+func (c *Client) BreakerState() BreakerState {
+	if c.breaker == nil {
+		return BreakerClosed
+	}
+	return c.breaker.currentState()
 }
 
 // Tasks lists the published tasks.
@@ -175,9 +204,30 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	return out, err
 }
 
-// do performs one API call with bounded retry: connection errors and 5xx
-// responses back off exponentially (with jitter) up to MaxRetries extra
-// attempts; 4xx responses return immediately as *APIError.
+// attemptResult classifies one request attempt for the retry loop and the
+// circuit breaker.
+type attemptResult struct {
+	err error
+	// retryable: connection errors, 5xx, torn response bodies, and
+	// rate-limit 429s (which carry a Retry-After or the rate_limited
+	// code). Other 4xx are never retried: the request is wrong, not the
+	// network.
+	retryable bool
+	// retryAfter is the server-advertised minimum wait (from the
+	// Retry-After header), honored in full before the next attempt.
+	retryAfter time.Duration
+	// transportFailure marks failures that count toward the breaker:
+	// connection errors, 5xx, torn bodies. Any decoded HTTP response < 500
+	// proves the server alive, so 4xx (even 429) is breaker-success.
+	transportFailure bool
+}
+
+// do performs one API call with bounded retry: connection errors, 5xx
+// responses, and torn bodies back off exponentially (with jitter) up to
+// MaxRetries extra attempts; rate-limit 429s retry no earlier than the
+// advertised Retry-After; other 4xx responses return immediately as
+// *APIError. The circuit breaker, when configured, is consulted before
+// and updated after every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
@@ -188,32 +238,38 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		payload = buf
 	}
 
-	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable := c.attempt(ctx, method, path, payload, out)
-		if err == nil {
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				return fmt.Errorf("platform client: %s %s: %w", method, path, err)
+			}
+		}
+		res := c.attempt(ctx, method, path, payload, out)
+		if c.breaker != nil {
+			c.breaker.record(!res.transportFailure)
+		}
+		if res.err == nil {
 			return nil
 		}
-		lastErr = fmt.Errorf("platform client: %s %s: %w", method, path, err)
-		if !retryable || attempt >= c.cfg.MaxRetries {
+		lastErr := fmt.Errorf("platform client: %s %s: %w", method, path, res.err)
+		if !res.retryable || attempt >= c.cfg.MaxRetries {
 			return lastErr
 		}
-		if err := c.sleep(ctx, attempt); err != nil {
+		if err := c.sleep(ctx, attempt, res.retryAfter); err != nil {
 			return fmt.Errorf("platform client: %s %s: retry aborted: %w", method, path, err)
 		}
 	}
 }
 
-// attempt performs a single request. retryable reports whether the
-// failure class (connection error or 5xx) is worth another attempt.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) (err error, retryable bool) {
+// attempt performs a single request.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) attemptResult {
 	var reader io.Reader
 	if payload != nil {
 		reader = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
-		return err, false
+		return attemptResult{err: err}
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -223,23 +279,62 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		// Connection-level failure. Retrying a cancelled context is
 		// pointless, so surface it immediately.
 		if ctx.Err() != nil {
-			return err, false
+			return attemptResult{err: err, transportFailure: true}
 		}
-		return err, true
+		return attemptResult{err: err, retryable: true, transportFailure: true}
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode >= 400 {
-		return decodeAPIError(resp), resp.StatusCode >= 500
+		retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		apiErr := decodeAPIError(resp)
+		res := attemptResult{err: apiErr, retryAfter: retryAfter}
+		switch {
+		case resp.StatusCode >= 500:
+			res.retryable = true
+			res.transportFailure = true
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Retry a 429 only when it is a shed-load signal (an
+			// advertised wait or the rate_limited code) — a semantic 429
+			// like account_cap_reached will not clear by waiting.
+			var ae *APIError
+			if errors.As(apiErr, &ae) && (retryAfter > 0 || ae.Code == CodeRateLimited) {
+				res.retryable = true
+			}
+		}
+		return res
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("decode: %w", err), false
+			// A body that fails to decode on a success status is a torn
+			// transfer (truncated or corrupted mid-flight), not a wrong
+			// request: retryable, and a transport failure for the breaker.
+			return attemptResult{err: fmt.Errorf("decode: %w", err), retryable: true, transportFailure: true}
 		}
 	}
-	return nil, false
+	return attemptResult{}
+}
+
+// parseRetryAfter reads a Retry-After header value: either delta-seconds
+// or an HTTP date. Returns 0 when absent or unparseable.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // decodeAPIError builds the *APIError for a >= 400 response, consuming
@@ -256,8 +351,11 @@ func decodeAPIError(resp *http.Response) error {
 
 // sleep blocks for the attempt's backoff delay (exponential from
 // RetryBaseDelay, capped at RetryMaxDelay, jittered to 50–100% of the
-// nominal value so synchronized clients spread out) or until ctx ends.
-func (c *Client) sleep(ctx context.Context, attempt int) error {
+// nominal value so synchronized clients spread out) or until ctx ends,
+// returning the context error in that case. A server-advertised minimum
+// (Retry-After) is honored in full, uncapped and unjittered downward:
+// retrying a shedding server early only deepens the overload.
+func (c *Client) sleep(ctx context.Context, attempt int, minDelay time.Duration) error {
 	delay := c.cfg.RetryBaseDelay << uint(attempt)
 	if delay > c.cfg.RetryMaxDelay || delay <= 0 {
 		delay = c.cfg.RetryMaxDelay
@@ -266,8 +364,13 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 	frac := 0.5 + 0.5*c.rng.Float64()
 	c.mu.Unlock()
 	delay = time.Duration(float64(delay) * frac)
+	if delay < minDelay {
+		delay = minDelay
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	select {
-	case <-time.After(delay):
+	case <-timer.C:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

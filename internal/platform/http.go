@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sybiltd/internal/mcs"
@@ -68,10 +70,14 @@ type (
 		Estimated   bool    `json:"estimated"`
 		Uncertainty float64 `json:"uncertainty,omitempty"`
 	}
-	// ResponseMeta carries loop metadata.
+	// ResponseMeta carries loop metadata. Degraded marks a result computed
+	// on the graceful-degradation path (per-account truth discovery after
+	// grouping timed out or failed); DegradedReason says why.
 	ResponseMeta struct {
-		Iterations int  `json:"iterations"`
-		Converged  bool `json:"converged"`
+		Iterations     int    `json:"iterations"`
+		Converged      bool   `json:"converged"`
+		Degraded       bool   `json:"degraded,omitempty"`
+		DegradedReason string `json:"degraded_reason,omitempty"`
 	}
 	// StatsResponse summarizes the store.
 	StatsResponse struct {
@@ -109,7 +115,14 @@ const (
 	CodeUnknownAggregation = "unknown_aggregation"
 	CodeMalformedRequest   = "malformed_request"
 	CodeDurability         = "durability_unavailable"
-	CodeInternal           = "internal"
+	// CodeRateLimited marks a per-account token-bucket rejection; the
+	// response carries a Retry-After header and is safe to retry after it.
+	CodeRateLimited = "rate_limited"
+	// CodeOverloaded marks load shedding (admission queue full or wait
+	// budget spent) or a request deadline hit mid-operation; the response
+	// carries a Retry-After header.
+	CodeOverloaded = "overloaded"
+	CodeInternal   = "internal"
 )
 
 // codeForError maps a store/server error onto its wire code and HTTP
@@ -130,10 +143,19 @@ func codeForError(err error) (code string, status int) {
 		return CodeDuplicateReport, http.StatusConflict
 	case errors.Is(err, ErrTooManyAccounts):
 		return CodeAccountCapReached, http.StatusTooManyRequests
+	case errors.Is(err, ErrRateLimited):
+		return CodeRateLimited, http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded, http.StatusServiceUnavailable
 	case errors.Is(err, ErrDurability):
 		// 503, not 500: the request was valid and the client's bounded
 		// retry may land after the disk recovers.
 		return CodeDurability, http.StatusServiceUnavailable
+	case isCtxErr(err):
+		// A deadline or cancellation that reached the handler without
+		// being wrapped: the server gave up under load, not the client's
+		// request being wrong.
+		return CodeOverloaded, http.StatusServiceUnavailable
 	default:
 		return CodeInternal, http.StatusInternalServerError
 	}
@@ -160,6 +182,10 @@ func sentinelForCode(code string) error {
 		return ErrMalformedRequest
 	case CodeDurability:
 		return ErrDurability
+	case CodeRateLimited:
+		return ErrRateLimited
+	case CodeOverloaded:
+		return ErrOverloaded
 	default:
 		return nil
 	}
@@ -170,11 +196,46 @@ func sentinelForCode(code string) error {
 // histogram, plus a shared in-flight gauge, all in the server's metrics
 // registry. The registry itself is served at /v1/metrics (JSON) and
 // /metrics (Prometheus text).
+//
+// With ServerOptions.Limits set, every /v1 route additionally passes a
+// weighted-concurrency admission gate (shed with 503 + Retry-After when
+// the bounded wait queue overflows or the wait budget expires), mutating
+// routes pass a per-account token-bucket rate limiter (429 + Retry-After),
+// and the configured request deadline is attached to the request context
+// and propagated into store, durability, and aggregation work. /healthz,
+// /readyz, and the metrics endpoints bypass the gate and the latency
+// histograms entirely: an operator must be able to observe an overloaded
+// server, and scrapes must not compete with traffic for admission.
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
 	log   *log.Logger
 	reg   *obs.Registry
+
+	limits   ServerLimits
+	gate     *gate           // nil when MaxConcurrent == 0
+	limiter  *accountLimiter // nil when RatePerSec == 0
+	draining atomic.Bool
+
+	shedOverload *obs.Counter
+	shedRate     *obs.Counter
+	gateInUse    *obs.Gauge
+	gateQueued   *obs.Gauge
+}
+
+// ServerOptions configures NewServerWithOptions. The zero value matches
+// NewServer: process-wide metrics registry, no logging, no overload
+// protection.
+type ServerOptions struct {
+	// Logger receives request-handling diagnostics; nil disables logging.
+	Logger *log.Logger
+	// Registry is the metrics registry; nil means obs.Default(). Library
+	// metrics always flow to obs.Default(), so pass a custom registry only
+	// when HTTP-layer isolation is wanted (e.g. hermetic tests).
+	Registry *obs.Registry
+	// Limits is the overload-protection configuration. The zero value
+	// disables the admission gate, rate limiter, and request deadline.
+	Limits ServerLimits
 }
 
 // NewServer wires the HTTP handlers against the process-wide metrics
@@ -182,34 +243,76 @@ type Server struct {
 // framework/grouping/truth instrumentation recorded by the library.
 // logger may be nil to disable logging.
 func NewServer(store *Store, logger *log.Logger) *Server {
-	return NewServerWithRegistry(store, logger, nil)
+	return NewServerWithOptions(store, ServerOptions{Logger: logger})
 }
 
 // NewServerWithRegistry is NewServer with an explicit metrics registry;
-// nil means obs.Default(). Library metrics always flow to obs.Default(),
-// so pass a custom registry only when HTTP-layer isolation is wanted
-// (e.g. hermetic tests).
+// nil means obs.Default().
 func NewServerWithRegistry(store *Store, logger *log.Logger, reg *obs.Registry) *Server {
+	return NewServerWithOptions(store, ServerOptions{Logger: logger, Registry: reg})
+}
+
+// Route admission weights: heavier routes consume more gate capacity, so
+// one aggregation in flight leaves room for several cheap reads but two
+// aggregations can saturate a small gate — which is the point.
+const (
+	weightLight     = 1 // tasks, stats, submissions, fingerprints
+	weightDataset   = 2 // full-campaign export
+	weightAggregate = 4 // truth-discovery run
+)
+
+// NewServerWithOptions is the fully-configurable constructor.
+func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
+	reg := opts.Registry
 	if reg == nil {
 		reg = obs.Default()
 	}
-	s := &Server{store: store, mux: http.NewServeMux(), log: logger, reg: reg}
-	s.handle("GET /v1/tasks", s.handleTasks)
-	s.handle("POST /v1/submissions", s.handleSubmit)
-	s.handle("POST /v1/fingerprints", s.handleFingerprint)
-	s.handle("POST /v1/aggregate", s.handleAggregate)
-	s.handle("GET /v1/stats", s.handleStats)
-	s.handle("GET /v1/dataset", s.handleDataset)
-	// The metrics endpoints themselves are not instrumented: scrapes
-	// every few seconds would dominate the request counters.
+	s := &Server{
+		store:  store,
+		mux:    http.NewServeMux(),
+		log:    opts.Logger,
+		reg:    reg,
+		limits: opts.Limits.withDefaults(),
+
+		shedOverload: reg.Counter("http.shed.overload"),
+		shedRate:     reg.Counter("http.shed.rate_limited"),
+		gateInUse:    reg.Gauge("http.gate.in_use"),
+		gateQueued:   reg.Gauge("http.gate.queued"),
+	}
+	if s.limits.MaxConcurrent > 0 {
+		s.gate = newGate(s.limits.MaxConcurrent, s.limits.MaxQueue)
+	}
+	if s.limits.RatePerSec > 0 {
+		s.limiter = newAccountLimiter(s.limits.RatePerSec, s.limits.RateBurst)
+	}
+	s.handle("GET /v1/tasks", weightLight, s.handleTasks)
+	s.handle("POST /v1/submissions", weightLight, s.handleSubmit)
+	s.handle("POST /v1/fingerprints", weightLight, s.handleFingerprint)
+	s.handle("POST /v1/aggregate", weightAggregate, s.handleAggregate)
+	s.handle("GET /v1/stats", weightLight, s.handleStats)
+	s.handle("GET /v1/dataset", weightDataset, s.handleDataset)
+	// The metrics and health endpoints themselves are not instrumented and
+	// not gated: scrapes every few seconds would dominate the request
+	// counters, and health checks must answer precisely when the gate is
+	// saturated.
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
+// SetDraining marks the server as shutting down: /readyz starts answering
+// 503 so load balancers stop routing new traffic, while in-flight and
+// already-admitted requests complete normally.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // handle registers pattern with request counting, error counting, latency
-// timing, and in-flight tracking around h.
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
+// timing, in-flight tracking, and — when configured — deadline attachment
+// and gate admission around h. Shed requests are counted in the route's
+// request/error counters but not its latency histogram: a rejection in
+// microseconds would drag the percentiles into fiction.
+func (s *Server) handle(pattern string, weight int, h http.HandlerFunc) {
 	base := "http." + routeMetricName(pattern)
 	requests := s.reg.Counter(base + ".requests")
 	errors4xx := s.reg.Counter(base + ".errors_4xx")
@@ -219,18 +322,47 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		inFlight.Add(1)
 		defer inFlight.Add(-1)
-		sw := latency.Start()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			requests.Inc()
+			switch {
+			case rec.status >= 500:
+				errors5xx.Inc()
+			case rec.status >= 400:
+				errors4xx.Inc()
+			}
+		}()
+		if s.limits.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.limits.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.gate != nil {
+			if err := s.gate.acquire(r.Context(), weight, s.limits.QueueTimeout); err != nil {
+				s.shedOverload.Inc()
+				s.updateGateGauges()
+				s.writeError(rec, err)
+				return
+			}
+			s.updateGateGauges()
+			defer func() {
+				s.gate.release(weight)
+				s.updateGateGauges()
+			}()
+		}
+		sw := latency.Start()
 		h(rec, r)
 		sw.Stop()
-		requests.Inc()
-		switch {
-		case rec.status >= 500:
-			errors5xx.Inc()
-		case rec.status >= 400:
-			errors4xx.Inc()
-		}
 	})
+}
+
+func (s *Server) updateGateGauges() {
+	if s.gate == nil {
+		return
+	}
+	inUse, queued := s.gate.load()
+	s.gateInUse.Set(int64(inUse))
+	s.gateQueued.Set(int64(queued))
 }
 
 // routeMetricName turns a mux pattern like "POST /v1/aggregate" into a
@@ -276,7 +408,31 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code, status := codeForError(err)
+	if code == CodeRateLimited || code == CodeOverloaded {
+		// Shed-load responses advertise when to come back. A handler that
+		// computed a tighter estimate (the rate limiter's next-token time)
+		// sets the header first; otherwise fall back to the configured hint.
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", retryAfterValue(s.limits.RetryAfterHint))
+		}
+	}
 	s.writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
+}
+
+// allowAccount applies the per-account rate limit; with no limiter
+// configured every request passes.
+func (s *Server) allowAccount(w http.ResponseWriter, account string) bool {
+	if s.limiter == nil {
+		return true
+	}
+	wait, ok := s.limiter.allow(account)
+	if ok {
+		return true
+	}
+	s.shedRate.Inc()
+	w.Header().Set("Retry-After", retryAfterValue(wait))
+	s.writeError(w, fmt.Errorf("%w: account %q", ErrRateLimited, account))
+	return false
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -303,10 +459,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if !s.allowAccount(w, req.Account) {
+		return
+	}
 	if req.Time.IsZero() {
 		req.Time = time.Now().UTC()
 	}
-	if err := s.store.Submit(req.Account, req.Task, req.Value, req.Time); err != nil {
+	if err := s.store.SubmitContext(r.Context(), req.Account, req.Task, req.Value, req.Time); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -318,6 +477,9 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if !s.allowAccount(w, req.Account) {
+		return
+	}
 	hasRaw := len(req.AccelX) > 0 || len(req.AccelY) > 0 || len(req.AccelZ) > 0 ||
 		len(req.GyroX) > 0 || len(req.GyroY) > 0 || len(req.GyroZ) > 0
 	if len(req.Features) > 0 {
@@ -325,7 +487,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, fmt.Errorf("%w: both raw capture and feature vector present; send exactly one", ErrBadFingerprint))
 			return
 		}
-		if err := s.store.RecordFingerprintFeatures(req.Account, req.Features); err != nil {
+		if err := s.store.RecordFingerprintFeaturesContext(r.Context(), req.Account, req.Features); err != nil {
 			s.writeError(w, err)
 			return
 		}
@@ -337,7 +499,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		AccelX:     req.AccelX, AccelY: req.AccelY, AccelZ: req.AccelZ,
 		GyroX: req.GyroX, GyroY: req.GyroY, GyroZ: req.GyroZ,
 	}
-	if err := s.store.RecordFingerprint(req.Account, rec); err != nil {
+	if err := s.store.RecordFingerprintContext(r.Context(), req.Account, rec); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -349,14 +511,19 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	res, unc, err := s.store.AggregateWithUncertainty(req.Method)
+	res, unc, err := s.store.AggregateWithUncertaintyContext(r.Context(), req.Method)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	resp := AggregateResponse{
 		Method: req.Method,
-		Meta:   ResponseMeta{Iterations: res.Iterations, Converged: res.Converged},
+		Meta: ResponseMeta{
+			Iterations:     res.Iterations,
+			Converged:      res.Converged,
+			Degraded:       res.Degraded,
+			DegradedReason: res.DegradedReason,
+		},
 	}
 	for j, v := range res.Truths {
 		dto := TruthDTO{Task: j}
@@ -386,6 +553,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Tasks:    len(s.store.Tasks()),
 		Accounts: s.store.NumAccounts(),
 	})
+}
+
+// handleHealthz is liveness: the process is up and serving. Always 200 —
+// an overloaded server is alive, and restarting it would only make the
+// overload worse.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether new traffic should be routed here.
+// 503 while draining (shutdown in progress) or while the admission gate is
+// saturated (a new arrival would be shed immediately).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.gate != nil && s.gate.saturated():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // handleMetricsJSON serves the registry snapshot as JSON: counters,

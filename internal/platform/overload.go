@@ -1,0 +1,276 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ServerLimits tunes the platform's overload protection. The zero value
+// disables everything, preserving the unprotected behavior for embedded
+// and test use; cmd/mcsplatform enables sensible defaults.
+type ServerLimits struct {
+	// MaxConcurrent is the admission gate's capacity in weight units
+	// (cheap routes cost 1, /v1/dataset 2, /v1/aggregate 4 — see
+	// routeWeight). Zero disables the gate.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for admission once the
+	// gate is full; arrivals beyond it are shed immediately with 503 +
+	// Retry-After. Zero means no waiting: over-capacity requests shed at
+	// once.
+	MaxQueue int
+	// QueueTimeout caps how long an admitted-queue request waits before
+	// it is shed; it guarantees a bounded worst-case latency even for
+	// queued requests. Zero means 1s (when the gate is enabled).
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request deadline attached to the request
+	// context and propagated into store, durability, and aggregation
+	// work. Zero means no deadline.
+	RequestTimeout time.Duration
+	// RatePerSec is the per-account token-bucket refill rate for mutating
+	// routes (submissions, fingerprints). Zero disables rate limiting.
+	RatePerSec float64
+	// RateBurst is the bucket capacity. Zero means ceil(RatePerSec) but
+	// at least 1.
+	RateBurst int
+	// RetryAfterHint is the Retry-After advertised on shed (503) and
+	// rate-limited (429) responses when no tighter estimate exists. Zero
+	// means 1s.
+	RetryAfterHint time.Duration
+}
+
+func (l ServerLimits) withDefaults() ServerLimits {
+	if l.MaxConcurrent > 0 && l.QueueTimeout == 0 {
+		l.QueueTimeout = time.Second
+	}
+	if l.RatePerSec > 0 && l.RateBurst == 0 {
+		l.RateBurst = int(l.RatePerSec + 0.999)
+		if l.RateBurst < 1 {
+			l.RateBurst = 1
+		}
+	}
+	if l.RetryAfterHint == 0 {
+		l.RetryAfterHint = time.Second
+	}
+	return l
+}
+
+// enabled reports whether any protection is active.
+func (l ServerLimits) enabled() bool {
+	return l.MaxConcurrent > 0 || l.RatePerSec > 0 || l.RequestTimeout > 0
+}
+
+// errShed classifies why admission failed (queue full vs. waited too
+// long); both surface as ErrOverloaded on the wire.
+var (
+	errGateQueueFull = fmt.Errorf("%w: admission queue full", ErrOverloaded)
+	errGateTimeout   = fmt.Errorf("%w: timed out waiting for admission", ErrOverloaded)
+)
+
+// gateWaiter is one queued acquisition. granted is written under the
+// gate's lock; ready is closed exactly once when capacity is assigned.
+type gateWaiter struct {
+	weight  int
+	granted bool
+	ready   chan struct{}
+}
+
+// gate is a weighted-concurrency admission gate with a bounded FIFO wait
+// queue. Heavier requests consume more capacity units; requests that
+// cannot be admitted wait (up to maxQueue of them) and are shed when the
+// queue is full or their wait budget expires — never queued unboundedly.
+type gate struct {
+	mu       sync.Mutex
+	capacity int
+	maxQueue int
+	inUse    int
+	queue    []*gateWaiter
+}
+
+func newGate(capacity, maxQueue int) *gate {
+	return &gate{capacity: capacity, maxQueue: maxQueue}
+}
+
+// tryAcquireLocked takes weight units if they fit.
+func (g *gate) tryAcquireLocked(weight int) bool {
+	if g.inUse+weight <= g.capacity {
+		g.inUse += weight
+		return true
+	}
+	return false
+}
+
+// acquire admits the caller or sheds it. A weight above capacity is
+// clamped so an expensive route can still run (alone) rather than being
+// unadmittable. FIFO order: a queued heavy request is not starved by
+// lighter arrivals behind it.
+func (g *gate) acquire(ctx context.Context, weight int, maxWait time.Duration) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+	g.mu.Lock()
+	if len(g.queue) == 0 && g.tryAcquireLocked(weight) {
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		return errGateQueueFull
+	}
+	w := &gateWaiter{weight: weight, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if maxWait > 0 {
+		t := time.NewTimer(maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	case <-timeout:
+	}
+	// Withdraw — unless the grant raced our timeout, in which case we own
+	// capacity already and proceeding is cheaper than re-queueing it.
+	g.mu.Lock()
+	if w.granted {
+		g.mu.Unlock()
+		return nil
+	}
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	return errGateTimeout
+}
+
+// release returns weight units and grants queued waiters in FIFO order.
+func (g *gate) release(weight int) {
+	g.mu.Lock()
+	g.inUse -= weight
+	if g.inUse < 0 {
+		g.inUse = 0
+	}
+	for len(g.queue) > 0 {
+		w := g.queue[0]
+		if !g.tryAcquireLocked(w.weight) {
+			break
+		}
+		w.granted = true
+		close(w.ready)
+		g.queue = g.queue[1:]
+	}
+	g.mu.Unlock()
+}
+
+// load returns the current in-use units and queue length.
+func (g *gate) load() (inUse, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse, len(g.queue)
+}
+
+// saturated reports that a new arrival would be shed right now: capacity
+// exhausted and no room left to wait.
+func (g *gate) saturated() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse >= g.capacity && len(g.queue) >= g.maxQueue
+}
+
+// tokenBucket is one account's rate-limit state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// accountLimiter applies a token bucket per account. Bucket state is tiny
+// (two words); the map is bounded in practice by the store's account cap,
+// and an LRU-ish sweep drops buckets that have been full (idle) for a
+// while so an unbounded stream of one-shot account names cannot grow it
+// forever.
+type accountLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+	now     func() time.Time // injectable clock for tests
+}
+
+func newAccountLimiter(rate float64, burst int) *accountLimiter {
+	return &accountLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// sweepLocked drops buckets that have fully refilled — they carry no
+// information beyond "idle" — once the map grows past a threshold.
+func (l *accountLimiter) sweepLocked(now time.Time) {
+	const sweepAt = 16384
+	if len(l.buckets) < sweepAt {
+		return
+	}
+	for id, b := range l.buckets {
+		if b.tokens+l.rate*now.Sub(b.last).Seconds() >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// allow consumes one token for account, reporting whether the request may
+// proceed and, when it may not, how long until the next token.
+func (l *accountLimiter) allow(account string) (wait time.Duration, ok bool) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[account]
+	if b == nil {
+		l.sweepLocked(now)
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[account] = b
+	} else {
+		b.tokens += l.rate * now.Sub(b.last).Seconds()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	deficit := 1 - b.tokens
+	return time.Duration(deficit / l.rate * float64(time.Second)), false
+}
+
+// retryAfterValue formats a wait for the Retry-After header: whole
+// seconds, rounded up, at least 1 (a "0" invites an immediate hammer).
+func retryAfterValue(wait time.Duration) string {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -7,6 +7,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -81,6 +82,19 @@ var (
 	// acknowledges what it cannot make durable). Maps to HTTP 503, which
 	// the client treats as retryable.
 	ErrDurability = errors.New("platform: durability failure")
+	// ErrRateLimited means the account exceeded its token-bucket budget.
+	// Maps to HTTP 429 with a Retry-After header; the client honors the
+	// advertised wait before retrying.
+	ErrRateLimited = errors.New("platform: rate limited")
+	// ErrOverloaded means the platform shed the request — the admission
+	// gate was saturated, the wait queue full, or the request deadline
+	// expired before the work finished. Nothing was applied. Maps to
+	// HTTP 503 with a Retry-After header.
+	ErrOverloaded = errors.New("platform: overloaded")
+	// ErrCircuitOpen is returned client-side when the circuit breaker is
+	// open: the platform has failed repeatedly and the client refuses to
+	// send until the cooldown elapses and a probe succeeds.
+	ErrCircuitOpen = errors.New("platform: circuit breaker open")
 )
 
 // isFinite reports whether v is a usable measurement. NaN and ±Inf are
@@ -123,11 +137,25 @@ func (s *Store) registerAccountLocked(id string) *accountState {
 // before it is journaled, and journaled (synced to the WAL) before it is
 // applied or acknowledged.
 func (s *Store) Submit(account string, task int, value float64, at time.Time) error {
+	return s.SubmitContext(context.Background(), account, task, value, at)
+}
+
+// SubmitContext is Submit under a request deadline: an expired context is
+// refused before the mutation is journaled or applied, so a shed request
+// is never half-acknowledged. The check runs again under the store lock,
+// immediately before the WAL fsync — the expensive step a deadline most
+// wants to skip. Once journaling starts the operation always completes:
+// a journaled-but-unapplied record would be the torn state durability
+// exists to prevent.
+func (s *Store) SubmitContext(ctx context.Context, account string, task int, value float64, at time.Time) error {
 	if account == "" {
 		return ErrEmptyAccount
 	}
 	if !isFinite(value) {
 		return fmt.Errorf("%w: non-finite observation value %v", ErrMalformedRequest, value)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -141,6 +169,9 @@ func (s *Store) Submit(account string, task int, value float64, at time.Time) er
 		}
 	} else if _, dup := st.observations[task]; dup {
 		return fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, account, task)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
 	if s.journal != nil {
 		err := s.journal.appendLocked(walRecord{Op: opSubmit, Account: account, Task: task, Value: value, Time: at})
@@ -165,6 +196,11 @@ func (s *Store) Submit(account string, task int, value float64, at time.Time) er
 // the raw capture: extraction is deterministic and the features are the
 // only thing the store keeps, so logging them keeps the WAL small.
 func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
+	return s.RecordFingerprintContext(context.Background(), account, rec)
+}
+
+// RecordFingerprintContext is RecordFingerprint under a request deadline.
+func (s *Store) RecordFingerprintContext(ctx context.Context, account string, rec mems.Recording) error {
 	if account == "" {
 		return ErrEmptyAccount
 	}
@@ -180,13 +216,19 @@ func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
 			return fmt.Errorf("%w: capture yields non-finite features", ErrBadFingerprint)
 		}
 	}
-	return s.setFingerprint(account, vec)
+	return s.setFingerprint(ctx, account, vec)
 }
 
 // RecordFingerprintFeatures stores an already-extracted fingerprint
 // feature vector for the account (the replay path: archived campaigns
 // hold features, not raw captures).
 func (s *Store) RecordFingerprintFeatures(account string, features []float64) error {
+	return s.RecordFingerprintFeaturesContext(context.Background(), account, features)
+}
+
+// RecordFingerprintFeaturesContext is RecordFingerprintFeatures under a
+// request deadline.
+func (s *Store) RecordFingerprintFeaturesContext(ctx context.Context, account string, features []float64) error {
 	if account == "" {
 		return ErrEmptyAccount
 	}
@@ -198,12 +240,16 @@ func (s *Store) RecordFingerprintFeatures(account string, features []float64) er
 			return fmt.Errorf("%w: non-finite feature %v", ErrBadFingerprint, f)
 		}
 	}
-	return s.setFingerprint(account, append([]float64(nil), features...))
+	return s.setFingerprint(ctx, account, append([]float64(nil), features...))
 }
 
 // setFingerprint journals and applies a validated feature vector. vec
-// ownership transfers to the store.
-func (s *Store) setFingerprint(account string, vec []float64) error {
+// ownership transfers to the store. Deadline semantics match
+// SubmitContext: refuse before the journal fsync, never after.
+func (s *Store) setFingerprint(ctx context.Context, account string, vec []float64) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.accounts[account]
@@ -211,6 +257,9 @@ func (s *Store) setFingerprint(account string, vec []float64) error {
 		if err := s.roomForAccountLocked(); err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
 	if s.journal != nil {
 		err := s.journal.appendLocked(walRecord{Op: opFingerprint, Account: account, Features: vec})
@@ -275,13 +324,29 @@ func (s *Store) Aggregate(method string) (truth.Result, error) {
 // AggregateWithUncertainty is Aggregate plus the per-task weighted
 // standard errors (see truth.Uncertainty).
 func (s *Store) AggregateWithUncertainty(method string) (truth.Result, []float64, error) {
+	return s.AggregateWithUncertaintyContext(context.Background(), method)
+}
+
+// AggregateWithUncertaintyContext runs the aggregation under a request
+// deadline. For the Sybil-resistant framework methods the context is
+// propagated into the grouping worker pools and the truth loop, and
+// graceful degradation is switched on: a grouping pass cancelled by the
+// deadline (or failing outright) yields per-account estimates flagged
+// Result.Degraded instead of an error, so an overloaded platform still
+// answers (see core.Framework.RunContext).
+func (s *Store) AggregateWithUncertaintyContext(ctx context.Context, method string) (truth.Result, []float64, error) {
 	alg, err := AlgorithmByName(method)
 	if err != nil {
 		return truth.Result{}, nil, err
 	}
+	if fw, ok := alg.(core.Framework); ok {
+		// Serving policy: a degraded answer beats a failed campaign.
+		fw.Config.DegradeOnGroupingFailure = true
+		alg = fw
+	}
 	defer obs.Default().Timer("platform.aggregate_seconds").Start().Stop()
 	ds := s.Dataset()
-	res, err := alg.Run(ds)
+	res, err := truth.RunWithContext(ctx, alg, ds)
 	if err != nil {
 		return truth.Result{}, nil, fmt.Errorf("platform: aggregate %s: %w", method, err)
 	}

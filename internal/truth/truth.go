@@ -10,6 +10,7 @@
 package truth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +33,15 @@ type Result struct {
 	// Converged reports whether the loop met its tolerance before hitting
 	// the iteration cap.
 	Converged bool
+	// Degraded reports that the algorithm could not run at full fidelity
+	// and fell back to a weaker mode — e.g. the Sybil-resistant framework
+	// ran per-account (ungrouped) truth discovery because account grouping
+	// was cancelled by a deadline. The estimates are still usable; they
+	// just lack the degraded stage's protection.
+	Degraded bool
+	// DegradedReason is a short machine-readable reason ("grouping_timeout",
+	// "grouping_failed", "truth_loop_cancelled"); empty when !Degraded.
+	DegradedReason string
 }
 
 // Algorithm is a data aggregation algorithm for MCS campaigns.
@@ -40,6 +50,29 @@ type Algorithm interface {
 	Name() string
 	// Run aggregates the dataset into per-task truth estimates.
 	Run(ds *mcs.Dataset) (Result, error)
+}
+
+// ContextAlgorithm is an Algorithm that honors a cancellation context:
+// long stages stop early and, where the algorithm defines one, a graceful
+// degradation path produces estimates instead of an error (see
+// Result.Degraded).
+type ContextAlgorithm interface {
+	Algorithm
+	// RunContext is Run under a cancellation context.
+	RunContext(ctx context.Context, ds *mcs.Dataset) (Result, error)
+}
+
+// RunWithContext runs alg under ctx when it supports cancellation, and
+// falls back to the plain blocking Run otherwise (checking ctx once up
+// front so an already-expired deadline still refuses promptly).
+func RunWithContext(ctx context.Context, alg Algorithm, ds *mcs.Dataset) (Result, error) {
+	if ca, ok := alg.(ContextAlgorithm); ok {
+		return ca.RunContext(ctx, ds)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return alg.Run(ds)
 }
 
 // ErrNilDataset is returned when Run receives a nil dataset.
