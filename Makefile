@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench fuzz recovery chaos
+.PHONY: build test race vet fmt verify bench bench-ingest fuzz recovery chaos
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ race:
 # crash-at-every-byte-offset torture test (which strides offsets under
 # -short; this target runs it exhaustively).
 recovery:
-	$(GO) test -race -run 'WAL|Durable|Recovery|Torture|Crash|Fsync|Snapshot|Scan|Reset|ShortWrite|RoundTrip|OpenRepairs|FailSync' ./internal/wal ./internal/platform
+	$(GO) test -race -run 'WAL|Durable|Recovery|Torture|Crash|Fsync|Snapshot|Scan|Reset|ShortWrite|RoundTrip|OpenRepairs|FailSync|AppendBatch|GroupCommit' ./internal/wal ./internal/platform
 
 # Overload-protection and chaos suite under the race detector: the fault
 # injector's campaign (drops, 5xx/429 bursts, torn bodies) with the
@@ -35,7 +35,7 @@ recovery:
 # 4xx never retried), and graceful degradation of the framework under
 # cancelled grouping.
 chaos:
-	$(GO) test -race -run 'Chaos|Overload|Breaker|Gate|AccountLimiter|RateLimit|RetryAfter|Retry|Degrad|Ctx|Draining|RequestDeadline|ZeroLimits' ./internal/chaos ./internal/platform ./internal/core ./internal/parallel
+	$(GO) test -race -run 'Chaos|Overload|Breaker|Gate|AccountLimiter|RateLimit|RetryAfter|Retry|Degrad|Ctx|Draining|RequestDeadline|ZeroLimits|AllowN|Jitter|DrainBounded|SubmitBatch' ./internal/chaos ./internal/platform ./internal/core ./internal/parallel
 
 verify: build fmt vet test race recovery chaos
 
@@ -46,3 +46,11 @@ bench:
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDistance -fuzztime=30s ./internal/dtw/
+
+# Ingestion throughput benchmark: 32 concurrent submitters against a
+# durable store, per-record fsync vs group commit vs batched submits.
+# Emits the raw test2json stream to BENCH_ingest.json for trend tracking;
+# the human-readable table goes to stdout as usual.
+bench-ingest:
+	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime=2s -json ./internal/platform/ | tee BENCH_ingest.json | \
+		grep -o '"Output":".*acked-submits/sec[^"]*"' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n"//' || true

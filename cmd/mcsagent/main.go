@@ -64,6 +64,7 @@ func run() error {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open the client circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "circuit breaker open -> half-open delay")
 	replay := flag.String("replay", "", "replay an archived campaign JSON instead of simulating a crowd")
+	batch := flag.Int("batch", 1, "send reports via POST /v1/reports:batch in chunks of this many (1 = one request per report)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -86,7 +87,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		n, err := platform.ReplayDataset(ctx, client, ds, platform.ReplayOptions{})
+		n, err := platform.ReplayDataset(ctx, client, ds, platform.ReplayOptions{BatchSize: *batch})
 		if err != nil {
 			return err
 		}
@@ -100,6 +101,7 @@ func run() error {
 		Activeness:    *activeness,
 		Target:        *target,
 		Seed:          *seed,
+		BatchSize:     *batch,
 	})
 	if err != nil {
 		// Surface the breaker position alongside the failure so the

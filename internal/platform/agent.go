@@ -35,6 +35,10 @@ type AgentConfig struct {
 	// AccountPrefix prefixes every account name, letting several agents
 	// share one platform without ID collisions.
 	AccountPrefix string
+	// BatchSize, when above 1, sends each account's reports through
+	// SubmitBatch in chunks of up to this many instead of one request per
+	// report. 0 or 1 keeps the per-report path.
+	BatchSize int
 }
 
 func (c AgentConfig) withDefaults() AgentConfig {
@@ -121,6 +125,30 @@ func DriveCampaign(ctx context.Context, client *Client, cfg AgentConfig) (AgentR
 		}, rng)
 	}
 	submitTrace := func(account string, trace mobility.Trace, lag time.Duration, value func(task int) float64) error {
+		if cfg.BatchSize > 1 {
+			for start := 0; start < len(trace.Visits); start += cfg.BatchSize {
+				end := start + cfg.BatchSize
+				if end > len(trace.Visits) {
+					end = len(trace.Visits)
+				}
+				reports := make([]SubmissionRequest, 0, end-start)
+				for _, v := range trace.Visits[start:end] {
+					reports = append(reports, SubmissionRequest{
+						Account: account, Task: v.POI, Value: value(v.POI), Time: v.Arrive.Add(lag),
+					})
+				}
+				results, err := client.SubmitBatch(ctx, reports)
+				if err != nil {
+					return err
+				}
+				for i, res := range results {
+					if err := res.Err(); err != nil {
+						return fmt.Errorf("batch item %s/%d: %w", reports[i].Account, reports[i].Task, err)
+					}
+				}
+			}
+			return nil
+		}
 		for _, v := range trace.Visits {
 			err := client.Submit(ctx, SubmissionRequest{
 				Account: account, Task: v.POI, Value: value(v.POI), Time: v.Arrive.Add(lag),

@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkIngest measures acknowledged durable submits per second under
+// 32 concurrent submitters, comparing the three ingestion shapes:
+//
+//   - per-record-fsync: the pre-group-commit baseline (CommitLinger 0) —
+//     every ack pays its own fsync, serialized behind the store lock.
+//   - group-commit: concurrent single submits coalesced into shared
+//     fsyncs (2ms linger, early wake at 8 pending).
+//   - batched-submit: SubmitBatch envelopes of 16 — one WAL write and one
+//     fsync per envelope even without group commit.
+//
+// Run via `make bench-ingest`; the acceptance bar for the group-commit
+// path is >= 3x the per-record baseline's acked-submits/sec.
+func BenchmarkIngest(b *testing.B) {
+	const workers = 32
+
+	b.Run("per-record-fsync", func(b *testing.B) {
+		benchConcurrentSubmits(b, workers, DurableOptions{})
+	})
+	b.Run("group-commit", func(b *testing.B) {
+		benchConcurrentSubmits(b, workers, DurableOptions{
+			CommitLinger:   2 * time.Millisecond,
+			CommitMaxBatch: 8,
+		})
+	})
+	b.Run("batched-submit-16", func(b *testing.B) {
+		benchBatchedSubmits(b, workers, 16, DurableOptions{})
+	})
+}
+
+// benchConcurrentSubmits drives b.N single submits across `workers`
+// goroutines against a fresh durable store. Every (account, task) pair is
+// unique so the duplicate guard never fires.
+func benchConcurrentSubmits(b *testing.B, workers int, opts DurableOptions) {
+	store, d, _, err := OpenDurable(b.TempDir(), testTasks(1), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	var idx sync.Mutex
+	next := 0
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx.Lock()
+				i := next
+				next++
+				idx.Unlock()
+				if i >= b.N {
+					return
+				}
+				account := fmt.Sprintf("w%02d-%06d", w, i)
+				if err := store.Submit(account, 0, -80, at(0)); err != nil {
+					b.Errorf("submit %s: %v", account, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "acked-submits/sec")
+}
+
+// benchBatchedSubmits drives b.N submits in SubmitBatch envelopes of
+// batchSize, spread across `workers` goroutines.
+func benchBatchedSubmits(b *testing.B, workers, batchSize int, opts DurableOptions) {
+	store, d, _, err := OpenDurable(b.TempDir(), testTasks(1), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	var idx sync.Mutex
+	next := 0
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx.Lock()
+				start := next
+				next += batchSize
+				idx.Unlock()
+				if start >= b.N {
+					return
+				}
+				end := start + batchSize
+				if end > b.N {
+					end = b.N
+				}
+				items := make([]BatchSubmission, 0, end-start)
+				for i := start; i < end; i++ {
+					items = append(items, BatchSubmission{
+						Account: fmt.Sprintf("w%02d-%06d", w, i), Task: 0, Value: -80, At: at(0),
+					})
+				}
+				for i, e := range store.SubmitBatch(items) {
+					if e != nil {
+						b.Errorf("batch item %d: %v", start+i, e)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "acked-submits/sec")
+}

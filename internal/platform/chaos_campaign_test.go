@@ -173,6 +173,145 @@ func TestChaosCampaignZeroAckedLoss(t *testing.T) {
 	}
 }
 
+// TestChaosBatchedCampaignZeroAckedLoss is the torn-batch variant: the
+// crowd submits through POST /v1/reports:batch against a DURABLE platform
+// running group commit, through the same fault injector. An item counts as
+// acknowledged when its envelope returned and the item was accepted — or
+// was rejected as a duplicate, which proves an earlier torn attempt
+// landed. After the campaign the platform is killed (no final snapshot)
+// and recovered: every acknowledged item must survive with its exact
+// value, batch boundaries notwithstanding.
+func TestChaosBatchedCampaignZeroAckedLoss(t *testing.T) {
+	const (
+		numAccounts = 6
+		numTasks    = 4
+		batchSize   = 3
+	)
+	dir := t.TempDir()
+	store, d, _, err := OpenDurable(dir, testTasks(numTasks), DurableOptions{
+		CommitLinger:   500 * time.Microsecond,
+		CommitMaxBatch: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServerWithOptions(store, ServerOptions{
+		Registry: obs.NewRegistry(),
+		Limits: ServerLimits{
+			MaxConcurrent:  16,
+			MaxQueue:       32,
+			QueueTimeout:   2 * time.Second,
+			RequestTimeout: 10 * time.Second,
+		},
+	})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	faulty := chaos.NewTransport(srv.Client().Transport, chaos.Plan{
+		Seed: 23,
+		Default: chaos.Fault{
+			DropProb:     0.15,
+			Error5xxProb: 0.10,
+			TruncateProb: 0.10,
+			Latency:      time.Millisecond,
+			Jitter:       2 * time.Millisecond,
+		},
+	})
+
+	var (
+		mu    sync.Mutex
+		acked []ackedSubmission
+	)
+	var wg sync.WaitGroup
+	for a := 0; a < numAccounts; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			client := NewClientWithConfig(srv.URL, ClientConfig{
+				HTTPClient:     &http.Client{Transport: faulty},
+				MaxRetries:     6,
+				RetryBaseDelay: time.Millisecond,
+				RetryMaxDelay:  20 * time.Millisecond,
+			})
+			account := fmt.Sprintf("bacct-%d", a)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for start := 0; start < numTasks; start += batchSize {
+				end := start + batchSize
+				if end > numTasks {
+					end = numTasks
+				}
+				reports := make([]SubmissionRequest, 0, end-start)
+				for task := start; task < end; task++ {
+					reports = append(reports, SubmissionRequest{
+						Account: account, Task: task, Value: float64(-60 - a - task),
+						Time: at(a*numTasks + task),
+					})
+				}
+				results, err := client.SubmitBatch(ctx, reports)
+				if err != nil {
+					continue // whole envelope lost to chaos: nothing acked
+				}
+				for i, res := range results {
+					itemErr := res.Err()
+					// Accepted, or duplicate (an earlier torn attempt wrote it).
+					if itemErr == nil || errors.Is(itemErr, ErrDuplicateReport) {
+						mu.Lock()
+						acked = append(acked, ackedSubmission{reports[i].Account, reports[i].Task, reports[i].Value})
+						mu.Unlock()
+					}
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	if len(acked) == 0 {
+		t.Fatal("no batched submission survived the fault plan; campaign proves nothing")
+	}
+	st := faulty.Stats()
+	t.Logf("chaos stats: %+v; %d/%d items acknowledged", st, len(acked), numAccounts*numTasks)
+	if st.Drops == 0 && st.Injected5xx == 0 && st.Truncations == 0 {
+		t.Fatal("fault injector fired nothing; the campaign was not chaotic")
+	}
+
+	// Kill -9: close the WAL underneath without a final snapshot, then
+	// recover from disk alone.
+	srv.Close()
+	if err := d.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, d2, stats, err := OpenDurable(dir, testTasks(numTasks), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	t.Logf("recovered: %d WAL records replayed, %d skipped", stats.RecordsReplayed, stats.RecordsSkipped)
+
+	ds := store2.Dataset()
+	byAccount := make(map[string]map[int]float64)
+	for _, acct := range ds.Accounts {
+		vals := make(map[int]float64)
+		for _, o := range acct.Observations {
+			vals[o.Task] = o.Value
+		}
+		byAccount[acct.ID] = vals
+	}
+	for _, a := range acked {
+		vals, ok := byAccount[a.account]
+		if !ok {
+			t.Fatalf("ACKED DATA LOST: account %s missing after recovery", a.account)
+		}
+		got, ok := vals[a.task]
+		if !ok {
+			t.Fatalf("ACKED DATA LOST: %s task %d missing after recovery", a.account, a.task)
+		}
+		if got != a.value {
+			t.Fatalf("ACKED DATA CORRUPTED: %s task %d = %v, want %v", a.account, a.task, got, a.value)
+		}
+	}
+}
+
 // TestChaosOutageOpensBreakerThenHeals stages a total outage via the
 // injector, watches the client's circuit breaker open and fail fast, then
 // heals the plan and watches the breaker recover through its probe.

@@ -3,6 +3,8 @@ package platform
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -110,12 +112,25 @@ func NewClientWithConfig(baseURL string, cfg ClientConfig) *Client {
 	c := &Client{
 		base: baseURL,
 		cfg:  cfg.withDefaults(),
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:  rand.New(rand.NewSource(jitterSeed())),
 	}
 	if cfg.BreakerThreshold > 0 {
 		c.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return c
+}
+
+// jitterSeed seeds the backoff-jitter RNG from crypto/rand. A wall-clock
+// seed would hand a fleet of agents launched in the same instant identical
+// jitter sequences — synchronized retries are exactly what the jitter
+// exists to break up. Falls back to the clock only if the system entropy
+// source fails.
+func jitterSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 // BreakerState reports the circuit breaker's current state. Without a
@@ -139,6 +154,22 @@ func (c *Client) Tasks(ctx context.Context) ([]TaskDTO, error) {
 // Submit reports one observation.
 func (c *Client) Submit(ctx context.Context, req SubmissionRequest) error {
 	return c.do(ctx, http.MethodPost, "/v1/submissions", req, nil)
+}
+
+// SubmitBatch reports many observations in one POST /v1/reports:batch
+// call: one round trip and, on a durable platform, one WAL write + one
+// fsync for the whole batch. The results are positional. A nil error
+// means the envelope was processed — individual items may still have been
+// rejected; check each BatchItemResult.Err().
+func (c *Client) SubmitBatch(ctx context.Context, reports []SubmissionRequest) ([]BatchItemResult, error) {
+	var out BatchSubmissionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/reports:batch", BatchSubmissionRequest{Reports: reports}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reports) {
+		return out.Results, fmt.Errorf("platform client: batch returned %d results for %d reports", len(out.Results), len(reports))
+	}
+	return out.Results, nil
 }
 
 // RecordFingerprint uploads a sign-in motion capture.
@@ -183,10 +214,7 @@ func (c *Client) Dataset(ctx context.Context) (*mcs.Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("platform client: GET /v1/dataset: %w", err)
 	}
-	defer func() {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		_ = resp.Body.Close()
-	}()
+	defer drainBody(resp.Body)
 	if resp.StatusCode >= 400 {
 		return nil, fmt.Errorf("platform client: GET /v1/dataset: %w", decodeAPIError(resp))
 	}
@@ -283,10 +311,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		}
 		return attemptResult{err: err, retryable: true, transportFailure: true}
 	}
-	defer func() {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		_ = resp.Body.Close()
-	}()
+	// Every branch below — success, decode failure, the Retry-After and
+	// torn-body paths — leaves resp.Body to this one deferred drain+close,
+	// so a retry loop never strands a connection in the transport pool.
+	defer drainBody(resp.Body)
 	if resp.StatusCode >= 400 {
 		retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		apiErr := decodeAPIError(resp)
@@ -315,6 +343,20 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		}
 	}
 	return attemptResult{}
+}
+
+// drainDiscardLimit caps how many unread body bytes a drain will consume
+// to make the connection reusable. Past that, finishing the read costs
+// more than a fresh connection: close and let the transport re-dial.
+const drainDiscardLimit = 256 << 10
+
+// drainBody discards the (bounded) remainder of a response body and
+// closes it. Called for every response not handed back to the caller:
+// an undrained body prevents the transport from reusing the connection,
+// which under retry churn degrades the whole pool.
+func drainBody(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, drainDiscardLimit))
+	_ = body.Close()
 }
 
 // parseRetryAfter reads a Retry-After header value: either delta-seconds

@@ -7,6 +7,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"sybiltd/internal/mcs"
@@ -61,6 +62,28 @@ type DurableOptions struct {
 	// SnapshotEvery compacts the WAL into a fresh snapshot after this
 	// many appended records; 0 snapshots only at Close.
 	SnapshotEvery int
+	// CommitLinger enables group commit when positive: instead of one
+	// fsync per mutation under the store lock, mutations are journaled
+	// (buffered) and applied under the lock, and the fsync that
+	// acknowledges them runs outside it, coalescing every record appended
+	// in the meantime into one sync. The leader of an fsync round waits up
+	// to CommitLinger for more records to join (ending early once
+	// CommitMaxBatch have accumulated), so the linger bounds the extra ack
+	// latency a lone submitter pays. Zero keeps the original
+	// one-fsync-per-record behavior.
+	//
+	// Group commit keeps the acknowledgment contract — an acknowledged
+	// mutation has been fsynced — but weakens read-your-unacked-writes
+	// isolation: a mutation is visible to reads between its apply and its
+	// group fsync. If that fsync fails, the caller gets ErrDurability (the
+	// op is NOT acknowledged) while the store keeps the applied state,
+	// which matches the log it was written to; a retry then reports
+	// ErrDuplicateReport, the same ambiguous-ack outcome a torn network
+	// ack already produces.
+	CommitLinger time.Duration
+	// CommitMaxBatch caps how many records a group commit waits for
+	// before fsyncing without further linger; 0 means 64.
+	CommitMaxBatch int
 	// Registry receives WAL metrics; nil means obs.Default().
 	Registry *obs.Registry
 	// Logger receives recovery and snapshot notices; nil disables them.
@@ -99,9 +122,133 @@ type Durability struct {
 	seq           uint64 // sequence number of the last frame written
 	sinceSnapshot int
 	snapshotEvery int
+	gc            *groupCommit // nil: one fsync per record, inline
 	reg           *obs.Registry
 	log           *log.Logger
 	closed        bool
+}
+
+// commitToken identifies a journaled-but-possibly-unsynced mutation. The
+// store holds it across the lock release and redeems it with waitDurable
+// before acknowledging. The zero token means "already durable" (inline
+// fsync mode, or no journal at all).
+type commitToken struct {
+	seq  uint64
+	wait bool
+}
+
+// groupCommit coalesces concurrent WAL fsyncs. Appenders (holding the
+// store lock) publish the highest buffered sequence number; waiters
+// (having released the store lock) elect a leader that fsyncs once for
+// every record appended since the last sync, lingering briefly to let
+// stragglers join. A snapshot makes everything durable at once and
+// completes all waiters.
+type groupCommit struct {
+	linger   time.Duration
+	maxBatch int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	appended uint64        // highest seq buffered in the WAL file
+	synced   uint64        // highest seq known durable (fsync or snapshot)
+	syncing  bool          // a leader is in flight
+	wake     chan struct{} // pokes a lingering leader when the batch fills
+	waiting  int           // goroutines blocked in waitDurable
+	failSeq  uint64        // highest seq covered by a failed sync attempt
+	failErr  error         // the error of that attempt
+}
+
+func newGroupCommit(linger time.Duration, maxBatch int) *groupCommit {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	c := &groupCommit{linger: linger, maxBatch: maxBatch, wake: make(chan struct{}, 1)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// noteAppended publishes seq as buffered. Called with the store lock held
+// (appends are serialized), so seq is monotone.
+func (c *groupCommit) noteAppended(seq uint64) {
+	c.mu.Lock()
+	c.appended = seq
+	full := c.appended-c.synced >= uint64(c.maxBatch)
+	c.mu.Unlock()
+	if full {
+		select { // wake a lingering leader: the batch is as big as it gets
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// markDurable records that everything up to seq is durable (a snapshot
+// fsynced the full state) and releases every waiter at or below it.
+func (c *groupCommit) markDurable(seq uint64) {
+	c.mu.Lock()
+	if seq > c.synced {
+		c.synced = seq
+	}
+	if seq > c.appended {
+		c.appended = seq
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// wait blocks until seq is durable (nil) or a sync attempt covering seq
+// failed (that attempt's error). The first waiter to find no leader in
+// flight becomes the leader: it lingers (bounded, ended early by a full
+// batch), fsyncs once via sync, and publishes the outcome for everyone
+// it covered.
+func (c *groupCommit) wait(seq uint64, sync func() error, synced func(records, waiters int)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.waiting++
+	defer func() { c.waiting-- }()
+	for {
+		if c.synced >= seq {
+			return nil
+		}
+		if c.failSeq >= seq && c.failErr != nil {
+			return c.failErr
+		}
+		if c.syncing {
+			c.cond.Wait()
+			continue
+		}
+		// Become the leader for this round.
+		c.syncing = true
+		if c.linger > 0 && c.appended-c.synced < uint64(c.maxBatch) {
+			c.mu.Unlock()
+			t := time.NewTimer(c.linger)
+			select {
+			case <-c.wake:
+				t.Stop()
+			case <-t.C:
+			}
+			c.mu.Lock()
+		}
+		target := c.appended
+		covered := target - c.synced
+		waiters := c.waiting
+		c.mu.Unlock()
+		err := sync()
+		c.mu.Lock()
+		c.syncing = false
+		if err == nil {
+			if target > c.synced {
+				c.synced = target
+			}
+			if synced != nil {
+				synced(int(covered), waiters)
+			}
+		} else if target > c.failSeq {
+			c.failSeq = target
+			c.failErr = err
+		}
+		c.cond.Broadcast()
+	}
 }
 
 // OpenDurable opens (or creates) the durable platform state in dir and
@@ -187,6 +334,10 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*Store, *Du
 		snapshotEvery: opts.SnapshotEvery,
 		reg:           reg,
 		log:           opts.Logger,
+	}
+	if opts.CommitLinger > 0 {
+		d.gc = newGroupCommit(opts.CommitLinger, opts.CommitMaxBatch)
+		d.gc.markDurable(seq) // everything recovered from disk is durable
 	}
 	store.journal = d
 	reg.Gauge("wal.size_bytes").Set(w.Size())
@@ -280,39 +431,126 @@ func (s *Store) replayRecord(rec walRecord) bool {
 }
 
 // appendLocked journals one mutation. Called by the store with its mutex
-// held and the record fully validated, before the mutation is applied:
-// the frame is written and fsynced before the caller may acknowledge, so
-// an acknowledged operation is a durable operation. On error the store
-// does not apply the mutation.
-func (d *Durability) appendLocked(rec walRecord) error {
+// held and the record fully validated, before the mutation is applied.
+// Without group commit the frame is fsynced inline and the returned token
+// is already settled; with group commit the frame is only buffered, and
+// the caller must redeem the token with waitDurable — after releasing the
+// store lock — before acknowledging. On error the store does not apply
+// the mutation.
+func (d *Durability) appendLocked(rec walRecord) (commitToken, error) {
 	if d.closed {
-		return fmt.Errorf("%w: durability closed", ErrDurability)
+		return commitToken{}, fmt.Errorf("%w: durability closed", ErrDurability)
 	}
 	rec.Seq = d.seq + 1
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("%w: encode: %v", ErrDurability, err)
+		return commitToken{}, fmt.Errorf("%w: encode: %v", ErrDurability, err)
 	}
 	sw := d.reg.Timer("wal.append_seconds").Start()
 	err = d.w.Append(payload)
 	sw.Stop()
 	if err != nil {
 		d.reg.Counter("wal.append_errors").Inc()
-		return fmt.Errorf("%w: append: %v", ErrDurability, err)
+		return commitToken{}, fmt.Errorf("%w: append: %v", ErrDurability, err)
 	}
-	// The frame is on the log from here (even if the fsync below fails it
-	// may survive), so the sequence number is consumed either way.
+	// The frame is on the log from here (even if the fsync may later fail
+	// it can survive), so the sequence number is consumed either way.
 	d.seq++
+	if d.gc != nil {
+		d.noteAppendedLocked(1)
+		return commitToken{seq: d.seq, wait: true}, nil
+	}
 	fw := d.reg.Timer("wal.fsync_seconds").Start()
 	err = d.w.Sync()
 	fw.Stop()
 	if err != nil {
 		d.reg.Counter("wal.append_errors").Inc()
-		return fmt.Errorf("%w: fsync: %v", ErrDurability, err)
+		return commitToken{}, fmt.Errorf("%w: fsync: %v", ErrDurability, err)
 	}
 	d.sinceSnapshot++
 	d.reg.Counter("wal.records").Inc()
 	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
+	return commitToken{}, nil
+}
+
+// appendBatchLocked journals several mutations as one buffered WAL write.
+// All-or-nothing at the process level: a failed write is repaired by the
+// writer (no frame survives, no sequence number is consumed) and the
+// whole batch reports the error. On success every record has a sequence
+// number; the returned token covers the last one, so redeeming it makes
+// the whole batch durable.
+func (d *Durability) appendBatchLocked(recs []walRecord) (commitToken, error) {
+	if d.closed {
+		return commitToken{}, fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	if len(recs) == 0 {
+		return commitToken{}, nil
+	}
+	payloads := make([][]byte, len(recs))
+	for i := range recs {
+		recs[i].Seq = d.seq + uint64(i) + 1
+		p, err := json.Marshal(recs[i])
+		if err != nil {
+			return commitToken{}, fmt.Errorf("%w: encode: %v", ErrDurability, err)
+		}
+		payloads[i] = p
+	}
+	sw := d.reg.Timer("wal.append_seconds").Start()
+	err := d.w.AppendBatch(payloads)
+	sw.Stop()
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return commitToken{}, fmt.Errorf("%w: append batch: %v", ErrDurability, err)
+	}
+	d.seq += uint64(len(recs))
+	d.reg.Histogram("wal.batch_size").Observe(float64(len(recs)))
+	if d.gc != nil {
+		d.noteAppendedLocked(len(recs))
+		return commitToken{seq: d.seq, wait: true}, nil
+	}
+	fw := d.reg.Timer("wal.fsync_seconds").Start()
+	err = d.w.Sync()
+	fw.Stop()
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return commitToken{}, fmt.Errorf("%w: fsync: %v", ErrDurability, err)
+	}
+	d.sinceSnapshot += len(recs)
+	d.reg.Counter("wal.records").Add(int64(len(recs)))
+	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
+	return commitToken{}, nil
+}
+
+// noteAppendedLocked publishes the latest buffered sequence number to the
+// group-commit layer and settles the bookkeeping that the inline-fsync
+// path does after its sync. Called with the store mutex held.
+func (d *Durability) noteAppendedLocked(n int) {
+	d.sinceSnapshot += n
+	d.reg.Counter("wal.records").Add(int64(n))
+	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
+	d.gc.noteAppended(d.seq)
+}
+
+// waitDurable redeems a commit token: it returns once the token's record
+// is fsynced (nil) or a sync round covering it failed (ErrDurability).
+// Must be called WITHOUT the store mutex — the whole point is that the
+// fsync happens outside the lock, coalescing with concurrent appenders.
+func (d *Durability) waitDurable(tok commitToken) error {
+	if !tok.wait || d.gc == nil {
+		return nil
+	}
+	err := d.gc.wait(tok.seq, func() error {
+		fw := d.reg.Timer("wal.fsync_seconds").Start()
+		defer fw.Stop()
+		return d.w.Sync()
+	}, func(records, waiters int) {
+		d.reg.Histogram("wal.group_commit_records").Observe(float64(records))
+		d.reg.Gauge("wal.group_commit_waiters").Set(int64(waiters))
+	})
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return fmt.Errorf("%w: group fsync: %v", ErrDurability, err)
+	}
 	return nil
 }
 
@@ -382,6 +620,12 @@ func (d *Durability) snapshotLocked() error {
 		return fmt.Errorf("wal reset: %w", err)
 	}
 	d.sinceSnapshot = 0
+	if d.gc != nil {
+		// The snapshot holds the full state through d.seq on stable
+		// storage, so every record appended so far is durable — release
+		// any group-commit waiters without an extra WAL fsync.
+		d.gc.markDurable(d.seq)
+	}
 	d.reg.Counter("wal.snapshots").Inc()
 	d.reg.Gauge("wal.size_bytes").Set(0)
 	d.logf("durability: snapshot written (seq %d)", d.seq)

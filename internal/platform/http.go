@@ -33,6 +33,26 @@ type (
 		Value   float64   `json:"value"`
 		Time    time.Time `json:"time"`
 	}
+	// BatchSubmissionRequest is a bulk of sensing reports submitted in one
+	// request (POST /v1/reports:batch). Items are journaled as one WAL
+	// batch and acknowledged per item.
+	BatchSubmissionRequest struct {
+		Reports []SubmissionRequest `json:"reports"`
+	}
+	// BatchItemResult is one item's outcome, positionally matching the
+	// request's Reports. Code/Error are set only on rejection; Code uses
+	// the same stable wire codes as ErrorResponse.
+	BatchItemResult struct {
+		Status string `json:"status"` // "accepted" or "rejected"
+		Code   string `json:"code,omitempty"`
+		Error  string `json:"error,omitempty"`
+	}
+	// BatchSubmissionResponse reports the per-item outcomes plus tallies.
+	BatchSubmissionResponse struct {
+		Accepted int               `json:"accepted"`
+		Rejected int               `json:"rejected"`
+		Results  []BatchItemResult `json:"results"`
+	}
 	// FingerprintRequest carries a sign-in fingerprint: either a raw
 	// motion capture (the live path) or an already-extracted feature
 	// vector (the replay/import path). Exactly one form must be present.
@@ -92,6 +112,19 @@ type (
 		Error string `json:"error"`
 	}
 )
+
+// Err returns nil for an accepted batch item, or the rejection mapped
+// back to the same typed sentinel a single Submit would have returned
+// (errors.Is works on it exactly like on a Submit error).
+func (r BatchItemResult) Err() error {
+	if r.Status == "accepted" {
+		return nil
+	}
+	if s := sentinelForCode(r.Code); s != nil {
+		return fmt.Errorf("%w: %s", s, r.Error)
+	}
+	return fmt.Errorf("platform: batch item rejected (%s): %s", r.Code, r.Error)
+}
 
 // ResponseMet is the truncated pre-redesign name of ResponseMeta, kept as
 // an alias for one release so existing callers keep compiling.
@@ -259,6 +292,10 @@ const (
 	weightLight     = 1 // tasks, stats, submissions, fingerprints
 	weightDataset   = 2 // full-campaign export
 	weightAggregate = 4 // truth-discovery run
+	// weightDeferred marks a route whose admission cost depends on the
+	// request body (a batch costs one unit per item): handle() skips the
+	// gate and the handler acquires its own weight after decoding.
+	weightDeferred = 0
 )
 
 // NewServerWithOptions is the fully-configurable constructor.
@@ -287,6 +324,7 @@ func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
 	}
 	s.handle("GET /v1/tasks", weightLight, s.handleTasks)
 	s.handle("POST /v1/submissions", weightLight, s.handleSubmit)
+	s.handle("POST /v1/reports:batch", weightDeferred, s.handleSubmitBatch)
 	s.handle("POST /v1/fingerprints", weightLight, s.handleFingerprint)
 	s.handle("POST /v1/aggregate", weightAggregate, s.handleAggregate)
 	s.handle("GET /v1/stats", weightLight, s.handleStats)
@@ -337,7 +375,7 @@ func (s *Server) handle(pattern string, weight int, h http.HandlerFunc) {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		if s.gate != nil {
+		if s.gate != nil && weight != weightDeferred {
 			if err := s.gate.acquire(r.Context(), weight, s.limits.QueueTimeout); err != nil {
 				s.shedOverload.Inc()
 				s.updateGateGauges()
@@ -470,6 +508,112 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "accepted"})
+}
+
+// MaxBatchItems bounds one POST /v1/reports:batch request. The byte cap
+// on the body already bounds the batch; this keeps the admission-gate
+// weight arithmetic (and the WAL batch size) in a sane range.
+const MaxBatchItems = 4096
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSubmissionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	n := len(req.Reports)
+	if n > MaxBatchItems {
+		s.writeError(w, fmt.Errorf("%w: batch of %d exceeds %d items", ErrMalformedRequest, n, MaxBatchItems))
+		return
+	}
+	if n == 0 {
+		s.writeJSON(w, http.StatusOK, BatchSubmissionResponse{Results: []BatchItemResult{}})
+		return
+	}
+	// Admission cost is proportional to the work: one gate unit per item,
+	// acquired only now that the body is decoded and the count known (the
+	// gate clamps a batch heavier than its whole capacity so it can still
+	// run alone).
+	if s.gate != nil {
+		weight := n * weightLight
+		if weight > s.limits.MaxConcurrent {
+			weight = s.limits.MaxConcurrent
+		}
+		if err := s.gate.acquire(r.Context(), weight, s.limits.QueueTimeout); err != nil {
+			s.shedOverload.Inc()
+			s.updateGateGauges()
+			s.writeError(w, err)
+			return
+		}
+		s.updateGateGauges()
+		defer func() {
+			s.gate.release(weight)
+			s.updateGateGauges()
+		}()
+	}
+	// Rate limiting charges each account for its item count, all or
+	// nothing per account: a blocked account's items are rejected
+	// per-item with rate_limited while other accounts' items proceed.
+	items := make([]BatchSubmission, n)
+	perAccount := make(map[string]int)
+	for i, rep := range req.Reports {
+		at := rep.Time
+		if at.IsZero() {
+			at = time.Now().UTC()
+		}
+		items[i] = BatchSubmission{Account: rep.Account, Task: rep.Task, Value: rep.Value, At: at}
+		if rep.Account != "" {
+			perAccount[rep.Account]++
+		}
+	}
+	var blocked map[string]error
+	if s.limiter != nil {
+		var maxWait time.Duration
+		for acct, cnt := range perAccount {
+			if wait, ok := s.limiter.allowN(acct, cnt); !ok {
+				if blocked == nil {
+					blocked = make(map[string]error)
+				}
+				blocked[acct] = fmt.Errorf("%w: account %q", ErrRateLimited, acct)
+				s.shedRate.Inc()
+				if wait > maxWait {
+					maxWait = wait
+				}
+			}
+		}
+		if blocked != nil {
+			w.Header().Set("Retry-After", retryAfterValue(maxWait))
+		}
+	}
+	results := make([]BatchItemResult, n)
+	submitIdx := make([]int, 0, n)
+	toSubmit := make([]BatchSubmission, 0, n)
+	for i := range items {
+		if err := blocked[items[i].Account]; err != nil {
+			code, _ := codeForError(err)
+			results[i] = BatchItemResult{Status: "rejected", Code: code, Error: err.Error()}
+			continue
+		}
+		submitIdx = append(submitIdx, i)
+		toSubmit = append(toSubmit, items[i])
+	}
+	errs := s.store.SubmitBatchContext(r.Context(), toSubmit)
+	for j, i := range submitIdx {
+		if err := errs[j]; err != nil {
+			code, _ := codeForError(err)
+			results[i] = BatchItemResult{Status: "rejected", Code: code, Error: err.Error()}
+		} else {
+			results[i] = BatchItemResult{Status: "accepted"}
+		}
+	}
+	resp := BatchSubmissionResponse{Results: results}
+	for _, res := range results {
+		if res.Status == "accepted" {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {

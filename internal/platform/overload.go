@@ -237,6 +237,22 @@ func (l *accountLimiter) sweepLocked(now time.Time) {
 // allow consumes one token for account, reporting whether the request may
 // proceed and, when it may not, how long until the next token.
 func (l *accountLimiter) allow(account string) (wait time.Duration, ok bool) {
+	return l.allowN(account, 1)
+}
+
+// allowN consumes n tokens for account, all or nothing: a batch costs as
+// many tokens as it has items, so batching cannot launder a rate limit.
+// The cost is clamped to the burst size — a batch bigger than the bucket
+// could otherwise never be admitted — which still charges the account the
+// full bucket. On refusal, wait is the time until n tokens will exist.
+func (l *accountLimiter) allowN(account string, n int) (wait time.Duration, ok bool) {
+	cost := float64(n)
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > l.burst {
+		cost = l.burst
+	}
 	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -252,11 +268,11 @@ func (l *accountLimiter) allow(account string) (wait time.Duration, ok bool) {
 		}
 		b.last = now
 	}
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= cost {
+		b.tokens -= cost
 		return 0, true
 	}
-	deficit := 1 - b.tokens
+	deficit := cost - b.tokens
 	return time.Duration(deficit / l.rate * float64(time.Second)), false
 }
 

@@ -157,26 +157,44 @@ func (s *Store) SubmitContext(ctx context.Context, account string, task int, val
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
+	tok, err := s.submitLocked(ctx, account, task, value, at)
+	if err != nil {
+		return err
+	}
+	if s.journal != nil {
+		// Under group commit the fsync that settles the token runs here,
+		// outside the store lock, shared with every concurrent submitter.
+		return s.journal.waitDurable(tok)
+	}
+	return nil
+}
+
+// submitLocked validates, journals, and applies one submission under the
+// store lock, returning the commit token the caller must redeem (outside
+// the lock) before acknowledging.
+func (s *Store) submitLocked(ctx context.Context, account string, task int, value float64, at time.Time) (commitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if task < 0 || task >= len(s.tasks) {
-		return fmt.Errorf("%w: %d", ErrUnknownTask, task)
+		return commitToken{}, fmt.Errorf("%w: %d", ErrUnknownTask, task)
 	}
 	st := s.accounts[account]
 	if st == nil {
 		if err := s.roomForAccountLocked(); err != nil {
-			return err
+			return commitToken{}, err
 		}
 	} else if _, dup := st.observations[task]; dup {
-		return fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, account, task)
+		return commitToken{}, fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, account, task)
 	}
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+		return commitToken{}, fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
+	var tok commitToken
 	if s.journal != nil {
-		err := s.journal.appendLocked(walRecord{Op: opSubmit, Account: account, Task: task, Value: value, Time: at})
+		var err error
+		tok, err = s.journal.appendLocked(walRecord{Op: opSubmit, Account: account, Task: task, Value: value, Time: at})
 		if err != nil {
-			return err
+			return commitToken{}, err
 		}
 	}
 	if st == nil {
@@ -187,7 +205,139 @@ func (s *Store) SubmitContext(ctx context.Context, account string, task int, val
 	if s.journal != nil {
 		s.journal.maybeCompactLocked()
 	}
-	return nil
+	return tok, nil
+}
+
+// BatchSubmission is one item of a bulk submit (Store.SubmitBatch).
+type BatchSubmission struct {
+	Account string
+	Task    int
+	Value   float64
+	At      time.Time
+}
+
+// SubmitBatch records many observations in one WAL write + one fsync.
+// Items are validated independently — a duplicate or malformed item gets
+// its own error and does not poison the rest of the batch — and the
+// per-item errors come back positionally (nil = acknowledged durable).
+func (s *Store) SubmitBatch(items []BatchSubmission) []error {
+	return s.SubmitBatchContext(context.Background(), items)
+}
+
+// SubmitBatchContext is SubmitBatch under a request deadline. Deadline
+// semantics match SubmitContext: the batch is refused whole before the
+// journal write begins, never after.
+func (s *Store) SubmitBatchContext(ctx context.Context, items []BatchSubmission) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	if err := ctx.Err(); err != nil {
+		e := fmt.Errorf("%w: %v", ErrOverloaded, err)
+		for i := range errs {
+			errs[i] = e
+		}
+		return errs
+	}
+	tok, applied := s.submitBatchLocked(ctx, items, errs)
+	if s.journal != nil && len(applied) > 0 {
+		if err := s.journal.waitDurable(tok); err != nil {
+			for _, i := range applied {
+				errs[i] = err
+			}
+		}
+	}
+	return errs
+}
+
+// submitBatchLocked validates each item (later items see earlier valid
+// ones as already applied — an in-batch duplicate is a duplicate, and the
+// account cap counts accounts the batch itself registers), journals every
+// valid item as one WAL batch, and applies them. Per-item errors land in
+// errs; the returned indexes are the items applied, covered by the token.
+func (s *Store) submitBatchLocked(ctx context.Context, items []BatchSubmission, errs []error) (commitToken, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type reportKey struct {
+		account string
+		task    int
+	}
+	inBatch := make(map[reportKey]bool)
+	newAccounts := make(map[string]bool)
+	valid := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Account == "" {
+			errs[i] = ErrEmptyAccount
+			continue
+		}
+		if !isFinite(it.Value) {
+			errs[i] = fmt.Errorf("%w: non-finite observation value %v", ErrMalformedRequest, it.Value)
+			continue
+		}
+		if it.Task < 0 || it.Task >= len(s.tasks) {
+			errs[i] = fmt.Errorf("%w: %d", ErrUnknownTask, it.Task)
+			continue
+		}
+		st := s.accounts[it.Account]
+		dup := inBatch[reportKey{it.Account, it.Task}]
+		if !dup && st != nil {
+			_, dup = st.observations[it.Task]
+		}
+		if dup {
+			errs[i] = fmt.Errorf("%w: account %q task %d", ErrDuplicateReport, it.Account, it.Task)
+			continue
+		}
+		if st == nil && !newAccounts[it.Account] {
+			if s.maxAccounts > 0 && len(s.accounts)+len(newAccounts) >= s.maxAccounts {
+				errs[i] = fmt.Errorf("%w (%d)", ErrTooManyAccounts, s.maxAccounts)
+				continue
+			}
+			newAccounts[it.Account] = true
+		}
+		inBatch[reportKey{it.Account, it.Task}] = true
+		valid = append(valid, i)
+	}
+	if len(valid) == 0 {
+		return commitToken{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		e := fmt.Errorf("%w: %v", ErrOverloaded, err)
+		for _, i := range valid {
+			errs[i] = e
+		}
+		return commitToken{}, nil
+	}
+	var tok commitToken
+	if s.journal != nil {
+		recs := make([]walRecord, len(valid))
+		for j, i := range valid {
+			it := items[i]
+			recs[j] = walRecord{Op: opSubmit, Account: it.Account, Task: it.Task, Value: it.Value, Time: it.At}
+		}
+		var err error
+		tok, err = s.journal.appendBatchLocked(recs)
+		if err != nil {
+			// The batch write is all-or-nothing at the process level (the
+			// writer repaired any partial frame), so nothing was applied.
+			for _, i := range valid {
+				errs[i] = err
+			}
+			return commitToken{}, nil
+		}
+	}
+	for _, i := range valid {
+		it := items[i]
+		st := s.accounts[it.Account]
+		if st == nil {
+			st = s.registerAccountLocked(it.Account)
+		}
+		st.observations[it.Task] = mcs.Observation{Task: it.Task, Value: it.Value, Time: it.At}
+	}
+	obs.Default().Counter("platform.submissions").Add(int64(len(valid)))
+	if s.journal != nil {
+		s.journal.maybeCompactLocked()
+	}
+	return tok, valid
 }
 
 // RecordFingerprint extracts Table II features from a raw sign-in capture
@@ -250,21 +400,34 @@ func (s *Store) setFingerprint(ctx context.Context, account string, vec []float6
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
+	tok, err := s.setFingerprintLocked(ctx, account, vec)
+	if err != nil {
+		return err
+	}
+	if s.journal != nil {
+		return s.journal.waitDurable(tok)
+	}
+	return nil
+}
+
+func (s *Store) setFingerprintLocked(ctx context.Context, account string, vec []float64) (commitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.accounts[account]
 	if st == nil {
 		if err := s.roomForAccountLocked(); err != nil {
-			return err
+			return commitToken{}, err
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+		return commitToken{}, fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
+	var tok commitToken
 	if s.journal != nil {
-		err := s.journal.appendLocked(walRecord{Op: opFingerprint, Account: account, Features: vec})
+		var err error
+		tok, err = s.journal.appendLocked(walRecord{Op: opFingerprint, Account: account, Features: vec})
 		if err != nil {
-			return err
+			return commitToken{}, err
 		}
 	}
 	if st == nil {
@@ -275,7 +438,7 @@ func (s *Store) setFingerprint(ctx context.Context, account string, vec []float6
 	if s.journal != nil {
 		s.journal.maybeCompactLocked()
 	}
-	return nil
+	return tok, nil
 }
 
 // Dataset snapshots the store as an mcs.Dataset (accounts in registration

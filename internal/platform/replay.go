@@ -19,6 +19,13 @@ type ReplayOptions struct {
 	// OnEvent, when non-nil, is called after each successful submission
 	// with the running count. Use it for progress reporting.
 	OnEvent func(submitted int)
+	// BatchSize, when above 1, delivers submissions through
+	// Client.SubmitBatch in chunks of up to this many reports — one round
+	// trip (and one WAL fsync on a durable platform) per chunk instead of
+	// per report. Fingerprints are still recorded individually, before the
+	// owning account's first buffered submission is flushed. 0 or 1 keeps
+	// the one-request-per-report path.
+	BatchSize int
 }
 
 // ReplayDataset feeds an archived campaign through the platform in global
@@ -73,6 +80,28 @@ func ReplayDataset(ctx context.Context, client *Client, ds *mcs.Dataset, opts Re
 	}
 
 	var submitted int
+	var batch []SubmissionRequest
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		results, err := client.SubmitBatch(ctx, batch)
+		if err != nil {
+			return fmt.Errorf("platform: replay batch: %w", err)
+		}
+		for i, res := range results {
+			if err := res.Err(); err != nil {
+				return fmt.Errorf("platform: replay submit %s/%d: %w", batch[i].Account, batch[i].Task, err)
+			}
+			submitted++
+			if opts.OnEvent != nil {
+				opts.OnEvent(submitted)
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+
 	var prev time.Time
 	for _, ev := range events {
 		if err := ctx.Err(); err != nil {
@@ -81,9 +110,11 @@ func ReplayDataset(ctx context.Context, client *Client, ds *mcs.Dataset, opts Re
 		if opts.Pace > 0 && !prev.IsZero() {
 			if gap := ev.obs.Time.Sub(prev); gap > 0 {
 				wait := time.Duration(float64(gap) / opts.Pace)
+				timer := time.NewTimer(wait)
 				select {
-				case <-time.After(wait):
+				case <-timer.C:
 				case <-ctx.Done():
+					timer.Stop()
 					return submitted, fmt.Errorf("platform: replay interrupted: %w", ctx.Err())
 				}
 			}
@@ -97,19 +128,31 @@ func ReplayDataset(ctx context.Context, client *Client, ds *mcs.Dataset, opts Re
 				}
 			}
 		}
-		err := client.Submit(ctx, SubmissionRequest{
+		req := SubmissionRequest{
 			Account: ev.account,
 			Task:    ev.obs.Task,
 			Value:   ev.obs.Value,
 			Time:    ev.obs.Time,
-		})
-		if err != nil {
+		}
+		if opts.BatchSize > 1 {
+			batch = append(batch, req)
+			if len(batch) >= opts.BatchSize {
+				if err := flush(); err != nil {
+					return submitted, err
+				}
+			}
+			continue
+		}
+		if err := client.Submit(ctx, req); err != nil {
 			return submitted, fmt.Errorf("platform: replay submit %s/%d: %w", ev.account, ev.obs.Task, err)
 		}
 		submitted++
 		if opts.OnEvent != nil {
 			opts.OnEvent(submitted)
 		}
+	}
+	if err := flush(); err != nil {
+		return submitted, err
 	}
 	return submitted, nil
 }

@@ -1,0 +1,106 @@
+package truth
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOnlineResubmitReplacesStaleReport pins the one-report rule in the
+// streaming estimator: an account re-reporting a task in a later round
+// must fully supersede its old value, not blend with it. With a single
+// reporter the estimate equals that reporter's value exactly, so any
+// blending with the stale report would pull it off the new value.
+func TestOnlineResubmitReplacesStaleReport(t *testing.T) {
+	o, err := NewOnline(1, OnlineConfig{Decay: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("ana", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	o.Tick()
+	o.Tick()
+	if err := o.Observe("ana", 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	got := o.Estimate()[0]
+	if got != 20 {
+		t.Errorf("estimate after resubmission = %v, want exactly 20 (stale report must be replaced, not blended)", got)
+	}
+
+	// Same-round resubmission too: last write wins.
+	if err := o.Observe("ana", 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Estimate()[0]; got != 30 {
+		t.Errorf("estimate after same-round resubmission = %v, want exactly 30", got)
+	}
+}
+
+// TestOnlineResubmitOutweighsDecayedPeers: replacement must also hold when
+// other accounts report — the resubmitting account contributes one report
+// (the fresh one), never two.
+func TestOnlineResubmitOutweighsDecayedPeers(t *testing.T) {
+	o, err := NewOnline(1, OnlineConfig{Decay: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("ana", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("bo", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	o.Tick()
+	if err := o.Observe("ana", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := o.Estimate()[0]
+	// Both effective reports say 100, so the weighted mean is 100 up to
+	// float rounding; if ana's stale 0 still participated it would drag
+	// the estimate down by whole units, far outside this epsilon.
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("estimate = %v, want 100 (ana's stale report must not participate)", got)
+	}
+}
+
+// TestOnlineFullyDecayedAccountNoNaN: once every report of an account has
+// decayed below tolerance it stops contributing, and the estimator must
+// keep producing finite estimates — not NaN weights — both for tasks that
+// still have fresh reporters and for tasks whose only reporter faded.
+func TestOnlineFullyDecayedAccountNoNaN(t *testing.T) {
+	o, err := NewOnline(2, OnlineConfig{Decay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("old", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe("old", 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if est := o.Estimate(); math.IsNaN(est[0]) || math.IsNaN(est[1]) {
+		t.Fatalf("estimates NaN while reports fresh: %v", est)
+	}
+	// 0.5^21 ≈ 4.8e-7 < the 1e-6 recency floor: "old" is fully faded.
+	for i := 0; i < 21; i++ {
+		o.Tick()
+	}
+	if err := o.Observe("fresh", 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	est := o.Estimate()
+	if est[0] != 50 {
+		t.Errorf("task 0 estimate = %v, want exactly 50 (faded account must not blend in)", est[0])
+	}
+	// Task 1's only reporter faded: the last finite estimate must persist
+	// rather than collapse to NaN.
+	if math.IsNaN(est[1]) || math.IsInf(est[1], 0) {
+		t.Errorf("task 1 estimate became non-finite after its reporter fully decayed: %v", est[1])
+	}
+	// Repeated estimation stays finite and stable.
+	est2 := o.Estimate()
+	if math.IsNaN(est2[0]) || math.IsNaN(est2[1]) {
+		t.Errorf("second estimate produced NaN: %v", est2)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 const (
@@ -134,11 +135,19 @@ func Scan(data []byte) ScanResult {
 	}
 }
 
-// Writer appends frames to a log file. It is not safe for concurrent use;
-// the platform serializes appends under the store lock, which also keeps
-// WAL order identical to in-memory apply order.
+// Writer appends frames to a log file. Appends and truncations must be
+// serialized by the caller (the platform runs them under the store lock,
+// which also keeps WAL order identical to in-memory apply order), but
+// Sync may run concurrently with an Append: the group-commit layer fsyncs
+// from outside the store lock while new frames are still being buffered
+// behind it. An fsync that overlaps a frame write simply persists a
+// prefix of that frame, which recovery already treats as a torn record.
 type Writer struct {
-	f      File
+	f File
+
+	// mu guards size and broken so the concurrent Sync path can read the
+	// broken flag without racing an in-flight append or repair.
+	mu     sync.Mutex
 	size   int64
 	broken bool
 }
@@ -154,15 +163,59 @@ func NewWriter(f File, size int64) *Writer {
 // truncating the partial frame back off the log; if even that fails the
 // writer declares itself broken and refuses further appends.
 func (w *Writer) Append(payload []byte) error {
-	if w.broken {
-		return ErrBroken
-	}
 	frame, err := EncodeFrame(payload)
 	if err != nil {
 		return err
 	}
-	n, werr := w.f.Write(frame)
-	if werr == nil && n < len(frame) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeLocked(frame)
+}
+
+// AppendBatch writes n framed records as one buffered write — one syscall
+// for the whole batch, and (with the single Sync that follows) one fsync
+// for n records instead of n. The batch is validated in full before any
+// byte is written, so one oversized or empty payload rejects the batch
+// without disturbing the log. A failed or short write is repaired exactly
+// like Append: the partial batch is truncated back off the log in one
+// piece (a crash mid-batch instead leaves a frame prefix on disk, which
+// recovery keeps — the batch write is not atomic across a power cut, only
+// across process-level errors).
+func (w *Writer) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	total := 0
+	for _, p := range payloads {
+		if len(p) == 0 {
+			return ErrEmptyRecord
+		}
+		if len(p) > MaxRecordSize {
+			return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(p))
+		}
+		total += HeaderSize + len(p)
+	}
+	buf := make([]byte, 0, total)
+	for _, p := range payloads {
+		frame, err := EncodeFrame(p)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeLocked(buf)
+}
+
+// writeLocked appends buf (one or more complete frames) and repairs a
+// short write by truncating back to the pre-write size. Caller holds mu.
+func (w *Writer) writeLocked(buf []byte) error {
+	if w.broken {
+		return ErrBroken
+	}
+	n, werr := w.f.Write(buf)
+	if werr == nil && n < len(buf) {
 		werr = io.ErrShortWrite
 	}
 	if werr != nil {
@@ -174,20 +227,31 @@ func (w *Writer) Append(payload []byte) error {
 		}
 		return fmt.Errorf("wal: append: %w", werr)
 	}
-	w.size += int64(len(frame))
+	w.size += int64(len(buf))
 	return nil
 }
 
-// Sync flushes appended records to stable storage.
+// Sync flushes appended records to stable storage. It is safe to call
+// concurrently with Append: the fsync runs outside the writer lock (an
+// fsync overlapping a buffered frame write persists at worst a torn frame,
+// which recovery truncates).
 func (w *Writer) Sync() error {
+	w.mu.Lock()
 	if w.broken {
+		w.mu.Unlock()
 		return ErrBroken
 	}
-	return w.f.Sync()
+	f := w.f
+	w.mu.Unlock()
+	return f.Sync()
 }
 
 // Size is the current byte length of the log's valid content.
-func (w *Writer) Size() int64 { return w.size }
+func (w *Writer) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
 
 // Reset empties the log (after its contents have been compacted into a
 // snapshot) and syncs the truncation.
@@ -197,6 +261,8 @@ func (w *Writer) Reset() error { return w.TruncateTo(0) }
 // the caller) and syncs. Used by recovery to drop a CRC-valid but
 // semantically undecodable tail.
 func (w *Writer) TruncateTo(size int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.broken {
 		return ErrBroken
 	}

@@ -309,6 +309,155 @@ func TestCrashLeavesRecoverablePrefix(t *testing.T) {
 	}
 }
 
+// TestAppendBatchRoundTrip: a batch lands as ordinary frames — a reader
+// cannot tell batched appends from single ones, and singles can follow.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := payloads(6)
+	if err := w.AppendBatch(recs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(recs[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(nil); err != nil { // empty batch is a no-op
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res, err := Open(OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrupt != nil || len(res.Records) != len(recs) {
+		t.Fatalf("recovered %d records (corrupt %v), want %d", len(res.Records), res.Corrupt, len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(res.Records[i], rec) {
+			t.Errorf("record %d = %q, want %q", i, res.Records[i], rec)
+		}
+	}
+}
+
+// TestAppendBatchValidatesBeforeWriting: one bad payload rejects the whole
+// batch before any byte reaches the log.
+func TestAppendBatchValidatesBeforeWriting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendBatch([][]byte{[]byte("ok"), nil, []byte("also ok")}); !errors.Is(err, ErrEmptyRecord) {
+		t.Errorf("batch with empty payload: %v", err)
+	}
+	if err := w.AppendBatch([][]byte{[]byte("ok"), make([]byte, MaxRecordSize+1)}); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("batch with oversized payload: %v", err)
+	}
+	if w.Size() != 0 {
+		t.Errorf("rejected batches wrote %d bytes", w.Size())
+	}
+}
+
+// TestAppendBatchShortWriteIsRepaired: a transient short write tears the
+// batch mid-frame; the repair truncates the whole partial batch away and
+// the writer keeps working.
+func TestAppendBatchShortWriteIsRepaired(t *testing.T) {
+	ffs := NewFaultFS(OS())
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openAppend(t, ffs, path, []byte("one"))
+
+	// Keep enough bytes that the first frame of the batch is complete on
+	// disk before the tear: the repair must still remove all of it.
+	first, err := EncodeFrame([]byte("batch-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.ShortWriteOnce(len(first) + 3)
+	if err := w.AppendBatch([][]byte{[]byte("batch-a"), []byte("batch-b")}); err == nil {
+		t.Fatal("short batch write did not surface an error")
+	}
+	if err := w.Append([]byte("three")); err != nil {
+		t.Fatalf("append after repaired batch: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res, err := Open(OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrupt != nil {
+		t.Fatalf("repaired log still corrupt: %v", res.Corrupt)
+	}
+	got := make([]string, len(res.Records))
+	for i, r := range res.Records {
+		got[i] = string(r)
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "three" {
+		t.Fatalf("recovered %v, want [one three]", got)
+	}
+}
+
+// TestAppendBatchCrashKeepsFramePrefix: a power cut mid-batch leaves the
+// completed leading frames on disk; recovery keeps them and truncates the
+// torn one. The batch is atomic against process errors (the repair path),
+// not against crashes — exactly the contract the platform's group-commit
+// ack layer is built on.
+func TestAppendBatchCrashKeepsFramePrefix(t *testing.T) {
+	ffs := NewFaultFS(OS())
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openAppend(t, ffs, path, []byte("pre"))
+
+	first, err := EncodeFrame([]byte("batch-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash inside the second frame of the batch: frame one fully written.
+	ffs.CrashAfterBytes(int64(len(first)) + 5)
+	if err := w.AppendBatch([][]byte{[]byte("batch-a"), []byte("batch-b"), []byte("batch-c")}); err == nil {
+		t.Fatal("batch through a crash succeeded")
+	}
+	if !ffs.Crashed() {
+		t.Fatal("crash did not fire")
+	}
+	_ = w.Close()
+
+	_, res, err := Open(OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(res.Records))
+	for i, r := range res.Records {
+		got[i] = string(r)
+	}
+	if len(got) != 2 || got[0] != "pre" || got[1] != "batch-a" {
+		t.Fatalf("recovered %v, want [pre batch-a]", got)
+	}
+	if res.Corrupt == nil || res.Truncated() == 0 {
+		t.Fatalf("torn batch tail not reported: truncated=%d corrupt=%v", res.Truncated(), res.Corrupt)
+	}
+}
+
 func TestFailSyncSurfaces(t *testing.T) {
 	ffs := NewFaultFS(OS())
 	path := filepath.Join(t.TempDir(), "wal.log")
