@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench bench-ingest fuzz recovery chaos
+.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,15 @@ recovery:
 chaos:
 	$(GO) test -race -run 'Chaos|Overload|Breaker|Gate|AccountLimiter|RateLimit|RetryAfter|Retry|Degrad|Ctx|Draining|RequestDeadline|ZeroLimits|AllowN|Jitter|DrainBounded|SubmitBatch' ./internal/chaos ./internal/platform ./internal/core ./internal/parallel
 
-verify: build fmt vet test race recovery chaos
+# Streaming-truth suite under the race detector: end-to-end on-change
+# delivery over the watch route, latest-wins coalescing and backpressure
+# (hub-level and over a saturated socket), the flusher and
+# timeout-exemption regressions, subscriber churn goroutine-leak checks,
+# and the online estimator's pruning bound.
+stream:
+	$(GO) test -race -run 'Watch|Stream|Flusher|Online' ./internal/platform ./internal/truth
+
+verify: build fmt vet test race recovery chaos stream
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).
@@ -54,3 +62,10 @@ fuzz:
 bench-ingest:
 	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime=2s -json ./internal/platform/ | tee BENCH_ingest.json | \
 		grep -o '"Output":".*acked-submits/sec[^"]*"' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n"//' || true
+
+# Truth-stream fan-out benchmark: pushed updates/sec and latest-wins drop
+# rate at 1, 100, and 1000 draining subscribers. Emits the raw test2json
+# stream to BENCH_stream.json for trend tracking, mirroring bench-ingest.
+bench-stream:
+	$(GO) test -run '^$$' -bench BenchmarkStream -benchtime=2s -json ./internal/platform/ | tee BENCH_stream.json | \
+		grep -o '"Output":".*pushed-updates/sec[^"]*"' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n"//' || true

@@ -13,6 +13,10 @@
 // failures (connection errors, 5xx) are retried with exponential backoff
 // (-retries); permanent rejections are classified via the API's stable
 // error codes rather than by matching message text.
+//
+// With -watch the agent instead opens a long-lived subscription to
+// GET /v1/truths:watch and prints on-change truth updates as they are
+// pushed, reconnecting (with resume) across platform blips.
 package main
 
 import (
@@ -65,6 +69,7 @@ func run() error {
 	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "circuit breaker open -> half-open delay")
 	replay := flag.String("replay", "", "replay an archived campaign JSON instead of simulating a crowd")
 	batch := flag.Int("batch", 1, "send reports via POST /v1/reports:batch in chunks of this many (1 = one request per report)")
+	watch := flag.Bool("watch", false, "subscribe to GET /v1/truths:watch and print on-change truth updates until -timeout elapses (no crowd is driven)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -75,6 +80,9 @@ func run() error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 	})
+	if *watch {
+		return runWatch(ctx, client)
+	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -120,6 +128,25 @@ func run() error {
 		fmt.Fprintf(w, "%s\t%.2f dB\t%v\n", o.Method, o.MAE, o.Converged)
 	}
 	return w.Flush()
+}
+
+// runWatch streams on-change truth updates to stdout until the context
+// ends. Connection blips are survived transparently: the watcher redials
+// with backoff and resumes from the last sequence number it delivered.
+func runWatch(ctx context.Context, client *platform.Client) error {
+	w, err := client.Watch(ctx, platform.WatchOptions{Reconnect: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("watching truth updates (ctrl-c or -timeout to stop)")
+	for u := range w.Updates() {
+		fmt.Printf("seq=%-6d task=%-3d value=%.3f round=%d\n", u.Seq, u.Task, u.Value, u.Round)
+	}
+	// A context deadline/cancel is the normal way out of a watch.
+	if err := w.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
 // printAggregates runs every standard method and prints the estimates

@@ -23,6 +23,14 @@
 // The -pprof flag additionally mounts net/http/pprof under /debug/pprof/
 // for CPU and heap profiling of a live platform.
 //
+// Streaming truth: GET /v1/truths:watch is a server-push SSE stream of
+// on-change truth estimates. Every accepted report feeds a shared
+// evolving-truth estimator incrementally — no /v1/aggregate round trips —
+// and subscribers receive per-task updates with latest-wins coalescing
+// under backpressure (-watch-buffer, -watch-max-subscribers). The stream
+// is exempt from -timeout and -request-timeout; reconnecting clients
+// resume via the SSE Last-Event-ID.
+//
 // Overload protection: every /v1 route passes a weighted-concurrency
 // admission gate (-max-concurrent, -max-queue, -queue-timeout) and carries
 // a propagated deadline (-request-timeout); mutating routes are optionally
@@ -70,6 +78,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-account token-bucket rate limit in requests/sec for mutating routes (0 disables)")
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst size (0 = ceil(rate))")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM before forcing shutdown")
+	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber pending-update buffer on GET /v1/truths:watch; coalesced latest-wins per task (0 = one slot per task)")
+	watchMaxSubs := flag.Int("watch-max-subscribers", 4096, "concurrent watch subscribers before new ones are shed with 503 (negative = unlimited)")
+	watchTick := flag.Duration("watch-tick", 0, "evolving-truth round interval for the watch stream: older reports decay each round (0 disables decay)")
 	flag.Parse()
 
 	if *numTasks < 1 {
@@ -121,6 +132,14 @@ func main() {
 			RequestTimeout: *requestTimeout,
 			RatePerSec:     *rate,
 			RateBurst:      *rateBurst,
+		},
+		// The watch stream itself is exempt from -timeout and
+		// -request-timeout: the handler lifts the connection deadlines via
+		// http.ResponseController, bounding individual writes instead.
+		Stream: platform.StreamConfig{
+			Buffer:         *watchBuffer,
+			MaxSubscribers: *watchMaxSubs,
+			TickEvery:      *watchTick,
 		},
 	})
 	mux := http.NewServeMux()
@@ -191,6 +210,7 @@ func main() {
 		}
 		<-errCh // wait for the serve goroutine to exit
 	}
+	apiServer.Close() // disconnect watch subscribers, stop the stream hub
 	closeDurability()
 	os.Exit(exitCode)
 }

@@ -1,0 +1,84 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sybiltd/internal/obs"
+)
+
+// BenchmarkStream measures truth-stream fan-out at 1, 100, and 1000
+// subscribers: reports are fed through the hub while every subscriber
+// drains as fast as Go scheduling allows. Reported metrics:
+//
+//   - pushed-updates/sec: updates actually delivered into subscriber
+//     buffers and taken, summed across all subscribers.
+//   - drop-rate: dropped / (pushed + dropped) — the share of updates
+//     coalesced away by latest-wins replacement. Rises with subscriber
+//     count as scheduling lag leaves pendings undrained between
+//     estimates; it is load shedding, not data loss, since every
+//     subscriber always holds the latest value per task.
+//
+// Run via `make bench-stream`; the raw test2json stream lands in
+// BENCH_stream.json for trend tracking, mirroring BENCH_ingest.json.
+func BenchmarkStream(b *testing.B) {
+	for _, subs := range []int{1, 100, 1000} {
+		b.Run(fmt.Sprintf("subscribers-%d", subs), func(b *testing.B) {
+			benchStreamFanout(b, subs)
+		})
+	}
+}
+
+func benchStreamFanout(b *testing.B, numSubs int) {
+	const numTasks = 8
+	reg := obs.NewRegistry()
+	hub, err := NewStreamHub(numTasks, StreamConfig{Epsilon: 1e-12, MaxSubscribers: -1}, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < numSubs; i++ {
+		sub, err := hub.Subscribe(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sub *Subscription) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					sub.Take() // final drain so late pushes count
+					return
+				case <-sub.Notify():
+					sub.Take()
+				}
+			}
+		}(sub)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Feed([]BatchSubmission{{
+			Account: fmt.Sprintf("a%05d", i%4096),
+			Task:    i % numTasks,
+			Value:   float64(i % 997),
+		}})
+	}
+	// Close the hub first: it runs any pending estimate's broadcast before
+	// the loop exits, then the drain goroutines take the tail.
+	hub.Close()
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+
+	pushed := reg.Counter("stream.pushed_updates").Value()
+	dropped := reg.Counter("stream.dropped_updates").Value()
+	b.ReportMetric(float64(pushed)/b.Elapsed().Seconds(), "pushed-updates/sec")
+	if total := pushed + dropped; total > 0 {
+		b.ReportMetric(float64(dropped)/float64(total), "drop-rate")
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -248,6 +250,7 @@ type Server struct {
 	limits   ServerLimits
 	gate     *gate           // nil when MaxConcurrent == 0
 	limiter  *accountLimiter // nil when RatePerSec == 0
+	hub      *StreamHub      // truth-watch fan-out (always present)
 	draining atomic.Bool
 
 	shedOverload *obs.Counter
@@ -269,6 +272,10 @@ type ServerOptions struct {
 	// Limits is the overload-protection configuration. The zero value
 	// disables the admission gate, rate limiter, and request deadline.
 	Limits ServerLimits
+	// Stream tunes the GET /v1/truths:watch subscription hub. The zero
+	// value enables streaming with defaults (per-task subscriber buffers,
+	// 4096 subscribers, 15s heartbeat).
+	Stream StreamConfig
 }
 
 // NewServer wires the HTTP handlers against the process-wide metrics
@@ -322,6 +329,22 @@ func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
 	if s.limits.RatePerSec > 0 {
 		s.limiter = newAccountLimiter(s.limits.RatePerSec, s.limits.RateBurst)
 	}
+	// The watch hub: every acknowledged submission feeds the shared
+	// evolving-truth estimator, and subscribers get per-task updates on
+	// change. Seeded from the store's current dataset so a durable restart
+	// streams the recovered state, not an empty one. The hub's goroutine
+	// starts lazily on the first subscription.
+	hub, err := NewStreamHub(len(store.Tasks()), opts.Stream, reg)
+	if err != nil {
+		// Only possible with a zero-task store, which no constructor
+		// produces; fall back to a one-task hub rather than panicking.
+		hub, _ = NewStreamHub(1, opts.Stream, reg)
+	}
+	if ds := store.Dataset(); len(ds.Accounts) > 0 {
+		hub.seed(ds)
+	}
+	s.hub = hub
+	store.SetSubmitListener(hub.Feed)
 	s.handle("GET /v1/tasks", weightLight, s.handleTasks)
 	s.handle("POST /v1/submissions", weightLight, s.handleSubmit)
 	s.handle("POST /v1/reports:batch", weightDeferred, s.handleSubmitBatch)
@@ -329,6 +352,13 @@ func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
 	s.handle("POST /v1/aggregate", weightAggregate, s.handleAggregate)
 	s.handle("GET /v1/stats", weightLight, s.handleStats)
 	s.handle("GET /v1/dataset", weightDataset, s.handleDataset)
+	// The watch route is a long-lived stream: it bypasses the admission
+	// gate (a subscription would pin gate units for its whole life,
+	// starving request traffic), the per-request deadline, and the latency
+	// histogram (an hours-long "request" would drag percentiles into
+	// fiction). Fan-out safety comes from the hub's own subscriber cap and
+	// per-subscriber bounded buffers instead.
+	s.handleStream("GET /v1/truths:watch", s.handleWatch)
 	// The metrics and health endpoints themselves are not instrumented and
 	// not gated: scrapes every few seconds would dominate the request
 	// counters, and health checks must answer precisely when the gate is
@@ -394,6 +424,127 @@ func (s *Server) handle(pattern string, weight int, h http.HandlerFunc) {
 	})
 }
 
+// handleStream registers a streaming route: request/error counting and
+// in-flight tracking like handle, but no latency histogram, no admission
+// gate, and no request deadline — the three things that would kill or be
+// killed by a long-lived subscription.
+func (s *Server) handleStream(pattern string, h http.HandlerFunc) {
+	base := "http." + routeMetricName(pattern)
+	requests := s.reg.Counter(base + ".requests")
+	errors4xx := s.reg.Counter(base + ".errors_4xx")
+	errors5xx := s.reg.Counter(base + ".errors_5xx")
+	inFlight := s.reg.Gauge("http.in_flight")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			requests.Inc()
+			switch {
+			case rec.status >= 500:
+				errors5xx.Inc()
+			case rec.status >= 400:
+				errors4xx.Inc()
+			}
+		}()
+		h(rec, r)
+	})
+}
+
+// Hub returns the server's truth-watch stream hub (e.g. to drive round
+// ticks from an embedder's own cadence).
+func (s *Server) Hub() *StreamHub { return s.hub }
+
+// Close stops the stream hub, disconnecting watch subscribers. The HTTP
+// routes keep serving; call during shutdown after draining.
+func (s *Server) Close() {
+	s.hub.Close()
+}
+
+// handleWatch serves GET /v1/truths:watch: a server-push SSE stream of
+// on-change truth updates. Resume with the standard Last-Event-ID header
+// (or ?from=<seq>): the subscriber is seeded with every task whose
+// estimate changed after that sequence number, falling back to a full
+// snapshot of the current estimates.
+//
+// The stream is exempt from the server-wide read/write timeouts (cleared
+// via http.ResponseController) — those exist to kill stuck requests, and
+// a subscription is not stuck — but every individual write carries a
+// bounded deadline, so a peer that stops draining its socket for longer
+// than the write window is disconnected rather than pinning the handler.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var afterSeq uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		afterSeq, _ = strconv.ParseUint(v, 10, 64)
+	} else if v := r.URL.Query().Get("from"); v != "" {
+		afterSeq, _ = strconv.ParseUint(v, 10, 64)
+	}
+	sub, err := s.hub.Subscribe(afterSeq)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer sub.Close()
+
+	rc := http.NewResponseController(w)
+	// Lift the connection's slowloris deadlines: this response is meant to
+	// outlive them. Errors are ignored — a ResponseWriter without deadline
+	// support (some test recorders) still streams, it just can't shed a
+	// jammed peer early.
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	heartbeat := time.NewTicker(s.hub.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	writeWindow := s.hub.cfg.WriteWindow
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.hub.Done():
+			return
+		case <-heartbeat.C:
+			_ = rc.SetWriteDeadline(time.Now().Add(writeWindow))
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+			_ = rc.SetWriteDeadline(time.Time{})
+		case <-sub.Notify():
+			updates := sub.Take()
+			if len(updates) == 0 {
+				continue
+			}
+			_ = rc.SetWriteDeadline(time.Now().Add(writeWindow))
+			for _, u := range updates {
+				payload, err := json.Marshal(u)
+				if err != nil {
+					s.logf("platform: marshal truth update: %v", err)
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "id: %d\nevent: truth\ndata: %s\n\n", u.Seq, payload); err != nil {
+					return
+				}
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+			_ = rc.SetWriteDeadline(time.Time{})
+			s.hub.observePushLatency(updates, time.Now())
+		}
+	}
+}
+
 func (s *Server) updateGateGauges() {
 	if s.gate == nil {
 		return
@@ -415,6 +566,14 @@ func routeMetricName(pattern string) string {
 }
 
 // statusRecorder captures the status code written by a handler.
+//
+// It forwards the optional ResponseWriter interfaces a streaming handler
+// needs: Flush for the legacy `w.(http.Flusher)` assertion and Unwrap for
+// http.ResponseController (Flush, SetReadDeadline, SetWriteDeadline).
+// Without these, every handler behind the instrumented mux silently lost
+// the ability to stream — the embedded ResponseWriter satisfies only the
+// methods in the interface, so the underlying Flusher was unreachable and
+// chunked/SSE responses buffered until the handler returned.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -424,6 +583,16 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the underlying Flusher, if any.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {

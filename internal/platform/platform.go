@@ -38,6 +38,41 @@ type Store struct {
 	// (and before the caller sees nil). A nil journal — the default — is
 	// the original purely in-memory store. Attached by OpenDurable.
 	journal *Durability
+
+	// onSubmit, when set, receives every acknowledged submission (single
+	// and batch) after durability settles — the feed for the truth-watch
+	// stream hub. Guarded by hookMu, not mu: the callback runs outside the
+	// store lock, on the acknowledging goroutine.
+	hookMu   sync.RWMutex
+	onSubmit SubmitListener
+}
+
+// SubmitListener observes acknowledged submissions. Items are only ever
+// reports the store has applied (and, on a durable store, fsynced). The
+// callback runs synchronously on the ack path and must be cheap and
+// non-blocking; the stream hub's Feed qualifies.
+type SubmitListener func(items []BatchSubmission)
+
+// SetSubmitListener installs (or, with nil, removes) the acknowledged-
+// submission hook. At most one listener is active; a later call replaces
+// the earlier one.
+func (s *Store) SetSubmitListener(fn SubmitListener) {
+	s.hookMu.Lock()
+	s.onSubmit = fn
+	s.hookMu.Unlock()
+}
+
+// notifySubmitted delivers acknowledged items to the listener, if any.
+func (s *Store) notifySubmitted(items []BatchSubmission) {
+	if len(items) == 0 {
+		return
+	}
+	s.hookMu.RLock()
+	fn := s.onSubmit
+	s.hookMu.RUnlock()
+	if fn != nil {
+		fn(items)
+	}
 }
 
 // SetMaxAccounts caps the number of accounts the store accepts; 0 removes
@@ -164,8 +199,11 @@ func (s *Store) SubmitContext(ctx context.Context, account string, task int, val
 	if s.journal != nil {
 		// Under group commit the fsync that settles the token runs here,
 		// outside the store lock, shared with every concurrent submitter.
-		return s.journal.waitDurable(tok)
+		if err := s.journal.waitDurable(tok); err != nil {
+			return err
+		}
 	}
+	s.notifySubmitted([]BatchSubmission{{Account: account, Task: task, Value: value, At: at}})
 	return nil
 }
 
@@ -247,6 +285,15 @@ func (s *Store) SubmitBatchContext(ctx context.Context, items []BatchSubmission)
 			}
 		}
 	}
+	// Feed the acknowledged subset (applied and durably settled) to the
+	// stream listener.
+	var acked []BatchSubmission
+	for _, i := range applied {
+		if errs[i] == nil {
+			acked = append(acked, items[i])
+		}
+	}
+	s.notifySubmitted(acked)
 	return errs
 }
 

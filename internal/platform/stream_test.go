@@ -1,0 +1,610 @@
+package platform
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sybiltd/internal/obs"
+)
+
+// newStreamServer builds an isolated-registry server over n tasks plus an
+// httptest server in front of it, registering cleanup for both.
+func newStreamServer(t *testing.T, n int, opts ServerOptions) (*Store, *Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Registry = reg
+	store := NewStore(testTasks(n))
+	server := NewServerWithOptions(store, opts)
+	ts := httptest.NewServer(server)
+	t.Cleanup(func() {
+		ts.Close()
+		server.Close()
+	})
+	return store, server, ts, reg
+}
+
+// TestWatchReceivesUpdateAfterSubmit is the end-to-end acceptance check:
+// a live GET /v1/truths:watch subscriber receives an on-change truth
+// update after a plain POST /v1/submissions, over real HTTP, without
+// anyone calling /v1/aggregate.
+func TestWatchReceivesUpdateAfterSubmit(t *testing.T) {
+	_, _, ts, _ := newStreamServer(t, 3, ServerOptions{})
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	w, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 1, Value: -61.5}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	u, ok := w.Next(5 * time.Second)
+	if !ok {
+		t.Fatal("no truth update pushed after submit")
+	}
+	if u.Task != 1 || u.Value != -61.5 {
+		t.Fatalf("update = %+v, want task 1 value -61.5", u)
+	}
+	if u.Seq == 0 {
+		t.Fatalf("update carries no sequence number: %+v", u)
+	}
+}
+
+// TestWatchReceivesUpdateAfterBatch: the batch ingest path must feed the
+// stream too, and only the acknowledged subset of a mixed batch counts.
+func TestWatchReceivesUpdateAfterBatch(t *testing.T) {
+	_, _, ts, _ := newStreamServer(t, 4, ServerOptions{})
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	w, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	results, err := client.SubmitBatch(ctx, []SubmissionRequest{
+		{Account: "ana", Task: 2, Value: -70},
+		{Account: "bo", Task: 99, Value: -70}, // rejected: unknown task
+		{Account: "cy", Task: 2, Value: -72},
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if results[1].Err() == nil {
+		t.Fatal("expected item 1 to be rejected")
+	}
+	u, ok := w.Next(5 * time.Second)
+	if !ok {
+		t.Fatal("no truth update pushed after batch submit")
+	}
+	if u.Task != 2 {
+		t.Fatalf("update for task %d, want 2", u.Task)
+	}
+	// Two accepted reports, -70 and -72: the estimate lies between them.
+	if u.Value < -72 || u.Value > -70 {
+		t.Fatalf("estimate %v outside the reported range [-72, -70]", u.Value)
+	}
+}
+
+// TestFlusherReachableBehindInstrumentedMux is the statusRecorder
+// regression test: a handler registered through the instrumented handle()
+// wrapper must still be able to stream — both via the legacy
+// `w.(http.Flusher)` assertion and via http.ResponseController. Before
+// the fix, statusRecorder embedded only the ResponseWriter interface, so
+// the underlying Flusher was unreachable and every streaming response
+// buffered until the handler returned.
+func TestFlusherReachableBehindInstrumentedMux(t *testing.T) {
+	store := NewStore(testTasks(1))
+	server := NewServerWithOptions(store, ServerOptions{Registry: obs.NewRegistry()})
+	defer server.Close()
+
+	var asserted atomic.Bool
+	firstChunk := make(chan struct{})
+	release := make(chan struct{})
+	server.handle("GET /flushprobe", weightLight, func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		asserted.Store(ok)
+		if !ok {
+			return
+		}
+		io.WriteString(w, "first\n")
+		f.Flush()
+		close(firstChunk)
+		<-release
+		io.WriteString(w, "second\n")
+	})
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+	defer close(release)
+
+	resp, err := http.Get(ts.URL + "/flushprobe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The first chunk must arrive while the handler is still running —
+	// that is what "can flush" means.
+	select {
+	case <-firstChunk:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never flushed its first chunk")
+	}
+	if !asserted.Load() {
+		t.Fatal("w.(http.Flusher) failed behind the instrumented mux")
+	}
+	buf := bufio.NewReader(resp.Body)
+	line, err := buf.ReadString('\n')
+	if err != nil || line != "first\n" {
+		t.Fatalf("first streamed chunk = %q, %v", line, err)
+	}
+}
+
+// TestWatchOutlivesRequestTimeout pins the timeout exemption: with a
+// 50ms per-request deadline and a 150ms server write timeout, a watch
+// subscription must keep delivering long after both expired, while normal
+// routes still get the deadline attached to their context.
+func TestWatchOutlivesRequestTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := NewStore(testTasks(2))
+	server := NewServerWithOptions(store, ServerOptions{
+		Registry: reg,
+		Limits:   ServerLimits{RequestTimeout: 50 * time.Millisecond},
+	})
+	defer server.Close()
+	var deadlineSet atomic.Bool
+	server.handle("GET /deadline-probe", weightLight, func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		deadlineSet.Store(ok)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewUnstartedServer(server)
+	ts.Config.ReadTimeout = 150 * time.Millisecond
+	ts.Config.WriteTimeout = 150 * time.Millisecond
+	ts.Start()
+	defer ts.Close()
+
+	// Normal routes still carry the request deadline.
+	resp, err := http.Get(ts.URL + "/deadline-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !deadlineSet.Load() {
+		t.Fatal("normal route lost its request deadline")
+	}
+
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	w, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	// Sit out both the request timeout (50ms) and the server write
+	// timeout (150ms) several times over, then prove the stream is alive.
+	time.Sleep(600 * time.Millisecond)
+	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 0, Value: -55}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, ok := w.Next(5 * time.Second); !ok {
+		t.Fatal("subscription died before outliving the request/write timeouts")
+	}
+}
+
+// TestStreamCoalescingSlowSubscriber pins latest-wins drop-intermediate
+// semantics at the hub: a subscriber that never drains sees intermediate
+// values coalesced away (dropped counter > 0) and, on its eventual drain,
+// exactly the latest value — while a fast subscriber is fed every step
+// without ever blocking on the slow one.
+func TestStreamCoalescingSlowSubscriber(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub, err := NewStreamHub(2, StreamConfig{Epsilon: 1e-12}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	slow, err := hub.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := hub.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const steps = 50
+	var lastVal float64
+	for i := 0; i < steps; i++ {
+		lastVal = float64(-100 + i)
+		hub.Feed([]BatchSubmission{{Account: fmt.Sprintf("a%d", i), Task: 0, Value: lastVal}})
+		// The fast subscriber drains continuously and must see progress
+		// without waiting on the slow one.
+		select {
+		case <-fast.Notify():
+			fast.Take()
+		case <-time.After(2 * time.Second):
+			t.Fatalf("fast subscriber starved at step %d while slow subscriber stalled", i)
+		}
+	}
+	// Wait for the hub loop to settle (the estimate runs async).
+	deadline := time.Now().Add(5 * time.Second)
+	var got []TruthUpdate
+	for time.Now().Before(deadline) {
+		if got = slow.Take(); len(got) > 0 {
+			// The pending buffer holds at most one update per task.
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(got) != 1 {
+		t.Fatalf("slow subscriber drained %d pending updates, want exactly 1 (latest-wins per task)", len(got))
+	}
+	if got[0].Task != 0 {
+		t.Fatalf("pending update for task %d, want 0", got[0].Task)
+	}
+	if slow.Dropped() == 0 {
+		t.Fatal("slow subscriber reports zero dropped updates; intermediates must be coalesced")
+	}
+	if reg.Counter("stream.dropped_updates").Value() == 0 {
+		t.Fatal("hub dropped-updates counter is zero")
+	}
+	// The estimate moves monotonically toward the last reported value as
+	// reports accumulate; the slow drain must carry a late estimate, not
+	// the first one.
+	if got[0].Value == -100 {
+		t.Fatalf("slow subscriber got the first estimate %v; wanted a later, coalesced one", got[0].Value)
+	}
+}
+
+// smallWriteBufListener shrinks the kernel send buffer of every accepted
+// connection so a non-reading peer exerts backpressure after ~100 small
+// SSE events instead of after megabytes of loopback buffering.
+type smallWriteBufListener struct{ net.Listener }
+
+func (l smallWriteBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if tc, ok := c.(*net.TCPConn); err == nil && ok {
+		tc.SetWriteBuffer(2048)
+	}
+	return c, err
+}
+
+// TestStreamSlowSubscriberOverHTTP drives the acceptance scenario over a
+// real socket: one subscriber never reads its connection while another
+// consumes normally. The server must keep pushing to the fast subscriber
+// and record dropped (coalesced) updates for the slow one.
+func TestStreamSlowSubscriberOverHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := NewStore(testTasks(1))
+	server := NewServerWithOptions(store, ServerOptions{
+		Registry: reg,
+		Stream:   StreamConfig{Epsilon: 1e-12, WriteWindow: 500 * time.Millisecond},
+	})
+	defer server.Close()
+	ts := httptest.NewUnstartedServer(server)
+	ts.Listener = smallWriteBufListener{ts.Listener}
+	ts.Start()
+	defer ts.Close()
+
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Slow subscriber: a raw socket with a tiny receive buffer that sends
+	// the watch request and then never reads a byte. Combined with the
+	// shrunken server send buffer, the handler's writes block after a
+	// bounded number of events.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(2048)
+	}
+	fmt.Fprintf(conn, "GET /v1/truths:watch HTTP/1.1\r\nHost: slow\r\nAccept: text/event-stream\r\n\r\n")
+
+	fast, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	// Submit until the hub has coalesced at least one update away for the
+	// stalled subscriber. Each submit comes from a fresh account, so each
+	// genuinely moves the estimate.
+	dropped := reg.Counter("stream.dropped_updates")
+	var lastSeq uint64
+	for i := 0; i < 5000 && dropped.Value() == 0; i++ {
+		if err := client.Submit(ctx, SubmissionRequest{
+			Account: fmt.Sprintf("acct-%04d", i), Task: 0, Value: float64(i % 97),
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		// Drain the fast subscriber opportunistically (non-blocking); it
+		// must keep receiving while the slow one stalls.
+		for drained := false; !drained; {
+			select {
+			case u := <-fast.Updates():
+				lastSeq = u.Seq
+			default:
+				drained = true
+			}
+		}
+	}
+	if dropped.Value() == 0 {
+		t.Fatal("no dropped updates recorded for the stalled subscriber")
+	}
+	// The fast subscriber keeps making progress after drops occurred.
+	if err := client.Submit(ctx, SubmissionRequest{Account: "final", Task: 0, Value: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		u, ok := fast.Next(time.Second)
+		if ok && u.Seq > lastSeq {
+			return // progress proven
+		}
+	}
+	t.Fatal("fast subscriber stopped receiving after the slow subscriber stalled")
+}
+
+// TestWatchResume: a subscriber that reconnects with its last sequence
+// number receives the tasks that changed while it was away — and nothing
+// it has already seen when nothing changed.
+func TestWatchResume(t *testing.T) {
+	_, server, ts, _ := newStreamServer(t, 4, ServerOptions{})
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	w, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 0, Value: -10}); err != nil {
+		t.Fatal(err)
+	}
+	u, ok := w.Next(5 * time.Second)
+	if !ok {
+		t.Fatal("no initial update")
+	}
+	seen := u.Seq
+
+	// Disconnect, change a different task while away, reconnect resuming.
+	cancel()
+	for range w.Updates() {
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := client.Submit(ctx2, SubmissionRequest{Account: "bo", Task: 3, Value: -20}); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := client.Watch(ctx2, WatchOptions{FromSeq: seen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, ok := w2.Next(5 * time.Second)
+	if !ok {
+		t.Fatal("resume delivered nothing")
+	}
+	if u2.Task != 3 || u2.Seq <= seen {
+		t.Fatalf("resume delivered %+v, want the task-3 change after seq %d", u2, seen)
+	}
+	if u3, ok := w2.Next(300 * time.Millisecond); ok {
+		t.Fatalf("resume re-delivered already-seen state: %+v", u3)
+	}
+	_ = server
+}
+
+// TestWatchMaxSubscribers: the cap sheds new subscribers with the
+// overloaded wire code, and closing a subscription frees a slot.
+func TestWatchMaxSubscribers(t *testing.T) {
+	_, _, ts, reg := newStreamServer(t, 1, ServerOptions{
+		Stream: StreamConfig{MaxSubscribers: 1},
+	})
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	first, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = first
+	if _, err := client.Watch(ctx, WatchOptions{}); err == nil {
+		t.Fatal("second subscription admitted past MaxSubscribers=1")
+	} else if !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("shed error %v does not carry the overloaded code", err)
+	}
+	if reg.Counter("stream.subscribe_rejections").Value() == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// TestStreamSubscriberChurnNoLeak churns 1k hub subscriptions (plus live
+// traffic) and checks no goroutines accumulate: the hub runs exactly one
+// loop goroutine regardless of subscriber count, and a closed
+// subscription leaves nothing behind.
+func TestStreamSubscriberChurnNoLeak(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub, err := NewStreamHub(4, StreamConfig{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 1000; i++ {
+		sub, err := hub.Subscribe(0)
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		hub.Feed([]BatchSubmission{{Account: fmt.Sprintf("a%d", i%100), Task: i % 4, Value: float64(i)}})
+		sub.Take()
+		sub.Close()
+	}
+	if g := reg.Gauge("stream.subscribers").Value(); g != 0 {
+		t.Fatalf("subscriber gauge = %d after churn, want 0", g)
+	}
+	hub.Close()
+	// Goroutines park asynchronously; allow them a moment to exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after 1k subscriber churn", before, runtime.NumGoroutine())
+}
+
+// TestWatchHTTPChurnNoLeak does a smaller churn over real HTTP: every
+// closed client connection must terminate its handler goroutine.
+func TestWatchHTTPChurnNoLeak(t *testing.T) {
+	_, _, ts, reg := newStreamServer(t, 2, ServerOptions{})
+	client := NewClient(ts.URL, nil)
+
+	warm, cancelWarm := context.WithCancel(context.Background())
+	w, err := client.Watch(warm, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelWarm()
+	for range w.Updates() {
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		wi, err := client.Watch(ctx, WatchOptions{})
+		if err != nil {
+			t.Fatalf("watch %d: %v", i, err)
+		}
+		cancel()
+		for range wi.Updates() {
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Gauge("stream.subscribers").Value() == 0 && runtime.NumGoroutine() <= before+5 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("leak after HTTP churn: %d goroutines (baseline %d), %d subscribers still registered",
+		runtime.NumGoroutine(), before, reg.Gauge("stream.subscribers").Value())
+}
+
+// TestWatchReconnectResumes: the auto-reconnecting watcher survives its
+// connection being severed and picks the stream back up with resume.
+func TestWatchReconnectResumes(t *testing.T) {
+	_, _, ts, _ := newStreamServer(t, 2, ServerOptions{})
+	// MaxRetries covers the submit that races the severed connection pool:
+	// CloseClientConnections kills pooled submit conns too, so the first
+	// POST after the cut can land on a dead socket.
+	client := NewClientWithConfig(ts.URL, ClientConfig{MaxRetries: 3, RetryBaseDelay: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	w, err := client.Watch(ctx, WatchOptions{Reconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 0, Value: -30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Next(5 * time.Second); !ok {
+		t.Fatal("no update before the cut")
+	}
+
+	// Sever every open client connection; the watcher must redial.
+	ts.CloseClientConnections()
+	if err := client.Submit(ctx, SubmissionRequest{Account: "bo", Task: 1, Value: -40}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		u, ok := w.Next(time.Second)
+		if ok && u.Task == 1 {
+			return // reconnected and resumed
+		}
+	}
+	t.Fatal("watcher never recovered after its connection was severed")
+}
+
+// TestStreamMetricsExposed: the fan-out metrics ride the standard
+// /v1/metrics endpoint.
+func TestStreamMetricsExposed(t *testing.T) {
+	_, _, ts, _ := newStreamServer(t, 1, ServerOptions{})
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	w, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 0, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Next(5 * time.Second); !ok {
+		t.Fatal("no update")
+	}
+	snap, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges["stream.subscribers"] != 1 {
+		t.Errorf("stream.subscribers = %d, want 1", snap.Gauges["stream.subscribers"])
+	}
+	if snap.Counters["stream.reports"] == 0 {
+		t.Error("stream.reports counter is zero")
+	}
+	if snap.Counters["stream.pushed_updates"] == 0 {
+		t.Error("stream.pushed_updates counter is zero")
+	}
+	if _, ok := snap.Histograms["stream.push_latency_seconds"]; !ok {
+		t.Error("stream.push_latency_seconds histogram missing")
+	}
+}
+
+// TestStreamSeedsFromExistingData: reports submitted before the server
+// (or hub) existed — e.g. recovered from a WAL — appear on the stream as
+// the initial snapshot.
+func TestStreamSeedsFromExistingData(t *testing.T) {
+	store := NewStore(testTasks(2))
+	if err := store.Submit("ana", 1, -42, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	server := NewServerWithOptions(store, ServerOptions{Registry: reg})
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+	defer server.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	w, err := NewClient(ts.URL, nil).Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := w.Next(5 * time.Second)
+	if !ok {
+		t.Fatal("no snapshot update for pre-existing data")
+	}
+	if u.Task != 1 || u.Value != -42 {
+		t.Fatalf("snapshot update = %+v, want task 1 value -42", u)
+	}
+}

@@ -35,6 +35,11 @@ type onlineObs struct {
 	round int
 }
 
+// recencyFloor is the influence below which an observation is treated as
+// fully faded: Estimate skips it and prune deletes it. Shared by both so
+// the skip rule and the retention rule can never drift apart.
+const recencyFloor = 1e-6
+
 // OnlineConfig tunes an Online estimator.
 type OnlineConfig struct {
 	// Decay in (0, 1] is the per-round forgetting factor applied to each
@@ -97,7 +102,38 @@ func (o *Online) Observe(account string, task int, value float64) error {
 
 // Tick closes the current round: subsequent observations belong to the
 // next round and all existing observations age by one decay step.
-func (o *Online) Tick() { o.round++ }
+// Observations that have fully faded (recency below recencyFloor) are
+// pruned here, so a long-running estimator's memory is bounded by the
+// live window — decay^window >= recencyFloor — instead of growing with
+// every account that ever reported.
+func (o *Online) Tick() {
+	o.round++
+	o.prune()
+}
+
+// recency returns an observation's current influence in [0, 1].
+func (o *Online) recency(ob onlineObs) float64 {
+	return math.Pow(o.decay, float64(o.round-ob.round))
+}
+
+// prune deletes observations whose influence fell below recencyFloor and
+// accounts left with no live observations. With Decay == 1 nothing ever
+// fades and prune is a no-op by design.
+func (o *Online) prune() {
+	if o.decay >= 1 {
+		return
+	}
+	for account, byTask := range o.latest {
+		for task, ob := range byTask {
+			if o.recency(ob) < recencyFloor {
+				delete(byTask, task)
+			}
+		}
+		if len(byTask) == 0 {
+			delete(o.latest, account)
+		}
+	}
+}
 
 // Round returns the current round number (starting at 0).
 func (o *Online) Round() int { return o.round }
@@ -113,12 +149,18 @@ func (o *Online) Estimate() []float64 {
 	byTask := make([][]rep, o.numTasks)
 	for account, obs := range o.latest {
 		for task, ob := range obs {
-			age := o.round - ob.round
-			recency := math.Pow(o.decay, float64(age))
-			if recency < 1e-6 {
-				continue // fully faded
+			recency := o.recency(ob)
+			if recency < recencyFloor {
+				// Fully faded: prune in place — this scan already visits
+				// every observation, so deletion here is free and keeps
+				// the maps bounded even if Tick is never called directly.
+				delete(obs, task)
+				continue
 			}
 			byTask[task] = append(byTask[task], rep{account: account, value: ob.value, recency: recency})
+		}
+		if len(obs) == 0 {
+			delete(o.latest, account)
 		}
 	}
 
@@ -218,5 +260,23 @@ func (o *Online) Estimate() []float64 {
 	return out
 }
 
-// NumAccounts returns the number of accounts that have ever observed.
-func (o *Online) NumAccounts() int { return len(o.latest) }
+// NumAccounts returns the number of live accounts: accounts with at least
+// one observation whose influence is still above the recency floor.
+// Accounts whose every report has fully faded no longer participate in
+// Estimate and are not counted (they are pruned).
+func (o *Online) NumAccounts() int {
+	o.prune()
+	return len(o.latest)
+}
+
+// NumObservations returns the number of live (non-faded) observations
+// currently retained. Exposed so long-running deployments (and the
+// steady-state regression test) can pin the estimator's memory footprint.
+func (o *Online) NumObservations() int {
+	o.prune()
+	n := 0
+	for _, byTask := range o.latest {
+		n += len(byTask)
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package truth
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -102,5 +103,47 @@ func TestOnlineFullyDecayedAccountNoNaN(t *testing.T) {
 	est2 := o.Estimate()
 	if math.IsNaN(est2[0]) || math.IsNaN(est2[1]) {
 		t.Errorf("second estimate produced NaN: %v", est2)
+	}
+}
+
+// TestOnlinePruneBoundsSteadyStateSize pins the memory bound for a
+// long-lived estimator: with Decay = 0.5 an observation's influence falls
+// below the 1e-6 recency floor after 20 rounds, so after many rounds of
+// churning accounts (one fresh account per round) the live state must
+// stay pinned at the fade window — not grow with every account that ever
+// reported. Before the prune fix, faded observations were skipped by
+// Estimate but never deleted and NumAccounts reported every account ever
+// seen, an unbounded leak in any long-running stream.
+func TestOnlinePruneBoundsSteadyStateSize(t *testing.T) {
+	const rounds = 1000
+	o, err := NewOnline(4, OnlineConfig{Decay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5^20 ≈ 9.5e-7 < 1e-6: anything older than 20 rounds is faded.
+	const fadeWindow = 20
+	for r := 0; r < rounds; r++ {
+		if err := o.Observe(fmt.Sprintf("acct-%04d", r), r%4, float64(r%17)); err != nil {
+			t.Fatal(err)
+		}
+		o.Tick()
+		if r%100 == 0 {
+			o.Estimate() // interleave estimates: both paths must prune
+		}
+	}
+	// One account per round, one observation each: steady state is at most
+	// the fade window (+1 for the boundary round).
+	if n := o.NumAccounts(); n > fadeWindow+1 {
+		t.Errorf("NumAccounts = %d after %d rounds, want <= %d (faded accounts must be pruned)", n, rounds, fadeWindow+1)
+	}
+	if n := o.NumObservations(); n > fadeWindow+1 {
+		t.Errorf("NumObservations = %d after %d rounds, want <= %d (faded observations must be pruned)", n, rounds, fadeWindow+1)
+	}
+	// Sanity: the estimator still works and recent data still counts.
+	if est := o.Estimate(); math.IsNaN(est[(rounds-1)%4]) {
+		t.Errorf("estimate for the most recently observed task is NaN")
+	}
+	if o.NumAccounts() == 0 {
+		t.Error("NumAccounts = 0, recent accounts must remain live")
 	}
 }
