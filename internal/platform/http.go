@@ -17,6 +17,7 @@ import (
 	"sybiltd/internal/mcs"
 	"sybiltd/internal/mems"
 	"sybiltd/internal/obs"
+	"sybiltd/internal/truth"
 )
 
 // API DTOs. Field names form the wire contract of the platform service.
@@ -334,17 +335,35 @@ func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
 	// change. Seeded from the store's current dataset so a durable restart
 	// streams the recovered state, not an empty one. The hub's goroutine
 	// starts lazily on the first subscription.
-	hub, err := NewStreamHub(len(store.Tasks()), opts.Stream, reg)
-	if err != nil {
-		// Only possible with a zero-task store, which no constructor
-		// produces; fall back to a one-task hub rather than panicking.
-		hub, _ = NewStreamHub(1, opts.Stream, reg)
+	numTasks := len(store.Tasks())
+	if numTasks < 1 {
+		numTasks = 1 // zero-task stores exist only in hand-built tests
 	}
+	hub, err := NewStreamHub(numTasks, opts.Stream, reg)
+	if err != nil {
+		// With numTasks >= 1 the constructor can only fail on invalid
+		// estimator tuning (e.g. Online.Decay outside (0, 1]). The watch
+		// stream is a side channel of the server, so trade the bad knobs
+		// for truth.NewOnline defaults — loudly — rather than failing
+		// construction or serving with a nil hub.
+		s.logf("platform: stream config rejected (%v); watch hub falling back to default estimator tuning", err)
+		fallback := opts.Stream
+		fallback.Online = truth.OnlineConfig{}
+		hub, err = NewStreamHub(numTasks, fallback, reg)
+		if err != nil {
+			// Unreachable: the zero OnlineConfig always validates.
+			panic(fmt.Sprintf("platform: stream hub fallback: %v", err))
+		}
+	}
+	s.hub = hub
+	// Install the listener before taking the seeding snapshot so no
+	// submission can fall between the two: the snapshot then misses
+	// nothing the listener didn't see, and seed skips pairs a live Feed
+	// already delivered, so the overlap is never replayed backwards.
+	store.SetSubmitListener(hub.Feed)
 	if ds := store.Dataset(); len(ds.Accounts) > 0 {
 		hub.seed(ds)
 	}
-	s.hub = hub
-	store.SetSubmitListener(hub.Feed)
 	s.handle("GET /v1/tasks", weightLight, s.handleTasks)
 	s.handle("POST /v1/submissions", weightLight, s.handleSubmit)
 	s.handle("POST /v1/reports:batch", weightDeferred, s.handleSubmitBatch)

@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,7 +36,11 @@ type StreamConfig struct {
 	// the task count (the default, Buffer == 0) guarantees a subscriber
 	// always eventually sees every task's latest estimate no matter how
 	// slowly it reads; a smaller buffer additionally evicts the oldest
-	// pending task under pressure.
+	// pending task under pressure. An eviction is a real loss, not just
+	// deferral: the evicted update's Seq is below seqs delivered later, so
+	// a Last-Event-ID resume will not re-send it and the subscriber stays
+	// stale on that task until its estimate next moves. Size the buffer
+	// below the task count only when per-task staleness is acceptable.
 	Buffer int
 	// MaxSubscribers bounds concurrent subscriptions; new arrivals beyond
 	// it are shed with 503 + Retry-After (wire code "overloaded"). Zero
@@ -58,9 +63,10 @@ type StreamConfig struct {
 	// Zero means 30s.
 	WriteWindow time.Duration
 	// Online tunes the shared evolving-truth estimator. The zero value
-	// uses truth.NewOnline defaults except MaxIterations, which is capped
-	// at 25: the estimator warm-starts from the previous truths on every
-	// report, so deep refinement per report buys nothing.
+	// uses truth.NewOnline defaults except MaxIterations, which is
+	// clamped to at most 25 (explicit larger values included): the
+	// estimator warm-starts from the previous truths on every report, so
+	// deep refinement per report buys nothing.
 	Online truth.OnlineConfig
 }
 
@@ -80,7 +86,7 @@ func (c StreamConfig) withDefaults(numTasks int) StreamConfig {
 	if c.WriteWindow <= 0 {
 		c.WriteWindow = 30 * time.Second
 	}
-	if c.Online.MaxIterations == 0 {
+	if c.Online.MaxIterations == 0 || c.Online.MaxIterations > 25 {
 		c.Online.MaxIterations = 25
 	}
 	return c
@@ -187,12 +193,19 @@ func (h *StreamHub) Feed(items []BatchSubmission) {
 
 // seed preloads the estimator from an existing dataset (recovered or
 // pre-stream submissions), without waking the loop: the first subscriber
-// triggers the initial estimate.
+// triggers the initial estimate. Pairs the estimator already holds are
+// skipped: the submit listener is installed before the seeding snapshot
+// is taken, so anything already present arrived via a live Feed and is
+// at least as new as the snapshot — replaying the snapshot over it would
+// rewind the estimator to an older value.
 func (h *StreamHub) seed(ds *mcs.Dataset) {
 	h.estMu.Lock()
 	defer h.estMu.Unlock()
 	for _, acct := range ds.Accounts {
 		for _, ob := range acct.Observations {
+			if h.est.Has(acct.ID, ob.Task) {
+				continue
+			}
 			if h.est.Observe(acct.ID, ob.Task, ob.Value) == nil {
 				h.dirty = true
 			}
@@ -401,8 +414,16 @@ func (s *Subscription) offer(u TruthUpdate) {
 // Notify signals (edge-triggered, capacity 1) that updates are pending.
 func (s *Subscription) Notify() <-chan struct{} { return s.notify }
 
-// Take drains the pending updates in arrival order (each task at most
-// once, carrying its latest value) and counts them as pushed.
+// Take drains the pending updates in ascending Seq order (each task at
+// most once, carrying its latest value) and counts them as pushed.
+//
+// The sort is what makes Last-Event-ID resume sound: coalescing replaces
+// a pending update in place, so arrival order can put a freshly-coalesced
+// high-Seq task ahead of an older low-Seq one. Seqs are assigned under
+// estMu and every update offered after this drain is newer than anything
+// drained, so sorting each batch makes the delivered Seq sequence
+// globally monotone — a client that resumes from the last Seq it saw can
+// never skip an update it was still owed.
 func (s *Subscription) Take() []TruthUpdate {
 	s.mu.Lock()
 	if len(s.order) == 0 {
@@ -416,6 +437,7 @@ func (s *Subscription) Take() []TruthUpdate {
 	}
 	s.order = s.order[:0]
 	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	s.hub.pushed.Add(int64(len(out)))
 	return out
 }

@@ -14,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"sybiltd/internal/mcs"
 	"sybiltd/internal/obs"
+	"sybiltd/internal/truth"
 )
 
 // newStreamServer builds an isolated-registry server over n tasks plus an
@@ -606,5 +608,122 @@ func TestStreamSeedsFromExistingData(t *testing.T) {
 	}
 	if u.Task != 1 || u.Value != -42 {
 		t.Fatalf("snapshot update = %+v, want task 1 value -42", u)
+	}
+}
+
+// TestTakeDeliversMonotoneSeq is the coalescing-order regression test:
+// latest-wins replaces a pending update in place, which used to leave the
+// task at its old FIFO position, so a drain could emit seq 9 before seq 6.
+// A client that disconnected mid-batch would then resume from the max seq
+// it saw and permanently skip the lower-seq update it was still owed.
+// Take must deliver in ascending Seq order.
+func TestTakeDeliversMonotoneSeq(t *testing.T) {
+	hub, err := NewStreamHub(3, StreamConfig{}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+	sub, err := hub.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sub.Close)
+
+	sub.offer(TruthUpdate{Seq: 5, Task: 0, Value: 1})
+	sub.offer(TruthUpdate{Seq: 6, Task: 1, Value: 2})
+	sub.offer(TruthUpdate{Seq: 9, Task: 0, Value: 3}) // coalesces task 0 in place
+
+	got := sub.Take()
+	if len(got) != 2 {
+		t.Fatalf("Take returned %d updates, want 2 (coalesced)", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("non-monotone delivery: seq %d after seq %d (batch %+v)",
+				got[i].Seq, got[i-1].Seq, got)
+		}
+	}
+	if got[0].Seq != 6 || got[1].Seq != 9 {
+		t.Fatalf("seqs = [%d, %d], want [6, 9]", got[0].Seq, got[1].Seq)
+	}
+	if got[1].Value != 3 {
+		t.Fatalf("coalesced task 0 carries value %v, want the latest (3)", got[1].Value)
+	}
+	if d := sub.Dropped(); d != 1 {
+		t.Fatalf("dropped = %d, want 1 (the superseded intermediate)", d)
+	}
+}
+
+// TestStreamConfigClampsMaxIterations: the Online doc promises at most 25
+// refinement iterations per re-estimate; an explicit larger value must be
+// clamped, not passed through, while smaller explicit values survive.
+func TestStreamConfigClampsMaxIterations(t *testing.T) {
+	c := StreamConfig{Online: truth.OnlineConfig{MaxIterations: 500}}.withDefaults(4)
+	if c.Online.MaxIterations != 25 {
+		t.Fatalf("MaxIterations 500 clamped to %d, want 25", c.Online.MaxIterations)
+	}
+	c = StreamConfig{Online: truth.OnlineConfig{MaxIterations: 3}}.withDefaults(4)
+	if c.Online.MaxIterations != 3 {
+		t.Fatalf("explicit MaxIterations 3 became %d, want 3", c.Online.MaxIterations)
+	}
+	c = StreamConfig{}.withDefaults(4)
+	if c.Online.MaxIterations != 25 {
+		t.Fatalf("zero MaxIterations defaulted to %d, want 25", c.Online.MaxIterations)
+	}
+}
+
+// TestInvalidStreamOnlineConfigFallsBack: an invalid estimator tuning
+// (Decay outside (0, 1]) must not leave the server with a nil hub — it
+// falls back to default tuning and the watch stream still works
+// end-to-end. Before the fix this panicked on the first submission.
+func TestInvalidStreamOnlineConfigFallsBack(t *testing.T) {
+	_, _, ts, _ := newStreamServer(t, 2, ServerOptions{
+		Stream: StreamConfig{Online: truth.OnlineConfig{Decay: 2}},
+	})
+	client := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	w, err := client.Watch(ctx, WatchOptions{})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 0, Value: -55}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	u, ok := w.Next(5 * time.Second)
+	if !ok {
+		t.Fatal("no truth update pushed with fallback stream config")
+	}
+	if u.Task != 0 || u.Value != -55 {
+		t.Fatalf("update = %+v, want task 0 value -55", u)
+	}
+}
+
+// TestSeedSkipsPairsAlreadyFed: the submit listener is installed before
+// the seeding snapshot is taken, so a pair can reach the hub via Feed
+// first and then appear in the snapshot too. seed must keep the live-fed
+// value (at least as new as the snapshot) rather than rewinding it.
+func TestSeedSkipsPairsAlreadyFed(t *testing.T) {
+	hub, err := NewStreamHub(1, StreamConfig{}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+	hub.Feed([]BatchSubmission{{Account: "ana", Task: 0, Value: -60}})
+	hub.seed(&mcs.Dataset{
+		Tasks: make([]mcs.Task, 1),
+		Accounts: []mcs.Account{
+			{ID: "ana", Observations: []mcs.Observation{{Task: 0, Value: -90}}}, // stale snapshot of ana
+			{ID: "bo", Observations: []mcs.Observation{{Task: 0, Value: -58}}},  // snapshot-only, must land
+		},
+	})
+	hub.estMu.Lock()
+	ests := hub.est.Estimate()
+	hub.estMu.Unlock()
+	// ana's live -60 must survive the stale -90 replay; with bo's -58 the
+	// estimate lies between the two live reports.
+	if ests[0] < -60 || ests[0] > -58 {
+		t.Fatalf("estimate %v outside [-60, -58]: seed overwrote a live feed", ests[0])
 	}
 }

@@ -135,6 +135,13 @@ func (o *Online) prune() {
 	}
 }
 
+// Has reports whether the estimator currently holds a report from
+// account for task (presence, regardless of how far it has faded).
+func (o *Online) Has(account string, task int) bool {
+	_, ok := o.latest[account][task]
+	return ok
+}
+
 // Round returns the current round number (starting at 0).
 func (o *Online) Round() int { return o.round }
 
