@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream
+.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,16 @@ chaos:
 stream:
 	$(GO) test -race -run 'Watch|Stream|Flusher|Online' ./internal/platform ./internal/truth
 
-verify: build fmt vet test race recovery chaos stream
+# Sharded-platform suite under the race detector: the consistent-hash
+# ring, shard-aware batch splitting, scatter-gather reads and their
+# degradation policy, the router's wire-API and aggregated /readyz, the
+# Store interface suite over LocalStore and RemoteStore, the wire-code
+# conformance table, the exported-API snapshot, and the 3-shard
+# kill-and-recover chaos campaign.
+shard:
+	$(GO) test -race -run 'Ring|Shard|Router|Remote|Readyz|StoreSuite|WireCode|APISnapshot|ExportedAPI|ChaosSharded' ./internal/platform/...
+
+verify: build fmt vet test race recovery chaos stream shard
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).
@@ -56,11 +65,12 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDistance -fuzztime=30s ./internal/dtw/
 
 # Ingestion throughput benchmark: 32 concurrent submitters against a
-# durable store, per-record fsync vs group commit vs batched submits.
-# Emits the raw test2json stream to BENCH_ingest.json for trend tracking;
-# the human-readable table goes to stdout as usual.
+# durable store, per-record fsync vs group commit vs batched submits,
+# plus the sharded variant routing the same load across 1/2/4 durable
+# shards. Emits the raw test2json stream to BENCH_ingest.json for trend
+# tracking; the human-readable table goes to stdout as usual.
 bench-ingest:
-	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime=2s -json ./internal/platform/ | tee BENCH_ingest.json | \
+	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime=2s -json ./internal/platform/... | tee BENCH_ingest.json | \
 		grep -o '"Output":".*acked-submits/sec[^"]*"' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n"//' || true
 
 # Truth-stream fan-out benchmark: pushed updates/sec and latest-wins drop

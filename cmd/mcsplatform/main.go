@@ -96,7 +96,7 @@ func main() {
 		tasks[i] = mcs.Task{ID: i, Name: fmt.Sprintf("POI-%d", i+1), X: p.X, Y: p.Y}
 	}
 
-	var store *platform.Store
+	var store *platform.LocalStore
 	var durability *platform.Durability
 	if *dataDir != "" {
 		var stats platform.RecoveryStats
@@ -113,11 +113,11 @@ func main() {
 		}
 		logger.Printf("durable: %s (snapshot seq %d, %d WAL records replayed, %d skipped, %d bytes truncated)",
 			*dataDir, stats.SnapshotSeq, stats.RecordsReplayed, stats.RecordsSkipped, stats.BytesTruncated)
-		if got := len(store.Tasks()); got != len(tasks) {
-			logger.Printf("durable: serving %d tasks recovered from snapshot (-tasks %d ignored)", got, *numTasks)
+		if recovered, _ := store.Tasks(context.Background()); len(recovered) != len(tasks) {
+			logger.Printf("durable: serving %d tasks recovered from snapshot (-tasks %d ignored)", len(recovered), *numTasks)
 		}
 	} else {
-		store = platform.NewStore(tasks)
+		store = platform.NewLocalStore(tasks)
 	}
 	if *maxAccounts > 0 {
 		store.SetMaxAccounts(*maxAccounts)
@@ -188,7 +188,8 @@ func main() {
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	logger.Printf("serving %d tasks on %s (metrics at /metrics and /v1/metrics)", len(store.Tasks()), *addr)
+	served, _ := store.Tasks(context.Background())
+	logger.Printf("serving %d tasks on %s (metrics at /metrics and /v1/metrics)", len(served), *addr)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,179 @@
+// Command mcsrouter fronts a fleet of mcsplatform shard processes with
+// the same /v1 wire API each shard serves.
+//
+// Usage:
+//
+//	mcsrouter -addr :8080 -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// Accounts are partitioned across the shards by a consistent-hash ring
+// (account-keyed, -vnodes virtual nodes per shard), so every account's
+// reports, duplicate guard, and WAL records live on exactly one shard.
+// Writes are routed to the owning shard; POST /v1/reports:batch is split
+// per shard, dispatched concurrently, and reassembled positionally.
+// Whole-campaign reads (aggregate, stats, dataset) scatter-gather: with
+// some shards unreachable, aggregation and stats answer from the
+// reachable part flagged `"degraded": true` in the response meta, while
+// the dataset export fails retryably (a partial archive is worse than a
+// late one). GET /readyz aggregates per-shard health and flips 503 with a
+// per-shard breakdown if any shard is draining or unreachable.
+//
+// The router is stateless: it can be restarted (or replicated behind a
+// load balancer) at any time, and the ring depends only on the -shards
+// list order, which must therefore be identical across router replicas
+// and restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sybiltd/internal/platform"
+	"sybiltd/internal/platform/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shardList := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines the ring; keep it stable)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default 128)")
+	retries := flag.Int("retries", 2, "per-shard request retries (connection errors, 5xx, shed 429s)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff before the first shard retry (doubles per attempt)")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-request timeout toward a shard")
+	startupWait := flag.Duration("startup-wait", 30*time.Second, "how long to wait for at least one shard to answer at startup")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request read/write timeout (0 disables; slowloris guard)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	maxConcurrent := flag.Int("max-concurrent", 128, "admission gate capacity in weight units (aggregate=4, dataset=2, rest=1; 0 disables the gate)")
+	maxQueue := flag.Int("max-queue", 256, "requests allowed to wait for admission before shedding with 503")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "max wait for admission before shedding with 503")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "deadline propagated into shard calls and merged aggregation (0 disables)")
+	rate := flag.Float64("rate", 0, "per-account token-bucket rate limit in requests/sec for mutating routes (0 disables)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst size (0 = ceil(rate))")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM before forcing shutdown")
+	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber pending-update buffer on GET /v1/truths:watch (0 = one slot per task)")
+	watchMaxSubs := flag.Int("watch-max-subscribers", 4096, "concurrent watch subscribers before new ones are shed with 503 (negative = unlimited)")
+	watchTick := flag.Duration("watch-tick", 0, "evolving-truth round interval for the watch stream (0 disables decay)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mcsrouter ", log.LstdFlags)
+	var endpoints []string
+	for _, e := range strings.Split(*shardList, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			endpoints = append(endpoints, e)
+		}
+	}
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "mcsrouter: -shards must list at least one shard URL")
+		os.Exit(2)
+	}
+
+	backends := make([]platform.Store, len(endpoints))
+	for i, e := range endpoints {
+		client := platform.NewClient(e,
+			platform.WithHTTPClient(&http.Client{Timeout: *shardTimeout}),
+			platform.WithRetries(*retries),
+			platform.WithBackoff(*retryBase, 0),
+		)
+		backends[i] = platform.NewRemoteStore(client)
+	}
+
+	// The ring needs the fleet's task list; wait (bounded) for at least
+	// one shard to answer so a fleet booting in parallel with its router
+	// converges instead of crash-looping.
+	startupCtx, cancelStartup := context.WithTimeout(context.Background(), *startupWait)
+	defer cancelStartup()
+	var store *shard.Store
+	for {
+		var err error
+		store, err = shard.New(startupCtx, backends, shard.Options{VirtualNodes: *vnodes, Addrs: endpoints})
+		if err == nil {
+			break
+		}
+		select {
+		case <-startupCtx.Done():
+			logger.Printf("no shard answered within %v: %v", *startupWait, err)
+			os.Exit(1)
+		case <-time.After(500 * time.Millisecond):
+			logger.Printf("waiting for shards: %v", err)
+		}
+	}
+
+	apiServer := platform.NewServerWithOptions(store, platform.ServerOptions{
+		Logger: logger,
+		Limits: platform.ServerLimits{
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			QueueTimeout:   *queueTimeout,
+			RequestTimeout: *requestTimeout,
+			RatePerSec:     *rate,
+			RateBurst:      *rateBurst,
+		},
+		Stream: platform.StreamConfig{
+			Buffer:         *watchBuffer,
+			MaxSubscribers: *watchMaxSubs,
+			TickEvery:      *watchTick,
+		},
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", apiServer)
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *timeout,
+		WriteTimeout:      *timeout,
+	}
+	if *timeout > 0 {
+		srv.IdleTimeout = 2 * *timeout
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	exitCode := 0
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	tasks, _ := store.Tasks(context.Background())
+	logger.Printf("routing %d tasks across %d shards on %s", len(tasks), store.Shards(), *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			exitCode = 1
+		}
+	case <-ctx.Done():
+		// Graceful drain: flip /readyz first so load balancers stop
+		// routing here, then let in-flight requests finish. The shards
+		// keep running — draining a stateless router loses nothing.
+		logger.Printf("shutting down: draining in-flight requests (up to %v)", *drainTimeout)
+		apiServer.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			exitCode = 1
+		}
+		<-errCh
+	}
+	apiServer.Close()
+	os.Exit(exitCode)
+}

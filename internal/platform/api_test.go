@@ -35,7 +35,7 @@ func postRaw(t *testing.T, srv *httptest.Server, path, body string) (int, ErrorR
 }
 
 func TestErrorBodiesCarryStableCodes(t *testing.T) {
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	store.SetMaxAccounts(1)
 	srv := httptest.NewServer(NewServer(store, nil))
 	t.Cleanup(srv.Close)
@@ -149,11 +149,11 @@ func TestErrorBodiesCarryStableCodes(t *testing.T) {
 }
 
 func TestClientSurfacesTypedErrors(t *testing.T) {
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	store.SetMaxAccounts(1)
 	srv := httptest.NewServer(NewServer(store, nil))
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 
 	if _, err := client.Aggregate(ctx, "quantum"); !errors.Is(err, ErrUnknownAggregation) {
@@ -208,15 +208,6 @@ func TestZeroEstimateSurvivesTheWire(t *testing.T) {
 	}
 	if resp.Truths[0].Value != 0 {
 		t.Errorf("estimate = %v, want exactly 0", resp.Truths[0].Value)
-	}
-}
-
-func TestResponseMetAliasStillCompiles(t *testing.T) {
-	// The deprecated alias must stay assignable to the renamed type for
-	// one release.
-	var old ResponseMet = ResponseMeta{Iterations: 3, Converged: true}
-	if old.Iterations != 3 || !old.Converged {
-		t.Errorf("alias round-trip = %+v", old)
 	}
 }
 
@@ -339,10 +330,10 @@ func TestMetricsEndpointsAfterTraffic(t *testing.T) {
 	// framework/library metrics go to obs.Default() and are checked as
 	// before/after deltas since other tests share that registry.
 	reg := obs.NewRegistry()
-	store := NewStore(testTasks(2))
+	store := NewLocalStore(testTasks(2))
 	srv := httptest.NewServer(NewServerWithRegistry(store, nil, reg))
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 
 	loopSecondsBefore := obs.Default().Histogram("framework.truth_loop_seconds").Snapshot().Count
@@ -420,7 +411,7 @@ func TestMetricsJSONIsWellFormed(t *testing.T) {
 	// Idle routes have empty histograms; the snapshot must still be
 	// valid JSON (no NaN quantiles).
 	reg := obs.NewRegistry()
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	srv := httptest.NewServer(NewServerWithRegistry(store, nil, reg))
 	t.Cleanup(srv.Close)
 
@@ -439,10 +430,10 @@ func TestMetricsJSONIsWellFormed(t *testing.T) {
 }
 
 func ExampleClient_Metrics() {
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	srv := httptest.NewServer(NewServerWithRegistry(store, nil, obs.NewRegistry()))
 	defer srv.Close()
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 
 	_, _ = client.Tasks(context.Background())
 	snap, _ := client.Metrics(context.Background())

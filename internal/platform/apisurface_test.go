@@ -1,0 +1,255 @@
+package platform
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPISnapshot = flag.Bool("update", false, "rewrite the exported-API snapshot golden files")
+
+// TestExportedAPISnapshot pins the exported surface of the platform
+// packages (and the root library package) against a checked-in golden
+// file. An intentional API change regenerates the snapshot with
+//
+//	go test ./internal/platform/ -run ExportedAPISnapshot -update
+//
+// and the diff shows up in review as exactly the list of added/removed/
+// re-signed exported identifiers — so nothing can slip out of (or back
+// into, like the removed ResponseMet alias) the API unnoticed.
+func TestExportedAPISnapshot(t *testing.T) {
+	for _, pkg := range []struct {
+		name string
+		dir  string
+	}{
+		{"platform", "."},
+		{"shard", "./shard"},
+		{"sybiltd", "../.."},
+	} {
+		t.Run(pkg.name, func(t *testing.T) {
+			got := exportedSurface(t, pkg.dir)
+			golden := filepath.Join("testdata", "api_"+pkg.name+".golden")
+			if *updateAPISnapshot {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create it): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("exported API surface changed; rerun with -update if intentional.\n%s",
+					surfaceDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// exportedSurface renders one line per exported top-level identifier:
+// funcs and methods with their signatures, types with their kind, consts
+// and vars by name, plus exported fields of exported structs and methods
+// of exported interfaces.
+func exportedSurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	add := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					recv := ""
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						rt := typeString(d.Recv.List[0].Type)
+						if !exportedReceiver(rt) {
+							continue
+						}
+						recv = "(" + rt + ") "
+					}
+					add("func %s%s%s", recv, d.Name.Name, signatureString(d.Type))
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							switch st := s.Type.(type) {
+							case *ast.StructType:
+								add("type %s struct", s.Name.Name)
+								for _, f := range st.Fields.List {
+									for _, n := range f.Names {
+										if n.IsExported() {
+											add("type %s struct { %s %s }", s.Name.Name, n.Name, typeString(f.Type))
+										}
+									}
+									if len(f.Names) == 0 { // embedded
+										add("type %s struct { embedded %s }", s.Name.Name, typeString(f.Type))
+									}
+								}
+							case *ast.InterfaceType:
+								add("type %s interface", s.Name.Name)
+								for _, m := range st.Methods.List {
+									for _, n := range m.Names {
+										if n.IsExported() {
+											add("type %s interface { %s%s }", s.Name.Name, n.Name, signatureString(m.Type.(*ast.FuncType)))
+										}
+									}
+									if len(m.Names) == 0 { // embedded
+										add("type %s interface { embedded %s }", s.Name.Name, typeString(m.Type))
+									}
+								}
+							default:
+								if s.Assign != token.NoPos {
+									add("type %s = %s", s.Name.Name, typeString(s.Type))
+								} else {
+									add("type %s %s", s.Name.Name, typeString(s.Type))
+								}
+							}
+						case *ast.ValueSpec:
+							kw := "var"
+							if d.Tok == token.CONST {
+								kw = "const"
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									add("%s %s", kw, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method receiver type like "*Store"
+// or "Ring" names an exported type.
+func exportedReceiver(rt string) bool {
+	rt = strings.TrimPrefix(rt, "*")
+	if i := strings.Index(rt, "["); i >= 0 { // generic receiver
+		rt = rt[:i]
+	}
+	return ast.IsExported(rt)
+}
+
+func signatureString(ft *ast.FuncType) string {
+	params := fieldListTypes(ft.Params)
+	results := fieldListTypes(ft.Results)
+	switch len(results) {
+	case 0:
+		return "(" + strings.Join(params, ", ") + ")"
+	case 1:
+		return "(" + strings.Join(params, ", ") + ") " + results[0]
+	default:
+		return "(" + strings.Join(params, ", ") + ") (" + strings.Join(results, ", ") + ")"
+	}
+}
+
+func fieldListTypes(fl *ast.FieldList) []string {
+	if fl == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range fl.List {
+		ts := typeString(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// typeString renders a type expression compactly (enough to detect
+// signature changes; not a full go/types printer).
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.ArrayType:
+		return "[]" + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.FuncType:
+		return "func" + signatureString(t)
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	case *ast.ChanType:
+		switch t.Dir {
+		case ast.RECV:
+			return "<-chan " + typeString(t.Value)
+		case ast.SEND:
+			return "chan<- " + typeString(t.Value)
+		default:
+			return "chan " + typeString(t.Value)
+		}
+	case *ast.InterfaceType:
+		if t.Methods == nil || len(t.Methods.List) == 0 {
+			return "any"
+		}
+		return "interface{...}"
+	case *ast.StructType:
+		return "struct{...}"
+	case *ast.IndexExpr:
+		return typeString(t.X) + "[" + typeString(t.Index) + "]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// surfaceDiff renders a minimal line diff between two snapshots.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}

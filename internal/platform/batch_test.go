@@ -20,8 +20,8 @@ import (
 // good items are applied and acknowledged, each bad item gets its own
 // typed error, positionally.
 func TestSubmitBatchStoreMixed(t *testing.T) {
-	s := NewStore(testTasks(3))
-	if err := s.Submit("ana", 0, -80, at(0)); err != nil {
+	s := NewLocalStore(testTasks(3))
+	if err := s.Submit(context.Background(), "ana", 0, -80, at(0)); err != nil {
 		t.Fatal(err)
 	}
 	items := []BatchSubmission{
@@ -34,7 +34,7 @@ func TestSubmitBatchStoreMixed(t *testing.T) {
 		{Account: "", Task: 2, Value: -1, At: at(7)},           // empty account
 		{Account: "cy", Task: 2, Value: -90, At: at(8)},        // ok
 	}
-	errs := s.SubmitBatch(items)
+	errs := s.SubmitBatch(context.Background(), items)
 	wantSentinels := []error{nil, ErrDuplicateReport, nil, ErrDuplicateReport, ErrUnknownTask, ErrMalformedRequest, ErrEmptyAccount, nil}
 	for i, want := range wantSentinels {
 		if want == nil {
@@ -46,11 +46,11 @@ func TestSubmitBatchStoreMixed(t *testing.T) {
 		}
 	}
 	// Accepted items landed; rejected ones did not.
-	ds := s.Dataset()
+	ds, _ := s.Dataset(context.Background())
 	if ds.NumAccounts() != 3 { // ana, bo, cy
 		t.Errorf("accounts = %d, want 3", ds.NumAccounts())
 	}
-	want := NewStore(testTasks(3))
+	want := NewLocalStore(testTasks(3))
 	ops := []BatchSubmission{
 		{Account: "ana", Task: 0, Value: -80, At: at(0)},
 		{Account: "bo", Task: 0, Value: -79, At: at(1)},
@@ -58,7 +58,7 @@ func TestSubmitBatchStoreMixed(t *testing.T) {
 		{Account: "cy", Task: 2, Value: -90, At: at(8)},
 	}
 	for _, op := range ops {
-		if err := want.Submit(op.Account, op.Task, op.Value, op.At); err != nil {
+		if err := want.Submit(context.Background(), op.Account, op.Task, op.Value, op.At); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,9 +70,9 @@ func TestSubmitBatchStoreMixed(t *testing.T) {
 // TestSubmitBatchAccountCap: the cap counts accounts the batch itself
 // registers — item k sees item j<k's registration.
 func TestSubmitBatchAccountCap(t *testing.T) {
-	s := NewStore(testTasks(3))
+	s := NewLocalStore(testTasks(3))
 	s.SetMaxAccounts(2)
-	errs := s.SubmitBatch([]BatchSubmission{
+	errs := s.SubmitBatch(context.Background(), []BatchSubmission{
 		{Account: "a", Task: 0, Value: -80, At: at(0)},
 		{Account: "b", Task: 0, Value: -80, At: at(1)},
 		{Account: "c", Task: 0, Value: -80, At: at(2)}, // third account: over cap
@@ -92,13 +92,13 @@ func TestSubmitBatchAccountCap(t *testing.T) {
 // TestSubmitBatchEmptyAndCancelled covers the trivial and refused-whole
 // envelope paths.
 func TestSubmitBatchEmptyAndCancelled(t *testing.T) {
-	s := NewStore(testTasks(2))
-	if errs := s.SubmitBatch(nil); len(errs) != 0 {
+	s := NewLocalStore(testTasks(2))
+	if errs := s.SubmitBatch(context.Background(), nil); len(errs) != 0 {
 		t.Errorf("empty batch returned %d errors", len(errs))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	errs := s.SubmitBatchContext(ctx, []BatchSubmission{{Account: "a", Task: 0, Value: -80, At: at(0)}})
+	errs := s.SubmitBatch(ctx, []BatchSubmission{{Account: "a", Task: 0, Value: -80, At: at(0)}})
 	if !errors.Is(errs[0], ErrOverloaded) {
 		t.Errorf("cancelled batch: got %v, want ErrOverloaded", errs[0])
 	}
@@ -164,13 +164,13 @@ func TestSubmitBatchHTTPRejectsOversized(t *testing.T) {
 // in rate-limit tokens, all or nothing per account, and a blocked
 // account's items are rejected per-item while other accounts proceed.
 func TestSubmitBatchRateLimitCostProportional(t *testing.T) {
-	store := NewStore(testTasks(4))
+	store := NewLocalStore(testTasks(4))
 	srv := httptest.NewServer(NewServerWithOptions(store, ServerOptions{
 		Registry: obs.NewRegistry(),
 		Limits:   ServerLimits{RatePerSec: 0.0001, RateBurst: 3},
 	}))
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 
 	// First batch: "heavy" spends its whole bucket (3 tokens for 3 items).
@@ -207,14 +207,14 @@ func TestSubmitBatchRateLimitCostProportional(t *testing.T) {
 // (acquired after decode), so a saturated gate sheds the whole envelope
 // with 503 + overloaded.
 func TestSubmitBatchGateWeight(t *testing.T) {
-	store := NewStore(testTasks(2))
+	store := NewLocalStore(testTasks(2))
 	server := NewServerWithOptions(store, ServerOptions{
 		Registry: obs.NewRegistry(),
 		Limits:   ServerLimits{MaxConcurrent: 4, MaxQueue: 0, QueueTimeout: time.Millisecond},
 	})
 	srv := httptest.NewServer(server)
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 
 	// Occupy the whole gate, then the batch must be shed.
@@ -310,7 +310,7 @@ func TestSubmitBatchDurableRoundTrip(t *testing.T) {
 	}
 	batches, flat := batchedCampaign()
 	for bi, batch := range batches {
-		for i, e := range store.SubmitBatch(batch) {
+		for i, e := range store.SubmitBatch(context.Background(), batch) {
 			if e != nil {
 				t.Fatalf("batch %d item %d: %v", bi, i, e)
 			}
@@ -350,7 +350,7 @@ func TestTortureCrashAtEveryOffsetBatched(t *testing.T) {
 	}
 	batches, flat := batchedCampaign()
 	for bi, batch := range batches {
-		for i, e := range store.SubmitBatch(batch) {
+		for i, e := range store.SubmitBatch(context.Background(), batch) {
 			if e != nil {
 				t.Fatalf("batch %d item %d: %v", bi, i, e)
 			}
@@ -437,7 +437,7 @@ func TestGroupCommitAmortizesFsyncs(t *testing.T) {
 			defer wg.Done()
 			account := fmt.Sprintf("w%02d", w)
 			for i := 0; i < perWorker; i++ {
-				if err := store.Submit(account, i, -80-float64(w), at(i)); err != nil {
+				if err := store.Submit(context.Background(), account, i, -80-float64(w), at(i)); err != nil {
 					errCh <- fmt.Errorf("worker %d submit %d: %w", w, i, err)
 					return
 				}
@@ -498,22 +498,22 @@ func TestGroupCommitFsyncFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := store.Submit("ana", 0, -80, at(0)); err != nil {
+	if err := store.Submit(context.Background(), "ana", 0, -80, at(0)); err != nil {
 		t.Fatal(err)
 	}
 	ffs.FailSync(errors.New("injected fsync failure"))
-	err = store.Submit("ana", 1, -70, at(1))
+	err = store.Submit(context.Background(), "ana", 1, -70, at(1))
 	if !errors.Is(err, ErrDurability) {
 		t.Fatalf("unsynced group commit acknowledged: %v", err)
 	}
 	// The record is applied (it matches the log); the documented contract
 	// is the same ambiguous-ack a torn network ack produces: a retry
 	// reports the duplicate.
-	if err := store.Submit("ana", 1, -70, at(1)); !errors.Is(err, ErrDuplicateReport) && !errors.Is(err, ErrDurability) {
+	if err := store.Submit(context.Background(), "ana", 1, -70, at(1)); !errors.Is(err, ErrDuplicateReport) && !errors.Is(err, ErrDurability) {
 		t.Fatalf("retry after failed group fsync: %v", err)
 	}
 	ffs.FailSync(nil)
-	if err := store.Submit("bo", 0, -79, at(2)); err != nil {
+	if err := store.Submit(context.Background(), "bo", 0, -79, at(2)); err != nil {
 		t.Fatalf("submit after disk recovery: %v", err)
 	}
 
@@ -524,7 +524,7 @@ func TestGroupCommitFsyncFailure(t *testing.T) {
 	defer d2.Close()
 	// Everything acknowledged (ana/0, bo/0) must be there; ana/1 wrote
 	// its frame before the failed sync and may legally survive.
-	ds := store2.Dataset()
+	ds, _ := store2.Dataset(context.Background())
 	found := map[string]int{}
 	for _, acct := range ds.Accounts {
 		found[acct.ID] = len(acct.Observations)
@@ -544,7 +544,7 @@ func TestGroupCommitBatchedSubmits(t *testing.T) {
 	}
 	batches, flat := batchedCampaign()
 	for bi, batch := range batches {
-		for i, e := range store.SubmitBatch(batch) {
+		for i, e := range store.SubmitBatch(context.Background(), batch) {
 			if e != nil {
 				t.Fatalf("batch %d item %d: %v", bi, i, e)
 			}
@@ -586,7 +586,7 @@ func TestGroupCommitSnapshotReleasesWaiters(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
-				done <- store.Submit(fmt.Sprintf("s%d", w), i, -80, at(i))
+				done <- store.Submit(context.Background(), fmt.Sprintf("s%d", w), i, -80, at(i))
 			}
 		}(w)
 	}

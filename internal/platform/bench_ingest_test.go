@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -63,7 +64,7 @@ func benchConcurrentSubmits(b *testing.B, workers int, opts DurableOptions) {
 					return
 				}
 				account := fmt.Sprintf("w%02d-%06d", w, i)
-				if err := store.Submit(account, 0, -80, at(0)); err != nil {
+				if err := store.Submit(context.Background(), account, 0, -80, at(0)); err != nil {
 					b.Errorf("submit %s: %v", account, err)
 					return
 				}
@@ -110,7 +111,7 @@ func benchBatchedSubmits(b *testing.B, workers, batchSize int, opts DurableOptio
 						Account: fmt.Sprintf("w%02d-%06d", w, i), Task: 0, Value: -80, At: at(0),
 					})
 				}
-				for i, e := range store.SubmitBatch(items) {
+				for i, e := range store.SubmitBatch(context.Background(), items) {
 					if e != nil {
 						b.Errorf("batch item %d: %v", start+i, e)
 						return

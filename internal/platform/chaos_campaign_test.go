@@ -36,7 +36,7 @@ func TestChaosCampaignZeroAckedLoss(t *testing.T) {
 		numAccounts = 8
 		numTasks    = 4
 	)
-	store := NewStore(testTasks(numTasks))
+	store := NewLocalStore(testTasks(numTasks))
 	s := NewServerWithOptions(store, ServerOptions{
 		Registry: obs.NewRegistry(),
 		Limits: ServerLimits{
@@ -132,7 +132,7 @@ func TestChaosCampaignZeroAckedLoss(t *testing.T) {
 
 	// Verify against the source of truth over a CLEAN connection: every
 	// acknowledged submission must be present with its exact value.
-	clean := NewClient(srv.URL, srv.Client())
+	clean := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ds, err := clean.Dataset(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +288,7 @@ func TestChaosBatchedCampaignZeroAckedLoss(t *testing.T) {
 	defer d2.Close()
 	t.Logf("recovered: %d WAL records replayed, %d skipped", stats.RecordsReplayed, stats.RecordsSkipped)
 
-	ds := store2.Dataset()
+	ds, _ := store2.Dataset(context.Background())
 	byAccount := make(map[string]map[int]float64)
 	for _, acct := range ds.Accounts {
 		vals := make(map[int]float64)
@@ -316,7 +316,7 @@ func TestChaosBatchedCampaignZeroAckedLoss(t *testing.T) {
 // injector, watches the client's circuit breaker open and fail fast, then
 // heals the plan and watches the breaker recover through its probe.
 func TestChaosOutageOpensBreakerThenHeals(t *testing.T) {
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	srv := httptest.NewServer(NewServerWithOptions(store, ServerOptions{Registry: obs.NewRegistry()}))
 	t.Cleanup(srv.Close)
 
@@ -368,7 +368,7 @@ func TestChaosOutageOpensBreakerThenHeals(t *testing.T) {
 // front of the real platform handler: the client's retry loop must absorb
 // the injected faults without double-writing (the duplicate guard holds).
 func TestChaosMiddlewareAgainstRealServer(t *testing.T) {
-	store := NewStore(testTasks(2))
+	store := NewLocalStore(testTasks(2))
 	inner := NewServerWithOptions(store, ServerOptions{Registry: obs.NewRegistry()})
 	srv := httptest.NewServer(chaos.Plan{
 		Seed:    11,
@@ -396,7 +396,7 @@ func TestChaosMiddlewareAgainstRealServer(t *testing.T) {
 		t.Fatal("nothing survived the middleware faults")
 	}
 	// The store never saw a double write despite retried submissions.
-	ds := store.Dataset()
+	ds, _ := store.Dataset(context.Background())
 	for _, acct := range ds.Accounts {
 		seen := map[int]bool{}
 		for _, o := range acct.Observations {

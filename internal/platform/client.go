@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -90,34 +91,130 @@ func (c ClientConfig) withDefaults() ClientConfig {
 }
 
 // Client is a typed HTTP client for the platform API, used by cmd/mcsagent
-// and integration tests.
+// and integration tests. It targets one or more equivalent endpoints
+// (e.g. replicas of the shard router): transport-level failures rotate to
+// the next endpoint before the retry loop's next attempt.
 type Client struct {
-	base    string
 	cfg     ClientConfig
 	breaker *breaker // nil when BreakerThreshold == 0
 
-	mu  sync.Mutex
-	rng *rand.Rand // jitter source, guarded by mu
+	mu      sync.Mutex
+	bases   []string   // endpoint rotation, guarded by mu
+	baseIdx int        // index of the endpoint in use
+	rng     *rand.Rand // jitter source, guarded by mu
 }
 
-// NewClient targets baseURL (e.g. "http://localhost:8080") with no
-// retries. httpClient may be nil for a default with a 10 s timeout.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
-	return NewClientWithConfig(baseURL, ClientConfig{HTTPClient: httpClient})
+// Option configures NewClient.
+type Option func(*clientSettings)
+
+type clientSettings struct {
+	cfg       ClientConfig
+	endpoints []string
+}
+
+// WithHTTPClient sets the *http.Client performing requests; the default
+// has a 10 s timeout.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(s *clientSettings) { s.cfg.HTTPClient = hc }
+}
+
+// WithEndpoints adds fallback endpoints after NewClient's primary. The
+// client uses one endpoint at a time and rotates on transport-level
+// failures (connection errors, 5xx, torn bodies).
+func WithEndpoints(endpoints ...string) Option {
+	return func(s *clientSettings) { s.endpoints = append(s.endpoints, endpoints...) }
+}
+
+// WithRetries sets the number of additional attempts after a retryable
+// failure (see ClientConfig.MaxRetries).
+func WithRetries(n int) Option {
+	return func(s *clientSettings) { s.cfg.MaxRetries = n }
+}
+
+// WithBackoff sets the retry backoff range (see ClientConfig
+// RetryBaseDelay/RetryMaxDelay; zero keeps the default for that bound).
+func WithBackoff(base, max time.Duration) Option {
+	return func(s *clientSettings) {
+		s.cfg.RetryBaseDelay = base
+		s.cfg.RetryMaxDelay = max
+	}
+}
+
+// WithBreaker enables the client circuit breaker (see ClientConfig
+// BreakerThreshold/BreakerCooldown).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(s *clientSettings) {
+		s.cfg.BreakerThreshold = threshold
+		s.cfg.BreakerCooldown = cooldown
+	}
+}
+
+// WithConfig replaces the whole ClientConfig at once; options applied
+// after it refine it field by field.
+func WithConfig(cfg ClientConfig) Option {
+	return func(s *clientSettings) { s.cfg = cfg }
+}
+
+// NewClient targets endpoint (e.g. "http://localhost:8080") — a single
+// node or the shard router; the wire API is identical. With no options
+// there are no retries and a default HTTP client with a 10 s timeout.
+func NewClient(endpoint string, opts ...Option) *Client {
+	set := clientSettings{endpoints: []string{endpoint}}
+	for _, o := range opts {
+		o(&set)
+	}
+	return newClient(set.endpoints, set.cfg)
 }
 
 // NewClientWithConfig targets baseURL with explicit retry/transport
-// configuration.
+// configuration. It is the pre-options constructor, kept as a thin shim
+// over NewClient(baseURL, WithConfig(cfg)).
 func NewClientWithConfig(baseURL string, cfg ClientConfig) *Client {
+	return newClient([]string{baseURL}, cfg)
+}
+
+func newClient(endpoints []string, cfg ClientConfig) *Client {
+	bases := make([]string, len(endpoints))
+	for i, e := range endpoints {
+		bases[i] = strings.TrimRight(e, "/")
+	}
 	c := &Client{
-		base: baseURL,
-		cfg:  cfg.withDefaults(),
-		rng:  rand.New(rand.NewSource(jitterSeed())),
+		bases: bases,
+		cfg:   cfg.withDefaults(),
+		rng:   rand.New(rand.NewSource(jitterSeed())),
 	}
 	if cfg.BreakerThreshold > 0 {
 		c.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return c
+}
+
+// currentBase returns the endpoint in use.
+func (c *Client) currentBase() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.baseIdx]
+}
+
+// rotateBase advances to the next endpoint, but only if the failing
+// endpoint is still the current one — concurrent failures on the same
+// endpoint rotate once, not once each.
+func (c *Client) rotateBase(failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bases) > 1 && c.bases[c.baseIdx] == failed {
+		c.baseIdx = (c.baseIdx + 1) % len(c.bases)
+	}
+}
+
+// Endpoints returns the client's endpoint rotation, current first.
+func (c *Client) Endpoints() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.bases))
+	out = append(out, c.bases[c.baseIdx:]...)
+	out = append(out, c.bases[:c.baseIdx]...)
+	return out
 }
 
 // jitterSeed seeds the backoff-jitter RNG from crypto/rand. A wall-clock
@@ -151,8 +248,14 @@ func (c *Client) Tasks(ctx context.Context) ([]TaskDTO, error) {
 	return out, nil
 }
 
-// Submit reports one observation.
+// Submit reports one observation. Non-finite values are rejected
+// client-side with ErrMalformedRequest — JSON cannot carry NaN/Inf, and
+// the server would reject them identically, so the client gives the same
+// answer without the round trip.
 func (c *Client) Submit(ctx context.Context, req SubmissionRequest) error {
+	if math.IsNaN(req.Value) || math.IsInf(req.Value, 0) {
+		return fmt.Errorf("%w: non-finite observation value %v", ErrMalformedRequest, req.Value)
+	}
 	return c.do(ctx, http.MethodPost, "/v1/submissions", req, nil)
 }
 
@@ -162,14 +265,39 @@ func (c *Client) Submit(ctx context.Context, req SubmissionRequest) error {
 // means the envelope was processed — individual items may still have been
 // rejected; check each BatchItemResult.Err().
 func (c *Client) SubmitBatch(ctx context.Context, reports []SubmissionRequest) ([]BatchItemResult, error) {
+	// JSON cannot carry NaN/Inf: screen non-finite values client-side into
+	// per-item malformed_request rejections (the server's verdict for
+	// them), sending only the finite items, so one bad value cannot fail
+	// the whole envelope at the marshal step.
+	results := make([]BatchItemResult, len(reports))
+	finite := make([]SubmissionRequest, 0, len(reports))
+	finiteIdx := make([]int, 0, len(reports))
+	for i, r := range reports {
+		if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) {
+			results[i] = BatchItemResult{
+				Status: "rejected",
+				Code:   CodeMalformedRequest,
+				Error:  fmt.Sprintf("non-finite observation value %v", r.Value),
+			}
+			continue
+		}
+		finite = append(finite, r)
+		finiteIdx = append(finiteIdx, i)
+	}
+	if len(finite) == 0 {
+		return results, nil
+	}
 	var out BatchSubmissionResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/reports:batch", BatchSubmissionRequest{Reports: reports}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/reports:batch", BatchSubmissionRequest{Reports: finite}, &out); err != nil {
 		return nil, err
 	}
-	if len(out.Results) != len(reports) {
-		return out.Results, fmt.Errorf("platform client: batch returned %d results for %d reports", len(out.Results), len(reports))
+	if len(out.Results) != len(finite) {
+		return nil, fmt.Errorf("platform client: batch returned %d results for %d reports", len(out.Results), len(finite))
 	}
-	return out.Results, nil
+	for j, i := range finiteIdx {
+		results[i] = out.Results[j]
+	}
+	return results, nil
 }
 
 // RecordFingerprint uploads a sign-in motion capture.
@@ -206,12 +334,14 @@ func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 
 // Dataset downloads the full campaign snapshot in the mcs JSON schema.
 func (c *Client) Dataset(ctx context.Context) (*mcs.Dataset, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/dataset", nil)
+	base := c.currentBase()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/dataset", nil)
 	if err != nil {
 		return nil, fmt.Errorf("platform client: request: %w", err)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
+		c.rotateBase(base)
 		return nil, fmt.Errorf("platform client: GET /v1/dataset: %w", err)
 	}
 	defer drainBody(resp.Body)
@@ -230,6 +360,30 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
+}
+
+// Ready probes GET /readyz once — no retry, no circuit breaker: a health
+// probe reports, it does not heal. A decodable answer is returned with a
+// nil error whatever its status ("ready", "draining", "overloaded",
+// "degraded" — with the per-shard breakdown on a router); the error is
+// non-nil only when the endpoint is unreachable or the body torn.
+func (c *Client) Ready(ctx context.Context) (ReadyzResponse, error) {
+	base := c.currentBase()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return ReadyzResponse{}, fmt.Errorf("platform client: request: %w", err)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		c.rotateBase(base)
+		return ReadyzResponse{}, fmt.Errorf("platform client: GET /readyz: %w", err)
+	}
+	defer drainBody(resp.Body)
+	var out ReadyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return ReadyzResponse{}, fmt.Errorf("platform client: GET /readyz: decode: %w", err)
+	}
+	return out, nil
 }
 
 // attemptResult classifies one request attempt for the retry loop and the
@@ -272,9 +426,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 				return fmt.Errorf("platform client: %s %s: %w", method, path, err)
 			}
 		}
-		res := c.attempt(ctx, method, path, payload, out)
+		base := c.currentBase()
+		res := c.attempt(ctx, base, method, path, payload, out)
 		if c.breaker != nil {
 			c.breaker.record(!res.transportFailure)
+		}
+		if res.transportFailure {
+			// The endpoint itself failed (connection error, 5xx, torn
+			// body); with fallback endpoints configured the next attempt
+			// goes elsewhere.
+			c.rotateBase(base)
 		}
 		if res.err == nil {
 			return nil
@@ -289,13 +450,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
-// attempt performs a single request.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) attemptResult {
+// attempt performs a single request against base.
+func (c *Client) attempt(ctx context.Context, base, method, path string, payload []byte, out any) attemptResult {
 	var reader io.Reader
 	if payload != nil {
 		reader = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, reader)
 	if err != nil {
 		return attemptResult{err: err}
 	}

@@ -22,8 +22,8 @@ import (
 // crypto/rand seed the streams are independent (eight identical draws in a
 // row is a ~2^-400 event, not flake territory).
 func TestClientJitterStreamsDiffer(t *testing.T) {
-	c1 := NewClient("http://localhost:0", nil)
-	c2 := NewClient("http://localhost:0", nil)
+	c1 := NewClient("http://localhost:0")
+	c2 := NewClient("http://localhost:0")
 	identical := true
 	for i := 0; i < 8; i++ {
 		c1.mu.Lock()
@@ -165,10 +165,10 @@ func TestReplayPaceCancelPrompt(t *testing.T) {
 // event lands, OnEvent fires per report, and the replayed platform holds
 // the full dataset.
 func TestReplayPaceWithBatch(t *testing.T) {
-	store := NewStore(testTasks(2))
+	store := NewLocalStore(testTasks(2))
 	srv := httptest.NewServer(NewServer(store, nil))
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 
 	ds := mcs.NewDataset(2)
 	for a := 0; a < 3; a++ {
@@ -192,7 +192,7 @@ func TestReplayPaceWithBatch(t *testing.T) {
 	if n != 6 || events != 6 {
 		t.Fatalf("replayed %d events (callbacks %d), want 6", n, events)
 	}
-	got := store.Dataset()
+	got, _ := store.Dataset(context.Background())
 	if got.NumAccounts() != 3 {
 		t.Fatalf("accounts = %d, want 3", got.NumAccounts())
 	}

@@ -118,7 +118,7 @@ type Durability struct {
 	dir           string
 	fs            wal.FS
 	w             *wal.Writer
-	store         *Store
+	store         *LocalStore
 	seq           uint64 // sequence number of the last frame written
 	sinceSnapshot int
 	snapshotEvery int
@@ -258,7 +258,7 @@ func (c *groupCommit) wait(seq uint64, sync func() error, synced func(records, w
 // damaged directory recovers to the longest valid prefix and serves,
 // rather than crash-looping. tasks is used only when no snapshot exists
 // (a snapshot carries its own task list).
-func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*Store, *Durability, RecoveryStats, error) {
+func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore, *Durability, RecoveryStats, error) {
 	fsys := opts.FS
 	if fsys == nil {
 		fsys = wal.OS()
@@ -275,7 +275,7 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*Store, *Du
 	// snapshot is still the previous one, so discard the partial file.
 	_ = fsys.Remove(filepath.Join(dir, snapshotTempName))
 
-	store := NewStore(tasks)
+	store := NewLocalStore(tasks)
 	var seq uint64
 	snapPath := filepath.Join(dir, snapshotFileName)
 	if _, err := fsys.Stat(snapPath); err == nil {
@@ -375,8 +375,8 @@ func readSnapshot(fsys wal.FS, path string) (snapshotFile, *mcs.Dataset, error) 
 
 // storeFromDataset rebuilds in-memory store state from a snapshot
 // dataset, preserving account registration order.
-func storeFromDataset(ds *mcs.Dataset) *Store {
-	s := NewStore(ds.Tasks)
+func storeFromDataset(ds *mcs.Dataset) *LocalStore {
+	s := NewLocalStore(ds.Tasks)
 	for i := range ds.Accounts {
 		acct := &ds.Accounts[i]
 		st := s.registerAccountLocked(acct.ID) // no lock needed: store not shared yet
@@ -395,7 +395,7 @@ func storeFromDataset(ds *mcs.Dataset) *Store {
 // and the WAL reset leaves both holding the same operations — and
 // silently drops records that fail validation rather than refusing to
 // start. Returns whether state changed.
-func (s *Store) replayRecord(rec walRecord) bool {
+func (s *LocalStore) replayRecord(rec walRecord) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch rec.Op {
@@ -653,6 +653,22 @@ func (d *Durability) Close() error {
 		return fmt.Errorf("platform: close wal: %w", closeErr)
 	}
 	return nil
+}
+
+// Abort closes the WAL without writing a final snapshot, simulating a
+// hard crash (kill -9): recovery must come from the snapshot + WAL replay
+// path, not from a clean shutdown. Further mutations fail with
+// ErrDurability; the store keeps serving reads. Chaos tests use this to
+// kill a shard under load. Safe to call more than once, and after Close
+// it is a no-op.
+func (d *Durability) Abort() error {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.w.Close()
 }
 
 // Dir returns the durable data directory.

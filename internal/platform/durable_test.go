@@ -61,20 +61,24 @@ func campaignScript() []scriptOp {
 }
 
 // applyOp drives one scripted op through the store's public API.
-func applyOp(s *Store, op scriptOp) error {
+func applyOp(s *LocalStore, op scriptOp) error {
 	if op.rec.Op == opSubmit {
-		return s.Submit(op.rec.Account, op.rec.Task, op.rec.Value, op.rec.Time)
+		return s.Submit(context.Background(), op.rec.Account, op.rec.Task, op.rec.Value, op.rec.Time)
 	}
-	return s.RecordFingerprintFeatures(op.rec.Account, op.rec.Features)
+	return s.RecordFingerprintFeatures(context.Background(), op.rec.Account, op.rec.Features)
 }
 
 // signature canonicalizes a store's full state: dataset JSON is
 // deterministic (registration order, time-sorted observations), so equal
 // signatures mean equal recovered state.
-func signature(t *testing.T, s *Store) string {
+func signature(t *testing.T, s *LocalStore) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := s.Dataset().EncodeJSON(&buf); err != nil {
+	ds, err := s.Dataset(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.EncodeJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.String()
@@ -85,7 +89,7 @@ func signature(t *testing.T, s *Store) string {
 func prefixSignatures(t *testing.T, ops []scriptOp) []string {
 	t.Helper()
 	sigs := make([]string, 0, len(ops)+1)
-	ref := NewStore(testTasks(3))
+	ref := NewLocalStore(testTasks(3))
 	sigs = append(sigs, signature(t, ref))
 	for _, op := range ops {
 		if err := applyOp(ref, op); err != nil {
@@ -135,7 +139,7 @@ func TestDurableRoundTrip(t *testing.T) {
 		t.Errorf("recovered state differs:\n got %s\nwant %s", got, want)
 	}
 	// The recovered store keeps accepting (and journaling) new work.
-	if err := store.Submit("fred", 0, -77, at(30)); err != nil {
+	if err := store.Submit(context.Background(), "fred", 0, -77, at(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -143,7 +147,7 @@ func TestDurableRoundTrip(t *testing.T) {
 // TestDurableMatchesInMemory: a -data-dir run must be behavior-identical
 // to the in-memory platform — same acks, same rejections, same dataset.
 func TestDurableMatchesInMemory(t *testing.T) {
-	mem := NewStore(testTasks(3))
+	mem := NewLocalStore(testTasks(3))
 	store, d, _, err := OpenDurable(t.TempDir(), testTasks(3), DurableOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -157,12 +161,12 @@ func TestDurableMatchesInMemory(t *testing.T) {
 		}
 	}
 	// Rejections must match too, including the new non-finite guards.
-	type try func(s *Store) error
+	type try func(s *LocalStore) error
 	rejections := []try{
-		func(s *Store) error { return s.Submit("ana", 0, -1, at(20)) },    // duplicate
-		func(s *Store) error { return s.Submit("zed", 99, -1, at(20)) },   // unknown task
-		func(s *Store) error { return s.Submit("", 0, -1, at(20)) },       // empty account
-		func(s *Store) error { return s.Submit("zed", 0, nan(), at(20)) }, // NaN
+		func(s *LocalStore) error { return s.Submit(context.Background(), "ana", 0, -1, at(20)) },    // duplicate
+		func(s *LocalStore) error { return s.Submit(context.Background(), "zed", 99, -1, at(20)) },   // unknown task
+		func(s *LocalStore) error { return s.Submit(context.Background(), "", 0, -1, at(20)) },       // empty account
+		func(s *LocalStore) error { return s.Submit(context.Background(), "zed", 0, nan(), at(20)) }, // NaN
 	}
 	for i, reject := range rejections {
 		em, ed := reject(mem), reject(store)
@@ -393,7 +397,7 @@ func TestCrashMidAppendIsNotAcknowledged(t *testing.T) {
 	}
 	// The store must not have applied the unacknowledged op, and must
 	// keep failing closed rather than diverging from the log.
-	if ds := store.Dataset(); ds.NumAccounts() != 2 { // ana and bo after 5 ops
+	if ds, _ := store.Dataset(context.Background()); ds.NumAccounts() != 2 { // ana and bo after 5 ops
 		t.Errorf("unacknowledged op changed state: %d accounts", ds.NumAccounts())
 	}
 	if err := applyOp(store, ops[6]); !errors.Is(err, ErrDurability) {
@@ -582,7 +586,7 @@ func TestDurableStoreOverHTTP(t *testing.T) {
 	}
 	srv := httptest.NewServer(NewServer(store, nil))
 	defer srv.Close()
-	client := NewClient(srv.URL, nil)
+	client := NewClient(srv.URL)
 	ctx := context.Background()
 
 	if err := client.Submit(ctx, SubmissionRequest{Account: "ana", Task: 0, Value: -80, Time: at(0)}); err != nil {

@@ -102,10 +102,14 @@ type (
 		Degraded       bool   `json:"degraded,omitempty"`
 		DegradedReason string `json:"degraded_reason,omitempty"`
 	}
-	// StatsResponse summarizes the store.
+	// StatsResponse summarizes the store. Degraded marks a sharded
+	// platform's partial answer (some shards unreachable, their accounts
+	// uncounted); DegradedReason says why.
 	StatsResponse struct {
-		Tasks    int `json:"tasks"`
-		Accounts int `json:"accounts"`
+		Tasks          int    `json:"tasks"`
+		Accounts       int    `json:"accounts"`
+		Degraded       bool   `json:"degraded,omitempty"`
+		DegradedReason string `json:"degraded_reason,omitempty"`
 	}
 	// ErrorResponse is the uniform error body. Code is the stable
 	// machine-readable contract (see the Code* constants); Error is the
@@ -128,12 +132,6 @@ func (r BatchItemResult) Err() error {
 	}
 	return fmt.Errorf("platform: batch item rejected (%s): %s", r.Code, r.Error)
 }
-
-// ResponseMet is the truncated pre-redesign name of ResponseMeta, kept as
-// an alias for one release so existing callers keep compiling.
-//
-// Deprecated: use ResponseMeta.
-type ResponseMet = ResponseMeta
 
 // MetricsSnapshot is the body served at /v1/metrics: a point-in-time copy
 // of the platform's metrics registry.
@@ -158,7 +156,10 @@ const (
 	// budget spent) or a request deadline hit mid-operation; the response
 	// carries a Retry-After header.
 	CodeOverloaded = "overloaded"
-	CodeInternal   = "internal"
+	// CodeShardUnavailable marks a sharded platform unable to reach the
+	// shard(s) an operation needs; retryable like overloaded.
+	CodeShardUnavailable = "shard_unavailable"
+	CodeInternal         = "internal"
 )
 
 // codeForError maps a store/server error onto its wire code and HTTP
@@ -183,6 +184,11 @@ func codeForError(err error) (code string, status int) {
 		return CodeRateLimited, http.StatusTooManyRequests
 	case errors.Is(err, ErrOverloaded):
 		return CodeOverloaded, http.StatusServiceUnavailable
+	case errors.Is(err, ErrShardUnavailable):
+		// The covering shard (or every shard, for a gathered read) was
+		// unreachable; the client's bounded retry may land after the shard
+		// recovers or the partition heals.
+		return CodeShardUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, ErrDurability):
 		// 503, not 500: the request was valid and the client's bounded
 		// retry may land after the disk recovers.
@@ -222,6 +228,8 @@ func sentinelForCode(code string) error {
 		return ErrRateLimited
 	case CodeOverloaded:
 		return ErrOverloaded
+	case CodeShardUnavailable:
+		return ErrShardUnavailable
 	default:
 		return nil
 	}
@@ -243,7 +251,7 @@ func sentinelForCode(code string) error {
 // histograms entirely: an operator must be able to observe an overloaded
 // server, and scrapes must not compete with traffic for admission.
 type Server struct {
-	store *Store
+	store Store
 	mux   *http.ServeMux
 	log   *log.Logger
 	reg   *obs.Registry
@@ -283,13 +291,13 @@ type ServerOptions struct {
 // registry (obs.Default()), so the /metrics endpoints also expose the
 // framework/grouping/truth instrumentation recorded by the library.
 // logger may be nil to disable logging.
-func NewServer(store *Store, logger *log.Logger) *Server {
+func NewServer(store Store, logger *log.Logger) *Server {
 	return NewServerWithOptions(store, ServerOptions{Logger: logger})
 }
 
 // NewServerWithRegistry is NewServer with an explicit metrics registry;
 // nil means obs.Default().
-func NewServerWithRegistry(store *Store, logger *log.Logger, reg *obs.Registry) *Server {
+func NewServerWithRegistry(store Store, logger *log.Logger, reg *obs.Registry) *Server {
 	return NewServerWithOptions(store, ServerOptions{Logger: logger, Registry: reg})
 }
 
@@ -307,7 +315,7 @@ const (
 )
 
 // NewServerWithOptions is the fully-configurable constructor.
-func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
+func NewServerWithOptions(store Store, opts ServerOptions) *Server {
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -334,8 +342,16 @@ func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
 	// evolving-truth estimator, and subscribers get per-task updates on
 	// change. Seeded from the store's current dataset so a durable restart
 	// streams the recovered state, not an empty one. The hub's goroutine
-	// starts lazily on the first subscription.
-	numTasks := len(store.Tasks())
+	// starts lazily on the first subscription. A store that cannot answer
+	// Tasks at construction (a router whose shards are still coming up)
+	// gets a single-task hub rather than no hub: the watch stream is a
+	// side channel, not worth failing construction over.
+	numTasks := 0
+	if tasks, err := store.Tasks(context.Background()); err == nil {
+		numTasks = len(tasks)
+	} else {
+		s.logf("platform: tasks unavailable at construction (%v); stream hub sized for one task", err)
+	}
 	if numTasks < 1 {
 		numTasks = 1 // zero-task stores exist only in hand-built tests
 	}
@@ -361,7 +377,7 @@ func NewServerWithOptions(store *Store, opts ServerOptions) *Server {
 	// nothing the listener didn't see, and seed skips pairs a live Feed
 	// already delivered, so the overlap is never replayed backwards.
 	store.SetSubmitListener(hub.Feed)
-	if ds := store.Dataset(); len(ds.Accounts) > 0 {
+	if ds, err := store.Dataset(context.Background()); err == nil && len(ds.Accounts) > 0 {
 		hub.seed(ds)
 	}
 	s.handle("GET /v1/tasks", weightLight, s.handleTasks)
@@ -671,8 +687,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func (s *Server) handleTasks(w http.ResponseWriter, _ *http.Request) {
-	tasks := s.store.Tasks()
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, err := s.store.Tasks(r.Context())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	out := make([]TaskDTO, len(tasks))
 	for i, t := range tasks {
 		out[i] = TaskDTO{ID: t.ID, Name: t.Name, X: t.X, Y: t.Y}
@@ -691,7 +711,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Time.IsZero() {
 		req.Time = time.Now().UTC()
 	}
-	if err := s.store.SubmitContext(r.Context(), req.Account, req.Task, req.Value, req.Time); err != nil {
+	if err := s.store.Submit(r.Context(), req.Account, req.Task, req.Value, req.Time); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -784,7 +804,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		submitIdx = append(submitIdx, i)
 		toSubmit = append(toSubmit, items[i])
 	}
-	errs := s.store.SubmitBatchContext(r.Context(), toSubmit)
+	errs := s.store.SubmitBatch(r.Context(), toSubmit)
 	for j, i := range submitIdx {
 		if err := errs[j]; err != nil {
 			code, _ := codeForError(err)
@@ -819,7 +839,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, fmt.Errorf("%w: both raw capture and feature vector present; send exactly one", ErrBadFingerprint))
 			return
 		}
-		if err := s.store.RecordFingerprintFeaturesContext(r.Context(), req.Account, req.Features); err != nil {
+		if err := s.store.RecordFingerprintFeatures(r.Context(), req.Account, req.Features); err != nil {
 			s.writeError(w, err)
 			return
 		}
@@ -831,7 +851,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		AccelX:     req.AccelX, AccelY: req.AccelY, AccelZ: req.AccelZ,
 		GyroX: req.GyroX, GyroY: req.GyroY, GyroZ: req.GyroZ,
 	}
-	if err := s.store.RecordFingerprintContext(r.Context(), req.Account, rec); err != nil {
+	if err := s.store.RecordFingerprint(r.Context(), req.Account, rec); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -843,7 +863,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	res, unc, err := s.store.AggregateWithUncertaintyContext(r.Context(), req.Method)
+	res, unc, err := s.store.Aggregate(r.Context(), req.Method)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -873,18 +893,28 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 
 // handleDataset exports the full campaign in the mcs JSON schema, so a
 // campaign can be archived and re-aggregated offline.
-func (s *Server) handleDataset(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.store.Dataset(r.Context())
+	if err != nil {
+		// A partial dataset would silently drop accounts from an archived
+		// campaign, so a sharded store fails the export instead of
+		// degrading it; surface that as the usual coded error.
+		s.writeError(w, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.store.Dataset().EncodeJSON(w); err != nil {
+	if err := ds.EncodeJSON(w); err != nil {
 		s.logf("platform: export dataset: %v", err)
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, StatsResponse{
-		Tasks:    len(s.store.Tasks()),
-		Accounts: s.store.NumAccounts(),
-	})
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.store.Stats(r.Context())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, stats)
 }
 
 // handleHealthz is liveness: the process is up and serving. Always 200 —
@@ -896,16 +926,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is readiness: whether new traffic should be routed here.
 // 503 while draining (shutdown in progress) or while the admission gate is
-// saturated (a new arrival would be shed immediately).
-func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+// saturated (a new arrival would be shed immediately). On a store that
+// reports per-shard health (the router), readiness additionally requires
+// every shard ready, and the body carries the per-shard breakdown so an
+// operator sees which shard flipped the fleet.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "draining"})
+		return
 	case s.gate != nil && s.gate.saturated():
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
-	default:
-		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		s.writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "overloaded"})
+		return
 	}
+	if hr, ok := s.store.(HealthReporter); ok {
+		shards := hr.ShardHealth(r.Context())
+		resp := ReadyzResponse{Status: "ready", Shards: shards}
+		status := http.StatusOK
+		for _, sh := range shards {
+			if !sh.Ready {
+				resp.Status = "degraded"
+				status = http.StatusServiceUnavailable
+				break
+			}
+		}
+		s.writeJSON(w, status, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ready"})
 }
 
 // handleMetricsJSON serves the registry snapshot as JSON: counters,

@@ -207,7 +207,7 @@ func TestRetryAfterValueRoundsUpToAtLeastOne(t *testing.T) {
 func newLimitedServer(t *testing.T, limits ServerLimits) (*Server, *httptest.Server, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
-	s := NewServerWithOptions(NewStore(testTasks(2)), ServerOptions{Registry: reg, Limits: limits})
+	s := NewServerWithOptions(NewLocalStore(testTasks(2)), ServerOptions{Registry: reg, Limits: limits})
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
 	return s, srv, reg
@@ -335,7 +335,7 @@ func TestOverloadShedsWith503AndRetryAfter(t *testing.T) {
 
 func TestRateLimitReturns429WithRetryAfter(t *testing.T) {
 	_, srv, reg := newLimitedServer(t, ServerLimits{RatePerSec: 1, RateBurst: 2})
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 
 	// The burst is fine...
@@ -370,7 +370,7 @@ func TestRequestDeadlinePropagatesToAggregation(t *testing.T) {
 	// framework degrades or the context refuses, but the server answers
 	// promptly either way and never 200-by-hanging.
 	_, srv, _ := newLimitedServer(t, ServerLimits{RequestTimeout: 50 * time.Millisecond})
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
 		acct := string(rune('a' + i))
@@ -430,7 +430,7 @@ func TestDrainingFlipsReadyz(t *testing.T) {
 func TestZeroLimitsDisableProtection(t *testing.T) {
 	// The zero value must behave exactly like the pre-protection server:
 	// no gate, no limiter, no deadline.
-	s := NewServerWithOptions(NewStore(testTasks(1)), ServerOptions{Registry: obs.NewRegistry()})
+	s := NewServerWithOptions(NewLocalStore(testTasks(1)), ServerOptions{Registry: obs.NewRegistry()})
 	if s.gate != nil || s.limiter != nil {
 		t.Fatal("zero-valued limits built protection state")
 	}

@@ -2,8 +2,10 @@
 // publishes sensing tasks, ingests timestamped submissions and sign-in
 // fingerprint captures from accounts, and serves Sybil-resistant
 // aggregation on demand. It is the system-shaped wrapper around the
-// library: cmd/mcsplatform serves it, cmd/mcsagent drives it, and the
-// JSON API mirrors what the paper's crowd of volunteers did by hand.
+// library: cmd/mcsplatform serves a single durable node, cmd/mcsrouter
+// serves a consistent-hash sharded fleet of them (internal/platform/shard),
+// cmd/mcsagent drives either, and the JSON API mirrors what the paper's
+// crowd of volunteers did by hand.
 package platform
 
 import (
@@ -23,8 +25,9 @@ import (
 	"sybiltd/internal/truth"
 )
 
-// Store is the platform's in-memory state. It is safe for concurrent use.
-type Store struct {
+// LocalStore is the platform's in-memory state: the single-node Store
+// implementation. It is safe for concurrent use.
+type LocalStore struct {
 	mu       sync.RWMutex
 	tasks    []mcs.Task
 	accounts map[string]*accountState
@@ -47,6 +50,9 @@ type Store struct {
 	onSubmit SubmitListener
 }
 
+// LocalStore implements Store.
+var _ Store = (*LocalStore)(nil)
+
 // SubmitListener observes acknowledged submissions. Items are only ever
 // reports the store has applied (and, on a durable store, fsynced). The
 // callback runs synchronously on the ack path and must be cheap and
@@ -56,14 +62,14 @@ type SubmitListener func(items []BatchSubmission)
 // SetSubmitListener installs (or, with nil, removes) the acknowledged-
 // submission hook. At most one listener is active; a later call replaces
 // the earlier one.
-func (s *Store) SetSubmitListener(fn SubmitListener) {
+func (s *LocalStore) SetSubmitListener(fn SubmitListener) {
 	s.hookMu.Lock()
 	s.onSubmit = fn
 	s.hookMu.Unlock()
 }
 
 // notifySubmitted delivers acknowledged items to the listener, if any.
-func (s *Store) notifySubmitted(items []BatchSubmission) {
+func (s *LocalStore) notifySubmitted(items []BatchSubmission) {
 	if len(items) == 0 {
 		return
 	}
@@ -77,7 +83,7 @@ func (s *Store) notifySubmitted(items []BatchSubmission) {
 
 // SetMaxAccounts caps the number of accounts the store accepts; 0 removes
 // the cap. Existing accounts are never evicted.
-func (s *Store) SetMaxAccounts(n int) {
+func (s *LocalStore) SetMaxAccounts(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.maxAccounts = n
@@ -88,8 +94,8 @@ type accountState struct {
 	fingerprint  []float64
 }
 
-// NewStore creates a store with the given tasks.
-func NewStore(tasks []mcs.Task) *Store {
+// NewLocalStore creates an in-memory store with the given tasks.
+func NewLocalStore(tasks []mcs.Task) *LocalStore {
 	ts := make([]mcs.Task, len(tasks))
 	copy(ts, tasks)
 	for i := range ts {
@@ -98,7 +104,7 @@ func NewStore(tasks []mcs.Task) *Store {
 			ts[i].Name = fmt.Sprintf("T%d", i+1)
 		}
 	}
-	return &Store{tasks: ts, accounts: make(map[string]*accountState)}
+	return &LocalStore{tasks: ts, accounts: make(map[string]*accountState)}
 }
 
 // Errors returned by store and API operations. Each maps to a stable wire
@@ -130,6 +136,11 @@ var (
 	// open: the platform has failed repeatedly and the client refuses to
 	// send until the cooldown elapses and a probe succeeds.
 	ErrCircuitOpen = errors.New("platform: circuit breaker open")
+	// ErrShardUnavailable means a sharded store could not complete the
+	// operation because every covering shard was unreachable. Partial
+	// reads degrade instead (ResponseMeta.Degraded); this error is the
+	// nothing-answered case. Maps to HTTP 503.
+	ErrShardUnavailable = errors.New("platform: shard unavailable")
 )
 
 // isFinite reports whether v is a usable measurement. NaN and ±Inf are
@@ -141,17 +152,20 @@ func isFinite(v float64) bool {
 }
 
 // Tasks returns a copy of the published tasks.
-func (s *Store) Tasks() []mcs.Task {
+func (s *LocalStore) Tasks(ctx context.Context) ([]mcs.Task, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]mcs.Task, len(s.tasks))
 	copy(out, s.tasks)
-	return out
+	return out, nil
 }
 
 // roomForAccountLocked fails when registering one more account would
 // exceed the cap. Caller must hold mu.
-func (s *Store) roomForAccountLocked() error {
+func (s *LocalStore) roomForAccountLocked() error {
 	if s.maxAccounts > 0 && len(s.accounts) >= s.maxAccounts {
 		return fmt.Errorf("%w (%d)", ErrTooManyAccounts, s.maxAccounts)
 	}
@@ -160,7 +174,7 @@ func (s *Store) roomForAccountLocked() error {
 
 // registerAccountLocked creates the account state. Caller must hold mu
 // and have validated the cap via roomForAccountLocked.
-func (s *Store) registerAccountLocked(id string) *accountState {
+func (s *LocalStore) registerAccountLocked(id string) *accountState {
 	st := &accountState{observations: make(map[int]mcs.Observation)}
 	s.accounts[id] = st
 	s.order = append(s.order, id)
@@ -171,18 +185,14 @@ func (s *Store) registerAccountLocked(id string) *accountState {
 // on each task at most once (§III-C). The mutation is fully validated
 // before it is journaled, and journaled (synced to the WAL) before it is
 // applied or acknowledged.
-func (s *Store) Submit(account string, task int, value float64, at time.Time) error {
-	return s.SubmitContext(context.Background(), account, task, value, at)
-}
-
-// SubmitContext is Submit under a request deadline: an expired context is
-// refused before the mutation is journaled or applied, so a shed request
-// is never half-acknowledged. The check runs again under the store lock,
-// immediately before the WAL fsync — the expensive step a deadline most
-// wants to skip. Once journaling starts the operation always completes:
-// a journaled-but-unapplied record would be the torn state durability
-// exists to prevent.
-func (s *Store) SubmitContext(ctx context.Context, account string, task int, value float64, at time.Time) error {
+//
+// An expired context is refused before the mutation is journaled or
+// applied, so a shed request is never half-acknowledged. The check runs
+// again under the store lock, immediately before the WAL fsync — the
+// expensive step a deadline most wants to skip. Once journaling starts
+// the operation always completes: a journaled-but-unapplied record would
+// be the torn state durability exists to prevent.
+func (s *LocalStore) Submit(ctx context.Context, account string, task int, value float64, at time.Time) error {
 	if account == "" {
 		return ErrEmptyAccount
 	}
@@ -210,7 +220,7 @@ func (s *Store) SubmitContext(ctx context.Context, account string, task int, val
 // submitLocked validates, journals, and applies one submission under the
 // store lock, returning the commit token the caller must redeem (outside
 // the lock) before acknowledging.
-func (s *Store) submitLocked(ctx context.Context, account string, task int, value float64, at time.Time) (commitToken, error) {
+func (s *LocalStore) submitLocked(ctx context.Context, account string, task int, value float64, at time.Time) (commitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if task < 0 || task >= len(s.tasks) {
@@ -258,14 +268,9 @@ type BatchSubmission struct {
 // Items are validated independently — a duplicate or malformed item gets
 // its own error and does not poison the rest of the batch — and the
 // per-item errors come back positionally (nil = acknowledged durable).
-func (s *Store) SubmitBatch(items []BatchSubmission) []error {
-	return s.SubmitBatchContext(context.Background(), items)
-}
-
-// SubmitBatchContext is SubmitBatch under a request deadline. Deadline
-// semantics match SubmitContext: the batch is refused whole before the
+// Deadline semantics match Submit: the batch is refused whole before the
 // journal write begins, never after.
-func (s *Store) SubmitBatchContext(ctx context.Context, items []BatchSubmission) []error {
+func (s *LocalStore) SubmitBatch(ctx context.Context, items []BatchSubmission) []error {
 	errs := make([]error, len(items))
 	if len(items) == 0 {
 		return errs
@@ -302,7 +307,7 @@ func (s *Store) SubmitBatchContext(ctx context.Context, items []BatchSubmission)
 // account cap counts accounts the batch itself registers), journals every
 // valid item as one WAL batch, and applies them. Per-item errors land in
 // errs; the returned indexes are the items applied, covered by the token.
-func (s *Store) submitBatchLocked(ctx context.Context, items []BatchSubmission, errs []error) (commitToken, []int) {
+func (s *LocalStore) submitBatchLocked(ctx context.Context, items []BatchSubmission, errs []error) (commitToken, []int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	type reportKey struct {
@@ -392,12 +397,7 @@ func (s *Store) submitBatchLocked(ctx context.Context, items []BatchSubmission, 
 // of equal length. The journal stores the extracted feature vector, not
 // the raw capture: extraction is deterministic and the features are the
 // only thing the store keeps, so logging them keeps the WAL small.
-func (s *Store) RecordFingerprint(account string, rec mems.Recording) error {
-	return s.RecordFingerprintContext(context.Background(), account, rec)
-}
-
-// RecordFingerprintContext is RecordFingerprint under a request deadline.
-func (s *Store) RecordFingerprintContext(ctx context.Context, account string, rec mems.Recording) error {
+func (s *LocalStore) RecordFingerprint(ctx context.Context, account string, rec mems.Recording) error {
 	if account == "" {
 		return ErrEmptyAccount
 	}
@@ -419,13 +419,7 @@ func (s *Store) RecordFingerprintContext(ctx context.Context, account string, re
 // RecordFingerprintFeatures stores an already-extracted fingerprint
 // feature vector for the account (the replay path: archived campaigns
 // hold features, not raw captures).
-func (s *Store) RecordFingerprintFeatures(account string, features []float64) error {
-	return s.RecordFingerprintFeaturesContext(context.Background(), account, features)
-}
-
-// RecordFingerprintFeaturesContext is RecordFingerprintFeatures under a
-// request deadline.
-func (s *Store) RecordFingerprintFeaturesContext(ctx context.Context, account string, features []float64) error {
+func (s *LocalStore) RecordFingerprintFeatures(ctx context.Context, account string, features []float64) error {
 	if account == "" {
 		return ErrEmptyAccount
 	}
@@ -441,9 +435,9 @@ func (s *Store) RecordFingerprintFeaturesContext(ctx context.Context, account st
 }
 
 // setFingerprint journals and applies a validated feature vector. vec
-// ownership transfers to the store. Deadline semantics match
-// SubmitContext: refuse before the journal fsync, never after.
-func (s *Store) setFingerprint(ctx context.Context, account string, vec []float64) error {
+// ownership transfers to the store. Deadline semantics match Submit:
+// refuse before the journal fsync, never after.
+func (s *LocalStore) setFingerprint(ctx context.Context, account string, vec []float64) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
@@ -457,7 +451,7 @@ func (s *Store) setFingerprint(ctx context.Context, account string, vec []float6
 	return nil
 }
 
-func (s *Store) setFingerprintLocked(ctx context.Context, account string, vec []float64) (commitToken, error) {
+func (s *LocalStore) setFingerprintLocked(ctx context.Context, account string, vec []float64) (commitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.accounts[account]
@@ -489,16 +483,20 @@ func (s *Store) setFingerprintLocked(ctx context.Context, account string, vec []
 }
 
 // Dataset snapshots the store as an mcs.Dataset (accounts in registration
-// order).
-func (s *Store) Dataset() *mcs.Dataset {
+// order). The error is always nil on a local store; it exists for the
+// Store interface, where a remote or sharded dataset read can fail.
+func (s *LocalStore) Dataset(ctx context.Context) (*mcs.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.datasetLocked()
+	return s.datasetLocked(), nil
 }
 
 // datasetLocked is Dataset for callers that already hold mu (the
 // durability snapshot runs under the write lock).
-func (s *Store) datasetLocked() *mcs.Dataset {
+func (s *LocalStore) datasetLocked() *mcs.Dataset {
 	ds := &mcs.Dataset{Tasks: make([]mcs.Task, len(s.tasks))}
 	copy(ds.Tasks, s.tasks)
 	for _, id := range s.order {
@@ -518,33 +516,44 @@ func (s *Store) datasetLocked() *mcs.Dataset {
 }
 
 // NumAccounts returns the number of registered accounts.
-func (s *Store) NumAccounts() int {
+func (s *LocalStore) NumAccounts() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.accounts)
 }
 
-// Aggregate runs the named aggregation method over the current dataset.
-// Methods: "crh", "mean", "median", "td-fp", "td-ts", "td-tr".
-func (s *Store) Aggregate(method string) (truth.Result, error) {
-	res, _, err := s.AggregateWithUncertainty(method)
-	return res, err
+// Stats summarizes the store.
+func (s *LocalStore) Stats(ctx context.Context) (StatsResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return StatsResponse{}, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return StatsResponse{Tasks: len(s.tasks), Accounts: len(s.accounts)}, nil
 }
 
-// AggregateWithUncertainty is Aggregate plus the per-task weighted
-// standard errors (see truth.Uncertainty).
-func (s *Store) AggregateWithUncertainty(method string) (truth.Result, []float64, error) {
-	return s.AggregateWithUncertaintyContext(context.Background(), method)
+// Aggregate runs the named aggregation method over the current dataset
+// and returns the result plus the per-task weighted standard errors (see
+// truth.Uncertainty). The context is propagated into the grouping worker
+// pools and the truth loop; see AggregateDataset for the degradation
+// policy.
+func (s *LocalStore) Aggregate(ctx context.Context, method string) (truth.Result, []float64, error) {
+	ds, err := s.Dataset(ctx)
+	if err != nil {
+		return truth.Result{}, nil, err
+	}
+	return AggregateDataset(ctx, method, ds)
 }
 
-// AggregateWithUncertaintyContext runs the aggregation under a request
-// deadline. For the Sybil-resistant framework methods the context is
-// propagated into the grouping worker pools and the truth loop, and
-// graceful degradation is switched on: a grouping pass cancelled by the
-// deadline (or failing outright) yields per-account estimates flagged
-// Result.Degraded instead of an error, so an overloaded platform still
-// answers (see core.Framework.RunContext).
-func (s *Store) AggregateWithUncertaintyContext(ctx context.Context, method string) (truth.Result, []float64, error) {
+// AggregateDataset runs the named aggregation method over ds under the
+// platform's serving policy: for the Sybil-resistant framework methods
+// graceful degradation is switched on, so a grouping pass cancelled by
+// the deadline (or failing outright) yields per-account estimates flagged
+// Result.Degraded instead of an error (see core.Framework.RunContext).
+// Every Store implementation aggregates through this one function — the
+// single-node and the sharded merged-dataset paths are bit-identical on
+// identical input.
+func AggregateDataset(ctx context.Context, method string, ds *mcs.Dataset) (truth.Result, []float64, error) {
 	alg, err := AlgorithmByName(method)
 	if err != nil {
 		return truth.Result{}, nil, err
@@ -555,7 +564,6 @@ func (s *Store) AggregateWithUncertaintyContext(ctx context.Context, method stri
 		alg = fw
 	}
 	defer obs.Default().Timer("platform.aggregate_seconds").Start().Stop()
-	ds := s.Dataset()
 	res, err := truth.RunWithContext(ctx, alg, ds)
 	if err != nil {
 		return truth.Result{}, nil, fmt.Errorf("platform: aggregate %s: %w", method, err)

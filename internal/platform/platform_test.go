@@ -30,17 +30,17 @@ func at(min int) time.Time {
 }
 
 func TestStoreSubmitAndDataset(t *testing.T) {
-	s := NewStore(testTasks(3))
-	if err := s.Submit("alice", 0, -80, at(0)); err != nil {
+	s := NewLocalStore(testTasks(3))
+	if err := s.Submit(context.Background(), "alice", 0, -80, at(0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit("alice", 1, -70, at(1)); err != nil {
+	if err := s.Submit(context.Background(), "alice", 1, -70, at(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit("bob", 0, -82, at(2)); err != nil {
+	if err := s.Submit(context.Background(), "bob", 0, -82, at(2)); err != nil {
 		t.Fatal(err)
 	}
-	ds := s.Dataset()
+	ds, _ := s.Dataset(context.Background())
 	if err := ds.Validate(); err != nil {
 		t.Fatalf("snapshot invalid: %v", err)
 	}
@@ -53,20 +53,20 @@ func TestStoreSubmitAndDataset(t *testing.T) {
 }
 
 func TestStoreRejections(t *testing.T) {
-	s := NewStore(testTasks(2))
-	if err := s.Submit("", 0, 1, at(0)); !errors.Is(err, ErrEmptyAccount) {
+	s := NewLocalStore(testTasks(2))
+	if err := s.Submit(context.Background(), "", 0, 1, at(0)); !errors.Is(err, ErrEmptyAccount) {
 		t.Errorf("empty account: %v", err)
 	}
-	if err := s.Submit("a", 9, 1, at(0)); !errors.Is(err, ErrUnknownTask) {
+	if err := s.Submit(context.Background(), "a", 9, 1, at(0)); !errors.Is(err, ErrUnknownTask) {
 		t.Errorf("unknown task: %v", err)
 	}
-	if err := s.Submit("a", -1, 1, at(0)); !errors.Is(err, ErrUnknownTask) {
+	if err := s.Submit(context.Background(), "a", -1, 1, at(0)); !errors.Is(err, ErrUnknownTask) {
 		t.Errorf("negative task: %v", err)
 	}
-	if err := s.Submit("a", 0, 1, at(0)); err != nil {
+	if err := s.Submit(context.Background(), "a", 0, 1, at(0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit("a", 0, 2, at(1)); !errors.Is(err, ErrDuplicateReport) {
+	if err := s.Submit(context.Background(), "a", 0, 2, at(1)); !errors.Is(err, ErrDuplicateReport) {
 		t.Errorf("duplicate: %v", err)
 	}
 }
@@ -76,9 +76,9 @@ func TestStoreRejections(t *testing.T) {
 // store boundary with typed, wire-codeable errors — and without
 // registering the submitting account as a side effect.
 func TestStoreRejectsNonFiniteValues(t *testing.T) {
-	s := NewStore(testTasks(2))
+	s := NewLocalStore(testTasks(2))
 	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		if err := s.Submit("a", 0, v, at(0)); !errors.Is(err, ErrMalformedRequest) {
+		if err := s.Submit(context.Background(), "a", 0, v, at(0)); !errors.Is(err, ErrMalformedRequest) {
 			t.Errorf("Submit(%v) = %v, want ErrMalformedRequest", v, err)
 		}
 	}
@@ -87,7 +87,7 @@ func TestStoreRejectsNonFiniteValues(t *testing.T) {
 		{math.Inf(1)},
 		{1, 2, math.Inf(-1)},
 	} {
-		if err := s.RecordFingerprintFeatures("a", feats); !errors.Is(err, ErrBadFingerprint) {
+		if err := s.RecordFingerprintFeatures(context.Background(), "a", feats); !errors.Is(err, ErrBadFingerprint) {
 			t.Errorf("RecordFingerprintFeatures(%v) = %v, want ErrBadFingerprint", feats, err)
 		}
 	}
@@ -96,7 +96,7 @@ func TestStoreRejectsNonFiniteValues(t *testing.T) {
 	dev := mems.NewDevice(mems.ModelIPhone7, 1, rand.New(rand.NewSource(1)))
 	rec := dev.Capture(mems.DefaultCaptureSpec(), rand.New(rand.NewSource(2)))
 	rec.AccelX[3] = math.NaN()
-	if err := s.RecordFingerprint("a", rec); !errors.Is(err, ErrBadFingerprint) {
+	if err := s.RecordFingerprint(context.Background(), "a", rec); !errors.Is(err, ErrBadFingerprint) {
 		t.Errorf("RecordFingerprint(NaN capture) = %v, want ErrBadFingerprint", err)
 	}
 	if s.NumAccounts() != 0 {
@@ -105,56 +105,56 @@ func TestStoreRejectsNonFiniteValues(t *testing.T) {
 }
 
 func TestStoreFingerprint(t *testing.T) {
-	s := NewStore(testTasks(1))
+	s := NewLocalStore(testTasks(1))
 	dev := mems.NewDevice(mems.ModelIPhone7, 1, rand.New(rand.NewSource(1)))
 	rec := dev.Capture(mems.DefaultCaptureSpec(), rand.New(rand.NewSource(2)))
-	if err := s.RecordFingerprint("alice", rec); err != nil {
+	if err := s.RecordFingerprint(context.Background(), "alice", rec); err != nil {
 		t.Fatal(err)
 	}
-	ds := s.Dataset()
+	ds, _ := s.Dataset(context.Background())
 	if len(ds.Accounts[0].Fingerprint) == 0 {
 		t.Error("fingerprint not stored")
 	}
 	// Malformed captures rejected.
 	bad := rec
 	bad.GyroZ = bad.GyroZ[:10]
-	if err := s.RecordFingerprint("x", bad); !errors.Is(err, ErrBadFingerprint) {
+	if err := s.RecordFingerprint(context.Background(), "x", bad); !errors.Is(err, ErrBadFingerprint) {
 		t.Errorf("ragged capture: %v", err)
 	}
-	if err := s.RecordFingerprint("x", mems.Recording{}); !errors.Is(err, ErrBadFingerprint) {
+	if err := s.RecordFingerprint(context.Background(), "x", mems.Recording{}); !errors.Is(err, ErrBadFingerprint) {
 		t.Errorf("empty capture: %v", err)
 	}
-	if err := s.RecordFingerprint("", rec); !errors.Is(err, ErrEmptyAccount) {
+	if err := s.RecordFingerprint(context.Background(), "", rec); !errors.Is(err, ErrEmptyAccount) {
 		t.Errorf("empty account: %v", err)
 	}
 }
 
 func TestStoreAggregate(t *testing.T) {
-	s := NewStore(testTasks(1))
+	s := NewLocalStore(testTasks(1))
 	for i, v := range []float64{10, 12, 11} {
-		if err := s.Submit(string(rune('a'+i)), 0, v, at(i)); err != nil {
+		if err := s.Submit(context.Background(), string(rune('a'+i)), 0, v, at(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := s.Aggregate("median")
+	res, _, err := s.Aggregate(context.Background(), "median")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Truths[0] != 11 {
 		t.Errorf("median = %v", res.Truths[0])
 	}
-	if _, err := s.Aggregate("nope"); !errors.Is(err, ErrUnknownAggregation) {
+	if _, _, err := s.Aggregate(context.Background(), "nope"); !errors.Is(err, ErrUnknownAggregation) {
 		t.Errorf("unknown method: %v", err)
 	}
 	for _, m := range []string{"crh", "mean", "td-ts", "td-tr"} {
-		if _, err := s.Aggregate(m); err != nil {
+		if _, _, err := s.Aggregate(context.Background(), m); err != nil {
 			t.Errorf("%s: %v", m, err)
 		}
 	}
 }
 
 func TestStoreConcurrentSubmissions(t *testing.T) {
-	s := NewStore(testTasks(50))
+	s := NewLocalStore(testTasks(50))
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -162,7 +162,7 @@ func TestStoreConcurrentSubmissions(t *testing.T) {
 			defer wg.Done()
 			account := string(rune('a' + w))
 			for task := 0; task < 50; task++ {
-				if err := s.Submit(account, task, float64(task), at(task%60)); err != nil {
+				if err := s.Submit(context.Background(), account, task, float64(task), at(task%60)); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
@@ -170,7 +170,7 @@ func TestStoreConcurrentSubmissions(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	ds := s.Dataset()
+	ds, _ := s.Dataset(context.Background())
 	if ds.NumAccounts() != 8 {
 		t.Fatalf("accounts = %d", ds.NumAccounts())
 	}
@@ -183,10 +183,10 @@ func TestStoreConcurrentSubmissions(t *testing.T) {
 
 func newTestServer(t *testing.T, numTasks int) (*httptest.Server, *Client) {
 	t.Helper()
-	store := NewStore(testTasks(numTasks))
+	store := NewLocalStore(testTasks(numTasks))
 	srv := httptest.NewServer(NewServer(store, nil))
 	t.Cleanup(srv.Close)
-	return srv, NewClient(srv.URL, srv.Client())
+	return srv, NewClient(srv.URL, WithHTTPClient(srv.Client()))
 }
 
 func TestHTTPRoundTrip(t *testing.T) {
@@ -502,40 +502,40 @@ func TestConcurrentCampaignsOnOnePlatform(t *testing.T) {
 }
 
 func TestAccountCap(t *testing.T) {
-	s := NewStore(testTasks(2))
+	s := NewLocalStore(testTasks(2))
 	s.SetMaxAccounts(2)
-	if err := s.Submit("a", 0, 1, at(0)); err != nil {
+	if err := s.Submit(context.Background(), "a", 0, 1, at(0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit("b", 0, 2, at(1)); err != nil {
+	if err := s.Submit(context.Background(), "b", 0, 2, at(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Existing accounts keep working.
-	if err := s.Submit("a", 1, 3, at(2)); err != nil {
+	if err := s.Submit(context.Background(), "a", 1, 3, at(2)); err != nil {
 		t.Fatal(err)
 	}
 	// New accounts are rejected, for submissions and fingerprints alike.
-	if err := s.Submit("c", 0, 4, at(3)); !errors.Is(err, ErrTooManyAccounts) {
+	if err := s.Submit(context.Background(), "c", 0, 4, at(3)); !errors.Is(err, ErrTooManyAccounts) {
 		t.Errorf("cap not enforced: %v", err)
 	}
 	dev := mems.NewDevice(mems.ModelLGG5, 1, rand.New(rand.NewSource(1)))
 	rec := dev.Capture(mems.DefaultCaptureSpec(), rand.New(rand.NewSource(2)))
-	if err := s.RecordFingerprint("c", rec); !errors.Is(err, ErrTooManyAccounts) {
+	if err := s.RecordFingerprint(context.Background(), "c", rec); !errors.Is(err, ErrTooManyAccounts) {
 		t.Errorf("cap not enforced on fingerprints: %v", err)
 	}
 	// Lifting the cap admits the account.
 	s.SetMaxAccounts(0)
-	if err := s.Submit("c", 0, 4, at(3)); err != nil {
+	if err := s.Submit(context.Background(), "c", 0, 4, at(3)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAccountCapOverHTTP(t *testing.T) {
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	store.SetMaxAccounts(1)
 	srv := httptest.NewServer(NewServer(store, nil))
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 	ctx := context.Background()
 	if err := client.Submit(ctx, SubmissionRequest{Account: "a", Task: 0, Value: 1, Time: at(0)}); err != nil {
 		t.Fatal(err)
@@ -553,10 +553,10 @@ func TestReplayDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := NewStore(sc.Dataset.Tasks)
+	store := NewLocalStore(sc.Dataset.Tasks)
 	srv := httptest.NewServer(NewServer(store, nil))
 	t.Cleanup(srv.Close)
-	client := NewClient(srv.URL, srv.Client())
+	client := NewClient(srv.URL, WithHTTPClient(srv.Client()))
 
 	var events int
 	n, err := ReplayDataset(context.Background(), client, sc.Dataset, ReplayOptions{
@@ -574,7 +574,7 @@ func TestReplayDataset(t *testing.T) {
 	}
 
 	// The replayed platform holds an equivalent dataset...
-	got := store.Dataset()
+	got, _ := store.Dataset(context.Background())
 	if got.NumAccounts() != sc.Dataset.NumAccounts() {
 		t.Fatalf("accounts = %d, want %d", got.NumAccounts(), sc.Dataset.NumAccounts())
 	}
@@ -593,7 +593,7 @@ func TestReplayDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := store.Aggregate("td-tr")
+	res, _, err := store.Aggregate(context.Background(), "td-tr")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sybiltd/internal/platform"
+)
+
+// BenchmarkIngestSharded measures acknowledged submits per second through
+// a shard.Store over 1, 2, and 4 durable LocalStore backends (group
+// commit on, like a production shard), under 32 concurrent submitters.
+// On one machine all shards share a disk, so this quantifies the sharding
+// tax rather than the fleet win: ring routing per submit, and group
+// commits coalescing fewer records per fsync as the same submitter pool
+// spreads across more WALs. The fleet win (independent disks, independent
+// store locks) is what the chaos campaign's multi-process topology buys;
+// this row exists so BENCH_ingest.json catches regressions in the
+// routing path itself.
+//
+// Run via `make bench-ingest`; rows land in BENCH_ingest.json alongside
+// the single-node shapes.
+func BenchmarkIngestSharded(b *testing.B) {
+	const workers = 32
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			backends := make([]platform.Store, shards)
+			for i := range backends {
+				store, d, _, err := platform.OpenDurable(b.TempDir(), testTasks(1), platform.DurableOptions{
+					CommitLinger:   2 * time.Millisecond,
+					CommitMaxBatch: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				backends[i] = store
+			}
+			s, err := New(context.Background(), backends, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			var idx sync.Mutex
+			next := 0
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						idx.Lock()
+						i := next
+						next++
+						idx.Unlock()
+						if i >= b.N {
+							return
+						}
+						account := fmt.Sprintf("w%02d-%06d", w, i)
+						if err := s.Submit(context.Background(), account, 0, -80, at(0)); err != nil {
+							b.Errorf("submit %s: %v", account, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "acked-submits/sec")
+		})
+	}
+}

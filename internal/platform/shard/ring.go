@@ -1,0 +1,94 @@
+// Package shard turns N independent platform nodes into one: a
+// consistent-hash ring routes every account to exactly one shard, writes
+// go to the owning shard, and reads that need the whole campaign
+// (dataset, aggregation, stats) scatter-gather across all of them. The
+// composite shard.Store implements platform.Store, so the router in
+// front of the fleet is the unchanged platform.Server serving the
+// unchanged /v1 wire API.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count when Options
+// leaves it zero. 128 points per shard keeps the expected load imbalance
+// across a handful of shards in the low single-digit percents.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over shard indices. Keys (account IDs)
+// map to the successor of their hash among every shard's virtual points,
+// so adding or removing one shard moves only ~1/N of the keyspace and
+// account→shard assignment is stable across process restarts — which is
+// what keeps an account's duplicate-report guard on a single WAL.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring for shards shards with virtualNodes points each
+// (<= 0 means DefaultVirtualNodes). Panics if shards < 1: a ring over
+// nothing is a programming error, not a runtime condition.
+func NewRing(shards, virtualNodes int) *Ring {
+	if shards < 1 {
+		panic("shard: ring needs at least one shard")
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, shards*virtualNodes), shards: shards}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			h := hashKey(fmt.Sprintf("shard-%d/vnode-%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare with 64-bit hashes) break by shard index
+		// so the ring is deterministic regardless of sort stability.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard maps key to its owning shard: the first virtual point at or after
+// the key's hash, wrapping at the top of the ring.
+func (r *Ring) Shard(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hashKey is 64-bit FNV-1a finished with a splitmix64-style avalanche:
+// fast and dependency-free (this is load balancing, not authentication).
+// Raw FNV-1a clusters badly on short near-identical keys — vnode labels
+// differ in a character or two, and without the finalizer a 4-shard/128-
+// vnode ring showed a 1.6x load skew; the finalizer spreads single-bit
+// input differences across the whole word.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(3, 0)
+	b := NewRing(3, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("account-%d", i)
+		if a.Shard(key) != b.Shard(key) {
+			t.Fatalf("ring placement for %q differs between identical rings: %d vs %d",
+				key, a.Shard(key), b.Shard(key))
+		}
+	}
+	if a.Shards() != 3 {
+		t.Errorf("Shards() = %d, want 3", a.Shards())
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const keys = 10000
+	r := NewRing(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("account-%d", i))]++
+	}
+	// With 128 vnodes per shard the expected imbalance is a few percent;
+	// allow a generous ±40% of the fair share before calling it broken.
+	fair := keys / 4
+	for sh, n := range counts {
+		if n < fair*6/10 || n > fair*14/10 {
+			t.Errorf("shard %d owns %d of %d keys (fair share %d): ring is unbalanced %v",
+				sh, n, keys, fair, counts)
+		}
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	// Growing 3 → 4 shards must move roughly 1/4 of the keyspace — the
+	// consistent-hashing guarantee. A modulo partitioner would move ~3/4.
+	const keys = 10000
+	r3 := NewRing(3, 0)
+	r4 := NewRing(4, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("account-%d", i)
+		before, after := r3.Shard(key), r4.Shard(key)
+		if before != after {
+			moved++
+			// Keys only ever move TO the new shard; an account hopping
+			// between surviving shards would churn duplicate guards for
+			// no reason.
+			if after != 3 {
+				t.Fatalf("key %q moved %d → %d, not to the new shard", key, before, after)
+			}
+		}
+	}
+	if moved < keys/10 || moved > keys*4/10 {
+		t.Errorf("growing 3→4 shards moved %d of %d keys, want ≈%d", moved, keys, keys/4)
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 4)
+	for i := 0; i < 100; i++ {
+		if sh := r.Shard(fmt.Sprintf("k%d", i)); sh != 0 {
+			t.Fatalf("single-shard ring placed key on shard %d", sh)
+		}
+	}
+}
+
+func TestRingPanicsOnZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0, 0) did not panic")
+		}
+	}()
+	NewRing(0, 0)
+}

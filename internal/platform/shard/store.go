@@ -1,0 +1,413 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/mems"
+	"sybiltd/internal/platform"
+	"sybiltd/internal/truth"
+)
+
+// Options tunes New.
+type Options struct {
+	// VirtualNodes is the per-shard virtual-node count on the ring;
+	// <= 0 means DefaultVirtualNodes.
+	VirtualNodes int
+	// Tasks, when non-nil, is the published task list; nil makes New
+	// fetch it from the first shard that answers. Every shard must be
+	// configured with the identical task list — the ring partitions
+	// accounts, not tasks.
+	Tasks []mcs.Task
+	// Addrs labels each shard in health reports and error messages
+	// (typically its base URL). Optional; missing entries render as the
+	// shard index alone.
+	Addrs []string
+}
+
+// Store routes operations across N platform.Store backends by consistent
+// hash of the account ID. Writes go to the one shard owning the account —
+// so the per-account duplicate guard, rate bucket, and WAL entries all
+// live in exactly one place — and whole-campaign reads scatter-gather. It
+// implements platform.Store plus the HealthReporter capability, so a
+// platform.Server fronting it serves the identical /v1 wire API with an
+// aggregated /readyz.
+type Store struct {
+	backends []platform.Store
+	addrs    []string
+	ring     *Ring
+	tasks    []mcs.Task
+
+	hookMu   sync.RWMutex
+	onSubmit platform.SubmitListener
+}
+
+// Store implements platform.Store and the HealthReporter capability.
+var (
+	_ platform.Store          = (*Store)(nil)
+	_ platform.HealthReporter = (*Store)(nil)
+)
+
+// New composes backends into one sharded store. When opts.Tasks is nil
+// the task list is fetched from the first shard that answers (ctx bounds
+// the fetch); a fleet that is entirely down fails construction.
+func New(ctx context.Context, backends []platform.Store, opts Options) (*Store, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends")
+	}
+	addrs := make([]string, len(backends))
+	copy(addrs, opts.Addrs)
+	s := &Store{
+		backends: backends,
+		addrs:    addrs,
+		ring:     NewRing(len(backends), opts.VirtualNodes),
+	}
+	if opts.Tasks != nil {
+		s.tasks = append([]mcs.Task(nil), opts.Tasks...)
+		return s, nil
+	}
+	var lastErr error
+	for i, b := range backends {
+		tasks, err := b.Tasks(ctx)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", s.label(i), err)
+			continue
+		}
+		s.tasks = tasks
+		return s, nil
+	}
+	return nil, fmt.Errorf("shard: fetch tasks from any shard: %w", lastErr)
+}
+
+// label names shard i in errors and health reports.
+func (s *Store) label(i int) string {
+	if i < len(s.addrs) && s.addrs[i] != "" {
+		return fmt.Sprintf("shard %d (%s)", i, s.addrs[i])
+	}
+	return fmt.Sprintf("shard %d", i)
+}
+
+// Shard returns the ring's owning shard index for an account — exposed so
+// tests and operators can predict placement.
+func (s *Store) Shard(account string) int { return s.ring.Shard(account) }
+
+// Shards returns the number of shards.
+func (s *Store) Shards() int { return len(s.backends) }
+
+// SetSubmitListener installs the acknowledged-submission hook: the
+// router-level feed for its own stream hub, seeing every submission any
+// shard acknowledged through this store.
+func (s *Store) SetSubmitListener(fn platform.SubmitListener) {
+	s.hookMu.Lock()
+	s.onSubmit = fn
+	s.hookMu.Unlock()
+}
+
+func (s *Store) notifySubmitted(items []platform.BatchSubmission) {
+	if len(items) == 0 {
+		return
+	}
+	s.hookMu.RLock()
+	fn := s.onSubmit
+	s.hookMu.RUnlock()
+	if fn != nil {
+		fn(items)
+	}
+}
+
+// Tasks returns the task list every shard serves.
+func (s *Store) Tasks(ctx context.Context) ([]mcs.Task, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", platform.ErrOverloaded, err)
+	}
+	out := make([]mcs.Task, len(s.tasks))
+	copy(out, s.tasks)
+	return out, nil
+}
+
+// Submit routes one observation to the account's owning shard.
+func (s *Store) Submit(ctx context.Context, account string, task int, value float64, at time.Time) error {
+	if account == "" {
+		return platform.ErrEmptyAccount
+	}
+	sh := s.ring.Shard(account)
+	if err := s.backends[sh].Submit(ctx, account, task, value, at); err != nil {
+		return fmt.Errorf("%s: %w", s.label(sh), err)
+	}
+	s.notifySubmitted([]platform.BatchSubmission{{Account: account, Task: task, Value: value, At: at}})
+	return nil
+}
+
+// SubmitBatch splits the batch by owning shard, dispatches the per-shard
+// sub-batches concurrently, and reassembles the per-item errors in the
+// caller's positions. One shard failing its whole sub-batch (e.g. a 503)
+// fails only the items routed to it; the rest of the batch settles
+// normally.
+func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmission) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	if err := ctx.Err(); err != nil {
+		e := fmt.Errorf("%w: %v", platform.ErrOverloaded, err)
+		for i := range errs {
+			errs[i] = e
+		}
+		return errs
+	}
+	// groups[sh] holds the original positions routed to shard sh, in
+	// order — the sub-batch preserves relative item order, so in-batch
+	// duplicate semantics inside one account are unchanged (one account
+	// is never split across shards).
+	groups := make([][]int, len(s.backends))
+	for i, it := range items {
+		if it.Account == "" {
+			errs[i] = platform.ErrEmptyAccount
+			continue
+		}
+		sh := s.ring.Shard(it.Account)
+		groups[sh] = append(groups[sh], i)
+	}
+	var wg sync.WaitGroup
+	for sh, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, idxs []int) {
+			defer wg.Done()
+			sub := make([]platform.BatchSubmission, len(idxs))
+			for j, i := range idxs {
+				sub[j] = items[i]
+			}
+			subErrs := s.backends[sh].SubmitBatch(ctx, sub)
+			for j, i := range idxs {
+				var err error
+				if j < len(subErrs) {
+					err = subErrs[j]
+				} else {
+					// A backend violating the positional contract is a bug;
+					// refuse the unanswered tail rather than acking it.
+					err = fmt.Errorf("%w: short batch response", platform.ErrShardUnavailable)
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", s.label(sh), err)
+				}
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+	var acked []platform.BatchSubmission
+	for i := range items {
+		if errs[i] == nil {
+			acked = append(acked, items[i])
+		}
+	}
+	s.notifySubmitted(acked)
+	return errs
+}
+
+// RecordFingerprint routes a raw sign-in capture to the owning shard.
+func (s *Store) RecordFingerprint(ctx context.Context, account string, rec mems.Recording) error {
+	if account == "" {
+		return platform.ErrEmptyAccount
+	}
+	sh := s.ring.Shard(account)
+	if err := s.backends[sh].RecordFingerprint(ctx, account, rec); err != nil {
+		return fmt.Errorf("%s: %w", s.label(sh), err)
+	}
+	return nil
+}
+
+// RecordFingerprintFeatures routes an extracted feature vector to the
+// owning shard.
+func (s *Store) RecordFingerprintFeatures(ctx context.Context, account string, features []float64) error {
+	if account == "" {
+		return platform.ErrEmptyAccount
+	}
+	sh := s.ring.Shard(account)
+	if err := s.backends[sh].RecordFingerprintFeatures(ctx, account, features); err != nil {
+		return fmt.Errorf("%s: %w", s.label(sh), err)
+	}
+	return nil
+}
+
+// gather snapshots every shard's dataset concurrently. dss[i] and errs[i]
+// are shard i's outcome; exactly one of them is set.
+func (s *Store) gather(ctx context.Context) (dss []*mcs.Dataset, errs []error) {
+	dss = make([]*mcs.Dataset, len(s.backends))
+	errs = make([]error, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		wg.Add(1)
+		go func(i int, b platform.Store) {
+			defer wg.Done()
+			dss[i], errs[i] = b.Dataset(ctx)
+		}(i, b)
+	}
+	wg.Wait()
+	return dss, errs
+}
+
+// merge concatenates shard datasets in shard order under the composite
+// task list. Within a shard, accounts keep their registration order, so
+// the merged account order is deterministic for a given fleet state.
+func (s *Store) merge(dss []*mcs.Dataset) *mcs.Dataset {
+	out := &mcs.Dataset{Tasks: make([]mcs.Task, len(s.tasks))}
+	copy(out.Tasks, s.tasks)
+	for _, ds := range dss {
+		if ds == nil {
+			continue
+		}
+		out.Accounts = append(out.Accounts, ds.Accounts...)
+	}
+	return out
+}
+
+// Dataset scatter-gathers the full campaign. Unlike Aggregate and Stats
+// it does not degrade on partial failure: an export silently missing the
+// unreachable shards' accounts would poison archives and offline
+// re-aggregation, so any failed shard fails the read (retryably).
+func (s *Store) Dataset(ctx context.Context) (*mcs.Dataset, error) {
+	dss, errs := s.gather(ctx)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.label(i), err)
+		}
+	}
+	return s.merge(dss), nil
+}
+
+// failedLabel builds the DegradedReason suffix naming unreachable shards.
+func failedLabel(failed []int) string {
+	parts := make([]string, len(failed))
+	for i, sh := range failed {
+		parts[i] = fmt.Sprint(sh)
+	}
+	return "shards_unreachable:" + strings.Join(parts, ",")
+}
+
+// Aggregate scatter-gathers shard datasets, merges the reachable ones,
+// and aggregates the merged campaign with the same AggregateDataset the
+// single-node store uses — on identical input the results are
+// bit-identical. Partial gathers reuse the PR-4 degradation contract: the
+// result is flagged Degraded with the unreachable shards named, because a
+// truth estimate missing part of the crowd is still an answer, just a
+// weaker one. Only a fleet that is entirely unreachable is an error.
+func (s *Store) Aggregate(ctx context.Context, method string) (truth.Result, []float64, error) {
+	// Validate the method before touching the network: an unknown method
+	// must answer 400 even when every shard is down.
+	if _, err := platform.AlgorithmByName(method); err != nil {
+		return truth.Result{}, nil, err
+	}
+	dss, errs := s.gather(ctx)
+	var failed []int
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) == len(s.backends) {
+		return truth.Result{}, nil, fmt.Errorf("%s: %w", s.label(failed[0]), errs[failed[0]])
+	}
+	res, unc, err := platform.AggregateDataset(ctx, method, s.merge(dss))
+	if err != nil {
+		return truth.Result{}, nil, err
+	}
+	if len(failed) > 0 {
+		sort.Ints(failed)
+		res.Degraded = true
+		reason := failedLabel(failed)
+		if res.DegradedReason != "" {
+			res.DegradedReason += ";" + reason
+		} else {
+			res.DegradedReason = reason
+		}
+	}
+	return res, unc, nil
+}
+
+// Stats sums shard summaries. Partial failures degrade (the reachable
+// shards' counts, flagged) rather than erroring; a fleet entirely down is
+// an error.
+func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
+	type result struct {
+		stats platform.StatsResponse
+		err   error
+	}
+	results := make([]result, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		wg.Add(1)
+		go func(i int, b platform.Store) {
+			defer wg.Done()
+			results[i].stats, results[i].err = b.Stats(ctx)
+		}(i, b)
+	}
+	wg.Wait()
+	out := platform.StatsResponse{Tasks: len(s.tasks)}
+	var failed []int
+	for i, r := range results {
+		if r.err != nil {
+			failed = append(failed, i)
+			continue
+		}
+		out.Accounts += r.stats.Accounts
+		if r.stats.Degraded {
+			out.Degraded = true
+			out.DegradedReason = r.stats.DegradedReason
+		}
+	}
+	if len(failed) == len(s.backends) {
+		return platform.StatsResponse{}, fmt.Errorf("%s: %w", s.label(failed[0]), results[failed[0]].err)
+	}
+	if len(failed) > 0 {
+		out.Degraded = true
+		reason := failedLabel(failed)
+		if out.DegradedReason != "" {
+			out.DegradedReason += ";" + reason
+		} else {
+			out.DegradedReason = reason
+		}
+	}
+	return out, nil
+}
+
+// ShardHealth probes every shard concurrently (implements
+// platform.HealthReporter, the aggregated /readyz). A backend without the
+// Pinger capability (e.g. an in-process LocalStore) is trivially ready.
+func (s *Store) ShardHealth(ctx context.Context) []platform.ShardHealth {
+	out := make([]platform.ShardHealth, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		out[i] = platform.ShardHealth{Shard: i}
+		if i < len(s.addrs) {
+			out[i].Addr = s.addrs[i]
+		}
+		p, ok := b.(platform.Pinger)
+		if !ok {
+			out[i].Ready = true
+			out[i].Status = "ready"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p platform.Pinger) {
+			defer wg.Done()
+			rz, err := p.Ready(ctx)
+			if err != nil {
+				out[i].Status = "unreachable"
+				out[i].Error = err.Error()
+				return
+			}
+			out[i].Status = rz.Status
+			out[i].Ready = rz.Status == "ready"
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}

@@ -21,11 +21,11 @@ import (
 
 // newStreamServer builds an isolated-registry server over n tasks plus an
 // httptest server in front of it, registering cleanup for both.
-func newStreamServer(t *testing.T, n int, opts ServerOptions) (*Store, *Server, *httptest.Server, *obs.Registry) {
+func newStreamServer(t *testing.T, n int, opts ServerOptions) (*LocalStore, *Server, *httptest.Server, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	opts.Registry = reg
-	store := NewStore(testTasks(n))
+	store := NewLocalStore(testTasks(n))
 	server := NewServerWithOptions(store, opts)
 	ts := httptest.NewServer(server)
 	t.Cleanup(func() {
@@ -41,7 +41,7 @@ func newStreamServer(t *testing.T, n int, opts ServerOptions) (*Store, *Server, 
 // anyone calling /v1/aggregate.
 func TestWatchReceivesUpdateAfterSubmit(t *testing.T) {
 	_, _, ts, _ := newStreamServer(t, 3, ServerOptions{})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
@@ -68,7 +68,7 @@ func TestWatchReceivesUpdateAfterSubmit(t *testing.T) {
 // stream too, and only the acknowledged subset of a mixed batch counts.
 func TestWatchReceivesUpdateAfterBatch(t *testing.T) {
 	_, _, ts, _ := newStreamServer(t, 4, ServerOptions{})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
@@ -108,7 +108,7 @@ func TestWatchReceivesUpdateAfterBatch(t *testing.T) {
 // the underlying Flusher was unreachable and every streaming response
 // buffered until the handler returned.
 func TestFlusherReachableBehindInstrumentedMux(t *testing.T) {
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	server := NewServerWithOptions(store, ServerOptions{Registry: obs.NewRegistry()})
 	defer server.Close()
 
@@ -159,7 +159,7 @@ func TestFlusherReachableBehindInstrumentedMux(t *testing.T) {
 // routes still get the deadline attached to their context.
 func TestWatchOutlivesRequestTimeout(t *testing.T) {
 	reg := obs.NewRegistry()
-	store := NewStore(testTasks(2))
+	store := NewLocalStore(testTasks(2))
 	server := NewServerWithOptions(store, ServerOptions{
 		Registry: reg,
 		Limits:   ServerLimits{RequestTimeout: 50 * time.Millisecond},
@@ -187,7 +187,7 @@ func TestWatchOutlivesRequestTimeout(t *testing.T) {
 		t.Fatal("normal route lost its request deadline")
 	}
 
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	w, err := client.Watch(ctx, WatchOptions{})
@@ -290,7 +290,7 @@ func (l smallWriteBufListener) Accept() (net.Conn, error) {
 // and record dropped (coalesced) updates for the slow one.
 func TestStreamSlowSubscriberOverHTTP(t *testing.T) {
 	reg := obs.NewRegistry()
-	store := NewStore(testTasks(1))
+	store := NewLocalStore(testTasks(1))
 	server := NewServerWithOptions(store, ServerOptions{
 		Registry: reg,
 		Stream:   StreamConfig{Epsilon: 1e-12, WriteWindow: 500 * time.Millisecond},
@@ -301,7 +301,7 @@ func TestStreamSlowSubscriberOverHTTP(t *testing.T) {
 	ts.Start()
 	defer ts.Close()
 
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
@@ -368,7 +368,7 @@ func TestStreamSlowSubscriberOverHTTP(t *testing.T) {
 // it has already seen when nothing changed.
 func TestWatchResume(t *testing.T) {
 	_, server, ts, _ := newStreamServer(t, 4, ServerOptions{})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
@@ -417,7 +417,7 @@ func TestWatchMaxSubscribers(t *testing.T) {
 	_, _, ts, reg := newStreamServer(t, 1, ServerOptions{
 		Stream: StreamConfig{MaxSubscribers: 1},
 	})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
@@ -476,7 +476,7 @@ func TestStreamSubscriberChurnNoLeak(t *testing.T) {
 // closed client connection must terminate its handler goroutine.
 func TestWatchHTTPChurnNoLeak(t *testing.T) {
 	_, _, ts, reg := newStreamServer(t, 2, ServerOptions{})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 
 	warm, cancelWarm := context.WithCancel(context.Background())
 	w, err := client.Watch(warm, WatchOptions{})
@@ -550,7 +550,7 @@ func TestWatchReconnectResumes(t *testing.T) {
 // /v1/metrics endpoint.
 func TestStreamMetricsExposed(t *testing.T) {
 	_, _, ts, _ := newStreamServer(t, 1, ServerOptions{})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
@@ -586,8 +586,8 @@ func TestStreamMetricsExposed(t *testing.T) {
 // (or hub) existed — e.g. recovered from a WAL — appear on the stream as
 // the initial snapshot.
 func TestStreamSeedsFromExistingData(t *testing.T) {
-	store := NewStore(testTasks(2))
-	if err := store.Submit("ana", 1, -42, at(0)); err != nil {
+	store := NewLocalStore(testTasks(2))
+	if err := store.Submit(context.Background(), "ana", 1, -42, at(0)); err != nil {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
@@ -598,7 +598,7 @@ func TestStreamSeedsFromExistingData(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	w, err := NewClient(ts.URL, nil).Watch(ctx, WatchOptions{})
+	w, err := NewClient(ts.URL).Watch(ctx, WatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -680,7 +680,7 @@ func TestInvalidStreamOnlineConfigFallsBack(t *testing.T) {
 	_, _, ts, _ := newStreamServer(t, 2, ServerOptions{
 		Stream: StreamConfig{Online: truth.OnlineConfig{Decay: 2}},
 	})
-	client := NewClient(ts.URL, nil)
+	client := NewClient(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
