@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard
+.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard replication
 
 build:
 	$(GO) build ./...
@@ -54,7 +54,16 @@ stream:
 shard:
 	$(GO) test -race -run 'Ring|Shard|Router|Remote|Readyz|StoreSuite|WireCode|APISnapshot|ExportedAPI|ChaosSharded' ./internal/platform/...
 
-verify: build fmt vet test race recovery chaos stream shard
+# Replication-and-failover suite under the race detector: WAL frame
+# shipping (idempotent replay, sequence gaps, CRC refusal, epoch rules),
+# semi-sync ack redundancy, follower catch-up from the WAL tail, the
+# router's failover poller (jittered probes, promotion, demotion of a
+# returning stale primary), read fallback to followers, the typed
+# unimplemented wire code, and the replicated primary-kill chaos campaign.
+replication:
+	$(GO) test -race -run 'Repl|Failover|Follower|SemiSync|Promotion|Unimplemented|Flapping|ChaosReplicated' ./internal/platform/...
+
+verify: build fmt vet test race recovery chaos stream shard replication
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).

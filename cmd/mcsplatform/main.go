@@ -31,6 +31,15 @@
 // is exempt from -timeout and -request-timeout; reconnecting clients
 // resume via the SSE Last-Event-ID.
 //
+// Replication: with -followers the node is a replica-group primary — every
+// durable WAL record is shipped (sequence-numbered, CRC-carrying,
+// idempotent on replay) to each follower over POST /v1/repl/frames; with
+// -follower-of the node starts as a follower, applying shipped frames and
+// rejecting client writes with 503 not_primary until promoted via
+// POST /v1/repl/role. -repl-ack async acknowledges writes after the local
+// fsync; semisync withholds the ack until at least one follower confirmed
+// durability. Both require -data-dir.
+//
 // Overload protection: every /v1 route passes a weighted-concurrency
 // admission gate (-max-concurrent, -max-queue, -queue-timeout) and carries
 // a propagated deadline (-request-timeout); mutating routes are optionally
@@ -52,6 +61,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,6 +88,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-account token-bucket rate limit in requests/sec for mutating routes (0 disables)")
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst size (0 = ceil(rate))")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM before forcing shutdown")
+	followers := flag.String("followers", "", "comma-separated follower base URLs to ship the WAL to (makes this node a replica-group primary; requires -data-dir)")
+	followerOf := flag.String("follower-of", "", "primary base URL this node replicates from (starts as a follower: writes answer 503 not_primary until promoted; requires -data-dir)")
+	replAck := flag.String("repl-ack", "async", "replication ack mode: async (ack after local fsync) or semisync (ack only once >=1 follower confirmed durability)")
 	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber pending-update buffer on GET /v1/truths:watch; coalesced latest-wins per task (0 = one slot per task)")
 	watchMaxSubs := flag.Int("watch-max-subscribers", 4096, "concurrent watch subscribers before new ones are shed with 503 (negative = unlimited)")
 	watchTick := flag.Duration("watch-tick", 0, "evolving-truth round interval for the watch stream: older reports decay each round (0 disables decay)")
@@ -123,6 +136,36 @@ func main() {
 		store.SetMaxAccounts(*maxAccounts)
 	}
 
+	var repl *platform.Replication
+	if *followers != "" || *followerOf != "" {
+		if durability == nil {
+			fmt.Fprintln(os.Stderr, "mcsplatform: replication (-followers / -follower-of) requires -data-dir")
+			os.Exit(2)
+		}
+		var followerList []string
+		for _, f := range strings.Split(*followers, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				followerList = append(followerList, f)
+			}
+		}
+		mode := platform.AckMode(*replAck)
+		if mode != platform.AckAsync && mode != platform.AckSemiSync {
+			fmt.Fprintf(os.Stderr, "mcsplatform: -repl-ack must be async or semisync, got %q\n", *replAck)
+			os.Exit(2)
+		}
+		repl = platform.NewReplication(store, durability, platform.ReplicationOptions{
+			Mode:       mode,
+			Followers:  followerList,
+			FollowerOf: *followerOf,
+			Logger:     logger,
+		})
+		if *followerOf != "" {
+			logger.Printf("replication: follower of %s (writes rejected until promoted)", *followerOf)
+		} else {
+			logger.Printf("replication: primary shipping to %d follower(s), ack mode %s", len(followerList), mode)
+		}
+	}
+
 	apiServer := platform.NewServerWithOptions(store, platform.ServerOptions{
 		Logger: logger,
 		Limits: platform.ServerLimits{
@@ -141,6 +184,11 @@ func main() {
 			MaxSubscribers: *watchMaxSubs,
 			TickEvery:      *watchTick,
 		},
+		Replication: repl,
+		// A follower's state advances by replicated frames, not client
+		// acks, so its watch stream would sit silent; watchers belong on
+		// the router or the primary.
+		DisableWatch: *followerOf != "",
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", apiServer)
@@ -212,6 +260,9 @@ func main() {
 		<-errCh // wait for the serve goroutine to exit
 	}
 	apiServer.Close() // disconnect watch subscribers, stop the stream hub
+	if repl != nil {
+		repl.Close() // stop shippers before the final snapshot
+	}
 	closeDurability()
 	os.Exit(exitCode)
 }

@@ -21,6 +21,20 @@
 // load balancer) at any time, and the ring depends only on the -shards
 // list order, which must therefore be identical across router replicas
 // and restarts.
+//
+// Replication: each -shards entry may be a replica group, members
+// separated by '|' (first listed = initial primary):
+//
+//	mcsrouter -shards 'http://a1|http://a2,http://b1|http://b2'
+//
+// The ring spans groups, writes go to each group's current primary, and
+// reads fall back to followers when the primary is unreachable. A
+// background poller probes every replica on a jittered -probe-interval;
+// when a primary stays dead past -dead-interval the freshest reachable
+// follower is promoted (at a higher replication epoch) and writes resume
+// there. A returning old primary is demoted and catches up from the new
+// primary's WAL. GET /readyz lists every replica with its role and probe
+// age.
 package main
 
 import (
@@ -43,7 +57,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	shardList := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines the ring; keep it stable)")
+	shardList := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines the ring; keep it stable). Replica groups separate members with '|': primary|follower[,...]")
+	probeInterval := flag.Duration("probe-interval", time.Second, "mean interval between health probes of each replica (per-replica jittered; replicated fleets)")
+	deadInterval := flag.Duration("dead-interval", 0, "how long a primary must stay unreachable before a follower is promoted (0 = 3x -probe-interval)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default 128)")
 	retries := flag.Int("retries", 2, "per-shard request retries (connection errors, 5xx, shed 429s)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff before the first shard retry (doubles per attempt)")
@@ -64,25 +80,39 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "mcsrouter ", log.LstdFlags)
-	var endpoints []string
-	for _, e := range strings.Split(*shardList, ",") {
-		if e = strings.TrimSpace(e); e != "" {
-			endpoints = append(endpoints, e)
-		}
-	}
-	if len(endpoints) == 0 {
-		fmt.Fprintln(os.Stderr, "mcsrouter: -shards must list at least one shard URL")
-		os.Exit(2)
-	}
-
-	backends := make([]platform.Store, len(endpoints))
-	for i, e := range endpoints {
+	newBackend := func(e string) platform.Store {
 		client := platform.NewClient(e,
 			platform.WithHTTPClient(&http.Client{Timeout: *shardTimeout}),
 			platform.WithRetries(*retries),
 			platform.WithBackoff(*retryBase, 0),
 		)
-		backends[i] = platform.NewRemoteStore(client)
+		return platform.NewRemoteStore(client)
+	}
+	var configs []shard.GroupConfig
+	replicated := false
+	for _, grp := range strings.Split(*shardList, ",") {
+		if grp = strings.TrimSpace(grp); grp == "" {
+			continue
+		}
+		var gc shard.GroupConfig
+		for _, e := range strings.Split(grp, "|") {
+			if e = strings.TrimSpace(e); e == "" {
+				continue
+			}
+			gc.Replicas = append(gc.Replicas, newBackend(e))
+			gc.Addrs = append(gc.Addrs, e)
+		}
+		if len(gc.Replicas) == 0 {
+			continue
+		}
+		if len(gc.Replicas) > 1 {
+			replicated = true
+		}
+		configs = append(configs, gc)
+	}
+	if len(configs) == 0 {
+		fmt.Fprintln(os.Stderr, "mcsrouter: -shards must list at least one shard URL")
+		os.Exit(2)
 	}
 
 	// The ring needs the fleet's task list; wait (bounded) for at least
@@ -93,7 +123,7 @@ func main() {
 	var store *shard.Store
 	for {
 		var err error
-		store, err = shard.New(startupCtx, backends, shard.Options{VirtualNodes: *vnodes, Addrs: endpoints})
+		store, err = shard.NewReplicated(startupCtx, configs, shard.Options{VirtualNodes: *vnodes})
 		if err == nil {
 			break
 		}
@@ -104,6 +134,19 @@ func main() {
 		case <-time.After(500 * time.Millisecond):
 			logger.Printf("waiting for shards: %v", err)
 		}
+	}
+	var poller *shard.FailoverPoller
+	if replicated {
+		poller = store.StartFailover(shard.FailoverOptions{
+			ProbeInterval: *probeInterval,
+			DeadInterval:  *deadInterval,
+			Logger:        logger,
+		})
+		dead := *deadInterval
+		if dead <= 0 {
+			dead = 3 * *probeInterval
+		}
+		logger.Printf("failover poller running (probe %v, dead after %v)", *probeInterval, dead)
 	}
 
 	apiServer := platform.NewServerWithOptions(store, platform.ServerOptions{
@@ -173,6 +216,9 @@ func main() {
 			exitCode = 1
 		}
 		<-errCh
+	}
+	if poller != nil {
+		poller.Stop()
 	}
 	apiServer.Close()
 	os.Exit(exitCode)

@@ -386,6 +386,31 @@ func (c *Client) Ready(ctx context.Context) (ReadyzResponse, error) {
 	return out, nil
 }
 
+// ReplShip pushes WAL frames (or a snapshot) to a replica follower and
+// returns its durable cursor. Primaries use it; it is exported so tests
+// and operational tooling can drive the protocol directly.
+func (c *Client) ReplShip(ctx context.Context, req ReplShipRequest) (ReplShipResponse, error) {
+	var out ReplShipResponse
+	err := c.do(ctx, http.MethodPost, "/v1/repl/frames", req, &out)
+	return out, err
+}
+
+// ReplStatus reads a node's replication state (role, epoch, durable
+// sequence number, follower cursors).
+func (c *Client) ReplStatus(ctx context.Context) (ReplStatusResponse, error) {
+	var out ReplStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/repl/status", nil, &out)
+	return out, err
+}
+
+// ReplSetRole flips a node's replica role — the router's failover lever.
+// The response is the node's post-flip status.
+func (c *Client) ReplSetRole(ctx context.Context, req ReplRoleRequest) (ReplStatusResponse, error) {
+	var out ReplStatusResponse
+	err := c.do(ctx, http.MethodPost, "/v1/repl/role", req, &out)
+	return out, err
+}
+
 // attemptResult classifies one request attempt for the retry loop and the
 // circuit breaker.
 type attemptResult struct {
@@ -481,6 +506,10 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, payload
 		apiErr := decodeAPIError(resp)
 		res := attemptResult{err: apiErr, retryAfter: retryAfter}
 		switch {
+		case resp.StatusCode == http.StatusNotImplemented:
+			// A deliberate "this node does not serve that" answer
+			// (unimplemented wire code): the server is alive and the answer
+			// will not change, so neither retry nor breaker penalty.
 		case resp.StatusCode >= 500:
 			res.retryable = true
 			res.transportFailure = true

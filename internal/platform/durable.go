@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"log"
 	"os"
 	"path/filepath"
@@ -47,10 +48,14 @@ type walRecord struct {
 // snapshotFile is the envelope written to snapshot.json: the campaign in
 // the stable mcs JSON schema plus the WAL sequence number it covers, so
 // recovery can skip WAL records the snapshot already contains (the
-// crash-between-snapshot-and-WAL-reset window).
+// crash-between-snapshot-and-WAL-reset window). Epoch is the replication
+// epoch the node last belonged to; it rides in the envelope rather than
+// in WAL records so a follower's sequence numbers stay byte-identical to
+// the primary's (see repl.go for the epoch rules).
 type snapshotFile struct {
 	Version int             `json:"version"`
 	Seq     uint64          `json:"seq"`
+	Epoch   uint64          `json:"epoch,omitempty"`
 	Dataset json.RawMessage `json:"dataset"`
 }
 
@@ -126,12 +131,27 @@ type Durability struct {
 	reg           *obs.Registry
 	log           *log.Logger
 	closed        bool
+
+	// Replication bookkeeping (all guarded by the store mutex like seq).
+	// epoch is the replication epoch persisted in the snapshot envelope;
+	// walSeq0 is the sequence number of the first frame currently in the
+	// WAL file and walOffsets[i] its frame's byte offset for seq
+	// walSeq0+i, so a follower catching up by sequence range costs one
+	// index lookup + one ranged read instead of a full-file scan. repl is
+	// the attached replication manager (nil on an unreplicated node); it
+	// is set once by NewReplication before the store is shared.
+	epoch      uint64
+	walSeq0    uint64
+	walOffsets []int64
+	repl       *Replication
 }
 
-// commitToken identifies a journaled-but-possibly-unsynced mutation. The
-// store holds it across the lock release and redeems it with waitDurable
-// before acknowledging. The zero token means "already durable" (inline
-// fsync mode, or no journal at all).
+// commitToken identifies a journaled mutation. The store holds it across
+// the lock release and redeems it with waitDurable before acknowledging.
+// wait marks a group-commit token whose fsync is still pending; an
+// inline-fsync token is already durable but still carries its sequence
+// number so the replication layer can gate a semi-sync ack on it. The
+// zero token means "nothing journaled" (no journal at all).
 type commitToken struct {
 	seq  uint64
 	wait bool
@@ -276,7 +296,7 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore
 	_ = fsys.Remove(filepath.Join(dir, snapshotTempName))
 
 	store := NewLocalStore(tasks)
-	var seq uint64
+	var seq, epoch uint64
 	snapPath := filepath.Join(dir, snapshotFileName)
 	if _, err := fsys.Stat(snapPath); err == nil {
 		snap, ds, err := readSnapshot(fsys, snapPath)
@@ -285,6 +305,7 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore
 		}
 		store = storeFromDataset(ds)
 		seq = snap.Seq
+		epoch = snap.Epoch
 		stats.SnapshotLoaded = true
 		stats.SnapshotSeq = snap.Seq
 	}
@@ -299,6 +320,8 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore
 		stats.CorruptReason = scan.Corrupt.Error()
 	}
 
+	kept := len(scan.Records)
+	var firstWALSeq uint64
 	for i, payload := range scan.Records {
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
@@ -311,7 +334,11 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore
 			stats.BytesTruncated += scan.Valid - scan.Offsets[i]
 			stats.WALRecords = i
 			stats.CorruptReason = fmt.Sprintf("record %d undecodable: %v", i, err)
+			kept = i
 			break
+		}
+		if i == 0 {
+			firstWALSeq = rec.Seq
 		}
 		if rec.Seq <= seq {
 			stats.RecordsSkipped++ // snapshot already covers it
@@ -331,9 +358,18 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore
 		w:             w,
 		store:         store,
 		seq:           seq,
+		epoch:         epoch,
 		snapshotEvery: opts.SnapshotEvery,
 		reg:           reg,
 		log:           opts.Logger,
+	}
+	// Rebuild the seq → byte-offset index over the surviving WAL frames so
+	// replication can serve catch-up ranges without rescanning the file.
+	if kept > 0 {
+		d.walSeq0 = firstWALSeq
+		d.walOffsets = append([]int64(nil), scan.Offsets[:kept]...)
+	} else {
+		d.walSeq0 = seq + 1
 	}
 	if opts.CommitLinger > 0 {
 		d.gc = newGroupCommit(opts.CommitLinger, opts.CommitMaxBatch)
@@ -398,6 +434,13 @@ func storeFromDataset(ds *mcs.Dataset) *LocalStore {
 func (s *LocalStore) replayRecord(rec walRecord) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.replayRecordLocked(rec)
+}
+
+// replayRecordLocked is replayRecord with the store mutex already held —
+// the follower apply path journals and replays a shipped frame under one
+// critical section.
+func (s *LocalStore) replayRecordLocked(rec walRecord) bool {
 	switch rec.Op {
 	case opSubmit:
 		if rec.Account == "" || rec.Task < 0 || rec.Task >= len(s.tasks) || !isFinite(rec.Value) {
@@ -447,6 +490,7 @@ func (d *Durability) appendLocked(rec walRecord) (commitToken, error) {
 		return commitToken{}, fmt.Errorf("%w: encode: %v", ErrDurability, err)
 	}
 	sw := d.reg.Timer("wal.append_seconds").Start()
+	off := d.w.Size()
 	err = d.w.Append(payload)
 	sw.Stop()
 	if err != nil {
@@ -456,6 +500,7 @@ func (d *Durability) appendLocked(rec walRecord) (commitToken, error) {
 	// The frame is on the log from here (even if the fsync may later fail
 	// it can survive), so the sequence number is consumed either way.
 	d.seq++
+	d.walOffsets = append(d.walOffsets, off)
 	if d.gc != nil {
 		d.noteAppendedLocked(1)
 		return commitToken{seq: d.seq, wait: true}, nil
@@ -470,7 +515,8 @@ func (d *Durability) appendLocked(rec walRecord) (commitToken, error) {
 	d.sinceSnapshot++
 	d.reg.Counter("wal.records").Inc()
 	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
-	return commitToken{}, nil
+	d.notifyDurable()
+	return commitToken{seq: d.seq}, nil
 }
 
 // appendBatchLocked journals several mutations as one buffered WAL write.
@@ -496,6 +542,7 @@ func (d *Durability) appendBatchLocked(recs []walRecord) (commitToken, error) {
 		payloads[i] = p
 	}
 	sw := d.reg.Timer("wal.append_seconds").Start()
+	off := d.w.Size()
 	err := d.w.AppendBatch(payloads)
 	sw.Stop()
 	if err != nil {
@@ -503,6 +550,10 @@ func (d *Durability) appendBatchLocked(recs []walRecord) (commitToken, error) {
 		return commitToken{}, fmt.Errorf("%w: append batch: %v", ErrDurability, err)
 	}
 	d.seq += uint64(len(recs))
+	for _, p := range payloads {
+		d.walOffsets = append(d.walOffsets, off)
+		off += wal.HeaderSize + int64(len(p))
+	}
 	d.reg.Histogram("wal.batch_size").Observe(float64(len(recs)))
 	if d.gc != nil {
 		d.noteAppendedLocked(len(recs))
@@ -518,7 +569,8 @@ func (d *Durability) appendBatchLocked(recs []walRecord) (commitToken, error) {
 	d.sinceSnapshot += len(recs)
 	d.reg.Counter("wal.records").Add(int64(len(recs)))
 	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
-	return commitToken{}, nil
+	d.notifyDurable()
+	return commitToken{seq: d.seq}, nil
 }
 
 // noteAppendedLocked publishes the latest buffered sequence number to the
@@ -551,6 +603,7 @@ func (d *Durability) waitDurable(tok commitToken) error {
 		d.reg.Counter("wal.append_errors").Inc()
 		return fmt.Errorf("%w: group fsync: %v", ErrDurability, err)
 	}
+	d.notifyDurable()
 	return nil
 }
 
@@ -593,7 +646,7 @@ func (d *Durability) snapshotLocked() error {
 	if err := d.store.datasetLocked().EncodeJSON(&buf); err != nil {
 		return fmt.Errorf("encode dataset: %w", err)
 	}
-	env, err := json.Marshal(snapshotFile{Version: snapshotVersion, Seq: d.seq, Dataset: buf.Bytes()})
+	env, err := json.Marshal(snapshotFile{Version: snapshotVersion, Seq: d.seq, Epoch: d.epoch, Dataset: buf.Bytes()})
 	if err != nil {
 		return fmt.Errorf("encode snapshot: %w", err)
 	}
@@ -620,6 +673,8 @@ func (d *Durability) snapshotLocked() error {
 		return fmt.Errorf("wal reset: %w", err)
 	}
 	d.sinceSnapshot = 0
+	d.walSeq0 = d.seq + 1
+	d.walOffsets = d.walOffsets[:0]
 	if d.gc != nil {
 		// The snapshot holds the full state through d.seq on stable
 		// storage, so every record appended so far is durable — release
@@ -628,7 +683,8 @@ func (d *Durability) snapshotLocked() error {
 	}
 	d.reg.Counter("wal.snapshots").Inc()
 	d.reg.Gauge("wal.size_bytes").Set(0)
-	d.logf("durability: snapshot written (seq %d)", d.seq)
+	d.logf("durability: snapshot written (seq %d, epoch %d)", d.seq, d.epoch)
+	d.notifyDurable()
 	return nil
 }
 
@@ -686,4 +742,179 @@ func (d *Durability) logf(format string, args ...any) {
 	if d.log != nil {
 		d.log.Printf(format, args...)
 	}
+}
+
+// --- Replication hooks -------------------------------------------------
+//
+// The replication manager (repl.go) rides on the durability layer: the
+// primary exports durable WAL frames by sequence range, followers append
+// primary-assigned frames verbatim, and the epoch that scopes a replica
+// group's history is persisted in the snapshot envelope.
+
+// notifyDurable pokes the replication shippers after durable progress
+// (inline fsync, settled group commit, or snapshot). Cheap and
+// non-blocking; safe with or without the store mutex held.
+func (d *Durability) notifyDurable() {
+	if d.repl != nil {
+		d.repl.pokeShippers()
+	}
+}
+
+// durableSeq returns the highest sequence number known durable.
+func (d *Durability) durableSeq() uint64 {
+	if d.gc != nil {
+		d.gc.mu.Lock()
+		defer d.gc.mu.Unlock()
+		return d.gc.synced
+	}
+	d.store.mu.RLock()
+	defer d.store.mu.RUnlock()
+	return d.seq
+}
+
+// durableSeqLocked is durableSeq with the store mutex already held.
+func (d *Durability) durableSeqLocked() uint64 {
+	if d.gc != nil {
+		d.gc.mu.Lock()
+		defer d.gc.mu.Unlock()
+		return d.gc.synced
+	}
+	return d.seq
+}
+
+// Epoch returns the node's persisted replication epoch.
+func (d *Durability) Epoch() uint64 {
+	d.store.mu.RLock()
+	defer d.store.mu.RUnlock()
+	return d.epoch
+}
+
+// persistEpoch records a new replication epoch and makes it durable by
+// writing a snapshot (epochs change only on promotion/reset, so the
+// full-snapshot cost is paid rarely and buys an always-consistent
+// {state, seq, epoch} triple on disk).
+func (d *Durability) persistEpoch(epoch uint64) error {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	if d.epoch == epoch {
+		return nil
+	}
+	d.epoch = epoch
+	return d.snapshotLocked()
+}
+
+// framesSince exports the durable WAL frames in (from, from+max],
+// CRC-stamped for the wire. The bool result reports that from precedes
+// the WAL's first frame (compacted into a snapshot): the caller must ship
+// a snapshot reset instead of frames.
+func (d *Durability) framesSince(from uint64, max int) ([]ReplFrame, bool, error) {
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if d.closed {
+		return nil, false, fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	return d.framesSinceLocked(from, max)
+}
+
+func (d *Durability) framesSinceLocked(from uint64, max int) ([]ReplFrame, bool, error) {
+	durable := d.durableSeqLocked()
+	if from >= durable {
+		return nil, false, nil
+	}
+	if from+1 < d.walSeq0 {
+		return nil, true, nil // the range was compacted away: snapshot time
+	}
+	hi := durable
+	if max > 0 && hi-from > uint64(max) {
+		hi = from + uint64(max)
+	}
+	startIdx := int(from + 1 - d.walSeq0)
+	if startIdx >= len(d.walOffsets) {
+		return nil, false, fmt.Errorf("%w: wal offset index missing seq %d", ErrDurability, from+1)
+	}
+	res, err := wal.ReadFrom(d.fs, filepath.Join(d.dir, walFileName), d.walOffsets[startIdx])
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: export frames: %v", ErrDurability, err)
+	}
+	n := int(hi - from)
+	if len(res.Records) < n {
+		n = len(res.Records)
+	}
+	frames := make([]ReplFrame, n)
+	for i := 0; i < n; i++ {
+		frames[i] = ReplFrame{
+			Seq:     from + 1 + uint64(i),
+			CRC:     crc32.ChecksumIEEE(res.Records[i]),
+			Payload: res.Records[i],
+		}
+	}
+	return frames, false, nil
+}
+
+// adoptSnapshotLocked rewinds the durability layer onto a shipped
+// snapshot's {seq, epoch} and persists the adopted state (the caller has
+// already replaced the in-memory store). The group-commit marks are
+// forced to the new seq — which may be LOWER than before on a diverged
+// rejoiner — so the follower's durable high-water mark tracks the adopted
+// history, not the abandoned one. Caller holds the store mutex.
+func (d *Durability) adoptSnapshotLocked(seq, epoch uint64) error {
+	d.seq = seq
+	d.epoch = epoch
+	if d.gc != nil {
+		d.gc.mu.Lock()
+		d.gc.synced = seq
+		d.gc.appended = seq
+		d.gc.cond.Broadcast()
+		d.gc.mu.Unlock()
+	}
+	return d.snapshotLocked()
+}
+
+// appendReplicatedLocked journals primary-assigned frames on a follower:
+// the payloads are written verbatim (keeping the follower's WAL
+// byte-identical to the primary's for the shipped range) and fsynced
+// before the method returns, because the follower's ack is what lets a
+// semi-sync primary acknowledge its client. Caller holds the store mutex
+// and has verified CRCs and seq contiguity from d.seq+1.
+func (d *Durability) appendReplicatedLocked(frames []ReplFrame) error {
+	if d.closed {
+		return fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(frames))
+	offs := make([]int64, len(frames))
+	off := d.w.Size()
+	for i, f := range frames {
+		payloads[i] = f.Payload
+		offs[i] = off
+		off += wal.HeaderSize + int64(len(f.Payload))
+	}
+	sw := d.reg.Timer("wal.append_seconds").Start()
+	err := d.w.AppendBatch(payloads)
+	sw.Stop()
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return fmt.Errorf("%w: replicated append: %v", ErrDurability, err)
+	}
+	fw := d.reg.Timer("wal.fsync_seconds").Start()
+	err = d.w.Sync()
+	fw.Stop()
+	if err != nil {
+		d.reg.Counter("wal.append_errors").Inc()
+		return fmt.Errorf("%w: replicated fsync: %v", ErrDurability, err)
+	}
+	d.seq = frames[len(frames)-1].Seq
+	d.walOffsets = append(d.walOffsets, offs...)
+	d.sinceSnapshot += len(frames)
+	d.reg.Counter("wal.records").Add(int64(len(frames)))
+	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
+	if d.gc != nil {
+		d.gc.markDurable(d.seq)
+	}
+	return nil
 }

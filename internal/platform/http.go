@@ -159,7 +159,17 @@ const (
 	// CodeShardUnavailable marks a sharded platform unable to reach the
 	// shard(s) an operation needs; retryable like overloaded.
 	CodeShardUnavailable = "shard_unavailable"
-	CodeInternal         = "internal"
+	// CodeNotPrimary marks a write sent to a replica-group follower; the
+	// caller must target the group's primary. 503 so a router-level retry
+	// (after refreshing its primary view) can heal it.
+	CodeNotPrimary = "not_primary"
+	// CodeReplicaLag marks a replication guarantee miss: a semi-sync ack
+	// timed out, or a follower read exceeded its staleness bound. 503.
+	CodeReplicaLag = "replica_lag"
+	// CodeUnimplemented marks an endpoint this node knowingly does not
+	// serve (HTTP 501). NOT retryable: the answer will not change.
+	CodeUnimplemented = "unimplemented"
+	CodeInternal      = "internal"
 )
 
 // codeForError maps a store/server error onto its wire code and HTTP
@@ -189,6 +199,14 @@ func codeForError(err error) (code string, status int) {
 		// unreachable; the client's bounded retry may land after the shard
 		// recovers or the partition heals.
 		return CodeShardUnavailable, http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotPrimary):
+		// 503: the router refreshes its primary view and retries against
+		// the promoted replica.
+		return CodeNotPrimary, http.StatusServiceUnavailable
+	case errors.Is(err, ErrReplicaLag):
+		return CodeReplicaLag, http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnimplemented):
+		return CodeUnimplemented, http.StatusNotImplemented
 	case errors.Is(err, ErrDurability):
 		// 503, not 500: the request was valid and the client's bounded
 		// retry may land after the disk recovers.
@@ -230,6 +248,12 @@ func sentinelForCode(code string) error {
 		return ErrOverloaded
 	case CodeShardUnavailable:
 		return ErrShardUnavailable
+	case CodeNotPrimary:
+		return ErrNotPrimary
+	case CodeReplicaLag:
+		return ErrReplicaLag
+	case CodeUnimplemented:
+		return ErrUnimplemented
 	default:
 		return nil
 	}
@@ -260,6 +284,7 @@ type Server struct {
 	gate     *gate           // nil when MaxConcurrent == 0
 	limiter  *accountLimiter // nil when RatePerSec == 0
 	hub      *StreamHub      // truth-watch fan-out (always present)
+	repl     *Replication    // nil on an unreplicated node
 	draining atomic.Bool
 
 	shedOverload *obs.Counter
@@ -285,6 +310,16 @@ type ServerOptions struct {
 	// value enables streaming with defaults (per-task subscriber buffers,
 	// 4096 subscribers, 15s heartbeat).
 	Stream StreamConfig
+	// Replication, when non-nil, serves the /v1/repl endpoints (frame
+	// shipping, status, role flips) against the node's replication
+	// manager. Without it those endpoints answer 501 unimplemented.
+	Replication *Replication
+	// DisableWatch turns GET /v1/truths:watch into a typed 501
+	// unimplemented response instead of a live stream. Replica followers
+	// set this: their state advances by replicated frames, not client
+	// acks, so a follower stream would sit silent and then lie after a
+	// promotion. Watchers belong on the router or the primary.
+	DisableWatch bool
 }
 
 // NewServer wires the HTTP handlers against the process-wide metrics
@@ -325,6 +360,7 @@ func NewServerWithOptions(store Store, opts ServerOptions) *Server {
 		mux:    http.NewServeMux(),
 		log:    opts.Logger,
 		reg:    reg,
+		repl:   opts.Replication,
 		limits: opts.Limits.withDefaults(),
 
 		shedOverload: reg.Counter("http.shed.overload"),
@@ -393,7 +429,27 @@ func NewServerWithOptions(store Store, opts ServerOptions) *Server {
 	// histogram (an hours-long "request" would drag percentiles into
 	// fiction). Fan-out safety comes from the hub's own subscriber cap and
 	// per-subscriber bounded buffers instead.
-	s.handleStream("GET /v1/truths:watch", s.handleWatch)
+	if opts.DisableWatch {
+		s.handleStream("GET /v1/truths:watch", func(w http.ResponseWriter, _ *http.Request) {
+			s.writeError(w, fmt.Errorf("%w: truth streaming is not served on this node", ErrUnimplemented))
+		})
+	} else {
+		s.handleStream("GET /v1/truths:watch", s.handleWatch)
+	}
+	// Replication plane. The routes exist on every node so a misdirected
+	// ship fails with a typed 501 instead of a bare 404; the gate is
+	// bypassed (weightDeferred) — replication traffic must flow precisely
+	// when client load has the gate saturated, and a blocked ship turns
+	// follower lag into a second incident.
+	s.handle("POST /v1/repl/frames", weightDeferred, s.handleReplShip)
+	s.handle("POST /v1/repl/role", weightDeferred, s.handleReplRole)
+	s.mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
+	// Unknown /v1 paths answer a typed 501 unimplemented JSON body rather
+	// than the mux's bare 404, so a version-skewed client fails with a
+	// decodable coded error instead of a body-parse failure.
+	s.mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, fmt.Errorf("%w: no handler for %s %s", ErrUnimplemented, r.Method, r.URL.Path))
+	})
 	// The metrics and health endpoints themselves are not instrumented and
 	// not gated: scrapes every few seconds would dominate the request
 	// counters, and health checks must answer precisely when the gate is
@@ -678,7 +734,11 @@ func (s *Server) allowAccount(w http.ResponseWriter, account string) bool {
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	return s.decodeLimit(w, r, v, 8<<20)
+}
+
+func (s *Server) decodeLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		s.writeError(w, fmt.Errorf("%w: %v", ErrMalformedRequest, err))
@@ -915,6 +975,56 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, stats)
+}
+
+// handleReplShip serves the follower half of WAL shipping: the primary
+// POSTs sequence-numbered, CRC-carrying frames (or a full snapshot) and
+// gets back the follower's durable cursor. The body limit is wider than
+// the client-facing routes' — a snapshot ship carries a whole campaign.
+func (s *Server) handleReplShip(w http.ResponseWriter, r *http.Request) {
+	if s.repl == nil {
+		s.writeError(w, fmt.Errorf("%w: replication not configured on this node", ErrUnimplemented))
+		return
+	}
+	var req ReplShipRequest
+	if !s.decodeLimit(w, r, &req, 256<<20) {
+		return
+	}
+	resp, err := s.repl.ApplyShip(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplRole flips the node's replica role (the router's
+// promotion/demotion lever).
+func (s *Server) handleReplRole(w http.ResponseWriter, r *http.Request) {
+	if s.repl == nil {
+		s.writeError(w, fmt.Errorf("%w: replication not configured on this node", ErrUnimplemented))
+		return
+	}
+	var req ReplRoleRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.repl.SetRole(r.Context(), req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.repl.Status())
+}
+
+// handleReplStatus reports the node's replication state. Ungated like the
+// health endpoints: the router's failover poller must see role/lag
+// precisely when the node is busiest.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	if s.repl == nil {
+		s.writeError(w, fmt.Errorf("%w: replication not configured on this node", ErrUnimplemented))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.repl.Status())
 }
 
 // handleHealthz is liveness: the process is up and serving. Always 200 —

@@ -41,6 +41,11 @@ type LocalStore struct {
 	// (and before the caller sees nil). A nil journal — the default — is
 	// the original purely in-memory store. Attached by OpenDurable.
 	journal *Durability
+	// repl, when non-nil, is the node's replication manager: writes are
+	// gated on holding the primary role, reads on the follower staleness
+	// bound, and acks on the configured mode. Attached by NewReplication
+	// before the store is shared.
+	repl *Replication
 
 	// onSubmit, when set, receives every acknowledged submission (single
 	// and batch) after durability settles — the feed for the truth-watch
@@ -141,6 +146,22 @@ var (
 	// reads degrade instead (ResponseMeta.Degraded); this error is the
 	// nothing-answered case. Maps to HTTP 503.
 	ErrShardUnavailable = errors.New("platform: shard unavailable")
+	// ErrNotPrimary means the write landed on a replica-group follower.
+	// Followers never take client writes — the caller must go through the
+	// group's primary (the router refreshes its view and retries). Maps to
+	// HTTP 503.
+	ErrNotPrimary = errors.New("platform: not the primary replica")
+	// ErrReplicaLag means a replication guarantee could not be met: a
+	// semi-sync write timed out waiting for a follower ack (the record IS
+	// durable locally, so a retry may see ErrDuplicateReport — the usual
+	// ambiguous-ack contract), or a read hit a follower trailing the
+	// primary beyond its staleness bound. Maps to HTTP 503.
+	ErrReplicaLag = errors.New("platform: replica lag")
+	// ErrUnimplemented means the endpoint exists in the API surface but
+	// this node does not serve it (e.g. truth-watch streams on a replica
+	// follower). Maps to HTTP 501; the client does NOT retry — the answer
+	// will not change.
+	ErrUnimplemented = errors.New("platform: unimplemented")
 )
 
 // isFinite reports whether v is a usable measurement. NaN and ±Inf are
@@ -199,6 +220,9 @@ func (s *LocalStore) Submit(ctx context.Context, account string, task int, value
 	if !isFinite(value) {
 		return fmt.Errorf("%w: non-finite observation value %v", ErrMalformedRequest, value)
 	}
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
@@ -213,8 +237,33 @@ func (s *LocalStore) Submit(ctx context.Context, account string, task int, value
 			return err
 		}
 	}
+	if s.repl != nil {
+		// Semi-sync: the ack waits for a follower to hold the record too.
+		if err := s.repl.settle(ctx, tok); err != nil {
+			return err
+		}
+	}
 	s.notifySubmitted([]BatchSubmission{{Account: account, Task: task, Value: value, At: at}})
 	return nil
+}
+
+// writeAllowed gates client mutations by replica role: a follower never
+// takes writes directly (shipped frames arrive through the replication
+// manager, not this path).
+func (s *LocalStore) writeAllowed() error {
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.allowWrite()
+}
+
+// readAllowed gates reads by follower staleness (no-op unless a
+// MaxReadLag bound is configured).
+func (s *LocalStore) readAllowed() error {
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.allowRead()
 }
 
 // submitLocked validates, journals, and applies one submission under the
@@ -275,6 +324,12 @@ func (s *LocalStore) SubmitBatch(ctx context.Context, items []BatchSubmission) [
 	if len(items) == 0 {
 		return errs
 	}
+	if err := s.writeAllowed(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
 	if err := ctx.Err(); err != nil {
 		e := fmt.Errorf("%w: %v", ErrOverloaded, err)
 		for i := range errs {
@@ -287,6 +342,17 @@ func (s *LocalStore) SubmitBatch(ctx context.Context, items []BatchSubmission) [
 		if err := s.journal.waitDurable(tok); err != nil {
 			for _, i := range applied {
 				errs[i] = err
+			}
+		}
+	}
+	if s.repl != nil && len(applied) > 0 {
+		// One follower ack covers the whole batch (the token carries the
+		// last sequence number journaled).
+		if err := s.repl.settle(ctx, tok); err != nil {
+			for _, i := range applied {
+				if errs[i] == nil {
+					errs[i] = err
+				}
 			}
 		}
 	}
@@ -438,6 +504,9 @@ func (s *LocalStore) RecordFingerprintFeatures(ctx context.Context, account stri
 // ownership transfers to the store. Deadline semantics match Submit:
 // refuse before the journal fsync, never after.
 func (s *LocalStore) setFingerprint(ctx context.Context, account string, vec []float64) error {
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
@@ -446,7 +515,12 @@ func (s *LocalStore) setFingerprint(ctx context.Context, account string, vec []f
 		return err
 	}
 	if s.journal != nil {
-		return s.journal.waitDurable(tok)
+		if err := s.journal.waitDurable(tok); err != nil {
+			return err
+		}
+	}
+	if s.repl != nil {
+		return s.repl.settle(ctx, tok)
 	}
 	return nil
 }
@@ -489,6 +563,9 @@ func (s *LocalStore) Dataset(ctx context.Context) (*mcs.Dataset, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
+	if err := s.readAllowed(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.datasetLocked(), nil
@@ -526,6 +603,9 @@ func (s *LocalStore) NumAccounts() int {
 func (s *LocalStore) Stats(ctx context.Context) (StatsResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return StatsResponse{}, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	if err := s.readAllowed(); err != nil {
+		return StatsResponse{}, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()

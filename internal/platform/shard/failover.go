@@ -1,0 +1,465 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sybiltd/internal/obs"
+	"sybiltd/internal/platform"
+)
+
+// FailoverOptions tunes Store.StartFailover.
+type FailoverOptions struct {
+	// ProbeInterval is the mean time between health probes of one
+	// replica; <= 0 means 1s. Each replica gets its own probe goroutine
+	// with an independently jittered period so a large fleet's probes
+	// spread out instead of arriving in lockstep bursts.
+	ProbeInterval time.Duration
+	// Jitter is the probe-period spread as a fraction of ProbeInterval:
+	// each wait is drawn uniformly from [(1-Jitter), (1+Jitter)] times the
+	// interval. Negative disables jitter; the default is 0.2.
+	Jitter float64
+	// DeadInterval is how long a primary must stay unreachable before a
+	// follower is promoted in its place; <= 0 means 3x ProbeInterval.
+	// Shorter means faster failover but more spurious promotions on
+	// transient blips.
+	DeadInterval time.Duration
+	// Registry receives the repl.failovers counter; nil means
+	// obs.Default(), so the router's /metrics endpoints expose it.
+	Registry *obs.Registry
+	// Logger receives promotion/demotion diagnostics; nil disables.
+	Logger *log.Logger
+}
+
+// replicaState is the poller's cached view of one replica, refreshed by
+// its probe goroutine and read by failover decisions and /readyz.
+type replicaState struct {
+	mu        sync.Mutex
+	lastProbe time.Time // when the last probe finished (success or not)
+	lastOK    time.Time // last probe that reached the replica
+	ready     bool
+	status    string
+	errMsg    string
+	role      string
+	epoch     uint64
+	seq       uint64 // replica's durable sequence number
+}
+
+// FailoverPoller watches every replica of every group and flips a group's
+// primary when the current one stays dead past the dead interval: the
+// reachable follower with the most durable records is promoted with a
+// strictly higher epoch, and the old primary — demoted by epoch the
+// moment it answers again — rejoins as a follower and catches up from the
+// new primary's WAL. The poller also feeds /readyz from its probe cache,
+// each entry stamped with its probe age.
+type FailoverPoller struct {
+	store *Store
+	opts  FailoverOptions
+	reg   *obs.Registry
+	log   *log.Logger
+
+	states [][]*replicaState
+	start  time.Time
+
+	// promoteMu serializes failover decisions across probe goroutines so
+	// two probes observing the same dead primary cannot race two
+	// promotions with two epochs.
+	promoteMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartFailover begins background health polling and automatic primary
+// failover, and switches ShardHealth to the poller's probe cache. One
+// synchronous probe round runs before it returns, so /readyz never serves
+// an unprobed fleet. Stop the poller with its Stop method.
+func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = time.Second
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 0.2
+	}
+	if opts.Jitter < 0 {
+		opts.Jitter = 0
+	}
+	if opts.Jitter > 1 {
+		opts.Jitter = 1
+	}
+	if opts.DeadInterval <= 0 {
+		opts.DeadInterval = 3 * opts.ProbeInterval
+	}
+	p := &FailoverPoller{
+		store: s,
+		opts:  opts,
+		reg:   opts.Registry,
+		log:   opts.Logger,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	if p.reg == nil {
+		p.reg = obs.Default()
+	}
+	p.states = make([][]*replicaState, len(s.groups))
+	for gi, g := range s.groups {
+		p.states[gi] = make([]*replicaState, len(g.replicas))
+		for ri := range g.replicas {
+			p.states[gi][ri] = &replicaState{}
+		}
+	}
+	// Initial synchronous round: probe everything once in parallel so the
+	// first /readyz after startup reflects the fleet, not zero values.
+	var init sync.WaitGroup
+	for gi := range s.groups {
+		for ri := range s.groups[gi].replicas {
+			init.Add(1)
+			go func(gi, ri int) {
+				defer init.Done()
+				p.probe(gi, ri)
+			}(gi, ri)
+		}
+	}
+	init.Wait()
+
+	seed := time.Now().UnixNano()
+	for gi := range s.groups {
+		for ri := range s.groups[gi].replicas {
+			p.wg.Add(1)
+			rng := rand.New(rand.NewSource(seed + int64(gi)*1009 + int64(ri)))
+			go p.run(gi, ri, rng)
+		}
+	}
+	s.pollMu.Lock()
+	s.poller = p
+	s.pollMu.Unlock()
+	return p
+}
+
+// Stop halts the poller's probe goroutines and detaches it from the
+// store's ShardHealth (which reverts to live probes). Idempotent.
+func (p *FailoverPoller) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	p.store.pollMu.Lock()
+	if p.store.poller == p {
+		p.store.poller = nil
+	}
+	p.store.pollMu.Unlock()
+}
+
+// rpcTimeout bounds the role-change control RPCs. Unlike probes these do
+// durable work on the far side (promotion persists the new epoch with a
+// snapshot + fsync), so they get at least a second even when the probe
+// interval is tuned aggressively short.
+func (p *FailoverPoller) rpcTimeout() time.Duration {
+	if p.opts.ProbeInterval > time.Second {
+		return p.opts.ProbeInterval
+	}
+	return time.Second
+}
+
+// delay draws one jittered probe period: uniform in
+// [(1-Jitter), (1+Jitter)] x ProbeInterval.
+func (p *FailoverPoller) delay(rng *rand.Rand) time.Duration {
+	f := 1 + p.opts.Jitter*(2*rng.Float64()-1)
+	return time.Duration(float64(p.opts.ProbeInterval) * f)
+}
+
+// run is one replica's probe loop.
+func (p *FailoverPoller) run(gi, ri int, rng *rand.Rand) {
+	defer p.wg.Done()
+	timer := time.NewTimer(p.delay(rng))
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-timer.C:
+		}
+		p.probe(gi, ri)
+		p.evaluate(gi)
+		timer.Reset(p.delay(rng))
+	}
+}
+
+// probe refreshes one replica's cached state: /readyz for reachability
+// and drain status, /v1/repl/status for role, epoch, and durable cursor.
+// A node without replication configured (501 on the status route) is
+// still a healthy single-replica shard — role just stays unknown.
+func (p *FailoverPoller) probe(gi, ri int) {
+	b := p.store.groups[gi].replicas[ri]
+	st := p.states[gi][ri]
+	rc, ok := b.(replClient)
+	if !ok {
+		// An in-process backend has no probe surface; it lives and dies
+		// with the router itself.
+		st.mu.Lock()
+		st.lastProbe = time.Now()
+		st.lastOK = st.lastProbe
+		st.ready = true
+		st.status = "ready"
+		st.errMsg = ""
+		st.mu.Unlock()
+		return
+	}
+	// A probe may take up to the dead interval to answer: deadness means
+	// "no contact for DeadInterval", so cutting a slow-but-alive replica
+	// off at the probe cadence would manufacture false deaths under load
+	// spikes — and a false death is what makes failover dangerous.
+	probeTimeout := p.opts.ProbeInterval
+	if p.opts.DeadInterval > probeTimeout {
+		probeTimeout = p.opts.DeadInterval
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	rz, err := rc.Client().Ready(ctx)
+	now := time.Now()
+	if err != nil {
+		st.mu.Lock()
+		st.lastProbe = now
+		st.ready = false
+		st.status = "unreachable"
+		st.errMsg = err.Error()
+		st.mu.Unlock()
+		return
+	}
+	rs, rerr := rc.Client().ReplStatus(ctx)
+	st.mu.Lock()
+	st.lastProbe = now
+	st.lastOK = now
+	st.status = rz.Status
+	st.ready = rz.Status == "ready"
+	st.errMsg = ""
+	switch {
+	case rerr == nil && rs.Role != "":
+		st.role = rs.Role
+		st.epoch = rs.Epoch
+		st.seq = rs.DurableSeq
+	case errors.Is(rerr, platform.ErrUnimplemented):
+		// The node answers but runs no replication — typically restarted
+		// without its replication flags. Its cached role is stale, not
+		// merely unrefreshed; showing it (or demoting by it) would be
+		// acting on a fiction.
+		st.role = ""
+		st.epoch = 0
+		st.seq = 0
+	}
+	st.mu.Unlock()
+}
+
+// snapshotState reads one replica's cached probe result.
+func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
+	st := p.states[gi][ri]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return replicaState{
+		lastProbe: st.lastProbe, lastOK: st.lastOK,
+		ready: st.ready, status: st.status, errMsg: st.errMsg,
+		role: st.role, epoch: st.epoch, seq: st.seq,
+	}
+}
+
+// evaluate applies the failover state machine to group gi:
+//
+//  1. if another replica claims primary at a higher epoch than the
+//     current view, adopt it (someone else — another router, an operator —
+//     already promoted);
+//  2. while the current primary is alive, demote any other replica still
+//     claiming primary at a stale epoch (a rejoining old primary that has
+//     not yet been reached by the new primary's shipping);
+//  3. once the primary has been unreachable past the dead interval,
+//     promote the reachable follower with the newest (epoch, durable seq)
+//     at a strictly higher epoch, with every other replica (the dead
+//     primary included, for its return) as followers — but never one
+//     whose epoch is behind the dead primary's: an epoch-stale replica
+//     does not yet hold the acked data a promotion must preserve.
+func (p *FailoverPoller) evaluate(gi int) {
+	g := p.store.groups[gi]
+	if len(g.replicas) < 2 {
+		return
+	}
+	p.promoteMu.Lock()
+	defer p.promoteMu.Unlock()
+
+	cur := g.primaryIdx()
+	curSt := p.snapshotState(gi, cur)
+	lastOK := curSt.lastOK
+	if lastOK.IsZero() {
+		// Never reached since the poller started: measure the dead
+		// interval from poller start, not from the epoch zero time.
+		lastOK = p.start
+	}
+	now := time.Now()
+
+	// (1) adopt a higher-epoch primary elsewhere in the group.
+	for ri := range g.replicas {
+		if ri == cur {
+			continue
+		}
+		st := p.snapshotState(gi, ri)
+		if st.role == platform.RolePrimary && st.epoch > curSt.epoch &&
+			now.Sub(st.lastOK) <= p.opts.DeadInterval {
+			g.setPrimary(ri)
+			// An adoption is a completed failover: either another actor
+			// promoted this replica, or our own promotion RPC was applied
+			// but its ack was lost (a slow fsync on the persisted epoch can
+			// outlive the RPC timeout), in which case this is where the
+			// flip actually lands.
+			p.reg.Counter("repl.failovers").Inc()
+			p.logf("shard %d: adopting replica %d as primary (epoch %d > %d)", gi, ri, st.epoch, curSt.epoch)
+			return
+		}
+	}
+
+	if now.Sub(lastOK) <= p.opts.DeadInterval {
+		// (2) primary alive: demote stale claimants.
+		for ri := range g.replicas {
+			if ri == cur {
+				continue
+			}
+			st := p.snapshotState(gi, ri)
+			if st.role == platform.RolePrimary && st.epoch <= curSt.epoch &&
+				now.Sub(st.lastOK) <= p.opts.DeadInterval {
+				p.demote(gi, ri, curSt.epoch, g.addr(cur))
+			}
+		}
+		return
+	}
+
+	// (3) primary dead: promote the best reachable follower, ordered by
+	// (epoch, durable seq) — a higher epoch means a newer data lineage
+	// regardless of raw sequence numbers.
+	best := -1
+	var bestEpoch, bestSeq uint64
+	maxEpoch := curSt.epoch
+	for ri := range g.replicas {
+		st := p.snapshotState(gi, ri)
+		if st.epoch > maxEpoch {
+			maxEpoch = st.epoch
+		}
+		if ri == cur || st.lastOK.IsZero() || now.Sub(st.lastOK) > p.opts.DeadInterval {
+			continue
+		}
+		if best == -1 || st.epoch > bestEpoch || (st.epoch == bestEpoch && st.seq > bestSeq) {
+			best, bestEpoch, bestSeq = ri, st.epoch, st.seq
+		}
+	}
+	if best < 0 {
+		return // whole group dark; nothing to promote
+	}
+	// Epoch fence: never promote a candidate from an older lineage than
+	// the primary we are declaring dead. A rejoining stale primary sits at
+	// its old epoch until the snapshot reset lands; promoting it over the
+	// real primary would ship ITS stale snapshot back and erase acked
+	// data. It becomes promotable the moment the reset adopts the current
+	// epoch — i.e. once it actually holds the data a promotion must keep.
+	if bestEpoch < curSt.epoch {
+		p.logf("shard %d: not promoting replica %d: epoch %d behind dead primary's %d (awaiting catch-up)",
+			gi, best, bestEpoch, curSt.epoch)
+		return
+	}
+	rc, ok := g.replicas[best].(replClient)
+	if !ok {
+		return
+	}
+	newEpoch := maxEpoch + 1
+	followers := make([]string, 0, len(g.replicas)-1)
+	for ri := range g.replicas {
+		if ri != best {
+			// The dead primary's address is included on purpose: when it
+			// returns, the new primary's shipping reaches it, demotes it by
+			// epoch, and catches it up.
+			followers = append(followers, g.addr(ri))
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.rpcTimeout())
+	defer cancel()
+	resp, err := rc.Client().ReplSetRole(ctx, platform.ReplRoleRequest{
+		Role:      platform.RolePrimary,
+		Epoch:     newEpoch,
+		Followers: followers,
+	})
+	if err != nil {
+		p.logf("shard %d: promote replica %d (epoch %d) failed: %v", gi, best, newEpoch, err)
+		return
+	}
+	g.setPrimary(best)
+	st := p.states[gi][best]
+	st.mu.Lock()
+	st.role = resp.Role
+	st.epoch = resp.Epoch
+	st.lastOK = time.Now()
+	st.mu.Unlock()
+	p.reg.Counter("repl.failovers").Inc()
+	p.logf("shard %d: promoted replica %d (%s) to primary at epoch %d (dead primary was replica %d)",
+		gi, best, g.addr(best), newEpoch, cur)
+}
+
+// demote tells a stale primary claimant to step down and follow the
+// current primary.
+func (p *FailoverPoller) demote(gi, ri int, epoch uint64, primaryAddr string) {
+	g := p.store.groups[gi]
+	rc, ok := g.replicas[ri].(replClient)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.rpcTimeout())
+	defer cancel()
+	if _, err := rc.Client().ReplSetRole(ctx, platform.ReplRoleRequest{
+		Role:    platform.RoleFollower,
+		Epoch:   epoch,
+		Primary: primaryAddr,
+	}); err != nil {
+		p.logf("shard %d: demote stale primary replica %d: %v", gi, ri, err)
+		return
+	}
+	st := p.states[gi][ri]
+	st.mu.Lock()
+	st.role = platform.RoleFollower
+	st.mu.Unlock()
+	p.logf("shard %d: demoted stale primary replica %d (%s)", gi, ri, g.addr(ri))
+}
+
+// health renders the probe cache as /readyz shard entries, one per
+// replica, each stamped with its probe age so consumers can tell cached
+// state from fresh.
+func (p *FailoverPoller) health() []platform.ShardHealth {
+	now := time.Now()
+	var out []platform.ShardHealth
+	for gi, g := range p.store.groups {
+		for ri := range g.replicas {
+			st := p.snapshotState(gi, ri)
+			h := platform.ShardHealth{
+				Shard:   gi,
+				Replica: ri,
+				Addr:    g.addr(ri),
+				Ready:   st.ready,
+				Status:  st.status,
+				Error:   st.errMsg,
+				Role:    st.role,
+			}
+			if !st.lastProbe.IsZero() {
+				h.ProbeAgeMs = now.Sub(st.lastProbe).Milliseconds()
+				if h.ProbeAgeMs < 1 {
+					h.ProbeAgeMs = 1 // floor: 0 would vanish under omitempty
+				}
+			} else {
+				h.Status = "unprobed"
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (p *FailoverPoller) logf(format string, args ...any) {
+	if p.log != nil {
+		p.log.Printf("failover: "+format, args...)
+	}
+}

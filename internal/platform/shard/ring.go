@@ -75,6 +75,37 @@ func (r *Ring) Shard(key string) int {
 	return r.points[i].shard
 }
 
+// Replicas maps key to the n distinct shards that would host its replica
+// group: the owner (same as Shard) followed by the next distinct shards
+// met walking the ring clockwise, skipping virtual points of shards
+// already chosen. n is clamped to the shard count — a ring cannot place
+// two replicas of one group on the same shard, because one machine dying
+// would then take both. With replica groups layered on top (each shard
+// being a primary+followers group), this walk is how resharding with
+// replication keeps key movement minimal: adding a shard re-homes only
+// the ring segments it captures, same as the unreplicated ring.
+func (r *Ring) Replicas(key string, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.shards {
+		n = r.shards
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		out = append(out, p.shard)
+	}
+	return out
+}
+
 // hashKey is 64-bit FNV-1a finished with a splitmix64-style avalanche:
 // fast and dependency-free (this is load balancing, not authentication).
 // Raw FNV-1a clusters badly on short near-identical keys — vnode labels

@@ -63,6 +63,93 @@ func TestRingMinimalMovement(t *testing.T) {
 	}
 }
 
+// TestRingReplicasDistinctShards: the replica walk must place a key's N
+// replicas on N distinct shards — two replicas of one group sharing a
+// shard would die together — with the first replica equal to Shard(key),
+// and n above the shard count clamps rather than repeats.
+func TestRingReplicasDistinctShards(t *testing.T) {
+	r := NewRing(5, 0)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("account-%d", i)
+		for n := 1; n <= 7; n++ {
+			reps := r.Replicas(key, n)
+			want := n
+			if want > 5 {
+				want = 5 // clamped to the shard count
+			}
+			if len(reps) != want {
+				t.Fatalf("Replicas(%q, %d) returned %d shards, want %d", key, n, len(reps), want)
+			}
+			if reps[0] != r.Shard(key) {
+				t.Fatalf("Replicas(%q, %d)[0] = %d, want owner %d", key, n, reps[0], r.Shard(key))
+			}
+			seen := make(map[int]bool, len(reps))
+			for _, sh := range reps {
+				if sh < 0 || sh >= 5 {
+					t.Fatalf("Replicas(%q, %d) produced out-of-range shard %d", key, n, sh)
+				}
+				if seen[sh] {
+					t.Fatalf("Replicas(%q, %d) = %v places two replicas on shard %d", key, n, reps, sh)
+				}
+				seen[sh] = true
+			}
+		}
+	}
+	// Replicas(key, 1) must agree with Shard on every key — it is the
+	// same successor walk.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("solo-%d", i)
+		if got := r.Replicas(key, 1); len(got) != 1 || got[0] != r.Shard(key) {
+			t.Fatalf("Replicas(%q, 1) = %v, Shard = %d", key, got, r.Shard(key))
+		}
+	}
+}
+
+// TestRingReplicasMinimalMovement: adding a shard to a replicated ring
+// keeps replica placement stable — a key's replica set changes only when
+// the new shard captured one of its segments, and the union of moved
+// replica slots stays near the consistent-hashing bound (≈ r/N of all
+// slots for r replicas), nowhere near the near-total reshuffle a modulo
+// partitioner would cause.
+func TestRingReplicasMinimalMovement(t *testing.T) {
+	const keys = 10000
+	const nrep = 2
+	r4 := NewRing(4, 0)
+	r5 := NewRing(5, 0)
+	movedSlots, totalSlots := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("account-%d", i)
+		before, after := r4.Replicas(key, nrep), r5.Replicas(key, nrep)
+		inBefore := make(map[int]bool, nrep)
+		for _, sh := range before {
+			inBefore[sh] = true
+		}
+		for _, sh := range after {
+			totalSlots++
+			if !inBefore[sh] {
+				movedSlots++
+				// New homes are only ever the new shard: surviving shards
+				// never trade replicas among themselves.
+				if sh != 4 {
+					t.Fatalf("key %q replica moved to surviving shard %d (before %v, after %v)",
+						key, sh, before, after)
+				}
+			}
+		}
+	}
+	// Expected: each of the nrep replica slots independently lands on the
+	// new shard for ~1/5 of keys, so ~nrep/5 of slots move. Allow a wide
+	// band; the failure mode guarded against is wholesale reshuffling.
+	expect := totalSlots / 5
+	if movedSlots > expect*2 {
+		t.Errorf("growing 4→5 shards moved %d of %d replica slots, want ≈%d — replica placement is not minimal",
+			movedSlots, totalSlots, expect)
+	}
+	if movedSlots == 0 {
+		t.Error("growing 4→5 shards moved nothing: the new shard owns no replicas")
+	}
+}
+
 func TestRingSingleShard(t *testing.T) {
 	r := NewRing(1, 4)
 	for i := 0; i < 100; i++ {

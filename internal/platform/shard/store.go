@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,7 +15,7 @@ import (
 	"sybiltd/internal/truth"
 )
 
-// Options tunes New.
+// Options tunes New and NewReplicated.
 type Options struct {
 	// VirtualNodes is the per-shard virtual-node count on the ring;
 	// <= 0 means DefaultVirtualNodes.
@@ -26,25 +27,78 @@ type Options struct {
 	Tasks []mcs.Task
 	// Addrs labels each shard in health reports and error messages
 	// (typically its base URL). Optional; missing entries render as the
-	// shard index alone.
+	// shard index alone. Used by New; NewReplicated takes per-replica
+	// addresses in each GroupConfig instead.
 	Addrs []string
 }
 
-// Store routes operations across N platform.Store backends by consistent
-// hash of the account ID. Writes go to the one shard owning the account —
-// so the per-account duplicate guard, rate bucket, and WAL entries all
-// live in exactly one place — and whole-campaign reads scatter-gather. It
-// implements platform.Store plus the HealthReporter capability, so a
-// platform.Server fronting it serves the identical /v1 wire API with an
-// aggregated /readyz.
-type Store struct {
-	backends []platform.Store
+// GroupConfig describes one replica group — one ring position. Replicas[0]
+// is the assumed primary at construction time; the router revises that
+// view on the fly when a write answers not_primary or the failover poller
+// promotes a follower.
+type GroupConfig struct {
+	// Replicas are the group members, primary first.
+	Replicas []platform.Store
+	// Addrs labels each replica (typically its base URL); optional,
+	// positionally matching Replicas.
+	Addrs []string
+}
+
+// group is one ring position: a replica set with a current-primary view.
+// The replica list is fixed at construction; only the primary index moves.
+type group struct {
+	replicas []platform.Store
 	addrs    []string
-	ring     *Ring
-	tasks    []mcs.Task
+
+	mu      sync.RWMutex
+	primary int
+}
+
+func (g *group) primaryIdx() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.primary
+}
+
+func (g *group) setPrimary(i int) {
+	g.mu.Lock()
+	g.primary = i
+	g.mu.Unlock()
+}
+
+func (g *group) addr(i int) string {
+	if i < len(g.addrs) {
+		return g.addrs[i]
+	}
+	return ""
+}
+
+// replClient is the optional backend capability the router uses for the
+// replication control plane: status probes to find the primary after a
+// not_primary rejection, and role flips during failover. RemoteStore
+// provides it; backends without it simply never get probed.
+type replClient interface {
+	Client() *platform.Client
+}
+
+// Store routes operations across N replica groups by consistent hash of
+// the account ID. Writes go to the current primary of the group owning the
+// account — so the per-account duplicate guard, rate bucket, and WAL
+// entries all live in exactly one place — and whole-campaign reads
+// scatter-gather, falling back to followers when a group's primary is
+// unreachable. It implements platform.Store plus the HealthReporter
+// capability, so a platform.Server fronting it serves the identical /v1
+// wire API with an aggregated /readyz.
+type Store struct {
+	groups []*group
+	ring   *Ring
+	tasks  []mcs.Task
 
 	hookMu   sync.RWMutex
 	onSubmit platform.SubmitListener
+
+	pollMu sync.Mutex
+	poller *FailoverPoller
 }
 
 // Store implements platform.Store and the HealthReporter capability.
@@ -53,51 +107,94 @@ var (
 	_ platform.HealthReporter = (*Store)(nil)
 )
 
-// New composes backends into one sharded store. When opts.Tasks is nil
-// the task list is fetched from the first shard that answers (ctx bounds
-// the fetch); a fleet that is entirely down fails construction.
+// New composes backends into one sharded store of single-replica groups.
+// When opts.Tasks is nil the task list is fetched from the first shard
+// that answers (ctx bounds the fetch); a fleet that is entirely down fails
+// construction.
 func New(ctx context.Context, backends []platform.Store, opts Options) (*Store, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("shard: no backends")
 	}
-	addrs := make([]string, len(backends))
-	copy(addrs, opts.Addrs)
+	groups := make([]GroupConfig, len(backends))
+	for i, b := range backends {
+		groups[i] = GroupConfig{Replicas: []platform.Store{b}}
+		if i < len(opts.Addrs) {
+			groups[i].Addrs = []string{opts.Addrs[i]}
+		}
+	}
+	return NewReplicated(ctx, groups, opts)
+}
+
+// NewReplicated composes replica groups into one sharded store — the ring
+// spans the groups, not the individual replicas, so key placement is
+// identical to an unreplicated fleet of the same group count and adding a
+// group moves only the ring segments it captures.
+func NewReplicated(ctx context.Context, configs []GroupConfig, opts Options) (*Store, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("shard: no backends")
+	}
+	groups := make([]*group, len(configs))
+	for i, gc := range configs {
+		if len(gc.Replicas) == 0 {
+			return nil, fmt.Errorf("shard: group %d has no replicas", i)
+		}
+		addrs := make([]string, len(gc.Replicas))
+		copy(addrs, gc.Addrs)
+		groups[i] = &group{replicas: gc.Replicas, addrs: addrs}
+	}
 	s := &Store{
-		backends: backends,
-		addrs:    addrs,
-		ring:     NewRing(len(backends), opts.VirtualNodes),
+		groups: groups,
+		ring:   NewRing(len(groups), opts.VirtualNodes),
 	}
 	if opts.Tasks != nil {
 		s.tasks = append([]mcs.Task(nil), opts.Tasks...)
 		return s, nil
 	}
 	var lastErr error
-	for i, b := range backends {
-		tasks, err := b.Tasks(ctx)
-		if err != nil {
-			lastErr = fmt.Errorf("%s: %w", s.label(i), err)
-			continue
+	for gi, g := range groups {
+		for ri, b := range g.replicas {
+			tasks, err := b.Tasks(ctx)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", s.replicaLabel(gi, ri), err)
+				continue
+			}
+			s.tasks = tasks
+			return s, nil
 		}
-		s.tasks = tasks
-		return s, nil
 	}
 	return nil, fmt.Errorf("shard: fetch tasks from any shard: %w", lastErr)
 }
 
-// label names shard i in errors and health reports.
-func (s *Store) label(i int) string {
-	if i < len(s.addrs) && s.addrs[i] != "" {
-		return fmt.Sprintf("shard %d (%s)", i, s.addrs[i])
+// label names shard gi (by its current primary) in errors and health
+// reports.
+func (s *Store) label(gi int) string {
+	g := s.groups[gi]
+	if a := g.addr(g.primaryIdx()); a != "" {
+		return fmt.Sprintf("shard %d (%s)", gi, a)
 	}
-	return fmt.Sprintf("shard %d", i)
+	return fmt.Sprintf("shard %d", gi)
+}
+
+// replicaLabel names one replica of shard gi.
+func (s *Store) replicaLabel(gi, ri int) string {
+	g := s.groups[gi]
+	if a := g.addr(ri); a != "" {
+		return fmt.Sprintf("shard %d replica %d (%s)", gi, ri, a)
+	}
+	return fmt.Sprintf("shard %d replica %d", gi, ri)
 }
 
 // Shard returns the ring's owning shard index for an account — exposed so
 // tests and operators can predict placement.
 func (s *Store) Shard(account string) int { return s.ring.Shard(account) }
 
-// Shards returns the number of shards.
-func (s *Store) Shards() int { return len(s.backends) }
+// Shards returns the number of replica groups (ring positions).
+func (s *Store) Shards() int { return len(s.groups) }
+
+// Primary returns the index within shard gi's replica group that the
+// router currently believes is the primary — exposed so failover tests and
+// operators can observe promotions.
+func (s *Store) Primary(gi int) int { return s.groups[gi].primaryIdx() }
 
 // SetSubmitListener installs the acknowledged-submission hook: the
 // router-level feed for its own stream hub, seeing every submission any
@@ -130,17 +227,94 @@ func (s *Store) Tasks(ctx context.Context) ([]mcs.Task, error) {
 	return out, nil
 }
 
+// refreshPrimary re-probes shard gi's replicas for their replication role
+// and adopts the primary with the highest epoch. Returns the adopted
+// replica index, or ok=false when no replica currently claims primary
+// (mid-failover, or the group is unreplicated local stores).
+func (s *Store) refreshPrimary(ctx context.Context, gi int) (int, bool) {
+	g := s.groups[gi]
+	best := -1
+	var bestEpoch uint64
+	for i, b := range g.replicas {
+		rc, ok := b.(replClient)
+		if !ok {
+			continue
+		}
+		st, err := rc.Client().ReplStatus(ctx)
+		if err != nil || st.Role != platform.RolePrimary {
+			continue
+		}
+		if best == -1 || st.Epoch > bestEpoch {
+			best, bestEpoch = i, st.Epoch
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	g.setPrimary(best)
+	return best, true
+}
+
+// writeTo runs fn against shard gi's current primary. A not_primary
+// rejection — the router's primary view went stale across a failover —
+// re-probes the group for the real primary and retries once. The follower
+// rejected the write before applying anything, so the retry cannot
+// double-apply.
+func (s *Store) writeTo(ctx context.Context, gi int, fn func(platform.Store) error) error {
+	g := s.groups[gi]
+	cur := g.primaryIdx()
+	err := fn(g.replicas[cur])
+	if err == nil || len(g.replicas) == 1 || !errors.Is(err, platform.ErrNotPrimary) {
+		return err
+	}
+	if idx, ok := s.refreshPrimary(ctx, gi); ok && idx != cur {
+		return fn(g.replicas[idx])
+	}
+	return err
+}
+
 // Submit routes one observation to the account's owning shard.
 func (s *Store) Submit(ctx context.Context, account string, task int, value float64, at time.Time) error {
 	if account == "" {
 		return platform.ErrEmptyAccount
 	}
 	sh := s.ring.Shard(account)
-	if err := s.backends[sh].Submit(ctx, account, task, value, at); err != nil {
+	err := s.writeTo(ctx, sh, func(b platform.Store) error {
+		return b.Submit(ctx, account, task, value, at)
+	})
+	if err != nil {
 		return fmt.Errorf("%s: %w", s.label(sh), err)
 	}
 	s.notifySubmitted([]platform.BatchSubmission{{Account: account, Task: task, Value: value, At: at}})
 	return nil
+}
+
+// submitBatchTo dispatches one shard's sub-batch to its current primary,
+// with the same not_primary refresh-and-retry as single writes. A follower
+// rejects the whole sub-batch at the door (every error not_primary, no
+// item applied), so resending the full sub-batch to the real primary is
+// safe.
+func (s *Store) submitBatchTo(ctx context.Context, gi int, sub []platform.BatchSubmission) []error {
+	g := s.groups[gi]
+	cur := g.primaryIdx()
+	errs := g.replicas[cur].SubmitBatch(ctx, sub)
+	if len(g.replicas) == 1 {
+		return errs
+	}
+	retriable := false
+	for _, err := range errs {
+		if err != nil && errors.Is(err, platform.ErrNotPrimary) {
+			retriable = true
+			break
+		}
+	}
+	if !retriable {
+		return errs
+	}
+	if idx, ok := s.refreshPrimary(ctx, gi); ok && idx != cur {
+		return g.replicas[idx].SubmitBatch(ctx, sub)
+	}
+	return errs
 }
 
 // SubmitBatch splits the batch by owning shard, dispatches the per-shard
@@ -160,21 +334,21 @@ func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmissio
 		}
 		return errs
 	}
-	// groups[sh] holds the original positions routed to shard sh, in
+	// routed[sh] holds the original positions routed to shard sh, in
 	// order — the sub-batch preserves relative item order, so in-batch
 	// duplicate semantics inside one account are unchanged (one account
 	// is never split across shards).
-	groups := make([][]int, len(s.backends))
+	routed := make([][]int, len(s.groups))
 	for i, it := range items {
 		if it.Account == "" {
 			errs[i] = platform.ErrEmptyAccount
 			continue
 		}
 		sh := s.ring.Shard(it.Account)
-		groups[sh] = append(groups[sh], i)
+		routed[sh] = append(routed[sh], i)
 	}
 	var wg sync.WaitGroup
-	for sh, idxs := range groups {
+	for sh, idxs := range routed {
 		if len(idxs) == 0 {
 			continue
 		}
@@ -185,7 +359,7 @@ func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmissio
 			for j, i := range idxs {
 				sub[j] = items[i]
 			}
-			subErrs := s.backends[sh].SubmitBatch(ctx, sub)
+			subErrs := s.submitBatchTo(ctx, sh, sub)
 			for j, i := range idxs {
 				var err error
 				if j < len(subErrs) {
@@ -218,7 +392,10 @@ func (s *Store) RecordFingerprint(ctx context.Context, account string, rec mems.
 		return platform.ErrEmptyAccount
 	}
 	sh := s.ring.Shard(account)
-	if err := s.backends[sh].RecordFingerprint(ctx, account, rec); err != nil {
+	err := s.writeTo(ctx, sh, func(b platform.Store) error {
+		return b.RecordFingerprint(ctx, account, rec)
+	})
+	if err != nil {
 		return fmt.Errorf("%s: %w", s.label(sh), err)
 	}
 	return nil
@@ -231,24 +408,72 @@ func (s *Store) RecordFingerprintFeatures(ctx context.Context, account string, f
 		return platform.ErrEmptyAccount
 	}
 	sh := s.ring.Shard(account)
-	if err := s.backends[sh].RecordFingerprintFeatures(ctx, account, features); err != nil {
+	err := s.writeTo(ctx, sh, func(b platform.Store) error {
+		return b.RecordFingerprintFeatures(ctx, account, features)
+	})
+	if err != nil {
 		return fmt.Errorf("%s: %w", s.label(sh), err)
 	}
 	return nil
 }
 
-// gather snapshots every shard's dataset concurrently. dss[i] and errs[i]
-// are shard i's outcome; exactly one of them is set.
+// readFailover reports whether a read error warrants trying another
+// replica of the same group: the replica is gone or refusing reads, rather
+// than answering with a real (e.g. validation) error.
+func readFailover(err error) bool {
+	return errors.Is(err, platform.ErrShardUnavailable) ||
+		errors.Is(err, platform.ErrReplicaLag) ||
+		errors.Is(err, platform.ErrNotPrimary)
+}
+
+// readFrom runs fn against shard gi's current primary, falling back to the
+// group's other replicas when the primary is unreachable. Followers apply
+// the same frames the primary journaled, so a follower read is the same
+// data at most a ship interval stale — an explicitly weaker answer the
+// caller prefers over none while the poller promotes a replacement.
+func (s *Store) readFrom(ctx context.Context, gi int, fn func(platform.Store) error) error {
+	g := s.groups[gi]
+	cur := g.primaryIdx()
+	err := fn(g.replicas[cur])
+	if err == nil || len(g.replicas) == 1 || !readFailover(err) {
+		return err
+	}
+	for off := 1; off < len(g.replicas); off++ {
+		if ctx.Err() != nil {
+			return err
+		}
+		i := (cur + off) % len(g.replicas)
+		fbErr := fn(g.replicas[i])
+		if fbErr == nil {
+			return nil
+		}
+		if !readFailover(fbErr) {
+			return fbErr
+		}
+	}
+	return err
+}
+
+// gather snapshots every shard's dataset concurrently, each group through
+// its primary with follower fallback. dss[i] and errs[i] are shard i's
+// outcome; exactly one of them is set.
 func (s *Store) gather(ctx context.Context) (dss []*mcs.Dataset, errs []error) {
-	dss = make([]*mcs.Dataset, len(s.backends))
-	errs = make([]error, len(s.backends))
+	dss = make([]*mcs.Dataset, len(s.groups))
+	errs = make([]error, len(s.groups))
 	var wg sync.WaitGroup
-	for i, b := range s.backends {
+	for i := range s.groups {
 		wg.Add(1)
-		go func(i int, b platform.Store) {
+		go func(i int) {
 			defer wg.Done()
-			dss[i], errs[i] = b.Dataset(ctx)
-		}(i, b)
+			errs[i] = s.readFrom(ctx, i, func(b platform.Store) error {
+				ds, err := b.Dataset(ctx)
+				if err != nil {
+					return err
+				}
+				dss[i] = ds
+				return nil
+			})
+		}(i)
 	}
 	wg.Wait()
 	return dss, errs
@@ -272,7 +497,8 @@ func (s *Store) merge(dss []*mcs.Dataset) *mcs.Dataset {
 // Dataset scatter-gathers the full campaign. Unlike Aggregate and Stats
 // it does not degrade on partial failure: an export silently missing the
 // unreachable shards' accounts would poison archives and offline
-// re-aggregation, so any failed shard fails the read (retryably).
+// re-aggregation, so any failed shard (every replica down) fails the read
+// (retryably).
 func (s *Store) Dataset(ctx context.Context) (*mcs.Dataset, error) {
 	dss, errs := s.gather(ctx)
 	for i, err := range errs {
@@ -312,7 +538,7 @@ func (s *Store) Aggregate(ctx context.Context, method string) (truth.Result, []f
 			failed = append(failed, i)
 		}
 	}
-	if len(failed) == len(s.backends) {
+	if len(failed) == len(s.groups) {
 		return truth.Result{}, nil, fmt.Errorf("%s: %w", s.label(failed[0]), errs[failed[0]])
 	}
 	res, unc, err := platform.AggregateDataset(ctx, method, s.merge(dss))
@@ -332,22 +558,30 @@ func (s *Store) Aggregate(ctx context.Context, method string) (truth.Result, []f
 	return res, unc, nil
 }
 
-// Stats sums shard summaries. Partial failures degrade (the reachable
-// shards' counts, flagged) rather than erroring; a fleet entirely down is
-// an error.
+// Stats sums shard summaries, each group read through its primary with
+// follower fallback. Partial failures degrade (the reachable shards'
+// counts, flagged) rather than erroring; a fleet entirely down is an
+// error.
 func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
 	type result struct {
 		stats platform.StatsResponse
 		err   error
 	}
-	results := make([]result, len(s.backends))
+	results := make([]result, len(s.groups))
 	var wg sync.WaitGroup
-	for i, b := range s.backends {
+	for i := range s.groups {
 		wg.Add(1)
-		go func(i int, b platform.Store) {
+		go func(i int) {
 			defer wg.Done()
-			results[i].stats, results[i].err = b.Stats(ctx)
-		}(i, b)
+			results[i].err = s.readFrom(ctx, i, func(b platform.Store) error {
+				st, err := b.Stats(ctx)
+				if err != nil {
+					return err
+				}
+				results[i].stats = st
+				return nil
+			})
+		}(i)
 	}
 	wg.Wait()
 	out := platform.StatsResponse{Tasks: len(s.tasks)}
@@ -363,7 +597,7 @@ func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
 			out.DegradedReason = r.stats.DegradedReason
 		}
 	}
-	if len(failed) == len(s.backends) {
+	if len(failed) == len(s.groups) {
 		return platform.StatsResponse{}, fmt.Errorf("%s: %w", s.label(failed[0]), results[failed[0]].err)
 	}
 	if len(failed) > 0 {
@@ -378,35 +612,46 @@ func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
 	return out, nil
 }
 
-// ShardHealth probes every shard concurrently (implements
-// platform.HealthReporter, the aggregated /readyz). A backend without the
-// Pinger capability (e.g. an in-process LocalStore) is trivially ready.
+// ShardHealth reports per-replica health (implements
+// platform.HealthReporter, the aggregated /readyz). With a failover
+// poller running, answers come from its probe cache — each entry carrying
+// its probe age and known replication role — so /readyz stays cheap under
+// load-balancer polling. Without a poller every replica is probed live; a
+// backend without the Pinger capability (e.g. an in-process LocalStore)
+// is trivially ready.
 func (s *Store) ShardHealth(ctx context.Context) []platform.ShardHealth {
-	out := make([]platform.ShardHealth, len(s.backends))
+	s.pollMu.Lock()
+	p := s.poller
+	s.pollMu.Unlock()
+	if p != nil {
+		return p.health()
+	}
+	var out []platform.ShardHealth
 	var wg sync.WaitGroup
-	for i, b := range s.backends {
-		out[i] = platform.ShardHealth{Shard: i}
-		if i < len(s.addrs) {
-			out[i].Addr = s.addrs[i]
-		}
-		p, ok := b.(platform.Pinger)
-		if !ok {
-			out[i].Ready = true
-			out[i].Status = "ready"
-			continue
-		}
-		wg.Add(1)
-		go func(i int, p platform.Pinger) {
-			defer wg.Done()
-			rz, err := p.Ready(ctx)
-			if err != nil {
-				out[i].Status = "unreachable"
-				out[i].Error = err.Error()
-				return
+	for gi, g := range s.groups {
+		for ri, b := range g.replicas {
+			h := platform.ShardHealth{Shard: gi, Replica: ri, Addr: g.addr(ri)}
+			out = append(out, h)
+			pos := len(out) - 1
+			p, ok := b.(platform.Pinger)
+			if !ok {
+				out[pos].Ready = true
+				out[pos].Status = "ready"
+				continue
 			}
-			out[i].Status = rz.Status
-			out[i].Ready = rz.Status == "ready"
-		}(i, p)
+			wg.Add(1)
+			go func(pos int, p platform.Pinger) {
+				defer wg.Done()
+				rz, err := p.Ready(ctx)
+				if err != nil {
+					out[pos].Status = "unreachable"
+					out[pos].Error = err.Error()
+					return
+				}
+				out[pos].Status = rz.Status
+				out[pos].Ready = rz.Status == "ready"
+			}(pos, p)
+		}
 	}
 	wg.Wait()
 	return out

@@ -66,15 +66,29 @@ type HealthReporter interface {
 	ShardHealth(ctx context.Context) []ShardHealth
 }
 
-// ShardHealth is one shard's slice of a composite /readyz answer.
+// ShardHealth is one shard's slice of a composite /readyz answer. On a
+// replicated fleet there is one entry per replica: Shard names the
+// replica group (ring position) and Replica the member within it.
 type ShardHealth struct {
-	Shard int    `json:"shard"`
-	Addr  string `json:"addr,omitempty"`
-	Ready bool   `json:"ready"`
+	Shard int `json:"shard"`
+	// Replica is the member index within the shard's replica group; zero
+	// (and omitted) on unreplicated fleets, where each shard is a single
+	// process.
+	Replica int    `json:"replica,omitempty"`
+	Addr    string `json:"addr,omitempty"`
+	Ready   bool   `json:"ready"`
 	// Status is the shard's own /readyz status ("ready", "draining",
 	// "overloaded") or "unreachable" when the probe failed.
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// Role is the replica's replication role ("primary"/"follower") when
+	// the router's failover poller knows it; empty otherwise.
+	Role string `json:"role,omitempty"`
+	// ProbeAgeMs is how stale this answer is: milliseconds since the
+	// router's health poller last completed a probe of this replica. Only
+	// set when a background poller (rather than a live probe) produced the
+	// entry, so readyz consumers can tell cached state from fresh.
+	ProbeAgeMs int64 `json:"probe_age_ms,omitempty"`
 }
 
 // ReadyzResponse is the body served at /readyz. Shards is present only on

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -99,7 +100,19 @@ func (c *Client) watchConnect(ctx context.Context, fromSeq uint64) (*http.Respon
 	}
 	if resp.StatusCode >= 400 {
 		defer drainBody(resp.Body)
-		return nil, fmt.Errorf("platform client: GET /v1/truths:watch: %w", decodeAPIError(resp))
+		err := decodeAPIError(resp)
+		// A server that doesn't serve the watch route at all (older
+		// version, or a stripped-down node behind a proxy) answers 404/501
+		// with no decodable wire code. Brand those ErrUnimplemented so the
+		// caller gets a typed "this endpoint isn't here" instead of a bare
+		// status, and Reconnect knows not to redial an answer that will
+		// never change.
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Code == "" &&
+			(ae.Status == http.StatusNotFound || ae.Status == http.StatusNotImplemented) {
+			ae.Code = CodeUnimplemented
+		}
+		return nil, fmt.Errorf("platform client: GET /v1/truths:watch: %w", err)
 	}
 	return resp, nil
 }
@@ -149,6 +162,13 @@ func (w *Watcher) run(ctx context.Context, c *Client, resp *http.Response, opts 
 				resp = next
 				attempt = 0
 				break
+			}
+			if errors.Is(err, ErrUnimplemented) {
+				// The endpoint is deliberately absent here; redialing
+				// cannot change the answer. End the watch with the typed
+				// error instead of retrying forever.
+				w.setErr(err)
+				return
 			}
 			if ctx.Err() != nil {
 				return

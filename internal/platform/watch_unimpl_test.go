@@ -1,0 +1,97 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchUnimplementedTyped: a server with the watch stream disabled
+// (replica followers) answers the typed 501 wire shape, and Client.Watch
+// fails with ErrUnimplemented instead of a bare status error.
+func TestWatchUnimplementedTyped(t *testing.T) {
+	srv := httptest.NewServer(NewServerWithOptions(NewLocalStore(testTasks(1)), ServerOptions{
+		DisableWatch: true,
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, WithRetries(0))
+
+	_, err := c.Watch(context.Background(), WatchOptions{})
+	if !errors.Is(err, ErrUnimplemented) {
+		t.Fatalf("watch on DisableWatch server = %v, want ErrUnimplemented", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeUnimplemented || ae.Status != http.StatusNotImplemented {
+		t.Fatalf("wire shape = %+v, want code %q status 501", ae, CodeUnimplemented)
+	}
+
+	// The rest of the API still works on the same server.
+	if _, err := c.Tasks(context.Background()); err != nil {
+		t.Fatalf("tasks on DisableWatch server: %v", err)
+	}
+}
+
+// TestWatchBare404BrandedUnimplemented: a server that has no watch route
+// at all (an older node, or a proxy stripping the path) answers a bare
+// 404 with no wire code; the client brands it ErrUnimplemented so
+// callers get a typed "endpoint isn't here" instead of a naked status.
+func TestWatchBare404BrandedUnimplemented(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, WithRetries(0))
+
+	_, err := c.Watch(context.Background(), WatchOptions{})
+	if !errors.Is(err, ErrUnimplemented) {
+		t.Fatalf("watch against bare-404 server = %v, want ErrUnimplemented", err)
+	}
+}
+
+// TestWatchReconnectStopsOnUnimplemented: with Reconnect enabled, a
+// stream that dies and redials into a node without the endpoint must end
+// with the typed error rather than redialing a permanent answer forever.
+func TestWatchReconnectStopsOnUnimplemented(t *testing.T) {
+	// First connection succeeds against a real streaming server; then the
+	// server is swapped for one that 501s the route.
+	real := NewServerWithOptions(NewLocalStore(testTasks(1)), ServerOptions{})
+	stub := NewServerWithOptions(NewLocalStore(testTasks(1)), ServerOptions{DisableWatch: true})
+	var useStub atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if useStub.Load() {
+			stub.ServeHTTP(w, r)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	defer real.Close()
+	defer stub.Close()
+
+	c := NewClient(srv.URL, WithRetries(0), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	w, err := c.Watch(context.Background(), WatchOptions{Reconnect: true})
+	if err != nil {
+		t.Fatalf("initial watch: %v", err)
+	}
+	useStub.Store(true)
+	real.Close() // kills the live stream; the watcher redials into the 501
+
+	done := make(chan struct{})
+	go func() {
+		for range w.Updates() {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher kept running against an unimplemented endpoint")
+	}
+	if err := w.Err(); !errors.Is(err, ErrUnimplemented) {
+		t.Fatalf("watcher ended with %v, want ErrUnimplemented", err)
+	}
+}

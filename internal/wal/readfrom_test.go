@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFrames appends payloads through a Writer and returns the per-frame
+// byte offsets as a full Scan would report them.
+func writeFrames(t *testing.T, fsys FS, path string, payloads [][]byte) []int64 {
+	t.Helper()
+	w, _, err := Open(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int64, len(payloads))
+	for i, p := range payloads {
+		offsets[i] = w.Size()
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return offsets
+}
+
+func TestReadFromExportsSuffixWithAbsoluteOffsets(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	payloads := [][]byte{[]byte("alpha"), []byte("bravo-longer"), []byte("c"), []byte("delta")}
+	offsets := writeFrames(t, fsys, path, payloads)
+
+	// From zero: identical to a full scan.
+	full, err := ReadFrom(fsys, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) != len(payloads) || full.Corrupt != nil {
+		t.Fatalf("full read = %d records (corrupt %v), want %d", len(full.Records), full.Corrupt, len(payloads))
+	}
+
+	// From each frame boundary: the tail, with absolute offsets.
+	for start := range payloads {
+		res, err := ReadFrom(fsys, path, offsets[start])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Corrupt != nil {
+			t.Fatalf("read from %d: corrupt %v", offsets[start], res.Corrupt)
+		}
+		if got, want := len(res.Records), len(payloads)-start; got != want {
+			t.Fatalf("read from frame %d: %d records, want %d", start, got, want)
+		}
+		for j, rec := range res.Records {
+			if string(rec) != string(payloads[start+j]) {
+				t.Errorf("frame %d payload = %q, want %q", start+j, rec, payloads[start+j])
+			}
+			if res.Offsets[j] != offsets[start+j] {
+				t.Errorf("frame %d offset = %d, want absolute %d", start+j, res.Offsets[j], offsets[start+j])
+			}
+		}
+	}
+}
+
+func TestReadFromPastEndIsEmpty(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeFrames(t, fsys, path, [][]byte{[]byte("only")})
+	res, err := ReadFrom(fsys, path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.Corrupt != nil {
+		t.Fatalf("read past end = %d records, corrupt %v; want empty clean", len(res.Records), res.Corrupt)
+	}
+	if _, err := ReadFrom(fsys, path, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestReadFromReportsTornTail(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	offsets := writeFrames(t, fsys, path,
+		[][]byte{[]byte("keep-me"), []byte("also-keep"), []byte("gets-torn-off")})
+
+	// Tear the final frame: cut its last 4 bytes off the file.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ReadFrom(fsys, path, offsets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || string(res.Records[0]) != "also-keep" || res.Corrupt == nil {
+		t.Fatalf("torn tail read = %d records, corrupt %v; want [also-keep] + corrupt", len(res.Records), res.Corrupt)
+	}
+	if res.Valid != offsets[2] {
+		t.Errorf("valid prefix ends at %d, want %d (absolute)", res.Valid, offsets[2])
+	}
+}
