@@ -61,7 +61,7 @@ shard:
 # returning stale primary), read fallback to followers, the typed
 # unimplemented wire code, and the replicated primary-kill chaos campaign.
 replication:
-	$(GO) test -race -run 'Repl|Failover|Follower|SemiSync|Promotion|Unimplemented|Flapping|ChaosReplicated' ./internal/platform/...
+	$(GO) test -race -run 'Repl|Failover|Follower|SemiSync|Promotion|Unimplemented|Flapping|ChaosReplicated|ApplyShip|ShardHealth' ./internal/platform/...
 
 verify: build fmt vet test race recovery chaos stream shard replication
 

@@ -810,48 +810,75 @@ func (d *Durability) persistEpoch(epoch uint64) error {
 // CRC-stamped for the wire. The bool result reports that from precedes
 // the WAL's first frame (compacted into a snapshot): the caller must ship
 // a snapshot reset instead of frames.
+//
+// The file read happens OUTSIDE the store mutex: the batch's byte range
+// is captured under the lock (concurrent appends only ever extend the
+// file past it), the lock is released for the read, and walSeq0 is
+// rechecked afterwards — if a compaction (or snapshot adoption) reset the
+// WAL mid-read, the possibly-garbage bytes are discarded and the bounds
+// recomputed. Holding the lock across the read would stall every client
+// write and read on the primary for the duration of each catch-up batch.
 func (d *Durability) framesSince(from uint64, max int) ([]ReplFrame, bool, error) {
-	d.store.mu.Lock()
-	defer d.store.mu.Unlock()
-	if d.closed {
-		return nil, false, fmt.Errorf("%w: durability closed", ErrDurability)
-	}
-	return d.framesSinceLocked(from, max)
-}
-
-func (d *Durability) framesSinceLocked(from uint64, max int) ([]ReplFrame, bool, error) {
-	durable := d.durableSeqLocked()
-	if from >= durable {
-		return nil, false, nil
-	}
-	if from+1 < d.walSeq0 {
-		return nil, true, nil // the range was compacted away: snapshot time
-	}
-	hi := durable
-	if max > 0 && hi-from > uint64(max) {
-		hi = from + uint64(max)
-	}
-	startIdx := int(from + 1 - d.walSeq0)
-	if startIdx >= len(d.walOffsets) {
-		return nil, false, fmt.Errorf("%w: wal offset index missing seq %d", ErrDurability, from+1)
-	}
-	res, err := wal.ReadFrom(d.fs, filepath.Join(d.dir, walFileName), d.walOffsets[startIdx])
-	if err != nil {
-		return nil, false, fmt.Errorf("%w: export frames: %v", ErrDurability, err)
-	}
-	n := int(hi - from)
-	if len(res.Records) < n {
-		n = len(res.Records)
-	}
-	frames := make([]ReplFrame, n)
-	for i := 0; i < n; i++ {
-		frames[i] = ReplFrame{
-			Seq:     from + 1 + uint64(i),
-			CRC:     crc32.ChecksumIEEE(res.Records[i]),
-			Payload: res.Records[i],
+	for {
+		d.store.mu.Lock()
+		if d.closed {
+			d.store.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: durability closed", ErrDurability)
 		}
+		durable := d.durableSeqLocked()
+		if from >= durable {
+			d.store.mu.Unlock()
+			return nil, false, nil
+		}
+		if from+1 < d.walSeq0 {
+			d.store.mu.Unlock()
+			return nil, true, nil // the range was compacted away: snapshot time
+		}
+		hi := durable
+		if max > 0 && hi-from > uint64(max) {
+			hi = from + uint64(max)
+		}
+		startIdx := int(from + 1 - d.walSeq0)
+		if startIdx >= len(d.walOffsets) {
+			d.store.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: wal offset index missing seq %d", ErrDurability, from+1)
+		}
+		start := d.walOffsets[startIdx]
+		// Frame hi's end: the next frame's offset, or — when hi is the
+		// last appended frame — the file size (appends happen under the
+		// store mutex, so nothing is mid-write past it right now).
+		end := d.w.Size()
+		if endIdx := int(hi + 1 - d.walSeq0); endIdx < len(d.walOffsets) {
+			end = d.walOffsets[endIdx]
+		}
+		seq0 := d.walSeq0
+		d.store.mu.Unlock()
+
+		res, err := wal.ReadRange(d.fs, filepath.Join(d.dir, walFileName), start, end)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: export frames: %v", ErrDurability, err)
+		}
+
+		d.store.mu.Lock()
+		moved := d.walSeq0 != seq0
+		d.store.mu.Unlock()
+		if moved {
+			continue // the WAL was reset mid-read; recompute the bounds
+		}
+		n := int(hi - from)
+		if len(res.Records) < n {
+			n = len(res.Records)
+		}
+		frames := make([]ReplFrame, n)
+		for i := 0; i < n; i++ {
+			frames[i] = ReplFrame{
+				Seq:     from + 1 + uint64(i),
+				CRC:     crc32.ChecksumIEEE(res.Records[i]),
+				Payload: res.Records[i],
+			}
+		}
+		return frames, false, nil
 	}
-	return frames, false, nil
 }
 
 // adoptSnapshotLocked rewinds the durability layer onto a shipped

@@ -643,7 +643,7 @@ func (r *Replication) ApplyShip(ctx context.Context, req ReplShipRequest) (ReplS
 	if req.Epoch > own {
 		return ReplShipResponse{AppliedSeq: r.d.durableSeq(), Epoch: own, Durable: true, NeedSnapshot: true}, nil
 	}
-	acked, err := r.applyFrames(req.Frames)
+	acked, err := r.applyFrames(req.Frames, own)
 	if err != nil {
 		return ReplShipResponse{}, err
 	}
@@ -669,8 +669,10 @@ func (r *Replication) publishOwnLag() {
 // critical section: skip what we already have, verify CRC + decode +
 // contiguity, append to our WAL (fsynced), replay into memory. A gap
 // (first new frame beyond seq+1) applies nothing and reports our cursor;
-// the primary reships from there.
-func (r *Replication) applyFrames(frames []ReplFrame) ([]BatchSubmission, error) {
+// the primary reships from there. epoch is the epoch ApplyShip's gate
+// validated against; it is re-checked under the lock so the
+// validate-and-apply pair is atomic.
+func (r *Replication) applyFrames(frames []ReplFrame, epoch uint64) ([]BatchSubmission, error) {
 	if len(frames) == 0 {
 		return nil, nil
 	}
@@ -678,6 +680,18 @@ func (r *Replication) applyFrames(frames []ReplFrame) ([]BatchSubmission, error)
 	defer r.store.mu.Unlock()
 	if r.d.closed {
 		return nil, fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	// ApplyShip's epoch/role gate ran before this critical section; a
+	// concurrent promotion (SetRole persists a higher epoch, then flips
+	// the role) may have landed in between. Appending the old lineage's
+	// frames after the new epoch's first writes would interleave two
+	// histories at contiguous seqs — exactly the failover race the epoch
+	// fence exists to prevent — so the gate is re-applied under the lock.
+	if own := r.d.epoch; own != epoch {
+		return nil, fmt.Errorf("%w: epoch advanced to %d during ship at epoch %d", ErrNotPrimary, own, epoch)
+	}
+	if r.Role() == RolePrimary {
+		return nil, fmt.Errorf("%w: split brain — both primaries at epoch %d", ErrNotPrimary, epoch)
 	}
 	fresh := frames[:0:0]
 	recs := make([]walRecord, 0, len(frames))
@@ -735,6 +749,21 @@ func (r *Replication) resetFromSnapshot(req ReplShipRequest) error {
 	defer r.store.mu.Unlock()
 	if r.d.closed {
 		return fmt.Errorf("%w: durability closed", ErrDurability)
+	}
+	// Re-apply ApplyShip's epoch/role gate under the lock (see
+	// applyFrames): a promotion that landed after the gate must not be
+	// erased by a stale snapshot rewinding state, seq, and epoch.
+	if own := r.d.epoch; req.Epoch < own {
+		return fmt.Errorf("%w: snapshot from epoch %d, ours is %d", ErrNotPrimary, req.Epoch, own)
+	} else if r.Role() == RolePrimary {
+		if req.Epoch == own {
+			return fmt.Errorf("%w: split brain — both primaries at epoch %d", ErrNotPrimary, own)
+		}
+		// A newer primary's snapshot raced our own promotion: this node
+		// missed its demotion. Step down (the shippers observe the role
+		// change and exit) and take the reset.
+		r.logf("repl: snapshot from newer epoch %d (ours %d): stepping down", req.Epoch, own)
+		r.stepDown()
 	}
 	r.store.tasks = rebuilt.tasks
 	r.store.accounts = rebuilt.accounts

@@ -351,6 +351,85 @@ func TestApplyShipEpochRules(t *testing.T) {
 	}
 }
 
+// TestApplyShipRevalidatesUnderLock pins the inner halves of ApplyShip:
+// applyFrames and resetFromSnapshot re-check epoch and role inside the
+// store critical section, so a promotion landing between ApplyShip's gate
+// and the apply (SetRole persists a higher epoch, then flips the role)
+// cannot be followed by stale-lineage frames interleaving at contiguous
+// seqs or a stale snapshot rewinding the promoted node's state. Calling
+// the inner methods directly simulates the gate having passed just before
+// the promotion.
+func TestApplyShipRevalidatesUnderLock(t *testing.T) {
+	ctx := context.Background()
+	pStore, pd, _, err := OpenDurable(t.TempDir(), testTasks(3), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pd.Close()
+	pr := NewReplication(pStore, pd, ReplicationOptions{Registry: obs.NewRegistry()})
+	defer pr.Close()
+	for i := 0; i < 3; i++ {
+		if err := pStore.Submit(ctx, fmt.Sprintf("a%d", i), 0, float64(i), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, err := pd.framesSince(0, 100)
+	if err != nil || len(frames) != 3 {
+		t.Fatalf("framesSince: %d frames, err=%v", len(frames), err)
+	}
+	snap, snapSeq, snapEpoch, err := pr.snapshotForShip()
+	if err != nil || snapEpoch != 0 {
+		t.Fatalf("snapshotForShip: epoch=%d, err=%v", snapEpoch, err)
+	}
+
+	node := startReplNode(t, t.TempDir(), ReplicationOptions{FollowerOf: "x"})
+	// Normal ship at epoch 0 lands the first two frames.
+	if _, err := node.repl.ApplyShip(ctx, ReplShipRequest{Epoch: 0, PrimarySeq: 2, Frames: frames[:2]}); err != nil {
+		t.Fatal(err)
+	}
+	// The promotion that races the gate: epoch 2, role primary.
+	if err := node.repl.SetRole(ctx, ReplRoleRequest{Role: RolePrimary, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Frames validated against the pre-promotion epoch must be refused by
+	// the locked re-check, leaving seq and epoch untouched.
+	if _, err := node.repl.applyFrames(frames[2:], 0); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("stale-epoch applyFrames = %v, want ErrNotPrimary", err)
+	}
+	if seq, epoch := node.d.durableSeq(), node.d.Epoch(); seq != 2 || epoch != 2 {
+		t.Fatalf("after refused frames: seq=%d epoch=%d, want 2/2 untouched", seq, epoch)
+	}
+
+	// A stale snapshot reset (epoch 0 < ours) must not rewind state.
+	err = node.repl.resetFromSnapshot(ReplShipRequest{Epoch: 0, PrimarySeq: snapSeq, Snapshot: snap, SnapshotSeq: snapSeq})
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("stale snapshot reset = %v, want ErrNotPrimary", err)
+	}
+	// An equal-epoch snapshot against a primary is a split brain, refused.
+	err = node.repl.resetFromSnapshot(ReplShipRequest{Epoch: 2, PrimarySeq: snapSeq, Snapshot: snap, SnapshotSeq: snapSeq})
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("equal-epoch snapshot to a primary = %v, want ErrNotPrimary", err)
+	}
+	if seq, epoch := node.d.durableSeq(), node.d.Epoch(); seq != 2 || epoch != 2 {
+		t.Fatalf("after refused resets: seq=%d epoch=%d, want 2/2 untouched", seq, epoch)
+	}
+	if node.repl.Role() != RolePrimary {
+		t.Fatalf("role = %q after refused stale ships, want primary kept", node.repl.Role())
+	}
+
+	// A genuinely newer snapshot (epoch 3) against a primary that missed
+	// its demotion is adopted — and the node steps down in the same
+	// critical section.
+	err = node.repl.resetFromSnapshot(ReplShipRequest{Epoch: 3, PrimarySeq: snapSeq, Snapshot: snap, SnapshotSeq: snapSeq})
+	if err != nil {
+		t.Fatalf("newer snapshot reset: %v", err)
+	}
+	if node.repl.Role() != RoleFollower || node.d.Epoch() != 3 {
+		t.Fatalf("after newer snapshot: role=%q epoch=%d, want follower at 3", node.repl.Role(), node.d.Epoch())
+	}
+}
+
 // TestFollowerCatchUpFromWALTail: a follower that missed ships while down
 // rejoins at the same epoch and catches up from the primary's WAL by
 // sequence range — frames, not a snapshot reset.

@@ -47,6 +47,11 @@ type replicaState struct {
 	role      string
 	epoch     uint64
 	seq       uint64 // replica's durable sequence number
+	// replSeen records that role/epoch/seq were successfully read from
+	// the replica at least once (they are last-known values, sticky
+	// through unreachable probes). A promotion decision must never trust
+	// a zero-value epoch that merely means "never probed".
+	replSeen bool
 }
 
 // FailoverPoller watches every replica of every group and flips a group's
@@ -241,6 +246,7 @@ func (p *FailoverPoller) probe(gi, ri int) {
 		st.role = rs.Role
 		st.epoch = rs.Epoch
 		st.seq = rs.DurableSeq
+		st.replSeen = true
 	case errors.Is(rerr, platform.ErrUnimplemented):
 		// The node answers but runs no replication — typically restarted
 		// without its replication flags. Its cached role is stale, not
@@ -249,6 +255,7 @@ func (p *FailoverPoller) probe(gi, ri int) {
 		st.role = ""
 		st.epoch = 0
 		st.seq = 0
+		st.replSeen = false
 	}
 	st.mu.Unlock()
 }
@@ -261,7 +268,7 @@ func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
 	return replicaState{
 		lastProbe: st.lastProbe, lastOK: st.lastOK,
 		ready: st.ready, status: st.status, errMsg: st.errMsg,
-		role: st.role, epoch: st.epoch, seq: st.seq,
+		role: st.role, epoch: st.epoch, seq: st.seq, replSeen: st.replSeen,
 	}
 }
 
@@ -335,6 +342,21 @@ func (p *FailoverPoller) evaluate(gi int) {
 	// (3) primary dead: promote the best reachable follower, ordered by
 	// (epoch, durable seq) — a higher epoch means a newer data lineage
 	// regardless of raw sequence numbers.
+	//
+	// Epoch-visibility fence first: the promotion epoch is chosen above
+	// every epoch this poller has OBSERVED. If the primary's replication
+	// state was never successfully probed (e.g. the router restarted
+	// after the primary died), its cached epoch is a zero value — the
+	// bestEpoch < curSt.epoch fence below is then toothless, and
+	// maxEpoch+1 could collide with the dead primary's real epoch: two
+	// writers at one epoch, a split brain the equal-epoch contiguity
+	// check cannot detect. Refuse to promote until the primary's epoch
+	// has been seen at least once (it becomes promotable the moment the
+	// primary answers one probe — or an operator promotes manually).
+	if !curSt.replSeen {
+		p.logf("shard %d: not promoting: dead primary's epoch was never observed (restart it or promote manually)", gi)
+		return
+	}
 	best := -1
 	var bestEpoch, bestSeq uint64
 	maxEpoch := curSt.epoch

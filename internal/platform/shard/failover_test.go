@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -355,6 +356,108 @@ func TestReadFailoverToFollower(t *testing.T) {
 	err = store.Submit(ctx, "acct-0", 2, 99, at(30))
 	if !errors.Is(err, platform.ErrShardUnavailable) {
 		t.Errorf("write to headless group = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestShardHealthLiveProbes pins the no-poller ShardHealth path: every
+// replica gets exactly one fully-populated entry, concurrent callers are
+// race-clean (the result slice is pre-sized before the probe goroutines
+// start — an append racing their writes could silently drop results into
+// a stale backing array), and a dead replica renders unreachable rather
+// than as a zero-value entry.
+func TestShardHealthLiveProbes(t *testing.T) {
+	root := t.TempDir()
+	fleet, cfgs := newReplicatedFleet(t, root, 2, 2, platform.AckAsync, 10*time.Millisecond)
+	store, err := NewReplicated(context.Background(), cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet[1].procs[1].kill()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make([][]platform.ShardHealth, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = store.ShardHealth(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range results {
+		if len(out) != 4 {
+			t.Fatalf("call %d: %d entries, want 4", i, len(out))
+		}
+		for _, h := range out {
+			if h.Status == "" || h.Addr == "" {
+				t.Fatalf("call %d: replica %d/%d entry never filled in: %+v", i, h.Shard, h.Replica, h)
+			}
+			if h.Shard == 1 && h.Replica == 1 {
+				if h.Ready || h.Status != "unreachable" {
+					t.Errorf("call %d: dead replica renders %+v, want unreachable", i, h)
+				}
+			} else if !h.Ready {
+				t.Errorf("call %d: live replica %d/%d not ready: %+v", i, h.Shard, h.Replica, h)
+			}
+		}
+	}
+}
+
+// TestFailoverRefusesPromotionWithUnobservedEpoch pins the
+// epoch-visibility fence: a poller that never managed to read the
+// primary's replication status (here: the primary died before the poller
+// started) must not promote — its view of the dead primary's epoch is a
+// zero value, so the chosen promotion epoch could collide with the real
+// one and seat two writers at the same epoch. Once the primary has been
+// observed alive even once, the same death promotes normally.
+func TestFailoverRefusesPromotionWithUnobservedEpoch(t *testing.T) {
+	root := t.TempDir()
+	fleet, cfgs := newReplicatedFleet(t, root, 1, 2, platform.AckAsync, 10*time.Millisecond)
+	oldAddr := fleet[0].procs[0].addrOf()
+	fleet[0].procs[0].kill() // dies before the poller ever sees it
+
+	store, err := NewReplicated(context.Background(), cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	poller := store.StartFailover(FailoverOptions{
+		ProbeInterval: 20 * time.Millisecond,
+		DeadInterval:  60 * time.Millisecond,
+		Registry:      reg,
+	})
+	t.Cleanup(poller.Stop)
+
+	// Give the poller several dead intervals to (wrongly) act.
+	time.Sleep(300 * time.Millisecond)
+	if got := store.Primary(0); got != 0 {
+		t.Fatalf("poller promoted replica %d with the primary's epoch never observed", got)
+	}
+	if n := counterOf(reg, "repl.failovers"); n != 0 {
+		t.Fatalf("repl.failovers = %d, want 0 (promotion must be fenced)", n)
+	}
+
+	// The primary returns; one successful probe clears the fence.
+	old := startReplProc(t, filepath.Join(root, "g0-r0"), oldAddr, platform.ReplicationOptions{
+		ShipInterval: 10 * time.Millisecond,
+	})
+	waitUntil(t, 5*time.Second, "poller to observe the primary's epoch", func() bool {
+		for _, h := range store.ShardHealth(context.Background()) {
+			if h.Shard == 0 && h.Replica == 0 {
+				return h.Ready && h.Role == platform.RolePrimary
+			}
+		}
+		return false
+	})
+
+	// The same death now promotes: the fence only guards the unknown.
+	old.kill()
+	waitUntil(t, 5*time.Second, "promotion once the epoch is known", func() bool {
+		return store.Primary(0) == 1
+	})
+	if n := counterOf(reg, "repl.failovers"); n < 1 {
+		t.Errorf("repl.failovers = %d after promotion, want >= 1", n)
 	}
 }
 

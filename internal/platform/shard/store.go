@@ -626,31 +626,40 @@ func (s *Store) ShardHealth(ctx context.Context) []platform.ShardHealth {
 	if p != nil {
 		return p.health()
 	}
-	var out []platform.ShardHealth
+	// The slice is fully sized before any probe goroutine starts: each
+	// goroutine writes its own pre-allocated element, so the slice header
+	// is never touched concurrently (an append here would race the
+	// writers and could strand their results in a stale backing array).
+	total := 0
+	for _, g := range s.groups {
+		total += len(g.replicas)
+	}
+	out := make([]platform.ShardHealth, total)
 	var wg sync.WaitGroup
+	pos := 0
 	for gi, g := range s.groups {
 		for ri, b := range g.replicas {
-			h := platform.ShardHealth{Shard: gi, Replica: ri, Addr: g.addr(ri)}
-			out = append(out, h)
-			pos := len(out) - 1
+			out[pos] = platform.ShardHealth{Shard: gi, Replica: ri, Addr: g.addr(ri)}
 			p, ok := b.(platform.Pinger)
 			if !ok {
 				out[pos].Ready = true
 				out[pos].Status = "ready"
+				pos++
 				continue
 			}
 			wg.Add(1)
-			go func(pos int, p platform.Pinger) {
+			go func(h *platform.ShardHealth, p platform.Pinger) {
 				defer wg.Done()
 				rz, err := p.Ready(ctx)
 				if err != nil {
-					out[pos].Status = "unreachable"
-					out[pos].Error = err.Error()
+					h.Status = "unreachable"
+					h.Error = err.Error()
 					return
 				}
-				out[pos].Status = rz.Status
-				out[pos].Ready = rz.Status == "ready"
-			}(pos, p)
+				h.Status = rz.Status
+				h.Ready = rz.Status == "ready"
+			}(&out[pos], p)
+			pos++
 		}
 	}
 	wg.Wait()
