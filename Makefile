@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard replication
+.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard replication reshard
 
 build:
 	$(GO) build ./...
@@ -63,7 +63,16 @@ shard:
 replication:
 	$(GO) test -race -run 'Repl|Failover|Follower|SemiSync|Promotion|Unimplemented|Flapping|ChaosReplicated|ApplyShip|ShardHealth' ./internal/platform/...
 
-verify: build fmt vet test race recovery chaos stream shard replication
+# Online-resharding suite under the race detector: the minimal-delta ring
+# property, the stale-ring-version fence on the wire, the wrong_shard
+# client re-route (no breaker burn, no retry-budget burn), writes raced
+# against the cutover, clean pre-flip aborts, journal resume on either
+# side of the flip, and the kill-mid-migration chaos campaign with the
+# zero-acked-loss check.
+reshard:
+	$(GO) test -race -run 'Reshard|RingMovedDelta|Migration|WrongShard' ./internal/platform/...
+
+verify: build fmt vet test race recovery chaos stream shard replication reshard
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).

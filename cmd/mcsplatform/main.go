@@ -40,6 +40,12 @@
 // fsync; semisync withholds the ack until at least one follower confirmed
 // durability. Both require -data-dir.
 //
+// Joining a live fleet: -join http://router:8080 (with -advertise
+// listing this group's externally reachable URLs, primary first) asks
+// the fleet's router to admit this replica group via its online-reshard
+// coordinator once the node is serving. Run it on one member per group;
+// the request retries until the router accepts it.
+//
 // Overload protection: every /v1 route passes a weighted-concurrency
 // admission gate (-max-concurrent, -max-queue, -queue-timeout) and carries
 // a propagated deadline (-request-timeout); mutating routes are optionally
@@ -51,10 +57,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -94,11 +103,25 @@ func main() {
 	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber pending-update buffer on GET /v1/truths:watch; coalesced latest-wins per task (0 = one slot per task)")
 	watchMaxSubs := flag.Int("watch-max-subscribers", 4096, "concurrent watch subscribers before new ones are shed with 503 (negative = unlimited)")
 	watchTick := flag.Duration("watch-tick", 0, "evolving-truth round interval for the watch stream: older reports decay each round (0 disables decay)")
+	join := flag.String("join", "", "router base URL to join as a new replica group via POST /v1/admin/reshard (run on one member per group; requires -advertise)")
+	advertise := flag.String("advertise", "", "comma-separated externally reachable base URLs of this replica group, primary first (used with -join)")
 	flag.Parse()
 
 	if *numTasks < 1 {
 		fmt.Fprintln(os.Stderr, "mcsplatform: -tasks must be >= 1")
 		os.Exit(2)
+	}
+	var advertised []string
+	if *join != "" {
+		for _, a := range strings.Split(*advertise, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				advertised = append(advertised, a)
+			}
+		}
+		if len(advertised) == 0 {
+			fmt.Fprintln(os.Stderr, "mcsplatform: -join requires -advertise URLs for this group (primary first)")
+			os.Exit(2)
+		}
 	}
 
 	logger := log.New(os.Stderr, "mcsplatform ", log.LstdFlags)
@@ -238,6 +261,9 @@ func main() {
 	}()
 	served, _ := store.Tasks(context.Background())
 	logger.Printf("serving %d tasks on %s (metrics at /metrics and /v1/metrics)", len(served), *addr)
+	if *join != "" {
+		go joinFleet(ctx, *join, advertised, logger)
+	}
 
 	select {
 	case err := <-errCh:
@@ -265,4 +291,57 @@ func main() {
 	}
 	closeDurability()
 	os.Exit(exitCode)
+}
+
+// joinFleet asks the router to admit this replica group to the live
+// fleet. The router may still be booting (or already coordinating a
+// different migration), so the request retries with backoff until it is
+// accepted, permanently refused, or the process shuts down. The group
+// must already be serving before this runs — the router's coordinator
+// seeds it through the regular write API the moment the request lands.
+func joinFleet(ctx context.Context, router string, addrs []string, logger *log.Logger) {
+	body, err := json.Marshal(map[string][]string{"addrs": addrs})
+	if err != nil {
+		logger.Printf("join: encode request: %v", err)
+		return
+	}
+	url := strings.TrimRight(router, "/") + "/v1/admin/reshard"
+	client := &http.Client{Timeout: 10 * time.Second}
+	for delay := time.Second; ; {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			logger.Printf("join: build request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			logger.Printf("join: router %s unreachable (retrying in %v): %v", router, delay, err)
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				logger.Printf("join: router %s admitted this group: %s", router, strings.TrimSpace(string(msg)))
+				return
+			case http.StatusNotImplemented, http.StatusBadRequest:
+				logger.Printf("join: router %s refused permanently (%d): %s", router, resp.StatusCode, strings.TrimSpace(string(msg)))
+				return
+			default:
+				logger.Printf("join: router %s answered %d (retrying in %v): %s", router, resp.StatusCode, delay, strings.TrimSpace(string(msg)))
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		if delay < 30*time.Second {
+			delay *= 2
+		}
+	}
 }

@@ -35,10 +35,27 @@
 // there. A returning old primary is demoted and catches up from the new
 // primary's WAL. GET /readyz lists every replica with its role and probe
 // age.
+//
+// Online resharding: POST /v1/admin/reshard admits a new replica group
+// to the live fleet (requires -data-dir for the coordinator journal):
+//
+//	curl -XPOST localhost:8080/v1/admin/reshard \
+//	  -d '{"addrs":["http://c1","http://c2"]}'
+//
+// The coordinator seeds the joiner with every account the grown ring
+// re-homes, streams the donors' WAL tails until caught up, flips the
+// ring (bumping the ring version stamped on every shard RPC), fences
+// the moved accounts on the donors, and drains the last raced writes —
+// all while the fleet keeps serving. Coordinator state journals to
+// <data-dir>/reshard.json; a restarted router resumes an in-flight
+// migration automatically (post-flip it completes it, pre-flip it
+// restarts the idempotent seed). GET /readyz reports ring_version and
+// a migrating flag while a reshard is in flight.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +64,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -58,6 +76,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shardList := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines the ring; keep it stable). Replica groups separate members with '|': primary|follower[,...]")
+	dataDir := flag.String("data-dir", "", "router state directory (reshard coordinator journal); empty disables POST /v1/admin/reshard")
 	probeInterval := flag.Duration("probe-interval", time.Second, "mean interval between health probes of each replica (per-replica jittered; replicated fleets)")
 	deadInterval := flag.Duration("dead-interval", 0, "how long a primary must stay unreachable before a follower is promoted (0 = 3x -probe-interval)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default 128)")
@@ -149,6 +168,46 @@ func main() {
 		logger.Printf("failover poller running (probe %v, dead after %v)", *probeInterval, dead)
 	}
 
+	// Online resharding: the coordinator journal lives under -data-dir. A
+	// pending journal means a router died mid-migration — resume it before
+	// taking traffic, because post-flip the grown ring must be reinstalled
+	// before any write routes by the stale topology and trips a donor fence.
+	var journalPath string
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			logger.Printf("data dir %s: %v", *dataDir, err)
+			os.Exit(1)
+		}
+		journalPath = filepath.Join(*dataDir, "reshard.json")
+		if j, ok, err := shard.LoadMigrationJournal(journalPath); err != nil {
+			logger.Printf("reshard journal: %v", err)
+			os.Exit(1)
+		} else if ok && j.Pending() {
+			gc := shard.GroupConfig{Addrs: append([]string(nil), j.Addrs...)}
+			for _, e := range j.Addrs {
+				gc.Replicas = append(gc.Replicas, newBackend(e))
+			}
+			m, err := store.ResumeMigration(gc, j, shard.MigrationOptions{JournalPath: journalPath, Logger: logger})
+			if err != nil {
+				logger.Printf("reshard: resume: %v", err)
+				os.Exit(1)
+			}
+			logger.Printf("reshard: resuming journaled migration to ring v%d (phase %s)", j.RingVersion, j.Phase)
+			go func() {
+				if err := m.Run(context.Background()); err != nil {
+					logger.Printf("reshard: %v", err)
+				}
+			}()
+		} else if ok && j.Phase == shard.MigrationDone && len(configs) == len(j.Cursors)+1 {
+			// The fleet cut over to the grown ring while this router was
+			// down and -shards now lists the grown fleet. Stamp requests
+			// with the journaled ring version so the fenced donors accept
+			// them; a fresh topology would stamp v1 and be refused wholesale.
+			store.AdoptRingVersion(j.RingVersion)
+			logger.Printf("reshard: adopted completed migration's ring v%d", j.RingVersion)
+		}
+	}
+
 	apiServer := platform.NewServerWithOptions(store, platform.ServerOptions{
 		Logger: logger,
 		Limits: platform.ServerLimits{
@@ -167,6 +226,56 @@ func main() {
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", apiServer)
+	adminError := func(w http.ResponseWriter, status int, code, msg string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error": map[string]string{"code": code, "message": msg},
+		})
+	}
+	mux.HandleFunc("POST /v1/admin/reshard", func(w http.ResponseWriter, r *http.Request) {
+		if journalPath == "" {
+			adminError(w, http.StatusNotImplemented, "unimplemented", "resharding requires -data-dir for the coordinator journal")
+			return
+		}
+		var req struct {
+			Addrs []string `json:"addrs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			adminError(w, http.StatusBadRequest, "bad_request", "decode body: "+err.Error())
+			return
+		}
+		var gc shard.GroupConfig
+		for _, e := range req.Addrs {
+			if e = strings.TrimSpace(e); e != "" {
+				gc.Replicas = append(gc.Replicas, newBackend(e))
+				gc.Addrs = append(gc.Addrs, e)
+			}
+		}
+		if len(gc.Replicas) == 0 {
+			adminError(w, http.StatusBadRequest, "bad_request", "addrs must list at least one replica URL (primary first)")
+			return
+		}
+		m, err := store.StartMigration(gc, shard.MigrationOptions{JournalPath: journalPath, Logger: logger})
+		if err != nil {
+			adminError(w, http.StatusConflict, "conflict", err.Error())
+			return
+		}
+		// Read the journaled version before Run starts mutating the journal.
+		ringVersion := m.Journal().RingVersion
+		logger.Printf("reshard: admitting %v as group %d (ring v%d)", gc.Addrs, store.Shards(), ringVersion)
+		go func() {
+			if err := m.Run(context.Background()); err != nil {
+				logger.Printf("reshard: %v", err)
+			}
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":       "migrating",
+			"ring_version": ringVersion,
+		})
+	})
 	if *enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sybiltd/internal/mcs"
@@ -34,6 +35,9 @@ type APIError struct {
 	Message string
 	// Status is the HTTP status code.
 	Status int
+	// RingVersion accompanies CodeWrongShard: the ring version the
+	// refusing shard was fenced at.
+	RingVersion uint64
 }
 
 // Error implements error.
@@ -46,7 +50,14 @@ func (e *APIError) Error() string {
 
 // Unwrap maps the wire code back to its typed sentinel, so
 // errors.Is(err, platform.ErrUnknownTask) holds across the HTTP boundary.
-func (e *APIError) Unwrap() error { return sentinelForCode(e.Code) }
+// A wrong_shard unwraps to the typed *WrongShardError so errors.As
+// recovers the ring version the shard advertised.
+func (e *APIError) Unwrap() error {
+	if e.Code == CodeWrongShard {
+		return &WrongShardError{RingVersion: e.RingVersion}
+	}
+	return sentinelForCode(e.Code)
+}
 
 // ClientConfig tunes a Client beyond the defaults.
 type ClientConfig struct {
@@ -98,11 +109,26 @@ type Client struct {
 	cfg     ClientConfig
 	breaker *breaker // nil when BreakerThreshold == 0
 
+	// ringVersion, when non-zero, is stamped on every request as the
+	// X-Ring-Version header — the router's claim about which ring topology
+	// it routed with. Shards fenced at a higher version refuse stamped
+	// mutations with wrong_shard, which is what stops a router that missed
+	// an online-reshard cutover from writing through a stale topology. The
+	// sharded store bumps it on every topology install.
+	ringVersion atomic.Uint64
+
 	mu      sync.Mutex
 	bases   []string   // endpoint rotation, guarded by mu
 	baseIdx int        // index of the endpoint in use
 	rng     *rand.Rand // jitter source, guarded by mu
 }
+
+// SetRingVersion sets the ring version stamped on subsequent requests
+// (0 = no stamp).
+func (c *Client) SetRingVersion(v uint64) { c.ringVersion.Store(v) }
+
+// RingVersion returns the currently stamped ring version.
+func (c *Client) RingVersion() uint64 { return c.ringVersion.Load() }
 
 // Option configures NewClient.
 type Option func(*clientSettings)
@@ -411,6 +437,24 @@ func (c *Client) ReplSetRole(ctx context.Context, req ReplRoleRequest) (ReplStat
 	return out, err
 }
 
+// ReplExport reads a node's decoded WAL records after req.FromSeq — the
+// migration coordinator's catch-up tail during an online reshard.
+func (c *Client) ReplExport(ctx context.Context, req ExportRequest) (ExportBatch, error) {
+	var out ExportBatch
+	err := c.do(ctx, http.MethodPost, "/v1/repl/export", req, &out)
+	return out, err
+}
+
+// Fence tells a node to refuse further mutations for the given accounts
+// with wrong_shard at the given ring version — the cutover step of an
+// online reshard. Idempotent: re-fencing the same accounts at the same
+// (or lower) version is a no-op.
+func (c *Client) Fence(ctx context.Context, req FenceRequest) (FenceResponse, error) {
+	var out FenceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/fence", req, &out)
+	return out, err
+}
+
 // attemptResult classifies one request attempt for the retry loop and the
 // circuit breaker.
 type attemptResult struct {
@@ -488,6 +532,9 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, payload
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if v := c.ringVersion.Load(); v != 0 {
+		req.Header.Set(RingVersionHeader, strconv.FormatUint(v, 10))
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		// Connection-level failure. Retrying a cancelled context is
@@ -510,6 +557,12 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, payload
 			// A deliberate "this node does not serve that" answer
 			// (unimplemented wire code): the server is alive and the answer
 			// will not change, so neither retry nor breaker penalty.
+		case isWrongShard(apiErr):
+			// The shard deliberately refused: an online reshard moved the
+			// account away (or our ring-version stamp is stale). Retrying the
+			// same node can never succeed — the routing layer above must
+			// refresh its topology and re-route. The node is alive and
+			// answering, so no breaker penalty either.
 		case resp.StatusCode >= 500:
 			res.retryable = true
 			res.transportFailure = true
@@ -577,8 +630,15 @@ func decodeAPIError(resp *http.Response) error {
 	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil {
 		apiErr.Code = body.Code
 		apiErr.Message = body.Error
+		apiErr.RingVersion = body.RingVersion
 	}
 	return apiErr
+}
+
+// isWrongShard reports whether err is a wrong_shard refusal.
+func isWrongShard(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeWrongShard
 }
 
 // sleep blocks for the attempt's backoff delay (exponential from

@@ -30,6 +30,11 @@ const snapshotVersion = 1
 const (
 	opSubmit      = "submit"
 	opFingerprint = "fingerprint"
+	// opFence marks a set of accounts as moved off this shard by an online
+	// reshard (see Fencer). A fence is a mutation like any other: journaled
+	// before it takes effect and shipped to followers verbatim, so a
+	// promoted follower refuses the same writes its dead primary did.
+	opFence = "fence"
 )
 
 // walRecord is one durable mutation, JSON-encoded as the payload of a WAL
@@ -43,6 +48,10 @@ type walRecord struct {
 	Value    float64   `json:"value,omitempty"`
 	Time     time.Time `json:"time"`
 	Features []float64 `json:"features,omitempty"`
+	// Ring and Accounts are opFence fields: the ring version the fence was
+	// installed at and the accounts it covers.
+	Ring     uint64   `json:"ring,omitempty"`
+	Accounts []string `json:"accounts,omitempty"`
 }
 
 // snapshotFile is the envelope written to snapshot.json: the campaign in
@@ -57,6 +66,12 @@ type snapshotFile struct {
 	Seq     uint64          `json:"seq"`
 	Epoch   uint64          `json:"epoch,omitempty"`
 	Dataset json.RawMessage `json:"dataset"`
+	// Fence and FenceVersion carry resharding fence state across WAL
+	// compaction, same as Epoch: the WAL resets on snapshot, so a fence
+	// journaled as opFence must also ride in the envelope or a restart
+	// after compaction would forget it and take writes for moved accounts.
+	Fence        map[string]uint64 `json:"fence,omitempty"`
+	FenceVersion uint64            `json:"fence_version,omitempty"`
 }
 
 // DurableOptions tunes OpenDurable.
@@ -150,11 +165,15 @@ type Durability struct {
 // the lock release and redeems it with waitDurable before acknowledging.
 // wait marks a group-commit token whose fsync is still pending; an
 // inline-fsync token is already durable but still carries its sequence
-// number so the replication layer can gate a semi-sync ack on it. The
-// zero token means "nothing journaled" (no journal at all).
+// number so the replication layer can gate a semi-sync ack on it. epoch
+// is the replication epoch the record was appended under: the semi-sync
+// settle refuses to ack a token whose lineage has since changed (a
+// demotion's snapshot reset may have rolled the record back). The zero
+// token means "nothing journaled" (no journal at all).
 type commitToken struct {
-	seq  uint64
-	wait bool
+	seq   uint64
+	epoch uint64
+	wait  bool
 }
 
 // groupCommit coalesces concurrent WAL fsyncs. Appenders (holding the
@@ -304,6 +323,7 @@ func OpenDurable(dir string, tasks []mcs.Task, opts DurableOptions) (*LocalStore
 			return nil, nil, stats, fmt.Errorf("platform: snapshot %s: %w", snapPath, err)
 		}
 		store = storeFromDataset(ds)
+		store.resetFenceLocked(snap.Fence, snap.FenceVersion) // store not shared yet
 		seq = snap.Seq
 		epoch = snap.Epoch
 		stats.SnapshotLoaded = true
@@ -469,6 +489,12 @@ func (s *LocalStore) replayRecordLocked(rec walRecord) bool {
 		}
 		st.fingerprint = append([]float64(nil), rec.Features...)
 		return true
+	case opFence:
+		if rec.Ring == 0 {
+			return false
+		}
+		s.applyFenceLocked(rec.Ring, rec.Accounts)
+		return true
 	}
 	return false
 }
@@ -503,7 +529,7 @@ func (d *Durability) appendLocked(rec walRecord) (commitToken, error) {
 	d.walOffsets = append(d.walOffsets, off)
 	if d.gc != nil {
 		d.noteAppendedLocked(1)
-		return commitToken{seq: d.seq, wait: true}, nil
+		return commitToken{seq: d.seq, epoch: d.epoch, wait: true}, nil
 	}
 	fw := d.reg.Timer("wal.fsync_seconds").Start()
 	err = d.w.Sync()
@@ -516,7 +542,7 @@ func (d *Durability) appendLocked(rec walRecord) (commitToken, error) {
 	d.reg.Counter("wal.records").Inc()
 	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
 	d.notifyDurable()
-	return commitToken{seq: d.seq}, nil
+	return commitToken{seq: d.seq, epoch: d.epoch}, nil
 }
 
 // appendBatchLocked journals several mutations as one buffered WAL write.
@@ -557,7 +583,7 @@ func (d *Durability) appendBatchLocked(recs []walRecord) (commitToken, error) {
 	d.reg.Histogram("wal.batch_size").Observe(float64(len(recs)))
 	if d.gc != nil {
 		d.noteAppendedLocked(len(recs))
-		return commitToken{seq: d.seq, wait: true}, nil
+		return commitToken{seq: d.seq, epoch: d.epoch, wait: true}, nil
 	}
 	fw := d.reg.Timer("wal.fsync_seconds").Start()
 	err = d.w.Sync()
@@ -570,7 +596,7 @@ func (d *Durability) appendBatchLocked(recs []walRecord) (commitToken, error) {
 	d.reg.Counter("wal.records").Add(int64(len(recs)))
 	d.reg.Gauge("wal.size_bytes").Set(d.w.Size())
 	d.notifyDurable()
-	return commitToken{seq: d.seq}, nil
+	return commitToken{seq: d.seq, epoch: d.epoch}, nil
 }
 
 // noteAppendedLocked publishes the latest buffered sequence number to the
@@ -646,7 +672,9 @@ func (d *Durability) snapshotLocked() error {
 	if err := d.store.datasetLocked().EncodeJSON(&buf); err != nil {
 		return fmt.Errorf("encode dataset: %w", err)
 	}
-	env, err := json.Marshal(snapshotFile{Version: snapshotVersion, Seq: d.seq, Epoch: d.epoch, Dataset: buf.Bytes()})
+	fence, fenceVersion := d.store.fenceStateLocked()
+	env, err := json.Marshal(snapshotFile{Version: snapshotVersion, Seq: d.seq, Epoch: d.epoch,
+		Dataset: buf.Bytes(), Fence: fence, FenceVersion: fenceVersion})
 	if err != nil {
 		return fmt.Errorf("encode snapshot: %w", err)
 	}

@@ -113,12 +113,36 @@ type (
 	}
 	// ErrorResponse is the uniform error body. Code is the stable
 	// machine-readable contract (see the Code* constants); Error is the
-	// human-readable message and may change between releases.
+	// human-readable message and may change between releases. RingVersion
+	// accompanies CodeWrongShard: the ring version the refusing shard was
+	// fenced at, so a stale router knows its topology is behind.
 	ErrorResponse struct {
-		Code  string `json:"code"`
-		Error string `json:"error"`
+		Code        string `json:"code"`
+		Error       string `json:"error"`
+		RingVersion uint64 `json:"ring_version,omitempty"`
+	}
+	// FenceRequest is the POST /v1/admin/fence body: the migration
+	// coordinator's instruction to a donor shard to durably refuse writes
+	// for accounts the new ring moved elsewhere.
+	FenceRequest struct {
+		RingVersion uint64   `json:"ring_version"`
+		Accounts    []string `json:"accounts"`
+	}
+	// FenceResponse acknowledges a fence with the shard's resulting fence
+	// version.
+	FenceResponse struct {
+		Status       string `json:"status"`
+		FenceVersion uint64 `json:"fence_version"`
 	}
 )
+
+// RingVersionHeader stamps mutating RPCs with the sender's ring version
+// (online resharding). A shard that has been fenced at a higher version
+// refuses the mutation with CodeWrongShard — the stale-router fence: a
+// router that missed a cutover cannot write through its outdated
+// topology. Unstamped requests are still subject to the per-account
+// fence, just not the version check.
+const RingVersionHeader = "X-Ring-Version"
 
 // Err returns nil for an accepted batch item, or the rejection mapped
 // back to the same typed sentinel a single Submit would have returned
@@ -169,7 +193,13 @@ const (
 	// CodeUnimplemented marks an endpoint this node knowingly does not
 	// serve (HTTP 501). NOT retryable: the answer will not change.
 	CodeUnimplemented = "unimplemented"
-	CodeInternal      = "internal"
+	// CodeWrongShard marks a mutation refused because the account moved to
+	// another replica group in an online reshard (or the request's stamped
+	// ring version predates the fence). 503-class, but NOT retryable
+	// against the same shard — the response carries ring_version and the
+	// caller must refresh its topology and re-route.
+	CodeWrongShard = "wrong_shard"
+	CodeInternal   = "internal"
 )
 
 // codeForError maps a store/server error onto its wire code and HTTP
@@ -203,6 +233,10 @@ func codeForError(err error) (code string, status int) {
 		// 503: the router refreshes its primary view and retries against
 		// the promoted replica.
 		return CodeNotPrimary, http.StatusServiceUnavailable
+	case errors.Is(err, ErrWrongShard):
+		// 503: the router reloads its ring topology and re-routes to the
+		// account's new owner group. Retrying here can never succeed.
+		return CodeWrongShard, http.StatusServiceUnavailable
 	case errors.Is(err, ErrReplicaLag):
 		return CodeReplicaLag, http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnimplemented):
@@ -254,6 +288,8 @@ func sentinelForCode(code string) error {
 		return ErrReplicaLag
 	case CodeUnimplemented:
 		return ErrUnimplemented
+	case CodeWrongShard:
+		return ErrWrongShard
 	default:
 		return nil
 	}
@@ -444,6 +480,12 @@ func NewServerWithOptions(store Store, opts ServerOptions) *Server {
 	s.handle("POST /v1/repl/frames", weightDeferred, s.handleReplShip)
 	s.handle("POST /v1/repl/role", weightDeferred, s.handleReplRole)
 	s.mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
+	// Resharding plane: WAL tail export (the migration coordinator's
+	// catch-up stream) and the donor fence. Both bypass the gate like the
+	// replication routes — a migration must make progress precisely when
+	// client load is heaviest, or it never converges.
+	s.handle("POST /v1/repl/export", weightDeferred, s.handleReplExport)
+	s.handle("POST /v1/admin/fence", weightDeferred, s.handleFence)
 	// Unknown /v1 paths answer a typed 501 unimplemented JSON body rather
 	// than the mux's bare 404, so a version-skewed client fails with a
 	// decodable coded error instead of a body-parse failure.
@@ -714,7 +756,37 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 			w.Header().Set("Retry-After", retryAfterValue(s.limits.RetryAfterHint))
 		}
 	}
-	s.writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
+	body := ErrorResponse{Code: code, Error: err.Error()}
+	var ws *WrongShardError
+	if errors.As(err, &ws) {
+		body.RingVersion = ws.RingVersion
+	}
+	s.writeJSON(w, status, body)
+}
+
+// checkRingVersion applies the stale-router fence to a mutating request:
+// a request stamped with a ring version below the version this shard was
+// fenced at is refused with wrong_shard, whatever account it names — the
+// sender's whole topology predates the cutover, so its routing cannot be
+// trusted. Unstamped requests pass (they still hit the per-account fence
+// in the store). Returns nil when the store has no fence capability.
+func (s *Server) checkRingVersion(r *http.Request) error {
+	h := r.Header.Get(RingVersionHeader)
+	if h == "" {
+		return nil
+	}
+	v, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return fmt.Errorf("%w: bad %s header %q", ErrMalformedRequest, RingVersionHeader, h)
+	}
+	f, ok := s.store.(Fencer)
+	if !ok {
+		return nil
+	}
+	if fenced := f.FenceVersion(); v < fenced {
+		return &WrongShardError{RingVersion: fenced}
+	}
+	return nil
 }
 
 // allowAccount applies the per-account rate limit; with no limiter
@@ -768,6 +840,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.allowAccount(w, req.Account) {
 		return
 	}
+	if err := s.checkRingVersion(r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	if req.Time.IsZero() {
 		req.Time = time.Now().UTC()
 	}
@@ -791,6 +867,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	n := len(req.Reports)
 	if n > MaxBatchItems {
 		s.writeError(w, fmt.Errorf("%w: batch of %d exceeds %d items", ErrMalformedRequest, n, MaxBatchItems))
+		return
+	}
+	if err := s.checkRingVersion(r); err != nil {
+		s.writeError(w, err)
 		return
 	}
 	if n == 0 {
@@ -890,6 +970,10 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.allowAccount(w, req.Account) {
+		return
+	}
+	if err := s.checkRingVersion(r); err != nil {
+		s.writeError(w, err)
 		return
 	}
 	hasRaw := len(req.AccelX) > 0 || len(req.AccelY) > 0 || len(req.AccelZ) > 0 ||
@@ -1027,6 +1111,46 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.repl.Status())
 }
 
+// handleReplExport serves the migration coordinator's WAL tail read:
+// decoded durable records by sequence range (see Exporter). 501 on a
+// store with no durable history.
+func (s *Server) handleReplExport(w http.ResponseWriter, r *http.Request) {
+	exp, ok := s.store.(Exporter)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: WAL export not served on this node", ErrUnimplemented))
+		return
+	}
+	var req ExportRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	batch, err := exp.ExportSince(r.Context(), req.FromSeq, req.MaxRecords)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, batch)
+}
+
+// handleFence installs a resharding fence on this shard (see Fencer): the
+// named accounts durably refuse writes with wrong_shard from here on.
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.store.(Fencer)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: fencing not served on this node", ErrUnimplemented))
+		return
+	}
+	var req FenceRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := f.Fence(r.Context(), req.RingVersion, req.Accounts); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, FenceResponse{Status: "fenced", FenceVersion: f.FenceVersion()})
+}
+
 // handleHealthz is liveness: the process is up and serving. Always 200 —
 // an overloaded server is alive, and restarting it would only make the
 // overload worse.
@@ -1049,9 +1173,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "overloaded"})
 		return
 	}
+	var ring RingStatus
+	if rr, ok := s.store.(RingStatusReporter); ok {
+		ring = rr.RingStatus()
+	}
 	if hr, ok := s.store.(HealthReporter); ok {
 		shards := hr.ShardHealth(r.Context())
-		resp := ReadyzResponse{Status: "ready", Shards: shards}
+		resp := ReadyzResponse{Status: "ready", Shards: shards,
+			RingVersion: ring.Version, Migrating: ring.Migrating}
 		status := http.StatusOK
 		for _, sh := range shards {
 			if !sh.Ready {
@@ -1063,7 +1192,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, status, resp)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ready"})
+	s.writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ready",
+		RingVersion: ring.Version, Migrating: ring.Migrating})
 }
 
 // handleMetricsJSON serves the registry snapshot as JSON: counters,

@@ -47,6 +47,17 @@ type LocalStore struct {
 	// before the store is shared.
 	repl *Replication
 
+	// fenced maps account → ring version at which an online reshard moved
+	// the account off this shard; mutations naming a fenced account are
+	// refused with *WrongShardError. fenceVersion is the highest version
+	// any fence here was installed at — mutations stamped with an older
+	// ring version are refused outright, which is what stops a router that
+	// missed a flip from writing through a stale topology. Both survive
+	// restarts (opFence WAL records + the snapshot envelope) and ship to
+	// followers like any other write.
+	fenced       map[string]uint64
+	fenceVersion uint64
+
 	// onSubmit, when set, receives every acknowledged submission (single
 	// and batch) after durability settles — the feed for the truth-watch
 	// stream hub. Guarded by hookMu, not mu: the callback runs outside the
@@ -55,8 +66,11 @@ type LocalStore struct {
 	onSubmit SubmitListener
 }
 
-// LocalStore implements Store.
-var _ Store = (*LocalStore)(nil)
+// LocalStore implements Store and the resharding Fencer capability.
+var (
+	_ Store  = (*LocalStore)(nil)
+	_ Fencer = (*LocalStore)(nil)
+)
 
 // SubmitListener observes acknowledged submissions. Items are only ever
 // reports the store has applied (and, on a durable store, fsynced). The
@@ -162,7 +176,49 @@ var (
 	// follower). Maps to HTTP 501; the client does NOT retry — the answer
 	// will not change.
 	ErrUnimplemented = errors.New("platform: unimplemented")
+	// ErrWrongShard means the account addressed by a mutation no longer
+	// lives on this shard: an online reshard moved it to another replica
+	// group and this node was fenced. The write was NOT applied. Maps to
+	// HTTP 503 with the current ring version in the body; the router
+	// refreshes its topology and re-routes instead of retrying here (a
+	// retry against a fenced shard can never succeed). Returned as a
+	// *WrongShardError so callers can read the version.
+	ErrWrongShard = errors.New("platform: wrong shard for account")
 )
+
+// WrongShardError is the typed form of ErrWrongShard: the refusal carries
+// the ring version at which this shard was fenced, so a stale router
+// learns how far behind its topology is. errors.Is(err, ErrWrongShard)
+// matches it.
+type WrongShardError struct {
+	// RingVersion is the ring version the fence was installed at — the
+	// minimum version a router must hold to route correctly past it.
+	RingVersion uint64
+}
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("platform: wrong shard for account (ring version %d)", e.RingVersion)
+}
+
+// Is makes errors.Is(err, ErrWrongShard) succeed on the typed error.
+func (e *WrongShardError) Is(target error) bool { return target == ErrWrongShard }
+
+// Fencer is the capability interface for online resharding: a store that
+// can durably refuse writes for accounts the ring has moved elsewhere.
+// LocalStore implements it; RemoteStore forwards it over the wire. The
+// sharded composite store does NOT implement it — fences are installed on
+// individual donor shards by the migration coordinator.
+type Fencer interface {
+	// Fence marks accounts as moved away as of ringVersion: every later
+	// mutation naming one of them — and every mutation stamped with a ring
+	// version below ringVersion — is refused with a *WrongShardError. The
+	// fence is journaled (and replicated) like any write, so it survives
+	// crashes and follower promotion.
+	Fence(ctx context.Context, ringVersion uint64, accounts []string) error
+	// FenceVersion returns the highest ring version this store has been
+	// fenced at (0 = never fenced).
+	FenceVersion() uint64
+}
 
 // isFinite reports whether v is a usable measurement. NaN and ±Inf are
 // rejected at the store boundary: a single non-finite observation
@@ -274,6 +330,9 @@ func (s *LocalStore) submitLocked(ctx context.Context, account string, task int,
 	defer s.mu.Unlock()
 	if task < 0 || task >= len(s.tasks) {
 		return commitToken{}, fmt.Errorf("%w: %d", ErrUnknownTask, task)
+	}
+	if _, moved := s.fenced[account]; moved {
+		return commitToken{}, &WrongShardError{RingVersion: s.fenceVersion}
 	}
 	st := s.accounts[account]
 	if st == nil {
@@ -394,6 +453,10 @@ func (s *LocalStore) submitBatchLocked(ctx context.Context, items []BatchSubmiss
 		}
 		if it.Task < 0 || it.Task >= len(s.tasks) {
 			errs[i] = fmt.Errorf("%w: %d", ErrUnknownTask, it.Task)
+			continue
+		}
+		if _, moved := s.fenced[it.Account]; moved {
+			errs[i] = &WrongShardError{RingVersion: s.fenceVersion}
 			continue
 		}
 		st := s.accounts[it.Account]
@@ -528,6 +591,9 @@ func (s *LocalStore) setFingerprint(ctx context.Context, account string, vec []f
 func (s *LocalStore) setFingerprintLocked(ctx context.Context, account string, vec []float64) (commitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, moved := s.fenced[account]; moved {
+		return commitToken{}, &WrongShardError{RingVersion: s.fenceVersion}
+	}
 	st := s.accounts[account]
 	if st == nil {
 		if err := s.roomForAccountLocked(); err != nil {
@@ -554,6 +620,118 @@ func (s *LocalStore) setFingerprintLocked(ctx context.Context, account string, v
 		s.journal.maybeCompactLocked()
 	}
 	return tok, nil
+}
+
+// Fence durably marks accounts as moved off this shard as of ringVersion
+// (see Fencer). Fencing is a write: it is journaled and fsynced before it
+// takes effect, ships to followers through the regular WAL stream, and on
+// a semi-sync primary the ack waits for a follower to hold it — so a
+// promoted follower is exactly as fenced as the primary it replaces.
+// Fencing an already-fenced account raises its version; fencing with an
+// older version than an existing fence is a no-op for that account but
+// still records the max version seen. Idempotent by construction, so the
+// migration coordinator can re-issue it on every resume.
+func (s *LocalStore) Fence(ctx context.Context, ringVersion uint64, accounts []string) error {
+	if ringVersion == 0 {
+		return fmt.Errorf("%w: fence needs a ring version", ErrMalformedRequest)
+	}
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	tok, err := s.fenceLocked(ctx, ringVersion, accounts)
+	if err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.waitDurable(tok); err != nil {
+			return err
+		}
+	}
+	if s.repl != nil {
+		return s.repl.settle(ctx, tok)
+	}
+	return nil
+}
+
+func (s *LocalStore) fenceLocked(ctx context.Context, ringVersion uint64, accounts []string) (commitToken, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return commitToken{}, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	var tok commitToken
+	if s.journal != nil {
+		var err error
+		tok, err = s.journal.appendLocked(walRecord{Op: opFence, Ring: ringVersion, Accounts: accounts})
+		if err != nil {
+			return commitToken{}, err
+		}
+	}
+	s.applyFenceLocked(ringVersion, accounts)
+	obs.Default().Counter("platform.fences").Inc()
+	if s.journal != nil {
+		s.journal.maybeCompactLocked()
+	}
+	return tok, nil
+}
+
+// applyFenceLocked installs the fence in memory. Shared by the client
+// path, WAL replay, and snapshot adoption; caller must hold mu.
+func (s *LocalStore) applyFenceLocked(ringVersion uint64, accounts []string) {
+	if s.fenced == nil {
+		s.fenced = make(map[string]uint64)
+	}
+	for _, a := range accounts {
+		if a == "" {
+			continue
+		}
+		if ringVersion > s.fenced[a] {
+			s.fenced[a] = ringVersion
+		}
+	}
+	if ringVersion > s.fenceVersion {
+		s.fenceVersion = ringVersion
+	}
+}
+
+// FenceVersion returns the highest ring version this store was fenced at
+// (0 = never fenced). The HTTP layer uses it to refuse mutations stamped
+// with a stale ring version.
+func (s *LocalStore) FenceVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fenceVersion
+}
+
+// fenceStateLocked exports the fence map for the snapshot envelope (the
+// WAL is reset on compaction, so the fence must ride in the snapshot the
+// same way the replication epoch does). Caller must hold mu.
+func (s *LocalStore) fenceStateLocked() (map[string]uint64, uint64) {
+	if len(s.fenced) == 0 && s.fenceVersion == 0 {
+		return nil, 0
+	}
+	out := make(map[string]uint64, len(s.fenced))
+	for a, v := range s.fenced {
+		out[a] = v
+	}
+	return out, s.fenceVersion
+}
+
+// resetFenceLocked replaces the fence state wholesale (snapshot adoption
+// on a follower). Caller must hold mu.
+func (s *LocalStore) resetFenceLocked(fenced map[string]uint64, version uint64) {
+	s.fenced = nil
+	s.fenceVersion = 0
+	if len(fenced) > 0 || version > 0 {
+		s.fenced = make(map[string]uint64, len(fenced))
+		for a, v := range fenced {
+			s.fenced[a] = v
+		}
+		s.fenceVersion = version
+	}
 }
 
 // Dataset snapshots the store as an mcs.Dataset (accounts in registration

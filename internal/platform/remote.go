@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sybiltd/internal/mcs"
@@ -22,14 +23,23 @@ import (
 type RemoteStore struct {
 	c *Client
 
+	// fenceVersion caches the highest fence version acknowledged by the
+	// backing node through this store — FenceVersion() answers from it
+	// without a round trip.
+	fenceVersion atomic.Uint64
+
 	hookMu   sync.RWMutex
 	onSubmit SubmitListener
 }
 
-// RemoteStore implements Store and the Pinger health capability.
+// RemoteStore implements Store, the Pinger health capability, and the
+// resharding capabilities (Exporter, Fencer) by forwarding to the
+// backing node.
 var (
-	_ Store  = (*RemoteStore)(nil)
-	_ Pinger = (*RemoteStore)(nil)
+	_ Store    = (*RemoteStore)(nil)
+	_ Pinger   = (*RemoteStore)(nil)
+	_ Exporter = (*RemoteStore)(nil)
+	_ Fencer   = (*RemoteStore)(nil)
 )
 
 // NewRemoteStore wraps c as a Store.
@@ -201,3 +211,35 @@ func (r *RemoteStore) Stats(ctx context.Context) (StatsResponse, error) {
 func (r *RemoteStore) Ready(ctx context.Context) (ReadyzResponse, error) {
 	return r.c.Ready(ctx)
 }
+
+// ExportSince reads the backing node's decoded WAL tail (the migration
+// coordinator's catch-up stream during an online reshard).
+func (r *RemoteStore) ExportSince(ctx context.Context, from uint64, max int) (ExportBatch, error) {
+	batch, err := r.c.ReplExport(ctx, ExportRequest{FromSeq: from, MaxRecords: max})
+	if err != nil {
+		return ExportBatch{}, shardErr(err)
+	}
+	return batch, nil
+}
+
+// Fence tells the backing node to refuse further mutations for accounts
+// with wrong_shard at ringVersion (the online-reshard cutover).
+func (r *RemoteStore) Fence(ctx context.Context, ringVersion uint64, accounts []string) error {
+	resp, err := r.c.Fence(ctx, FenceRequest{RingVersion: ringVersion, Accounts: accounts})
+	if err != nil {
+		return shardErr(err)
+	}
+	// Remember the highest acknowledged fence version (concurrent callers
+	// may land out of order).
+	for {
+		cur := r.fenceVersion.Load()
+		if resp.FenceVersion <= cur || r.fenceVersion.CompareAndSwap(cur, resp.FenceVersion) {
+			return nil
+		}
+	}
+}
+
+// FenceVersion returns the highest fence version the backing node has
+// acknowledged through this store (0 until a Fence call succeeds — it is
+// a local cache, not a remote read).
+func (r *RemoteStore) FenceVersion() uint64 { return r.fenceVersion.Load() }

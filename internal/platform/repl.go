@@ -80,6 +80,14 @@ type ReplShipRequest struct {
 	Frames      []ReplFrame `json:"frames,omitempty"`
 	Snapshot    []byte      `json:"snapshot,omitempty"` // mcs JSON dataset
 	SnapshotSeq uint64      `json:"snapshot_seq,omitempty"`
+	// Fence and FenceVersion accompany a snapshot: the primary's resharding
+	// fence state (see Fencer), which rides outside the dataset the same
+	// way it rides outside the WAL in the snapshot envelope. A follower
+	// adopting a snapshot adopts the fence with it — otherwise a snapshot
+	// reset would silently unfence a replica and it could accept writes for
+	// accounts the ring moved away.
+	Fence        map[string]uint64 `json:"fence,omitempty"`
+	FenceVersion uint64            `json:"fence_version,omitempty"`
 }
 
 // ReplShipResponse reports the follower's cursor after a ship. AppliedSeq
@@ -338,12 +346,22 @@ func (r *Replication) settle(ctx context.Context, tok commitToken) error {
 	if r.mode != AckSemiSync || tok.seq == 0 {
 		return nil
 	}
-	if r.Role() != RolePrimary {
-		return nil // replicated apply path; follower acks are the ship response
-	}
 	timer := time.NewTimer(r.semiSyncTimeout)
 	defer timer.Stop()
 	for {
+		// Lineage guard: settle is only reached by client writes this node
+		// accepted as primary. If the node was demoted — or adopted a
+		// different epoch — while the ack was pending, the record may be
+		// rolled back by the snapshot reset that follows demotion, and the
+		// ack counter now tracks a DIFFERENT history whose sequence numbers
+		// will sail past tok.seq without ever containing this record.
+		// Acking would report durability for a write that no longer exists
+		// anywhere; refuse instead. The refusal is ambiguous by design (the
+		// write may have survived), and the caller's retry against the real
+		// primary is absorbed by the duplicate guard if it did.
+		if r.Role() != RolePrimary || r.d.Epoch() != tok.epoch {
+			return fmt.Errorf("%w: demoted while awaiting follower ack of seq %d", ErrNotPrimary, tok.seq)
+		}
 		r.shipMu.Lock()
 		acked := r.ackSeq
 		ch := r.ackCh
@@ -380,6 +398,17 @@ func (r *Replication) pokeShippers() {
 		default:
 		}
 	}
+	r.shipMu.Unlock()
+}
+
+// wakeSettles broadcasts to every blocked semi-sync settle without
+// advancing the ack cursor: each waiter re-runs its lineage guard and
+// fails fast instead of sleeping out the semi-sync timeout against a
+// history that can no longer ack it. Called on any role or epoch change.
+func (r *Replication) wakeSettles() {
+	r.shipMu.Lock()
+	close(r.ackCh)
+	r.ackCh = make(chan struct{})
 	r.shipMu.Unlock()
 }
 
@@ -465,14 +494,15 @@ func (r *Replication) shipPending(s *shipper) {
 		req := ReplShipRequest{Epoch: epoch, PrimarySeq: durable}
 		switch {
 		case needSnap:
-			snap, seq, ep, err := r.snapshotForShip()
+			snap, err := r.snapshotForShip()
 			if err != nil {
 				r.logf("repl: snapshot for %s: %v", s.endpoint, err)
 				r.reg.Counter("repl.ship_errors").Inc()
 				return
 			}
-			req.Snapshot, req.SnapshotSeq, req.Epoch = snap, seq, ep
-			req.PrimarySeq = seq
+			req.Snapshot, req.SnapshotSeq, req.Epoch = snap.data, snap.seq, snap.epoch
+			req.Fence, req.FenceVersion = snap.fence, snap.fenceVersion
+			req.PrimarySeq = snap.seq
 		case cursor < durable:
 			frames, snapNeeded, err := r.d.framesSince(cursor, r.maxBatch)
 			if err != nil {
@@ -571,33 +601,46 @@ func (r *Replication) stepDown() {
 	r.role = RoleFollower
 	r.mu.Unlock()
 	r.reg.Counter("repl.stepdowns").Inc()
+	r.wakeSettles()
 	// The shipper goroutines observe the role change and exit; their
 	// entries are replaced wholesale on the next promotion.
+}
+
+// shipSnapshot is what snapshotForShip hands the shipper: the encoded
+// dataset plus the {seq, epoch, fence} it covers.
+type shipSnapshot struct {
+	data         []byte
+	seq          uint64
+	epoch        uint64
+	fence        map[string]uint64
+	fenceVersion uint64
 }
 
 // snapshotForShip compacts local state to disk (making everything
 // durable — a shipped snapshot must never contain un-fsynced records, or
 // a primary crash could leave a follower holding a "future" the restarted
 // primary would then contradict at the same epoch) and returns the
-// encoded dataset with the {seq, epoch} it covers.
-func (r *Replication) snapshotForShip() ([]byte, uint64, uint64, error) {
+// encoded dataset with the {seq, epoch, fence} it covers.
+func (r *Replication) snapshotForShip() (shipSnapshot, error) {
 	r.store.mu.Lock()
 	if r.d.closed {
 		r.store.mu.Unlock()
-		return nil, 0, 0, fmt.Errorf("%w: durability closed", ErrDurability)
+		return shipSnapshot{}, fmt.Errorf("%w: durability closed", ErrDurability)
 	}
 	if err := r.d.snapshotLocked(); err != nil {
 		r.store.mu.Unlock()
-		return nil, 0, 0, err
+		return shipSnapshot{}, err
 	}
 	ds := r.store.datasetLocked()
-	seq, epoch := r.d.seq, r.d.epoch
+	snap := shipSnapshot{seq: r.d.seq, epoch: r.d.epoch}
+	snap.fence, snap.fenceVersion = r.store.fenceStateLocked()
 	r.store.mu.Unlock()
 	var buf bytes.Buffer
 	if err := ds.EncodeJSON(&buf); err != nil {
-		return nil, 0, 0, err
+		return shipSnapshot{}, err
 	}
-	return buf.Bytes(), seq, epoch, nil
+	snap.data = buf.Bytes()
+	return snap, nil
 }
 
 // ApplyShip is the follower half of the protocol (POST /v1/repl/frames).
@@ -768,6 +811,10 @@ func (r *Replication) resetFromSnapshot(req ReplShipRequest) error {
 	r.store.tasks = rebuilt.tasks
 	r.store.accounts = rebuilt.accounts
 	r.store.order = rebuilt.order
+	// Fence state must be installed before adoptSnapshotLocked writes the
+	// local snapshot envelope, so the adopted fence is durable with the
+	// adopted dataset.
+	r.store.resetFenceLocked(req.Fence, req.FenceVersion)
 	if err := r.d.adoptSnapshotLocked(req.SnapshotSeq, req.Epoch); err != nil {
 		return err
 	}
@@ -802,6 +849,7 @@ func (r *Replication) SetRole(ctx context.Context, req ReplRoleRequest) error {
 		r.ackSeq = 0 // follower acks below the new epoch do not count
 		r.shipMu.Unlock()
 		r.startShippersLocked(req.Followers)
+		r.wakeSettles()
 		r.reg.Counter("repl.promotions").Inc()
 		r.logf("repl: promoted to primary at epoch %d (%d followers)", req.Epoch, len(req.Followers))
 		return nil
@@ -816,6 +864,7 @@ func (r *Replication) SetRole(ctx context.Context, req ReplRoleRequest) error {
 		r.mu.Unlock()
 		if wasPrimary {
 			r.stopShippers()
+			r.wakeSettles()
 			r.logf("repl: demoted to follower of %s (epoch stays %d)", req.Primary, own)
 		}
 		return nil

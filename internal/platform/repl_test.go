@@ -322,10 +322,11 @@ func TestApplyShipEpochRules(t *testing.T) {
 	if err := pStore.Submit(ctx, "a0", 0, 1, at(0)); err != nil {
 		t.Fatal(err)
 	}
-	snap, snapSeq, _, err := pr.snapshotForShip()
+	shipSnap, err := pr.snapshotForShip()
 	if err != nil {
 		t.Fatal(err)
 	}
+	snap, snapSeq := shipSnap.data, shipSnap.seq
 	resp, err := node.repl.ApplyShip(ctx, ReplShipRequest{Epoch: 2, PrimarySeq: snapSeq, Snapshot: snap, SnapshotSeq: snapSeq})
 	if err != nil || resp.Epoch != 2 || resp.AppliedSeq != snapSeq {
 		t.Fatalf("snapshot ship: %+v, %v; want epoch 2 applied %d", resp, err, snapSeq)
@@ -377,10 +378,11 @@ func TestApplyShipRevalidatesUnderLock(t *testing.T) {
 	if err != nil || len(frames) != 3 {
 		t.Fatalf("framesSince: %d frames, err=%v", len(frames), err)
 	}
-	snap, snapSeq, snapEpoch, err := pr.snapshotForShip()
-	if err != nil || snapEpoch != 0 {
-		t.Fatalf("snapshotForShip: epoch=%d, err=%v", snapEpoch, err)
+	shipSnap, err := pr.snapshotForShip()
+	if err != nil || shipSnap.epoch != 0 {
+		t.Fatalf("snapshotForShip: epoch=%d, err=%v", shipSnap.epoch, err)
 	}
+	snap, snapSeq := shipSnap.data, shipSnap.seq
 
 	node := startReplNode(t, t.TempDir(), ReplicationOptions{FollowerOf: "x"})
 	// Normal ship at epoch 0 lands the first two frames.

@@ -74,3 +74,62 @@ func BenchmarkIngestSharded(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIngestDuringReshard measures acknowledged submits per second
+// through a sharded store while an online reshard runs underneath it: a
+// 2-shard durable fleet grows to 3 with the migration coordinator
+// seeding, catching up, flipping, fencing, and draining concurrently
+// with the load. Compare against BenchmarkIngestSharded's shards-2 row
+// to see what a live migration costs foreground writes.
+//
+// Run via `make bench-ingest`; rows land in BENCH_ingest.json alongside
+// the other ingest shapes.
+func BenchmarkIngestDuringReshard(b *testing.B) {
+	const workers = 32
+
+	s, _ := newDurableFleet(b, 2, 1)
+	joiner := durableBackend(b, 1)
+	m, err := s.StartMigration(GroupConfig{Replicas: []platform.Store{joiner}}, migOpts(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	migDone := make(chan error, 1)
+
+	var wg sync.WaitGroup
+	var idx sync.Mutex
+	next := 0
+	b.ResetTimer()
+	go func() { migDone <- m.Run(ctx) }()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx.Lock()
+				i := next
+				next++
+				idx.Unlock()
+				if i >= b.N {
+					return
+				}
+				account := fmt.Sprintf("w%02d-%06d", w, i)
+				if err := s.Submit(ctx, account, 0, -80, at(0)); err != nil {
+					b.Errorf("submit %s: %v", account, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "acked-submits/sec")
+
+	// The migration may or may not have finished within b.N submits;
+	// either way it must end cleanly before the backends close.
+	cancel()
+	if err := <-migDone; err != nil && ctx.Err() == nil {
+		b.Fatalf("migration: %v", err)
+	}
+}

@@ -91,6 +91,12 @@ func wireCases(seedAccount, liveAccount, capAccount, deadAccount string) []wireC
 			sentinel: platform.ErrTooManyAccounts, localOnly: true,
 		},
 		{
+			name: "submissions wrong shard", method: "POST", path: "/v1/submissions",
+			body:       `{"account":"conf-fenced","task":0,"value":1}`,
+			wantStatus: http.StatusServiceUnavailable, wantCode: platform.CodeWrongShard,
+			sentinel: platform.ErrWrongShard, localOnly: true,
+		},
+		{
 			name: "submissions shard unavailable", method: "POST", path: "/v1/submissions",
 			body:       `{"account":"` + deadAccount + `","task":0,"value":1}`,
 			wantStatus: http.StatusServiceUnavailable, wantCode: platform.CodeShardUnavailable,
@@ -171,6 +177,11 @@ func TestWireCodeConformanceSingleNode(t *testing.T) {
 	// The "unknown task" case registers its account; fill the remaining
 	// cap slot so the cap case trips.
 	if err := store.Submit(ctx, "conf-unknown-task", 0, 1, time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The wrong-shard case needs a fenced account: after a reshard hands
+	// an account to another group, mutations naming it answer wrong_shard.
+	if err := store.Fence(ctx, 1, []string{"conf-fenced"}); err != nil {
 		t.Fatal(err)
 	}
 	runWireCases(t, srv.URL, wireCases("conf-seed", "conf-unknown-task", "conf-over-cap", ""), false)

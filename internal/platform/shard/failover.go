@@ -67,17 +67,37 @@ type FailoverPoller struct {
 	reg   *obs.Registry
 	log   *log.Logger
 
-	states [][]*replicaState
-	start  time.Time
+	// states holds one row per group, one entry per replica. Rows are
+	// appended when an online reshard admits a group mid-flight (see
+	// syncGroups); individual *replicaState pointers are stable for the
+	// poller's lifetime.
+	stateMu sync.RWMutex
+	states  [][]*replicaState
+
+	start time.Time
 
 	// promoteMu serializes failover decisions across probe goroutines so
 	// two probes observing the same dead primary cannot race two
 	// promotions with two epochs.
 	promoteMu sync.Mutex
 
+	// lifeMu orders goroutine lifecycle against Stop: syncGroups may not
+	// start probe goroutines once the stop channel closed.
+	lifeMu   sync.Mutex
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+}
+
+// state returns the cached probe state for replica ri of group gi, or nil
+// when the poller has not yet synced to a topology containing it.
+func (p *FailoverPoller) state(gi, ri int) *replicaState {
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	if gi >= len(p.states) || ri >= len(p.states[gi]) {
+		return nil
+	}
+	return p.states[gi][ri]
 }
 
 // StartFailover begins background health polling and automatic primary
@@ -111,8 +131,9 @@ func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
 	if p.reg == nil {
 		p.reg = obs.Default()
 	}
-	p.states = make([][]*replicaState, len(s.groups))
-	for gi, g := range s.groups {
+	t := s.topology()
+	p.states = make([][]*replicaState, len(t.groups))
+	for gi, g := range t.groups {
 		p.states[gi] = make([]*replicaState, len(g.replicas))
 		for ri := range g.replicas {
 			p.states[gi][ri] = &replicaState{}
@@ -121,8 +142,8 @@ func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
 	// Initial synchronous round: probe everything once in parallel so the
 	// first /readyz after startup reflects the fleet, not zero values.
 	var init sync.WaitGroup
-	for gi := range s.groups {
-		for ri := range s.groups[gi].replicas {
+	for gi := range t.groups {
+		for ri := range t.groups[gi].replicas {
 			init.Add(1)
 			go func(gi, ri int) {
 				defer init.Done()
@@ -133,8 +154,8 @@ func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
 	init.Wait()
 
 	seed := time.Now().UnixNano()
-	for gi := range s.groups {
-		for ri := range s.groups[gi].replicas {
+	for gi := range t.groups {
+		for ri := range t.groups[gi].replicas {
 			p.wg.Add(1)
 			rng := rand.New(rand.NewSource(seed + int64(gi)*1009 + int64(ri)))
 			go p.run(gi, ri, rng)
@@ -146,10 +167,49 @@ func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
 	return p
 }
 
+// syncGroups starts probing any groups admitted after the poller began —
+// the online-reshard join path. Existing groups keep their running probe
+// loops (their *group objects are shared across topology generations); a
+// new group gets one synchronous probe round and then its own jittered
+// loops, exactly like groups present at startup.
+func (p *FailoverPoller) syncGroups(t *topology) {
+	p.lifeMu.Lock()
+	defer p.lifeMu.Unlock()
+	select {
+	case <-p.stop:
+		return
+	default:
+	}
+	p.stateMu.Lock()
+	first := len(p.states)
+	for gi := first; gi < len(t.groups); gi++ {
+		row := make([]*replicaState, len(t.groups[gi].replicas))
+		for ri := range row {
+			row[ri] = &replicaState{}
+		}
+		p.states = append(p.states, row)
+	}
+	p.stateMu.Unlock()
+	seed := time.Now().UnixNano()
+	for gi := first; gi < len(t.groups); gi++ {
+		for ri := range t.groups[gi].replicas {
+			p.probe(gi, ri)
+			p.wg.Add(1)
+			rng := rand.New(rand.NewSource(seed + int64(gi)*1009 + int64(ri)))
+			go p.run(gi, ri, rng)
+		}
+	}
+}
+
 // Stop halts the poller's probe goroutines and detaches it from the
 // store's ShardHealth (which reverts to live probes). Idempotent.
 func (p *FailoverPoller) Stop() {
+	// Taking lifeMu around the close orders Stop against syncGroups: once
+	// the channel is closed no new probe goroutines can start, so the
+	// wg.Wait below sees every goroutine that will ever exist.
+	p.lifeMu.Lock()
 	p.stopOnce.Do(func() { close(p.stop) })
+	p.lifeMu.Unlock()
 	p.wg.Wait()
 	p.store.pollMu.Lock()
 	if p.store.poller == p {
@@ -198,8 +258,12 @@ func (p *FailoverPoller) run(gi, ri int, rng *rand.Rand) {
 // A node without replication configured (501 on the status route) is
 // still a healthy single-replica shard — role just stays unknown.
 func (p *FailoverPoller) probe(gi, ri int) {
-	b := p.store.groups[gi].replicas[ri]
-	st := p.states[gi][ri]
+	g := p.store.group(gi)
+	st := p.state(gi, ri)
+	if g == nil || st == nil || ri >= len(g.replicas) {
+		return
+	}
+	b := g.replicas[ri]
 	rc, ok := b.(replClient)
 	if !ok {
 		// An in-process backend has no probe surface; it lives and dies
@@ -260,9 +324,13 @@ func (p *FailoverPoller) probe(gi, ri int) {
 	st.mu.Unlock()
 }
 
-// snapshotState reads one replica's cached probe result.
+// snapshotState reads one replica's cached probe result (a zero value
+// when the replica was never registered with the poller).
 func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
-	st := p.states[gi][ri]
+	st := p.state(gi, ri)
+	if st == nil {
+		return replicaState{}
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return replicaState{
@@ -287,8 +355,8 @@ func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
 //     whose epoch is behind the dead primary's: an epoch-stale replica
 //     does not yet hold the acked data a promotion must preserve.
 func (p *FailoverPoller) evaluate(gi int) {
-	g := p.store.groups[gi]
-	if len(g.replicas) < 2 {
+	g := p.store.group(gi)
+	if g == nil || len(g.replicas) < 2 {
 		return
 	}
 	p.promoteMu.Lock()
@@ -412,12 +480,13 @@ func (p *FailoverPoller) evaluate(gi int) {
 		return
 	}
 	g.setPrimary(best)
-	st := p.states[gi][best]
-	st.mu.Lock()
-	st.role = resp.Role
-	st.epoch = resp.Epoch
-	st.lastOK = time.Now()
-	st.mu.Unlock()
+	if st := p.state(gi, best); st != nil {
+		st.mu.Lock()
+		st.role = resp.Role
+		st.epoch = resp.Epoch
+		st.lastOK = time.Now()
+		st.mu.Unlock()
+	}
 	p.reg.Counter("repl.failovers").Inc()
 	p.logf("shard %d: promoted replica %d (%s) to primary at epoch %d (dead primary was replica %d)",
 		gi, best, g.addr(best), newEpoch, cur)
@@ -426,7 +495,10 @@ func (p *FailoverPoller) evaluate(gi int) {
 // demote tells a stale primary claimant to step down and follow the
 // current primary.
 func (p *FailoverPoller) demote(gi, ri int, epoch uint64, primaryAddr string) {
-	g := p.store.groups[gi]
+	g := p.store.group(gi)
+	if g == nil || ri >= len(g.replicas) {
+		return
+	}
 	rc, ok := g.replicas[ri].(replClient)
 	if !ok {
 		return
@@ -441,10 +513,11 @@ func (p *FailoverPoller) demote(gi, ri int, epoch uint64, primaryAddr string) {
 		p.logf("shard %d: demote stale primary replica %d: %v", gi, ri, err)
 		return
 	}
-	st := p.states[gi][ri]
-	st.mu.Lock()
-	st.role = platform.RoleFollower
-	st.mu.Unlock()
+	if st := p.state(gi, ri); st != nil {
+		st.mu.Lock()
+		st.role = platform.RoleFollower
+		st.mu.Unlock()
+	}
 	p.logf("shard %d: demoted stale primary replica %d (%s)", gi, ri, g.addr(ri))
 }
 
@@ -454,7 +527,7 @@ func (p *FailoverPoller) demote(gi, ri int, epoch uint64, primaryAddr string) {
 func (p *FailoverPoller) health() []platform.ShardHealth {
 	now := time.Now()
 	var out []platform.ShardHealth
-	for gi, g := range p.store.groups {
+	for gi, g := range p.store.topology().groups {
 		for ri := range g.replicas {
 			st := p.snapshotState(gi, ri)
 			h := platform.ShardHealth{

@@ -1,0 +1,761 @@
+// Online resharding: admit a new replica group to a live fleet with zero
+// acked loss. The coordinator runs inside the router and drives a fenced
+// key handoff:
+//
+//	seed     — snapshot-ship every moved account from each donor (a
+//	           filtered dataset read replayed through the joiner's
+//	           regular write API, so the joiner journals and replicates
+//	           it like any other traffic);
+//	catch-up — stream each donor's decoded WAL tail for the moved
+//	           accounts until the lag is small;
+//	flip     — publish the grown topology (one atomic pointer swap;
+//	           new writes route by the new ring);
+//	fence    — journal a fence on each donor: further mutations naming a
+//	           moved account answer wrong_shard, and requests stamped
+//	           with a stale ring version are refused wholesale;
+//	drain    — stream the remaining tail (writes that raced the flip)
+//	           to the joiner, then declare the migration done.
+//
+// Every step is crash-survivable. Coordinator state is journaled to a
+// file after each transition and each tail batch, so a restarted router
+// resumes (post-flip it MUST complete; pre-flip it may instead abort with
+// no ring change). Re-seeding and re-tailing are idempotent: the joiner's
+// (account, task) duplicate guard absorbs re-delivery, so a crash between
+// a write and its journal entry cannot double-apply. A donor primary
+// dying mid-handoff stalls the tail until failover promotes a follower —
+// whose WAL holds byte-identical records at the same sequence numbers, so
+// the persisted cursor stays valid.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sybiltd/internal/mcs"
+	"sybiltd/internal/obs"
+	"sybiltd/internal/platform"
+)
+
+// Migration phases, as journaled. Seeding and catch-up precede the flip:
+// a failure there aborts with no ring change. Flipped and fenced are
+// post-cutover: the ring grew, so the migration must run to completion
+// (resume after a crash; a retry loop after transient failure).
+const (
+	MigrationSeeding = "seeding"
+	MigrationCatchup = "catchup"
+	MigrationFlipped = "flipped"
+	MigrationFenced  = "fenced"
+	MigrationDone    = "done"
+	MigrationAborted = "aborted"
+)
+
+// migrationStateGauge encodes a phase for the reshard.state gauge.
+func migrationStateGauge(phase string) int64 {
+	switch phase {
+	case MigrationSeeding:
+		return 1
+	case MigrationCatchup:
+		return 2
+	case MigrationFlipped:
+		return 3
+	case MigrationFenced:
+		return 4
+	case MigrationDone:
+		return 5
+	case MigrationAborted:
+		return 6
+	}
+	return 0
+}
+
+// MigrationJournal is the coordinator's persisted state: everything a
+// restarted router needs to resume (or cleanly abort) an in-flight
+// reshard. Cursors[gi] is the donor's WAL export cursor — records at or
+// below it have been forwarded to the joiner (or predate the seed
+// snapshot, which covered them).
+type MigrationJournal struct {
+	// RingVersion is the topology version the migration installs at the
+	// flip (current version + 1 at start).
+	RingVersion uint64 `json:"ring_version"`
+	// Phase is the last durably reached phase.
+	Phase string `json:"phase"`
+	// Addrs are the joining group's replica addresses (primary first), so
+	// a restarted router can rebuild its clients.
+	Addrs []string `json:"addrs,omitempty"`
+	// Cursors holds one WAL export cursor per donor group.
+	Cursors []uint64 `json:"cursors"`
+	// CursorEpochs holds the donor replication epoch each cursor was
+	// minted under. A donor failover starts a new lineage that may reuse
+	// sequence numbers the old one already burned, so a cursor is only
+	// meaningful together with its epoch: on mismatch the tail re-seeds
+	// instead of silently skipping the new lineage's records.
+	CursorEpochs []uint64 `json:"cursor_epochs,omitempty"`
+	// KeysMoved counts accounts re-homed to the joiner.
+	KeysMoved int `json:"keys_moved"`
+	// BytesShipped estimates the seed + tail payload volume.
+	BytesShipped int64 `json:"bytes_shipped"`
+}
+
+// Pending reports whether the journal describes an unfinished migration.
+func (j MigrationJournal) Pending() bool {
+	switch j.Phase {
+	case MigrationSeeding, MigrationCatchup, MigrationFlipped, MigrationFenced:
+		return true
+	}
+	return false
+}
+
+// Flipped reports whether the cutover already happened: the ring grew, so
+// a resuming router must re-admit the group and complete the migration
+// rather than abort it.
+func (j MigrationJournal) Flipped() bool {
+	return j.Phase == MigrationFlipped || j.Phase == MigrationFenced
+}
+
+// LoadMigrationJournal reads a coordinator journal. ok=false (with a nil
+// error) means no journal exists — no migration was ever started, or the
+// last one was cleaned up.
+func LoadMigrationJournal(path string) (MigrationJournal, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return MigrationJournal{}, false, nil
+	}
+	if err != nil {
+		return MigrationJournal{}, false, fmt.Errorf("shard: read migration journal: %w", err)
+	}
+	var j MigrationJournal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return MigrationJournal{}, false, fmt.Errorf("shard: decode migration journal %s: %w", path, err)
+	}
+	return j, true, nil
+}
+
+// MigrationOptions tunes a migration.
+type MigrationOptions struct {
+	// JournalPath is where coordinator state persists (required).
+	JournalPath string
+	// BatchSize bounds seed batches and WAL tail reads; <= 0 means 512,
+	// clamped to platform.MaxBatchItems.
+	BatchSize int
+	// FlipLag is the total catch-up lag (donor WAL records not yet
+	// forwarded) under which the coordinator cuts over; <= 0 means 64.
+	// Correctness never depends on it — the post-fence drain forwards
+	// whatever raced the flip — it only bounds the drain's length.
+	FlipLag int
+	// PollInterval paces catch-up polls and donor-failure retries;
+	// <= 0 means 50ms.
+	PollInterval time.Duration
+	// Registry receives the reshard.* metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Logger receives phase diagnostics; nil disables.
+	Logger *log.Logger
+}
+
+func (o MigrationOptions) withDefaults() MigrationOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	if o.BatchSize > platform.MaxBatchItems {
+		o.BatchSize = platform.MaxBatchItems
+	}
+	if o.FlipLag <= 0 {
+		o.FlipLag = 64
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	return o
+}
+
+// Migration is one in-flight reshard: the coordinator admitting a single
+// new replica group. Drive it with Run; at most one migration may be in
+// flight per Store.
+type Migration struct {
+	store *Store
+	opts  MigrationOptions
+	reg   *obs.Registry
+	log   *log.Logger
+
+	// cand is the candidate topology: the current groups plus the joiner,
+	// at version journal.RingVersion. Seed and catch-up route by it
+	// without publishing it; the flip publishes it.
+	cand  *topology
+	newGi int // the joiner's group index within cand
+
+	j     MigrationJournal
+	start time.Time
+}
+
+// StartMigration begins admitting gc as a new replica group. It validates
+// the target, journals the initial state, and returns the coordinator;
+// the caller drives it with Run (typically in its own goroutine). Exactly
+// one migration may be in flight per store.
+func (s *Store) StartMigration(gc GroupConfig, opts MigrationOptions) (*Migration, error) {
+	opts = opts.withDefaults()
+	if opts.JournalPath == "" {
+		return nil, fmt.Errorf("shard: migration needs a journal path")
+	}
+	groups, err := buildGroups([]GroupConfig{gc})
+	if err != nil {
+		return nil, err
+	}
+	if !s.migrating.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("shard: a migration is already in flight")
+	}
+	cur := s.topology()
+	m := &Migration{
+		store: s,
+		opts:  opts,
+		reg:   opts.Registry,
+		log:   opts.Logger,
+		newGi: len(cur.groups),
+		j: MigrationJournal{
+			RingVersion:  cur.version + 1,
+			Phase:        MigrationSeeding,
+			Addrs:        append([]string(nil), gc.Addrs...),
+			Cursors:      make([]uint64, len(cur.groups)),
+			CursorEpochs: make([]uint64, len(cur.groups)),
+		},
+	}
+	m.cand = &topology{
+		version: m.j.RingVersion,
+		ring:    NewRing(len(cur.groups)+1, s.vnodes),
+		groups:  append(append([]*group(nil), cur.groups...), groups[0]),
+	}
+	if err := m.persist(); err != nil {
+		s.migrating.Store(false)
+		return nil, err
+	}
+	return m, nil
+}
+
+// ResumeMigration rebuilds the coordinator for a journaled migration —
+// the router-restart path. gc must describe the same joining group the
+// journal names (the caller rebuilds its clients from j.Addrs). A
+// pre-flip journal resumes from seeding (idempotent); a post-flip journal
+// re-admits the group into the topology before resuming, because the
+// fleet's donors are already fenced at j.RingVersion and the grown ring
+// is the only topology that can serve the moved accounts.
+func (s *Store) ResumeMigration(gc GroupConfig, j MigrationJournal, opts MigrationOptions) (*Migration, error) {
+	opts = opts.withDefaults()
+	if opts.JournalPath == "" {
+		return nil, fmt.Errorf("shard: migration needs a journal path")
+	}
+	if !j.Pending() {
+		return nil, fmt.Errorf("shard: journal phase %q is not resumable", j.Phase)
+	}
+	cur := s.topology()
+	if j.RingVersion != cur.version+1 {
+		return nil, fmt.Errorf("shard: journal targets ring v%d but the store is at v%d (want v%d)",
+			j.RingVersion, cur.version, j.RingVersion-1)
+	}
+	if len(j.Cursors) != len(cur.groups) {
+		return nil, fmt.Errorf("shard: journal has %d donor cursors for %d groups", len(j.Cursors), len(cur.groups))
+	}
+	if len(j.CursorEpochs) != len(j.Cursors) {
+		// Journal written before epochs were recorded: zero epochs never
+		// match a live donor, so every tail starts with a safe re-seed.
+		j.CursorEpochs = make([]uint64, len(j.Cursors))
+	}
+	groups, err := buildGroups([]GroupConfig{gc})
+	if err != nil {
+		return nil, err
+	}
+	if !s.migrating.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("shard: a migration is already in flight")
+	}
+	m := &Migration{
+		store: s,
+		opts:  opts,
+		reg:   opts.Registry,
+		log:   opts.Logger,
+		newGi: len(cur.groups),
+		j:     j,
+	}
+	m.cand = &topology{
+		version: j.RingVersion,
+		ring:    NewRing(len(cur.groups)+1, s.vnodes),
+		groups:  append(append([]*group(nil), cur.groups...), groups[0]),
+	}
+	if j.Flipped() {
+		// The fleet already cut over before the restart: reinstall the
+		// grown topology before any traffic routes by the stale ring and
+		// trips the donors' fences.
+		s.installTopology(m.cand)
+	}
+	return m, nil
+}
+
+// Journal returns the coordinator's current journaled state.
+func (m *Migration) Journal() MigrationJournal { return m.j }
+
+// persist writes the journal durably (tmp + rename).
+func (m *Migration) persist() error {
+	data, err := json.Marshal(m.j)
+	if err != nil {
+		return fmt.Errorf("shard: encode migration journal: %w", err)
+	}
+	tmp := m.opts.JournalPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("shard: write migration journal: %w", err)
+	}
+	if err := os.Rename(tmp, m.opts.JournalPath); err != nil {
+		return fmt.Errorf("shard: install migration journal: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(m.opts.JournalPath)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	m.reg.Gauge("reshard.state").Set(migrationStateGauge(m.j.Phase))
+	m.reg.Gauge("reshard.keys_moved").Set(int64(m.j.KeysMoved))
+	m.reg.Gauge("reshard.bytes_shipped").Set(m.j.BytesShipped)
+	return nil
+}
+
+// setPhase journals a phase transition.
+func (m *Migration) setPhase(phase string) error {
+	m.j.Phase = phase
+	m.logf("phase -> %s (ring v%d)", phase, m.j.RingVersion)
+	return m.persist()
+}
+
+// moved reports whether the candidate ring re-homes account to the
+// joiner. Donor datasets and WAL tails are filtered by it.
+func (m *Migration) moved(account string) bool {
+	return account != "" && m.cand.ring.Shard(account) == m.newGi
+}
+
+// Run drives the migration to completion: seed, catch up, flip, fence,
+// drain. Pre-flip failures abort cleanly (journal marked aborted, no ring
+// change, the fleet untouched). Post-flip failures leave the journal
+// resumable — the caller retries or a restarted router resumes. ctx
+// bounds the whole run; a donor group that is entirely dark stalls the
+// run (retrying at PollInterval) rather than failing it, because failover
+// is expected to promote a follower.
+func (m *Migration) Run(ctx context.Context) (err error) {
+	m.start = time.Now()
+	defer m.store.migrating.Store(false)
+	defer func() {
+		if err == nil {
+			m.reg.Gauge("reshard.duration_seconds").Set(int64(time.Since(m.start).Seconds()))
+		}
+	}()
+
+	if m.j.Phase == MigrationSeeding || m.j.Phase == MigrationCatchup {
+		if err := m.seedAndCatchup(ctx); err != nil {
+			// Pre-flip, aborting is always clean: nothing routed to the
+			// joiner yet, donors still own every key.
+			m.j.Phase = MigrationAborted
+			if perr := m.persist(); perr != nil {
+				m.logf("abort: persisting aborted state failed: %v", perr)
+			}
+			m.logf("aborted before flip: %v", err)
+			return fmt.Errorf("shard: migration aborted before flip: %w", err)
+		}
+		m.store.installTopology(m.cand)
+		if err := m.setPhase(MigrationFlipped); err != nil {
+			return err
+		}
+	}
+
+	if m.j.Phase == MigrationFlipped {
+		if err := m.fenceDonors(ctx); err != nil {
+			return fmt.Errorf("shard: migration fence (resumable): %w", err)
+		}
+		if err := m.setPhase(MigrationFenced); err != nil {
+			return err
+		}
+	}
+
+	if err := m.drain(ctx); err != nil {
+		return fmt.Errorf("shard: migration drain (resumable): %w", err)
+	}
+	if err := m.setPhase(MigrationDone); err != nil {
+		return err
+	}
+	m.logf("done: %d accounts moved, ~%d bytes shipped, %s elapsed",
+		m.j.KeysMoved, m.j.BytesShipped, time.Since(m.start).Round(time.Millisecond))
+	return nil
+}
+
+// sleep waits one poll interval or until ctx ends.
+func (m *Migration) sleep(ctx context.Context) error {
+	t := time.NewTimer(m.opts.PollInterval)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// donorRetryable classifies donor-side failures worth waiting out: the
+// donor's current primary is gone or mid-failover, and the poller (or our
+// own refreshPrimary) will surface a promoted follower.
+func donorRetryable(err error) bool {
+	return errors.Is(err, platform.ErrShardUnavailable) ||
+		errors.Is(err, platform.ErrNotPrimary) ||
+		errors.Is(err, platform.ErrReplicaLag) ||
+		errors.Is(err, platform.ErrOverloaded)
+}
+
+// withDonor runs fn against donor group gi's current primary, riding out
+// failover: on a retryable failure it re-probes the group for the real
+// primary and tries again at PollInterval until ctx ends. Non-retryable
+// errors surface immediately.
+func (m *Migration) withDonor(ctx context.Context, gi int, fn func(platform.Store) error) error {
+	for {
+		g := m.cand.groups[gi]
+		err := fn(g.replicas[g.primaryIdx()])
+		if err == nil || !donorRetryable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		m.logf("donor %d: %v (retrying)", gi, err)
+		m.store.refreshPrimary(ctx, m.cand, gi)
+		if serr := m.sleep(ctx); serr != nil {
+			return err
+		}
+	}
+}
+
+// joinerWrite runs fn against the joining group's current primary (via
+// the same not_primary refresh-and-retry as routed writes).
+func (m *Migration) joinerWrite(ctx context.Context, fn func(platform.Store) error) error {
+	return m.store.writeTo(ctx, m.cand, m.newGi, fn)
+}
+
+// forwardBatch replays moved submissions into the joiner. Duplicate
+// rejections are success: the record was already seeded or forwarded (a
+// resume re-covers ground), and the duplicate guard is exactly what makes
+// that idempotent instead of double-applied.
+func (m *Migration) forwardBatch(ctx context.Context, items []platform.BatchSubmission) error {
+	for len(items) > 0 {
+		n := len(items)
+		if n > m.opts.BatchSize {
+			n = m.opts.BatchSize
+		}
+		chunk := items[:n]
+		items = items[n:]
+		var errs []error
+		if err := m.joinerWrite(ctx, func(b platform.Store) error {
+			errs = b.SubmitBatch(ctx, chunk)
+			for _, e := range errs {
+				if e != nil && errors.Is(e, platform.ErrNotPrimary) {
+					return e // let writeTo re-probe and resend the chunk
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		for i, e := range errs {
+			if e != nil && !errors.Is(e, platform.ErrDuplicateReport) {
+				return fmt.Errorf("forward %s/task %d: %w", chunk[i].Account, chunk[i].Task, e)
+			}
+		}
+		for _, it := range chunk {
+			m.j.BytesShipped += int64(len(it.Account)) + 24
+		}
+	}
+	return nil
+}
+
+// forwardFingerprint replays a moved fingerprint feature vector.
+func (m *Migration) forwardFingerprint(ctx context.Context, account string, features []float64) error {
+	if err := m.joinerWrite(ctx, func(b platform.Store) error {
+		return b.RecordFingerprintFeatures(ctx, account, features)
+	}); err != nil {
+		return fmt.Errorf("forward fingerprint %s: %w", account, err)
+	}
+	m.j.BytesShipped += int64(len(account) + 8*len(features))
+	return nil
+}
+
+// seedDonor snapshots donor gi's moved accounts into the joiner and sets
+// the tail cursor. The cursor is read from the SAME primary BEFORE the
+// dataset read: the tail may then re-deliver records the dataset already
+// contained (absorbed by the duplicate guard) but can never skip one.
+// Returns the number of accounts seeded.
+func (m *Migration) seedDonor(ctx context.Context, gi int) (int, error) {
+	var cursor, cursorEpoch uint64
+	var accounts []mcs.Account
+	err := m.withDonor(ctx, gi, func(b platform.Store) error {
+		exp, ok := b.(platform.Exporter)
+		if !ok {
+			return fmt.Errorf("%w: donor %d cannot export its WAL", platform.ErrUnimplemented, gi)
+		}
+		probe, err := exp.ExportSince(ctx, math.MaxUint64, 1)
+		if err != nil {
+			return err
+		}
+		d, err := b.Dataset(ctx)
+		if err != nil {
+			return err
+		}
+		cursor = probe.DurableSeq
+		cursorEpoch = probe.Epoch
+		accounts = d.Accounts
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("seed donor %d: %w", gi, err)
+	}
+	// Accumulate every moved account into one forward stream (forwardBatch
+	// chunks it by BatchSize). One batch per account would cost one joiner
+	// replication ack per account — at semi-sync ship cadence that drains
+	// slower than sustained load refills, and the catch-up never converges.
+	seeded := 0
+	var items []platform.BatchSubmission
+	for _, a := range accounts {
+		if !m.moved(a.ID) {
+			continue
+		}
+		seeded++
+		if len(a.Fingerprint) > 0 {
+			if err := m.forwardFingerprint(ctx, a.ID, a.Fingerprint); err != nil {
+				return 0, err
+			}
+		}
+		for _, o := range a.Observations {
+			items = append(items, platform.BatchSubmission{Account: a.ID, Task: o.Task, Value: o.Value, At: o.Time})
+		}
+	}
+	if err := m.forwardBatch(ctx, items); err != nil {
+		return 0, err
+	}
+	m.j.Cursors[gi] = cursor
+	m.j.CursorEpochs[gi] = cursorEpoch
+	return seeded, nil
+}
+
+// tailDonor pumps donor gi's WAL tail from the journaled cursor, forwards
+// the moved records, advances the cursor, and returns the remaining lag.
+// A compaction signal (the cursor's range no longer in the donor's WAL)
+// falls back to a full re-seed — safe because re-delivery is idempotent.
+func (m *Migration) tailDonor(ctx context.Context, gi int) (uint64, error) {
+	for {
+		var batch platform.ExportBatch
+		err := m.withDonor(ctx, gi, func(b platform.Store) error {
+			exp, ok := b.(platform.Exporter)
+			if !ok {
+				return fmt.Errorf("%w: donor %d cannot export its WAL", platform.ErrUnimplemented, gi)
+			}
+			var e error
+			batch, e = exp.ExportSince(ctx, m.j.Cursors[gi], m.opts.BatchSize)
+			return e
+		})
+		if err != nil {
+			return 0, fmt.Errorf("tail donor %d: %w", gi, err)
+		}
+		if batch.SnapshotNeeded || batch.Epoch != m.j.CursorEpochs[gi] {
+			// A compacted tail range and a donor failover invalidate the
+			// cursor the same way. The failover case is the subtle one: the
+			// promoted follower's durable history may end a few records
+			// short of the dead primary's, and its new lineage then reuses
+			// those sequence numbers for different records — records a
+			// seq-only cursor would silently skip.
+			if batch.SnapshotNeeded {
+				m.logf("donor %d: tail range compacted away; re-seeding", gi)
+			} else {
+				m.logf("donor %d: failover changed epoch %d -> %d; cursor invalid, re-seeding",
+					gi, m.j.CursorEpochs[gi], batch.Epoch)
+			}
+			if _, err := m.seedDonor(ctx, gi); err != nil {
+				return 0, err
+			}
+			if err := m.persist(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		var items []platform.BatchSubmission
+		for _, rec := range batch.Records {
+			if !m.moved(rec.Account) {
+				continue
+			}
+			switch rec.Op {
+			case platform.ExportOpSubmit:
+				items = append(items, platform.BatchSubmission{
+					Account: rec.Account, Task: rec.Task, Value: rec.Value, At: rec.Time,
+				})
+			case platform.ExportOpFingerprint:
+				if err := m.forwardFingerprint(ctx, rec.Account, rec.Features); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := m.forwardBatch(ctx, items); err != nil {
+			return 0, err
+		}
+		m.j.Cursors[gi] = batch.NextSeq
+		if err := m.persist(); err != nil {
+			return 0, err
+		}
+		lag := uint64(0)
+		if batch.DurableSeq > batch.NextSeq {
+			lag = batch.DurableSeq - batch.NextSeq
+		}
+		if len(batch.Records) == 0 || lag == 0 {
+			return lag, nil
+		}
+	}
+}
+
+// seedAndCatchup runs the pre-flip phases: snapshot-seed every donor,
+// then pump the WAL tails until the total lag drops under FlipLag.
+func (m *Migration) seedAndCatchup(ctx context.Context) error {
+	if m.j.Phase == MigrationSeeding {
+		keys := 0
+		for gi := 0; gi < m.newGi; gi++ {
+			n, err := m.seedDonor(ctx, gi)
+			if err != nil {
+				return err
+			}
+			keys += n
+		}
+		// Seeding restarts from scratch on resume, so the count is
+		// assigned, not accumulated.
+		m.j.KeysMoved = keys
+		if err := m.setPhase(MigrationCatchup); err != nil {
+			return err
+		}
+	}
+	for {
+		var total uint64
+		for gi := 0; gi < m.newGi; gi++ {
+			lag, err := m.tailDonor(ctx, gi)
+			if err != nil {
+				return err
+			}
+			total += lag
+		}
+		m.reg.Gauge("reshard.catchup_lag_records").Set(int64(total))
+		if total <= uint64(m.opts.FlipLag) {
+			return nil
+		}
+		if err := m.sleep(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// fenceDonors journals a fence on every donor at the new ring version:
+// the donor's current moved-account set (which may have grown since the
+// seed — accounts created while the migration ran) is refused further
+// mutations, and any request stamped with a pre-flip ring version is
+// refused wholesale. Fencing is idempotent, so a resume re-fences freely.
+func (m *Migration) fenceDonors(ctx context.Context) error {
+	for gi := 0; gi < m.newGi; gi++ {
+		err := m.withDonor(ctx, gi, func(b platform.Store) error {
+			f, ok := b.(platform.Fencer)
+			if !ok {
+				return fmt.Errorf("%w: donor %d cannot fence accounts", platform.ErrUnimplemented, gi)
+			}
+			ds, err := b.Dataset(ctx)
+			if err != nil {
+				return err
+			}
+			var accounts []string
+			for _, a := range ds.Accounts {
+				if m.moved(a.ID) {
+					accounts = append(accounts, a.ID)
+				}
+			}
+			return f.Fence(ctx, m.cand.version, accounts)
+		})
+		if err != nil {
+			return fmt.Errorf("fence donor %d: %w", gi, err)
+		}
+	}
+	return nil
+}
+
+// drain pumps each donor's tail past its post-fence high-water mark. The
+// fence guarantees no moved-account record lands after it, so reaching
+// the post-fence durable sequence means every acked moved write — however
+// it raced the flip — is on the joiner.
+func (m *Migration) drain(ctx context.Context) error {
+	for gi := 0; gi < m.newGi; gi++ {
+		if err := m.drainDonor(ctx, gi); err != nil {
+			return err
+		}
+	}
+	m.reg.Gauge("reshard.catchup_lag_records").Set(0)
+	return nil
+}
+
+// drainDonor pumps donor gi's tail to the post-fence high-water mark:
+// everything at or below it must be forwarded; nothing above it can name
+// a moved account. The target is only meaningful on the lineage it was
+// probed from — a mid-drain failover re-seeds the tail (epoch mismatch)
+// and the target must then be re-probed on the new lineage. That stays
+// sound because the fence record itself is semi-sync replicated: any
+// promotable follower already holds it, so the new lineage's high-water
+// mark is post-fence too.
+func (m *Migration) drainDonor(ctx context.Context, gi int) error {
+	for {
+		var target, targetEpoch uint64
+		if err := m.withDonor(ctx, gi, func(b platform.Store) error {
+			exp, ok := b.(platform.Exporter)
+			if !ok {
+				return fmt.Errorf("%w: donor %d cannot export its WAL", platform.ErrUnimplemented, gi)
+			}
+			probe, err := exp.ExportSince(ctx, math.MaxUint64, 1)
+			if err != nil {
+				return err
+			}
+			target, targetEpoch = probe.DurableSeq, probe.Epoch
+			return nil
+		}); err != nil {
+			return fmt.Errorf("drain donor %d: %w", gi, err)
+		}
+		// Pump the tail until the cursor passes the target on the target's
+		// own lineage. This must run even when the journaled cursor epoch
+		// already disagrees with targetEpoch (a failover happened between
+		// the cursor's mint and this probe — e.g. the journal survived a
+		// router restart but the donor did not): tailDonor is the code
+		// that notices the mismatch and re-seeds, so skipping it would
+		// spin on the stale epoch forever.
+		for m.j.CursorEpochs[gi] != targetEpoch || m.j.Cursors[gi] < target {
+			lag, err := m.tailDonor(ctx, gi)
+			if err != nil {
+				return err
+			}
+			m.reg.Gauge("reshard.catchup_lag_records").Set(int64(lag))
+			if m.j.CursorEpochs[gi] != targetEpoch {
+				// The donor failed over while draining: the target belongs
+				// to a dead lineage. Re-probe it on the current one.
+				break
+			}
+			if m.j.Cursors[gi] >= target {
+				break
+			}
+			if err := m.sleep(ctx); err != nil {
+				return err
+			}
+		}
+		if m.j.CursorEpochs[gi] == targetEpoch && m.j.Cursors[gi] >= target {
+			return nil
+		}
+	}
+}
+
+func (m *Migration) logf(format string, args ...any) {
+	if m.log != nil {
+		m.log.Printf("reshard: "+format, args...)
+	}
+}

@@ -106,6 +106,16 @@ func (r *Ring) Replicas(key string, n int) []int {
 	return out
 }
 
+// Moved reports whether key's owning shard differs between two rings —
+// the per-key form of the reshard delta. Growing a ring by one shard
+// moves a key only when the new shard's virtual points capture its hash
+// segment, so for any old/new pair produced by adding one shard, every
+// moved key lands on the new shard (the property test pins this; the
+// migration coordinator and the donor fence lists are built on it).
+func Moved(oldRing, newRing *Ring, key string) bool {
+	return oldRing.Shard(key) != newRing.Shard(key)
+}
+
 // hashKey is 64-bit FNV-1a finished with a splitmix64-style avalanche:
 // fast and dependency-free (this is load balancing, not authentication).
 // Raw FNV-1a clusters badly on short near-identical keys — vnode labels

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sybiltd/internal/mcs"
@@ -73,6 +74,38 @@ func (g *group) addr(i int) string {
 	return ""
 }
 
+// topology is one immutable routing generation: a ring over a group list,
+// stamped with a monotonic version. The live topology sits behind an
+// atomic pointer on Store; an online reshard builds the next generation
+// off to the side (see admitCandidate) and publishes it in one pointer
+// swap — the cutover is a single atomic store, never a half-installed
+// ring. Group objects are shared between generations, so the primary view
+// a failover established survives the swap.
+type topology struct {
+	version uint64
+	ring    *Ring
+	groups  []*group
+}
+
+// label names shard gi (by its current primary) in errors and health
+// reports.
+func (t *topology) label(gi int) string {
+	g := t.groups[gi]
+	if a := g.addr(g.primaryIdx()); a != "" {
+		return fmt.Sprintf("shard %d (%s)", gi, a)
+	}
+	return fmt.Sprintf("shard %d", gi)
+}
+
+// replicaLabel names one replica of shard gi.
+func (t *topology) replicaLabel(gi, ri int) string {
+	g := t.groups[gi]
+	if a := g.addr(ri); a != "" {
+		return fmt.Sprintf("shard %d replica %d (%s)", gi, ri, a)
+	}
+	return fmt.Sprintf("shard %d replica %d", gi, ri)
+}
+
 // replClient is the optional backend capability the router uses for the
 // replication control plane: status probes to find the primary after a
 // not_primary rejection, and role flips during failover. RemoteStore
@@ -86,13 +119,22 @@ type replClient interface {
 // account — so the per-account duplicate guard, rate bucket, and WAL
 // entries all live in exactly one place — and whole-campaign reads
 // scatter-gather, falling back to followers when a group's primary is
-// unreachable. It implements platform.Store plus the HealthReporter
-// capability, so a platform.Server fronting it serves the identical /v1
-// wire API with an aggregated /readyz.
+// unreachable. It implements platform.Store plus the HealthReporter and
+// RingStatusReporter capabilities, so a platform.Server fronting it serves
+// the identical /v1 wire API with an aggregated /readyz.
+//
+// The ring and group list live in a versioned topology behind an atomic
+// pointer: every operation routes against one consistent snapshot, and an
+// online reshard (see Migration) grows the fleet by publishing the next
+// topology generation mid-flight.
 type Store struct {
-	groups []*group
-	ring   *Ring
+	topo   atomic.Pointer[topology]
+	vnodes int
 	tasks  []mcs.Task
+
+	// migrating is raised while an online reshard is in flight; /readyz
+	// surfaces it next to the ring version.
+	migrating atomic.Bool
 
 	hookMu   sync.RWMutex
 	onSubmit platform.SubmitListener
@@ -101,10 +143,12 @@ type Store struct {
 	poller *FailoverPoller
 }
 
-// Store implements platform.Store and the HealthReporter capability.
+// Store implements platform.Store plus the HealthReporter and
+// RingStatusReporter capabilities.
 var (
-	_ platform.Store          = (*Store)(nil)
-	_ platform.HealthReporter = (*Store)(nil)
+	_ platform.Store              = (*Store)(nil)
+	_ platform.HealthReporter     = (*Store)(nil)
+	_ platform.RingStatusReporter = (*Store)(nil)
 )
 
 // New composes backends into one sharded store of single-replica groups.
@@ -133,29 +177,27 @@ func NewReplicated(ctx context.Context, configs []GroupConfig, opts Options) (*S
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("shard: no backends")
 	}
-	groups := make([]*group, len(configs))
-	for i, gc := range configs {
-		if len(gc.Replicas) == 0 {
-			return nil, fmt.Errorf("shard: group %d has no replicas", i)
-		}
-		addrs := make([]string, len(gc.Replicas))
-		copy(addrs, gc.Addrs)
-		groups[i] = &group{replicas: gc.Replicas, addrs: addrs}
+	groups, err := buildGroups(configs)
+	if err != nil {
+		return nil, err
 	}
-	s := &Store{
-		groups: groups,
-		ring:   NewRing(len(groups), opts.VirtualNodes),
-	}
+	s := &Store{vnodes: opts.VirtualNodes}
+	s.installTopology(&topology{
+		version: 1,
+		ring:    NewRing(len(groups), opts.VirtualNodes),
+		groups:  groups,
+	})
 	if opts.Tasks != nil {
 		s.tasks = append([]mcs.Task(nil), opts.Tasks...)
 		return s, nil
 	}
+	t := s.topology()
 	var lastErr error
-	for gi, g := range groups {
+	for gi, g := range t.groups {
 		for ri, b := range g.replicas {
 			tasks, err := b.Tasks(ctx)
 			if err != nil {
-				lastErr = fmt.Errorf("%s: %w", s.replicaLabel(gi, ri), err)
+				lastErr = fmt.Errorf("%s: %w", t.replicaLabel(gi, ri), err)
 				continue
 			}
 			s.tasks = tasks
@@ -165,36 +207,91 @@ func NewReplicated(ctx context.Context, configs []GroupConfig, opts Options) (*S
 	return nil, fmt.Errorf("shard: fetch tasks from any shard: %w", lastErr)
 }
 
-// label names shard gi (by its current primary) in errors and health
-// reports.
-func (s *Store) label(gi int) string {
-	g := s.groups[gi]
-	if a := g.addr(g.primaryIdx()); a != "" {
-		return fmt.Sprintf("shard %d (%s)", gi, a)
+// buildGroups materializes group state from configs.
+func buildGroups(configs []GroupConfig) ([]*group, error) {
+	groups := make([]*group, len(configs))
+	for i, gc := range configs {
+		if len(gc.Replicas) == 0 {
+			return nil, fmt.Errorf("shard: group %d has no replicas", i)
+		}
+		addrs := make([]string, len(gc.Replicas))
+		copy(addrs, gc.Addrs)
+		groups[i] = &group{replicas: gc.Replicas, addrs: addrs}
 	}
-	return fmt.Sprintf("shard %d", gi)
+	return groups, nil
 }
 
-// replicaLabel names one replica of shard gi.
-func (s *Store) replicaLabel(gi, ri int) string {
-	g := s.groups[gi]
-	if a := g.addr(ri); a != "" {
-		return fmt.Sprintf("shard %d replica %d (%s)", gi, ri, a)
+// topology returns the live routing snapshot. Operations load it once and
+// route every step of themselves against that one generation.
+func (s *Store) topology() *topology { return s.topo.Load() }
+
+// group returns group gi of the live topology, or nil when gi is out of
+// range (a poller goroutine racing a topology it has not yet synced to).
+func (s *Store) group(gi int) *group {
+	t := s.topology()
+	if gi < 0 || gi >= len(t.groups) {
+		return nil
 	}
-	return fmt.Sprintf("shard %d replica %d", gi, ri)
+	return t.groups[gi]
 }
+
+// installTopology publishes t as the live topology and propagates its
+// version: every replica client's subsequent requests carry it in the
+// X-Ring-Version header (the fence a reshard uses against stale routers),
+// and the failover poller picks up any newly admitted groups.
+func (s *Store) installTopology(t *topology) {
+	s.topo.Store(t)
+	for _, g := range t.groups {
+		for _, b := range g.replicas {
+			if rc, ok := b.(replClient); ok {
+				rc.Client().SetRingVersion(t.version)
+			}
+		}
+	}
+	s.pollMu.Lock()
+	p := s.poller
+	s.pollMu.Unlock()
+	if p != nil {
+		p.syncGroups(t)
+	}
+}
+
+// AdoptRingVersion republishes the current topology at version v. This is
+// the restart path of a router whose fleet already completed a reshard
+// while this process was down: its configuration now lists the grown
+// fleet, but a fresh topology always starts at version 1, and mutations
+// stamped below the fleet's fence version would be refused wholesale by
+// the fenced donors. Versions at or below the current one are ignored —
+// the version is monotonic.
+func (s *Store) AdoptRingVersion(v uint64) {
+	t := s.topology()
+	if v <= t.version {
+		return
+	}
+	s.installTopology(&topology{version: v, ring: t.ring, groups: t.groups})
+}
+
+// RingStatus reports the live topology version and whether an online
+// reshard is in flight (implements platform.RingStatusReporter; /readyz
+// folds it into its body).
+func (s *Store) RingStatus() platform.RingStatus {
+	return platform.RingStatus{Version: s.topology().version, Migrating: s.migrating.Load()}
+}
+
+// RingVersion returns the live topology version.
+func (s *Store) RingVersion() uint64 { return s.topology().version }
 
 // Shard returns the ring's owning shard index for an account — exposed so
 // tests and operators can predict placement.
-func (s *Store) Shard(account string) int { return s.ring.Shard(account) }
+func (s *Store) Shard(account string) int { return s.topology().ring.Shard(account) }
 
 // Shards returns the number of replica groups (ring positions).
-func (s *Store) Shards() int { return len(s.groups) }
+func (s *Store) Shards() int { return len(s.topology().groups) }
 
 // Primary returns the index within shard gi's replica group that the
 // router currently believes is the primary — exposed so failover tests and
 // operators can observe promotions.
-func (s *Store) Primary(gi int) int { return s.groups[gi].primaryIdx() }
+func (s *Store) Primary(gi int) int { return s.topology().groups[gi].primaryIdx() }
 
 // SetSubmitListener installs the acknowledged-submission hook: the
 // router-level feed for its own stream hub, seeing every submission any
@@ -231,8 +328,8 @@ func (s *Store) Tasks(ctx context.Context) ([]mcs.Task, error) {
 // and adopts the primary with the highest epoch. Returns the adopted
 // replica index, or ok=false when no replica currently claims primary
 // (mid-failover, or the group is unreplicated local stores).
-func (s *Store) refreshPrimary(ctx context.Context, gi int) (int, bool) {
-	g := s.groups[gi]
+func (s *Store) refreshPrimary(ctx context.Context, t *topology, gi int) (int, bool) {
+	g := t.groups[gi]
 	best := -1
 	var bestEpoch uint64
 	for i, b := range g.replicas {
@@ -255,22 +352,50 @@ func (s *Store) refreshPrimary(ctx context.Context, gi int) (int, bool) {
 	return best, true
 }
 
-// writeTo runs fn against shard gi's current primary. A not_primary
-// rejection — the router's primary view went stale across a failover —
-// re-probes the group for the real primary and retries once. The follower
-// rejected the write before applying anything, so the retry cannot
-// double-apply.
-func (s *Store) writeTo(ctx context.Context, gi int, fn func(platform.Store) error) error {
-	g := s.groups[gi]
+// writeTo runs fn against shard gi's current primary within topology t. A
+// not_primary rejection — the router's primary view went stale across a
+// failover — re-probes the group for the real primary and retries once.
+// The follower rejected the write before applying anything, so the retry
+// cannot double-apply.
+func (s *Store) writeTo(ctx context.Context, t *topology, gi int, fn func(platform.Store) error) error {
+	g := t.groups[gi]
 	cur := g.primaryIdx()
 	err := fn(g.replicas[cur])
 	if err == nil || len(g.replicas) == 1 || !errors.Is(err, platform.ErrNotPrimary) {
 		return err
 	}
-	if idx, ok := s.refreshPrimary(ctx, gi); ok && idx != cur {
+	if idx, ok := s.refreshPrimary(ctx, t, gi); ok && idx != cur {
 		return fn(g.replicas[idx])
 	}
 	return err
+}
+
+// routeWrite routes a single-account write to the account's owning shard.
+// A wrong_shard refusal means the write raced an online-reshard cutover:
+// the shard it reached was fenced at a newer ring version. Like
+// not_primary, the shard refused before applying anything — so reload the
+// topology (the cutover installs it before fencing the donors) and retry
+// once against the account's new owner. Only when this router genuinely
+// has no newer topology (it IS the stale router the fence exists for)
+// does the typed refusal surface to the caller.
+func (s *Store) routeWrite(ctx context.Context, account string, fn func(platform.Store) error) error {
+	t := s.topology()
+	gi := t.ring.Shard(account)
+	err := s.writeTo(ctx, t, gi, fn)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, platform.ErrWrongShard) {
+		if nt := s.topology(); nt.version > t.version {
+			ngi := nt.ring.Shard(account)
+			if rerr := s.writeTo(ctx, nt, ngi, fn); rerr == nil {
+				return nil
+			} else {
+				return fmt.Errorf("%s: %w", nt.label(ngi), rerr)
+			}
+		}
+	}
+	return fmt.Errorf("%s: %w", t.label(gi), err)
 }
 
 // Submit routes one observation to the account's owning shard.
@@ -278,12 +403,11 @@ func (s *Store) Submit(ctx context.Context, account string, task int, value floa
 	if account == "" {
 		return platform.ErrEmptyAccount
 	}
-	sh := s.ring.Shard(account)
-	err := s.writeTo(ctx, sh, func(b platform.Store) error {
+	err := s.routeWrite(ctx, account, func(b platform.Store) error {
 		return b.Submit(ctx, account, task, value, at)
 	})
 	if err != nil {
-		return fmt.Errorf("%s: %w", s.label(sh), err)
+		return err
 	}
 	s.notifySubmitted([]platform.BatchSubmission{{Account: account, Task: task, Value: value, At: at}})
 	return nil
@@ -294,8 +418,8 @@ func (s *Store) Submit(ctx context.Context, account string, task int, value floa
 // rejects the whole sub-batch at the door (every error not_primary, no
 // item applied), so resending the full sub-batch to the real primary is
 // safe.
-func (s *Store) submitBatchTo(ctx context.Context, gi int, sub []platform.BatchSubmission) []error {
-	g := s.groups[gi]
+func (s *Store) submitBatchTo(ctx context.Context, t *topology, gi int, sub []platform.BatchSubmission) []error {
+	g := t.groups[gi]
 	cur := g.primaryIdx()
 	errs := g.replicas[cur].SubmitBatch(ctx, sub)
 	if len(g.replicas) == 1 {
@@ -311,42 +435,17 @@ func (s *Store) submitBatchTo(ctx context.Context, gi int, sub []platform.BatchS
 	if !retriable {
 		return errs
 	}
-	if idx, ok := s.refreshPrimary(ctx, gi); ok && idx != cur {
+	if idx, ok := s.refreshPrimary(ctx, t, gi); ok && idx != cur {
 		return g.replicas[idx].SubmitBatch(ctx, sub)
 	}
 	return errs
 }
 
-// SubmitBatch splits the batch by owning shard, dispatches the per-shard
-// sub-batches concurrently, and reassembles the per-item errors in the
-// caller's positions. One shard failing its whole sub-batch (e.g. a 503)
-// fails only the items routed to it; the rest of the batch settles
-// normally.
-func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmission) []error {
-	errs := make([]error, len(items))
-	if len(items) == 0 {
-		return errs
-	}
-	if err := ctx.Err(); err != nil {
-		e := fmt.Errorf("%w: %v", platform.ErrOverloaded, err)
-		for i := range errs {
-			errs[i] = e
-		}
-		return errs
-	}
-	// routed[sh] holds the original positions routed to shard sh, in
-	// order — the sub-batch preserves relative item order, so in-batch
-	// duplicate semantics inside one account are unchanged (one account
-	// is never split across shards).
-	routed := make([][]int, len(s.groups))
-	for i, it := range items {
-		if it.Account == "" {
-			errs[i] = platform.ErrEmptyAccount
-			continue
-		}
-		sh := s.ring.Shard(it.Account)
-		routed[sh] = append(routed[sh], i)
-	}
+// dispatchBatch sends the routed sub-batches concurrently against
+// topology t and writes per-item outcomes into errs at the original
+// positions (clearing any previous error on success — the wrong_shard
+// re-route path reuses this over the retried positions).
+func (s *Store) dispatchBatch(ctx context.Context, t *topology, routed [][]int, items []platform.BatchSubmission, errs []error) {
 	var wg sync.WaitGroup
 	for sh, idxs := range routed {
 		if len(idxs) == 0 {
@@ -359,7 +458,7 @@ func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmissio
 			for j, i := range idxs {
 				sub[j] = items[i]
 			}
-			subErrs := s.submitBatchTo(ctx, sh, sub)
+			subErrs := s.submitBatchTo(ctx, t, sh, sub)
 			for j, i := range idxs {
 				var err error
 				if j < len(subErrs) {
@@ -370,12 +469,65 @@ func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmissio
 					err = fmt.Errorf("%w: short batch response", platform.ErrShardUnavailable)
 				}
 				if err != nil {
-					errs[i] = fmt.Errorf("%s: %w", s.label(sh), err)
+					errs[i] = fmt.Errorf("%s: %w", t.label(sh), err)
+				} else {
+					errs[i] = nil
 				}
 			}
 		}(sh, idxs)
 	}
 	wg.Wait()
+}
+
+// SubmitBatch splits the batch by owning shard, dispatches the per-shard
+// sub-batches concurrently, and reassembles the per-item errors in the
+// caller's positions. One shard failing its whole sub-batch (e.g. a 503)
+// fails only the items routed to it; the rest of the batch settles
+// normally. Items refused wrong_shard by a freshly fenced donor are
+// re-routed once through the newer topology, same as single writes.
+func (s *Store) SubmitBatch(ctx context.Context, items []platform.BatchSubmission) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	if err := ctx.Err(); err != nil {
+		e := fmt.Errorf("%w: %v", platform.ErrOverloaded, err)
+		for i := range errs {
+			errs[i] = e
+		}
+		return errs
+	}
+	t := s.topology()
+	// routed[sh] holds the original positions routed to shard sh, in
+	// order — the sub-batch preserves relative item order, so in-batch
+	// duplicate semantics inside one account are unchanged (one account
+	// is never split across shards).
+	routed := make([][]int, len(t.groups))
+	for i, it := range items {
+		if it.Account == "" {
+			errs[i] = platform.ErrEmptyAccount
+			continue
+		}
+		sh := t.ring.Shard(it.Account)
+		routed[sh] = append(routed[sh], i)
+	}
+	s.dispatchBatch(ctx, t, routed, items, errs)
+	// wrong_shard items raced a reshard cutover: if a newer topology is
+	// installed, re-route just those positions through it and retry once.
+	if nt := s.topology(); nt.version > t.version {
+		rerouted := make([][]int, len(nt.groups))
+		n := 0
+		for i := range items {
+			if errs[i] != nil && errors.Is(errs[i], platform.ErrWrongShard) {
+				sh := nt.ring.Shard(items[i].Account)
+				rerouted[sh] = append(rerouted[sh], i)
+				n++
+			}
+		}
+		if n > 0 {
+			s.dispatchBatch(ctx, nt, rerouted, items, errs)
+		}
+	}
 	var acked []platform.BatchSubmission
 	for i := range items {
 		if errs[i] == nil {
@@ -391,14 +543,9 @@ func (s *Store) RecordFingerprint(ctx context.Context, account string, rec mems.
 	if account == "" {
 		return platform.ErrEmptyAccount
 	}
-	sh := s.ring.Shard(account)
-	err := s.writeTo(ctx, sh, func(b platform.Store) error {
+	return s.routeWrite(ctx, account, func(b platform.Store) error {
 		return b.RecordFingerprint(ctx, account, rec)
 	})
-	if err != nil {
-		return fmt.Errorf("%s: %w", s.label(sh), err)
-	}
-	return nil
 }
 
 // RecordFingerprintFeatures routes an extracted feature vector to the
@@ -407,14 +554,9 @@ func (s *Store) RecordFingerprintFeatures(ctx context.Context, account string, f
 	if account == "" {
 		return platform.ErrEmptyAccount
 	}
-	sh := s.ring.Shard(account)
-	err := s.writeTo(ctx, sh, func(b platform.Store) error {
+	return s.routeWrite(ctx, account, func(b platform.Store) error {
 		return b.RecordFingerprintFeatures(ctx, account, features)
 	})
-	if err != nil {
-		return fmt.Errorf("%s: %w", s.label(sh), err)
-	}
-	return nil
 }
 
 // readFailover reports whether a read error warrants trying another
@@ -431,8 +573,8 @@ func readFailover(err error) bool {
 // the same frames the primary journaled, so a follower read is the same
 // data at most a ship interval stale — an explicitly weaker answer the
 // caller prefers over none while the poller promotes a replacement.
-func (s *Store) readFrom(ctx context.Context, gi int, fn func(platform.Store) error) error {
-	g := s.groups[gi]
+func (s *Store) readFrom(ctx context.Context, t *topology, gi int, fn func(platform.Store) error) error {
+	g := t.groups[gi]
 	cur := g.primaryIdx()
 	err := fn(g.replicas[cur])
 	if err == nil || len(g.replicas) == 1 || !readFailover(err) {
@@ -457,15 +599,15 @@ func (s *Store) readFrom(ctx context.Context, gi int, fn func(platform.Store) er
 // gather snapshots every shard's dataset concurrently, each group through
 // its primary with follower fallback. dss[i] and errs[i] are shard i's
 // outcome; exactly one of them is set.
-func (s *Store) gather(ctx context.Context) (dss []*mcs.Dataset, errs []error) {
-	dss = make([]*mcs.Dataset, len(s.groups))
-	errs = make([]error, len(s.groups))
+func (s *Store) gather(ctx context.Context, t *topology) (dss []*mcs.Dataset, errs []error) {
+	dss = make([]*mcs.Dataset, len(t.groups))
+	errs = make([]error, len(t.groups))
 	var wg sync.WaitGroup
-	for i := range s.groups {
+	for i := range t.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = s.readFrom(ctx, i, func(b platform.Store) error {
+			errs[i] = s.readFrom(ctx, t, i, func(b platform.Store) error {
 				ds, err := b.Dataset(ctx)
 				if err != nil {
 					return err
@@ -480,16 +622,26 @@ func (s *Store) gather(ctx context.Context) (dss []*mcs.Dataset, errs []error) {
 }
 
 // merge concatenates shard datasets in shard order under the composite
-// task list. Within a shard, accounts keep their registration order, so
-// the merged account order is deterministic for a given fleet state.
-func (s *Store) merge(dss []*mcs.Dataset) *mcs.Dataset {
+// task list, keeping from each shard only the accounts the ring assigns
+// it. In steady state the filter is a no-op — every account a shard holds
+// is one it owns. After an online reshard it is what makes the cutover
+// non-destructive: the donor keeps its (fenced, frozen) copy of the moved
+// accounts, and ownership filtering here is what excises that copy from
+// reads instead of a deletion excising it from disk. Within a shard,
+// accounts keep their registration order, so the merged account order is
+// deterministic for a given fleet state.
+func (s *Store) merge(t *topology, dss []*mcs.Dataset) *mcs.Dataset {
 	out := &mcs.Dataset{Tasks: make([]mcs.Task, len(s.tasks))}
 	copy(out.Tasks, s.tasks)
-	for _, ds := range dss {
+	for gi, ds := range dss {
 		if ds == nil {
 			continue
 		}
-		out.Accounts = append(out.Accounts, ds.Accounts...)
+		for _, a := range ds.Accounts {
+			if t.ring.Shard(a.ID) == gi {
+				out.Accounts = append(out.Accounts, a)
+			}
+		}
 	}
 	return out
 }
@@ -500,13 +652,14 @@ func (s *Store) merge(dss []*mcs.Dataset) *mcs.Dataset {
 // re-aggregation, so any failed shard (every replica down) fails the read
 // (retryably).
 func (s *Store) Dataset(ctx context.Context) (*mcs.Dataset, error) {
-	dss, errs := s.gather(ctx)
+	t := s.topology()
+	dss, errs := s.gather(ctx, t)
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.label(i), err)
+			return nil, fmt.Errorf("%s: %w", t.label(i), err)
 		}
 	}
-	return s.merge(dss), nil
+	return s.merge(t, dss), nil
 }
 
 // failedLabel builds the DegradedReason suffix naming unreachable shards.
@@ -531,17 +684,18 @@ func (s *Store) Aggregate(ctx context.Context, method string) (truth.Result, []f
 	if _, err := platform.AlgorithmByName(method); err != nil {
 		return truth.Result{}, nil, err
 	}
-	dss, errs := s.gather(ctx)
+	t := s.topology()
+	dss, errs := s.gather(ctx, t)
 	var failed []int
 	for i, err := range errs {
 		if err != nil {
 			failed = append(failed, i)
 		}
 	}
-	if len(failed) == len(s.groups) {
-		return truth.Result{}, nil, fmt.Errorf("%s: %w", s.label(failed[0]), errs[failed[0]])
+	if len(failed) == len(t.groups) {
+		return truth.Result{}, nil, fmt.Errorf("%s: %w", t.label(failed[0]), errs[failed[0]])
 	}
-	res, unc, err := platform.AggregateDataset(ctx, method, s.merge(dss))
+	res, unc, err := platform.AggregateDataset(ctx, method, s.merge(t, dss))
 	if err != nil {
 		return truth.Result{}, nil, err
 	}
@@ -567,13 +721,14 @@ func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
 		stats platform.StatsResponse
 		err   error
 	}
-	results := make([]result, len(s.groups))
+	t := s.topology()
+	results := make([]result, len(t.groups))
 	var wg sync.WaitGroup
-	for i := range s.groups {
+	for i := range t.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i].err = s.readFrom(ctx, i, func(b platform.Store) error {
+			results[i].err = s.readFrom(ctx, t, i, func(b platform.Store) error {
 				st, err := b.Stats(ctx)
 				if err != nil {
 					return err
@@ -597,8 +752,8 @@ func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
 			out.DegradedReason = r.stats.DegradedReason
 		}
 	}
-	if len(failed) == len(s.groups) {
-		return platform.StatsResponse{}, fmt.Errorf("%s: %w", s.label(failed[0]), results[failed[0]].err)
+	if len(failed) == len(t.groups) {
+		return platform.StatsResponse{}, fmt.Errorf("%s: %w", t.label(failed[0]), results[failed[0]].err)
 	}
 	if len(failed) > 0 {
 		out.Degraded = true
@@ -626,18 +781,19 @@ func (s *Store) ShardHealth(ctx context.Context) []platform.ShardHealth {
 	if p != nil {
 		return p.health()
 	}
+	t := s.topology()
 	// The slice is fully sized before any probe goroutine starts: each
 	// goroutine writes its own pre-allocated element, so the slice header
 	// is never touched concurrently (an append here would race the
 	// writers and could strand their results in a stale backing array).
 	total := 0
-	for _, g := range s.groups {
+	for _, g := range t.groups {
 		total += len(g.replicas)
 	}
 	out := make([]platform.ShardHealth, total)
 	var wg sync.WaitGroup
 	pos := 0
-	for gi, g := range s.groups {
+	for gi, g := range t.groups {
 		for ri, b := range g.replicas {
 			out[pos] = platform.ShardHealth{Shard: gi, Replica: ri, Addr: g.addr(ri)}
 			p, ok := b.(platform.Pinger)

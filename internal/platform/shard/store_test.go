@@ -268,7 +268,7 @@ func TestShardStoreDegradedReads(t *testing.T) {
 	}
 	// Kill shard 1 after the writes landed.
 	down := fmt.Errorf("%w: connection refused", platform.ErrShardUnavailable)
-	s.groups[1].replicas[0] = &failingStore{Store: locals[1], err: down}
+	s.topology().groups[1].replicas[0] = &failingStore{Store: locals[1], err: down}
 
 	// Aggregate and Stats answer from the reachable part, flagged.
 	res, _, err := s.Aggregate(context.Background(), "mean")
@@ -300,8 +300,8 @@ func TestShardStoreDegradedReads(t *testing.T) {
 	}
 
 	// All shards down → error, not an empty degraded answer.
-	for i := range s.groups {
-		s.groups[i].replicas[0] = &failingStore{Store: locals[i], err: down}
+	for i := range s.topology().groups {
+		s.topology().groups[i].replicas[0] = &failingStore{Store: locals[i], err: down}
 	}
 	if _, _, err := s.Aggregate(context.Background(), "mean"); !errors.Is(err, platform.ErrShardUnavailable) {
 		t.Errorf("all-shards-down aggregate: %v, want ErrShardUnavailable", err)
@@ -325,7 +325,7 @@ func TestShardStoreHealthAndListener(t *testing.T) {
 	}
 	// A failing Pinger backend reports unreachable.
 	down := fmt.Errorf("%w: connection refused", platform.ErrShardUnavailable)
-	s.groups[2].replicas[0] = &failingStore{Store: locals[2], err: down}
+	s.topology().groups[2].replicas[0] = &failingStore{Store: locals[2], err: down}
 	health = s.ShardHealth(context.Background())
 	if health[2].Ready || health[2].Status != "unreachable" {
 		t.Errorf("dead shard health = %+v, want unreachable", health[2])

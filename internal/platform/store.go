@@ -93,8 +93,25 @@ type ShardHealth struct {
 
 // ReadyzResponse is the body served at /readyz. Shards is present only on
 // a router aggregating a multi-shard platform; a single node serializes
-// exactly the pre-sharding {"status": ...} body.
+// exactly the pre-sharding {"status": ...} body. RingVersion and
+// Migrating appear on a router whose store reports ring status (see
+// RingStatusReporter), so operators can watch an online reshard cut over.
 type ReadyzResponse struct {
-	Status string        `json:"status"`
-	Shards []ShardHealth `json:"shards,omitempty"`
+	Status      string        `json:"status"`
+	Shards      []ShardHealth `json:"shards,omitempty"`
+	RingVersion uint64        `json:"ring_version,omitempty"`
+	Migrating   bool          `json:"migrating,omitempty"`
+}
+
+// RingStatus is a composite store's current topology version and whether
+// an online reshard is in flight.
+type RingStatus struct {
+	Version   uint64 `json:"ring_version"`
+	Migrating bool   `json:"migrating"`
+}
+
+// RingStatusReporter is an optional Store capability: the sharded router
+// implements it, and /readyz folds the answer into its body.
+type RingStatusReporter interface {
+	RingStatus() RingStatus
 }
