@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard replication reshard
+.PHONY: build test race vet fmt verify bench bench-ingest bench-stream fuzz recovery chaos stream shard replication reshard shrink
 
 build:
 	$(GO) build ./...
@@ -72,7 +72,17 @@ replication:
 reshard:
 	$(GO) test -race -run 'Reshard|RingMovedDelta|Migration|WrongShard' ./internal/platform/...
 
-verify: build fmt vet test race recovery chaos stream shard replication reshard
+# Ring-shrink and rebalance suite under the race detector: weighted-vnode
+# ring properties (movement proportional to the weight delta; shrink moves
+# only the retired group's keys), the live decommission end to end with
+# donor purge, rebalance end to end, shrink journal resume on either side
+# of the flip, corrupted/empty-journal recovery, the persisted ring-version
+# floor, the purge-survives-restart WAL replay check, and the
+# kill-survivor-primary-mid-decommission chaos campaign.
+shrink:
+	$(GO) test -race -run 'Shrink|Decommission|Rebalance|RingWeighted|RingFloor|JournalCorrupt|Purge' ./internal/platform/...
+
+verify: build fmt vet test race recovery chaos stream shard replication reshard shrink
 
 # Regenerates every paper table/figure plus the ablations and the parallel
 # grouping scaling benchmark (see EXPERIMENTS.md for a curated run).

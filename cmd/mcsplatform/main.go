@@ -46,6 +46,12 @@
 // coordinator once the node is serving. Run it on one member per group;
 // the request retries until the router accepts it.
 //
+// Leaving a live fleet: -leave http://router:8080 (with -advertise) asks
+// the router to decommission this replica group — the ring-shrink inverse
+// of -join: the group's keys drain to the survivors, the group is fenced
+// and its moved data purged. Keep the group running until the router's
+// reshard journal reads done; the drain streams from this group's WAL.
+//
 // Overload protection: every /v1 route passes a weighted-concurrency
 // admission gate (-max-concurrent, -max-queue, -queue-timeout) and carries
 // a propagated deadline (-request-timeout); mutating routes are optionally
@@ -104,22 +110,27 @@ func main() {
 	watchMaxSubs := flag.Int("watch-max-subscribers", 4096, "concurrent watch subscribers before new ones are shed with 503 (negative = unlimited)")
 	watchTick := flag.Duration("watch-tick", 0, "evolving-truth round interval for the watch stream: older reports decay each round (0 disables decay)")
 	join := flag.String("join", "", "router base URL to join as a new replica group via POST /v1/admin/reshard (run on one member per group; requires -advertise)")
-	advertise := flag.String("advertise", "", "comma-separated externally reachable base URLs of this replica group, primary first (used with -join)")
+	leave := flag.String("leave", "", "router base URL to leave the fleet through via POST /v1/admin/decommission (run on one member per group; requires -advertise; keep the group running until the router's reshard journal reads done)")
+	advertise := flag.String("advertise", "", "comma-separated externally reachable base URLs of this replica group, primary first (used with -join / -leave)")
 	flag.Parse()
 
 	if *numTasks < 1 {
 		fmt.Fprintln(os.Stderr, "mcsplatform: -tasks must be >= 1")
 		os.Exit(2)
 	}
+	if *join != "" && *leave != "" {
+		fmt.Fprintln(os.Stderr, "mcsplatform: -join and -leave are mutually exclusive")
+		os.Exit(2)
+	}
 	var advertised []string
-	if *join != "" {
+	if *join != "" || *leave != "" {
 		for _, a := range strings.Split(*advertise, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				advertised = append(advertised, a)
 			}
 		}
 		if len(advertised) == 0 {
-			fmt.Fprintln(os.Stderr, "mcsplatform: -join requires -advertise URLs for this group (primary first)")
+			fmt.Fprintln(os.Stderr, "mcsplatform: -join/-leave require -advertise URLs for this group (primary first)")
 			os.Exit(2)
 		}
 	}
@@ -264,6 +275,9 @@ func main() {
 	if *join != "" {
 		go joinFleet(ctx, *join, advertised, logger)
 	}
+	if *leave != "" {
+		go leaveFleet(ctx, *leave, advertised[0], logger)
+	}
 
 	select {
 	case err := <-errCh:
@@ -300,17 +314,33 @@ func main() {
 // must already be serving before this runs — the router's coordinator
 // seeds it through the regular write API the moment the request lands.
 func joinFleet(ctx context.Context, router string, addrs []string, logger *log.Logger) {
-	body, err := json.Marshal(map[string][]string{"addrs": addrs})
+	postAdmin(ctx, router, "/v1/admin/reshard", "join", map[string]any{"addrs": addrs}, logger)
+}
+
+// leaveFleet asks the router to decommission this replica group — the
+// shrink inverse of joinFleet, naming the group by its advertised primary
+// URL. The group must keep serving until the router's migration finishes:
+// the coordinator drains this group's WAL tail and purges its fenced data
+// through the same API it serves clients on.
+func leaveFleet(ctx context.Context, router, addr string, logger *log.Logger) {
+	postAdmin(ctx, router, "/v1/admin/decommission", "leave", map[string]any{"addr": addr}, logger)
+}
+
+// postAdmin posts one admin request to the router, retrying with backoff
+// until it is accepted (202), permanently refused (501/400), or the
+// process shuts down.
+func postAdmin(ctx context.Context, router, path, verb string, payload map[string]any, logger *log.Logger) {
+	body, err := json.Marshal(payload)
 	if err != nil {
-		logger.Printf("join: encode request: %v", err)
+		logger.Printf("%s: encode request: %v", verb, err)
 		return
 	}
-	url := strings.TrimRight(router, "/") + "/v1/admin/reshard"
+	url := strings.TrimRight(router, "/") + path
 	client := &http.Client{Timeout: 10 * time.Second}
 	for delay := time.Second; ; {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
-			logger.Printf("join: build request: %v", err)
+			logger.Printf("%s: build request: %v", verb, err)
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
@@ -320,19 +350,19 @@ func joinFleet(ctx context.Context, router string, addrs []string, logger *log.L
 			if ctx.Err() != nil {
 				return
 			}
-			logger.Printf("join: router %s unreachable (retrying in %v): %v", router, delay, err)
+			logger.Printf("%s: router %s unreachable (retrying in %v): %v", verb, router, delay, err)
 		default:
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			switch resp.StatusCode {
 			case http.StatusAccepted:
-				logger.Printf("join: router %s admitted this group: %s", router, strings.TrimSpace(string(msg)))
+				logger.Printf("%s: router %s accepted: %s", verb, router, strings.TrimSpace(string(msg)))
 				return
 			case http.StatusNotImplemented, http.StatusBadRequest:
-				logger.Printf("join: router %s refused permanently (%d): %s", router, resp.StatusCode, strings.TrimSpace(string(msg)))
+				logger.Printf("%s: router %s refused permanently (%d): %s", verb, router, resp.StatusCode, strings.TrimSpace(string(msg)))
 				return
 			default:
-				logger.Printf("join: router %s answered %d (retrying in %v): %s", router, resp.StatusCode, delay, strings.TrimSpace(string(msg)))
+				logger.Printf("%s: router %s answered %d (retrying in %v): %s", verb, router, resp.StatusCode, delay, strings.TrimSpace(string(msg)))
 			}
 		}
 		select {

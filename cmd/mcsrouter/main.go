@@ -51,6 +51,30 @@
 // migration automatically (post-flip it completes it, pre-flip it
 // restarts the idempotent seed). GET /readyz reports ring_version and
 // a migrating flag while a reshard is in flight.
+//
+// Ring shrink: POST /v1/admin/decommission retires a replica group live,
+// by index or by any member address:
+//
+//	curl -XPOST localhost:8080/v1/admin/decommission -d '{"group":1}'
+//	curl -XPOST localhost:8080/v1/admin/decommission -d '{"addr":"http://b1"}'
+//
+// The same coordinator runs with donor and joiner swapped: the retiring
+// group's keys seed onto the survivors, its WAL tail streams until caught
+// up, the shrunk ring flips, the group is fenced, the tail drains, and
+// its fenced data is purged (the fence stays, so stale writers still get
+// wrong_shard). Keep the retiring group in -shards until the journal
+// reads done; after that, restart the router without it.
+//
+// Rebalance: POST /v1/admin/rebalance re-weights the ring for
+// heterogeneous hardware, moving only the weight delta's worth of keys:
+//
+//	curl -XPOST localhost:8080/v1/admin/rebalance -d '{"weights":[2,1,1]}'
+//
+// Boot-time weights come from -weights (positional with -shards). The
+// router also persists its ring floor (version, seeds, weights) to
+// <data-dir>/ring_state.json on every topology change and refuses to
+// serve below it at boot — a restarted router can never reintroduce a
+// pre-flip ring, even when its reshard journal was cleaned up.
 package main
 
 import (
@@ -65,6 +89,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,7 +101,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shardList := flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines the ring; keep it stable). Replica groups separate members with '|': primary|follower[,...]")
-	dataDir := flag.String("data-dir", "", "router state directory (reshard coordinator journal); empty disables POST /v1/admin/reshard")
+	dataDir := flag.String("data-dir", "", "router state directory (reshard coordinator journal + persisted ring floor); empty disables the /v1/admin reshard endpoints")
+	weightList := flag.String("weights", "", "comma-separated per-group ring weights, positional with -shards (empty = uniform 1.0)")
 	probeInterval := flag.Duration("probe-interval", time.Second, "mean interval between health probes of each replica (per-replica jittered; replicated fleets)")
 	deadInterval := flag.Duration("dead-interval", 0, "how long a primary must stay unreachable before a follower is promoted (0 = 3x -probe-interval)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default 128)")
@@ -133,6 +159,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcsrouter: -shards must list at least one shard URL")
 		os.Exit(2)
 	}
+	if *weightList != "" {
+		parts := strings.Split(*weightList, ",")
+		if len(parts) != len(configs) {
+			fmt.Fprintf(os.Stderr, "mcsrouter: -weights lists %d weights for %d shard groups\n", len(parts), len(configs))
+			os.Exit(2)
+		}
+		for i, p := range parts {
+			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcsrouter: -weights entry %d: %v\n", i, err)
+				os.Exit(2)
+			}
+			configs[i].Weight = w
+		}
+	}
 
 	// The ring needs the fleet's task list; wait (bounded) for at least
 	// one shard to answer so a fleet booting in parallel with its router
@@ -168,10 +209,15 @@ func main() {
 		logger.Printf("failover poller running (probe %v, dead after %v)", *probeInterval, dead)
 	}
 
-	// Online resharding: the coordinator journal lives under -data-dir. A
-	// pending journal means a router died mid-migration — resume it before
-	// taking traffic, because post-flip the grown ring must be reinstalled
-	// before any write routes by the stale topology and trips a donor fence.
+	// Online resharding: the coordinator journal and the ring floor live
+	// under -data-dir. A pending journal means a router died mid-migration
+	// — resume it before taking traffic, because post-flip the new ring
+	// must be reinstalled before any write routes by the stale topology and
+	// trips a donor fence. The ring floor covers the journal's blind spot:
+	// after a completed migration's journal describes a fleet shape the
+	// current -shards no longer matches (or was cleaned up), the persisted
+	// floor still pins the minimum version and exact ring this router may
+	// serve.
 	var journalPath string
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
@@ -179,32 +225,79 @@ func main() {
 			os.Exit(1)
 		}
 		journalPath = filepath.Join(*dataDir, "reshard.json")
-		if j, ok, err := shard.LoadMigrationJournal(journalPath); err != nil {
+		ringStatePath := filepath.Join(*dataDir, "ring_state.json")
+		j, jok, err := shard.LoadMigrationJournal(journalPath)
+		if err != nil {
 			logger.Printf("reshard journal: %v", err)
 			os.Exit(1)
-		} else if ok && j.Pending() {
-			gc := shard.GroupConfig{Addrs: append([]string(nil), j.Addrs...)}
-			for _, e := range j.Addrs {
-				gc.Replicas = append(gc.Replicas, newBackend(e))
+		}
+		st, sok, err := shard.LoadRingState(ringStatePath)
+		if err != nil {
+			// An unreadable floor is fatal: serving below an unknown floor
+			// is exactly the stale-ring window the floor exists to close.
+			logger.Printf("ring state: %v", err)
+			os.Exit(1)
+		}
+		pending := jok && j.Pending()
+		if sok && !(pending && j.RingVersion >= st.Floor) {
+			// Refuse to serve below the persisted floor. A pending journal
+			// at or above the floor supersedes it — the resume below
+			// reinstalls (or re-reaches) that version itself.
+			if err := store.AdoptRingState(st.Floor, st.Seeds, st.Weights); err != nil {
+				logger.Printf("ring state: refusing to serve below persisted floor v%d: %v", st.Floor, err)
+				os.Exit(1)
 			}
-			m, err := store.ResumeMigration(gc, j, shard.MigrationOptions{JournalPath: journalPath, Logger: logger})
+			logger.Printf("ring floor: serving at persisted v%d", st.Floor)
+		}
+		var resume *shard.Migration
+		if pending {
+			var gc shard.GroupConfig
+			if j.Kind == "" || j.Kind == shard.MigrationGrow {
+				// Only a grow's joiner is absent from -shards; shrink and
+				// rebalance involve only configured groups.
+				gc.Addrs = append([]string(nil), j.Addrs...)
+				for _, e := range j.Addrs {
+					gc.Replicas = append(gc.Replicas, newBackend(e))
+				}
+			}
+			resume, err = store.ResumeMigration(gc, j, shard.MigrationOptions{JournalPath: journalPath, Logger: logger})
 			if err != nil {
 				logger.Printf("reshard: resume: %v", err)
 				os.Exit(1)
 			}
-			logger.Printf("reshard: resuming journaled migration to ring v%d (phase %s)", j.RingVersion, j.Phase)
+			logger.Printf("reshard: resuming journaled %s migration to ring v%d (phase %s)", j.Kind, j.RingVersion, j.Phase)
+		} else if jok && j.Phase == shard.MigrationDone {
+			// The fleet cut over while this router was down and -shards now
+			// lists the post-migration fleet. Adopt the journaled ring so
+			// requests are stamped with the version the fenced donors
+			// demand; a fresh topology would stamp v1 and be refused
+			// wholesale. Journals with recorded seeds rebuild the exact ring
+			// (shrinks leave gapped seeds); older grow journals fall back to
+			// the version-only bump.
+			if len(j.Seeds) > 0 && len(configs) == len(j.Seeds) {
+				if err := store.AdoptRingState(j.RingVersion, j.Seeds, j.Weights); err != nil {
+					logger.Printf("reshard: adopt completed migration's ring v%d: %v", j.RingVersion, err)
+					os.Exit(1)
+				}
+				logger.Printf("reshard: adopted completed %s migration's ring v%d", j.Kind, j.RingVersion)
+			} else if len(j.Seeds) == 0 && len(configs) == len(j.Cursors)+1 {
+				store.AdoptRingVersion(j.RingVersion)
+				logger.Printf("reshard: adopted completed migration's ring v%d", j.RingVersion)
+			}
+		}
+		// Persist the floor from here on. Enabled only after any adoption or
+		// resume installed the right topology — enabling earlier would
+		// overwrite the old floor with this process's fresh version 1.
+		if err := store.EnableRingStatePersistence(ringStatePath); err != nil {
+			logger.Printf("ring state: %v", err)
+			os.Exit(1)
+		}
+		if resume != nil {
 			go func() {
-				if err := m.Run(context.Background()); err != nil {
+				if err := resume.Run(context.Background()); err != nil {
 					logger.Printf("reshard: %v", err)
 				}
 			}()
-		} else if ok && j.Phase == shard.MigrationDone && len(configs) == len(j.Cursors)+1 {
-			// The fleet cut over to the grown ring while this router was
-			// down and -shards now lists the grown fleet. Stamp requests
-			// with the journaled ring version so the fenced donors accept
-			// them; a fresh topology would stamp v1 and be refused wholesale.
-			store.AdoptRingVersion(j.RingVersion)
-			logger.Printf("reshard: adopted completed migration's ring v%d", j.RingVersion)
 		}
 	}
 
@@ -264,6 +357,90 @@ func main() {
 		// Read the journaled version before Run starts mutating the journal.
 		ringVersion := m.Journal().RingVersion
 		logger.Printf("reshard: admitting %v as group %d (ring v%d)", gc.Addrs, store.Shards(), ringVersion)
+		go func() {
+			if err := m.Run(context.Background()); err != nil {
+				logger.Printf("reshard: %v", err)
+			}
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":       "migrating",
+			"ring_version": ringVersion,
+		})
+	})
+	mux.HandleFunc("POST /v1/admin/decommission", func(w http.ResponseWriter, r *http.Request) {
+		if journalPath == "" {
+			adminError(w, http.StatusNotImplemented, "unimplemented", "decommission requires -data-dir for the coordinator journal")
+			return
+		}
+		var req struct {
+			Group *int   `json:"group,omitempty"`
+			Addr  string `json:"addr,omitempty"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			adminError(w, http.StatusBadRequest, "bad_request", "decode body: "+err.Error())
+			return
+		}
+		gi := -1
+		switch {
+		case req.Group != nil:
+			gi = *req.Group
+		case req.Addr != "":
+			for i, gc := range configs {
+				for _, a := range gc.Addrs {
+					if a == req.Addr {
+						gi = i
+					}
+				}
+			}
+			if gi < 0 {
+				adminError(w, http.StatusBadRequest, "bad_request", "addr "+req.Addr+" is not a member of any configured group")
+				return
+			}
+		default:
+			adminError(w, http.StatusBadRequest, "bad_request", "body must name the retiring group by index (group) or member URL (addr)")
+			return
+		}
+		m, err := store.StartDecommission(gi, shard.MigrationOptions{JournalPath: journalPath, Logger: logger})
+		if err != nil {
+			adminError(w, http.StatusConflict, "conflict", err.Error())
+			return
+		}
+		ringVersion := m.Journal().RingVersion
+		logger.Printf("reshard: decommissioning group %d (ring v%d)", gi, ringVersion)
+		go func() {
+			if err := m.Run(context.Background()); err != nil {
+				logger.Printf("reshard: %v", err)
+			}
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":       "migrating",
+			"ring_version": ringVersion,
+			"retiring":     gi,
+		})
+	})
+	mux.HandleFunc("POST /v1/admin/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		if journalPath == "" {
+			adminError(w, http.StatusNotImplemented, "unimplemented", "rebalance requires -data-dir for the coordinator journal")
+			return
+		}
+		var req struct {
+			Weights []float64 `json:"weights"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			adminError(w, http.StatusBadRequest, "bad_request", "decode body: "+err.Error())
+			return
+		}
+		m, err := store.StartRebalance(req.Weights, shard.MigrationOptions{JournalPath: journalPath, Logger: logger})
+		if err != nil {
+			adminError(w, http.StatusConflict, "conflict", err.Error())
+			return
+		}
+		ringVersion := m.Journal().RingVersion
+		logger.Printf("reshard: rebalancing to weights %v (ring v%d)", req.Weights, ringVersion)
 		go func() {
 			if err := m.Run(context.Background()); err != nil {
 				logger.Printf("reshard: %v", err)

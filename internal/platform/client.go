@@ -455,6 +455,15 @@ func (c *Client) Fence(ctx context.Context, req FenceRequest) (FenceResponse, er
 	return out, err
 }
 
+// PurgeFenced tells a node to drop the data of every account fenced at or
+// below the given ring version, keeping the fence — the post-migration GC
+// (see FencePurger). Idempotent: a repeat purge finds nothing to drop.
+func (c *Client) PurgeFenced(ctx context.Context, req PurgeRequest) (PurgeResponse, error) {
+	var out PurgeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/purge", req, &out)
+	return out, err
+}
+
 // attemptResult classifies one request attempt for the retry loop and the
 // circuit breaker.
 type attemptResult struct {

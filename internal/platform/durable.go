@@ -35,6 +35,13 @@ const (
 	// before it takes effect and shipped to followers verbatim, so a
 	// promoted follower refuses the same writes its dead primary did.
 	opFence = "fence"
+	// opUnfencePurge drops the data of every account fenced at or below
+	// the record's ring version — the post-migration GC (see FencePurger).
+	// The fence map and fence-version watermark survive the purge, so the
+	// shard keeps answering wrong_shard to stale writers; only the moved
+	// observations and fingerprints are released. Journaled and shipped
+	// like any write, so followers purge in lockstep.
+	opUnfencePurge = "unfence_purge"
 )
 
 // walRecord is one durable mutation, JSON-encoded as the payload of a WAL
@@ -495,6 +502,11 @@ func (s *LocalStore) replayRecordLocked(rec walRecord) bool {
 		}
 		s.applyFenceLocked(rec.Ring, rec.Accounts)
 		return true
+	case opUnfencePurge:
+		if rec.Ring == 0 {
+			return false
+		}
+		return s.applyPurgeLocked(rec.Ring) > 0
 	}
 	return false
 }

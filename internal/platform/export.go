@@ -33,9 +33,10 @@ type ExportRecord struct {
 // exported here so the coordinator can switch on them without knowing the
 // WAL encoding.
 const (
-	ExportOpSubmit      = opSubmit
-	ExportOpFingerprint = opFingerprint
-	ExportOpFence       = opFence
+	ExportOpSubmit       = opSubmit
+	ExportOpFingerprint  = opFingerprint
+	ExportOpFence        = opFence
+	ExportOpUnfencePurge = opUnfencePurge
 )
 
 // ExportBatch is the export response: records in (FromSeq, NextSeq],

@@ -134,6 +134,19 @@ type (
 		Status       string `json:"status"`
 		FenceVersion uint64 `json:"fence_version"`
 	}
+	// PurgeRequest is the POST /v1/admin/purge body: the migration
+	// coordinator's (or an operator's) instruction to drop the data of
+	// every account fenced at or below the given ring version, keeping the
+	// fence itself (see FencePurger).
+	PurgeRequest struct {
+		RingVersion uint64 `json:"ring_version"`
+	}
+	// PurgeResponse acknowledges a purge with the number of accounts
+	// dropped.
+	PurgeResponse struct {
+		Status string `json:"status"`
+		Purged int    `json:"purged"`
+	}
 )
 
 // RingVersionHeader stamps mutating RPCs with the sender's ring version
@@ -486,6 +499,7 @@ func NewServerWithOptions(store Store, opts ServerOptions) *Server {
 	// client load is heaviest, or it never converges.
 	s.handle("POST /v1/repl/export", weightDeferred, s.handleReplExport)
 	s.handle("POST /v1/admin/fence", weightDeferred, s.handleFence)
+	s.handle("POST /v1/admin/purge", weightDeferred, s.handlePurge)
 	// Unknown /v1 paths answer a typed 501 unimplemented JSON body rather
 	// than the mux's bare 404, so a version-skewed client fails with a
 	// decodable coded error instead of a body-parse failure.
@@ -1149,6 +1163,28 @@ func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, FenceResponse{Status: "fenced", FenceVersion: f.FenceVersion()})
+}
+
+// handlePurge drops fenced accounts' data (see FencePurger): the
+// post-migration GC the coordinator runs once a reshard is done, also
+// available to operators cleaning up after a coordinator that could not
+// reach this donor in time.
+func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.store.(FencePurger)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: fence purging not served on this node", ErrUnimplemented))
+		return
+	}
+	var req PurgeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	n, err := p.PurgeFenced(r.Context(), req.RingVersion)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, PurgeResponse{Status: "purged", Purged: n})
 }
 
 // handleHealthz is liveness: the process is up and serving. Always 200 —

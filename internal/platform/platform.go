@@ -66,10 +66,12 @@ type LocalStore struct {
 	onSubmit SubmitListener
 }
 
-// LocalStore implements Store and the resharding Fencer capability.
+// LocalStore implements Store and the resharding Fencer and FencePurger
+// capabilities.
 var (
-	_ Store  = (*LocalStore)(nil)
-	_ Fencer = (*LocalStore)(nil)
+	_ Store       = (*LocalStore)(nil)
+	_ Fencer      = (*LocalStore)(nil)
+	_ FencePurger = (*LocalStore)(nil)
 )
 
 // SubmitListener observes acknowledged submissions. Items are only ever
@@ -218,6 +220,21 @@ type Fencer interface {
 	// FenceVersion returns the highest ring version this store has been
 	// fenced at (0 = never fenced).
 	FenceVersion() uint64
+}
+
+// FencePurger is the post-migration GC capability: a store that can drop
+// the data of accounts it fenced, once the migration that fenced them has
+// durably completed. Without it, a donor carries every moved account's
+// observations in memory — and in every snapshot — forever. The purge
+// keeps the fence map and the fence-version watermark: stale writers must
+// still get wrong_shard, because dropping the fence would let a
+// pre-flip-topology router silently re-create a moved account here.
+type FencePurger interface {
+	// PurgeFenced drops the stored data of every account fenced at or
+	// below ringVersion and returns how many accounts were purged. The
+	// purge is journaled and replicated like any write. Idempotent: a
+	// second purge at the same version finds nothing to drop.
+	PurgeFenced(ctx context.Context, ringVersion uint64) (int, error)
 }
 
 // isFinite reports whether v is a usable measurement. NaN and ±Inf are
@@ -732,6 +749,100 @@ func (s *LocalStore) resetFenceLocked(fenced map[string]uint64, version uint64) 
 		}
 		s.fenceVersion = version
 	}
+}
+
+// PurgeFenced durably drops the data of every account fenced at or below
+// ringVersion (see FencePurger) — the GC the migration coordinator runs
+// after a reshard completes. Like Fence, the purge is a write: journaled
+// and fsynced before it takes effect, shipped to followers through the
+// regular WAL stream, and settled under the configured ack mode, so a
+// promoted follower has purged exactly what its dead primary had. The
+// fence map and fence-version watermark survive: stale writers still get
+// wrong_shard, only the moved data is released. Nothing is journaled when
+// there is nothing to purge, so re-issuing it is free.
+func (s *LocalStore) PurgeFenced(ctx context.Context, ringVersion uint64) (int, error) {
+	if ringVersion == 0 {
+		return 0, fmt.Errorf("%w: purge needs a ring version", ErrMalformedRequest)
+	}
+	if err := s.writeAllowed(); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	n, tok, err := s.purgeLocked(ctx, ringVersion)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	if s.journal != nil {
+		if err := s.journal.waitDurable(tok); err != nil {
+			return 0, err
+		}
+	}
+	if s.repl != nil {
+		return n, s.repl.settle(ctx, tok)
+	}
+	return n, nil
+}
+
+func (s *LocalStore) purgeLocked(ctx context.Context, ringVersion uint64) (int, commitToken, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, commitToken{}, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	// Count first: an empty purge must not burn a WAL record (the
+	// coordinator re-issues purges freely on resume).
+	pending := 0
+	for a, v := range s.fenced {
+		if v <= ringVersion && s.accounts[a] != nil {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return 0, commitToken{}, nil
+	}
+	var tok commitToken
+	if s.journal != nil {
+		var err error
+		tok, err = s.journal.appendLocked(walRecord{Op: opUnfencePurge, Ring: ringVersion})
+		if err != nil {
+			return 0, commitToken{}, err
+		}
+	}
+	n := s.applyPurgeLocked(ringVersion)
+	obs.Default().Counter("platform.purged_accounts").Add(int64(n))
+	if s.journal != nil {
+		s.journal.maybeCompactLocked()
+	}
+	return n, tok, nil
+}
+
+// applyPurgeLocked drops fenced accounts' data in memory. Shared by the
+// client path, WAL replay, and the follower apply path; caller must hold
+// mu. Returns how many accounts were dropped.
+func (s *LocalStore) applyPurgeLocked(ringVersion uint64) int {
+	n := 0
+	for a, v := range s.fenced {
+		if v > ringVersion {
+			continue
+		}
+		if s.accounts[a] != nil {
+			delete(s.accounts, a)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if s.accounts[id] != nil {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+	return n
 }
 
 // Dataset snapshots the store as an mcs.Dataset (accounts in registration

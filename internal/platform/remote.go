@@ -33,13 +33,14 @@ type RemoteStore struct {
 }
 
 // RemoteStore implements Store, the Pinger health capability, and the
-// resharding capabilities (Exporter, Fencer) by forwarding to the
-// backing node.
+// resharding capabilities (Exporter, Fencer, FencePurger) by forwarding
+// to the backing node.
 var (
-	_ Store    = (*RemoteStore)(nil)
-	_ Pinger   = (*RemoteStore)(nil)
-	_ Exporter = (*RemoteStore)(nil)
-	_ Fencer   = (*RemoteStore)(nil)
+	_ Store       = (*RemoteStore)(nil)
+	_ Pinger      = (*RemoteStore)(nil)
+	_ Exporter    = (*RemoteStore)(nil)
+	_ Fencer      = (*RemoteStore)(nil)
+	_ FencePurger = (*RemoteStore)(nil)
 )
 
 // NewRemoteStore wraps c as a Store.
@@ -243,3 +244,13 @@ func (r *RemoteStore) Fence(ctx context.Context, ringVersion uint64, accounts []
 // acknowledged through this store (0 until a Fence call succeeds — it is
 // a local cache, not a remote read).
 func (r *RemoteStore) FenceVersion() uint64 { return r.fenceVersion.Load() }
+
+// PurgeFenced tells the backing node to drop the data of accounts fenced
+// at or below ringVersion, keeping the fence (the post-migration GC).
+func (r *RemoteStore) PurgeFenced(ctx context.Context, ringVersion uint64) (int, error) {
+	resp, err := r.c.PurgeFenced(ctx, PurgeRequest{RingVersion: ringVersion})
+	if err != nil {
+		return 0, shardErr(err)
+	}
+	return resp.Purged, nil
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"math/rand"
 	"sync"
@@ -54,6 +55,14 @@ type replicaState struct {
 	replSeen bool
 }
 
+// groupProbe is the poller's per-group state: one cached entry per
+// replica plus the channel that retires this group's probe goroutines
+// without touching anyone else's.
+type groupProbe struct {
+	row  []*replicaState
+	stop chan struct{}
+}
+
 // FailoverPoller watches every replica of every group and flips a group's
 // primary when the current one stays dead past the dead interval: the
 // reachable follower with the most durable records is promoted with a
@@ -67,12 +76,16 @@ type FailoverPoller struct {
 	reg   *obs.Registry
 	log   *log.Logger
 
-	// states holds one row per group, one entry per replica. Rows are
-	// appended when an online reshard admits a group mid-flight (see
-	// syncGroups); individual *replicaState pointers are stable for the
-	// poller's lifetime.
+	// states is keyed by the group object, not its topology position: a
+	// shrink removes a group from the middle of the list and shifts every
+	// later index, and positionally keyed probe state would then evaluate
+	// group i's failover against group i+1's replicas. Group objects are
+	// shared across topology generations, so the handle is stable for the
+	// group's whole life — including the drain window after a shrink flip
+	// when the retiring donor has already left the topology but still
+	// needs failover coverage (retireGroup ends that coverage).
 	stateMu sync.RWMutex
-	states  [][]*replicaState
+	states  map[*group]*groupProbe
 
 	start time.Time
 
@@ -89,15 +102,21 @@ type FailoverPoller struct {
 	wg       sync.WaitGroup
 }
 
-// state returns the cached probe state for replica ri of group gi, or nil
-// when the poller has not yet synced to a topology containing it.
-func (p *FailoverPoller) state(gi, ri int) *replicaState {
+// probeFor returns group g's probe row, or nil when the poller has not
+// yet synced to a topology containing it (or already retired it).
+func (p *FailoverPoller) probeFor(g *group) *groupProbe {
 	p.stateMu.RLock()
 	defer p.stateMu.RUnlock()
-	if gi >= len(p.states) || ri >= len(p.states[gi]) {
+	return p.states[g]
+}
+
+// state returns the cached probe state for replica ri of group g.
+func (p *FailoverPoller) state(g *group, ri int) *replicaState {
+	gp := p.probeFor(g)
+	if gp == nil || ri >= len(gp.row) {
 		return nil
 	}
-	return p.states[gi][ri]
+	return gp.row[ri]
 }
 
 // StartFailover begins background health polling and automatic primary
@@ -121,45 +140,37 @@ func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
 		opts.DeadInterval = 3 * opts.ProbeInterval
 	}
 	p := &FailoverPoller{
-		store: s,
-		opts:  opts,
-		reg:   opts.Registry,
-		log:   opts.Logger,
-		start: time.Now(),
-		stop:  make(chan struct{}),
+		store:  s,
+		opts:   opts,
+		reg:    opts.Registry,
+		log:    opts.Logger,
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+		states: make(map[*group]*groupProbe),
 	}
 	if p.reg == nil {
 		p.reg = obs.Default()
 	}
 	t := s.topology()
-	p.states = make([][]*replicaState, len(t.groups))
-	for gi, g := range t.groups {
-		p.states[gi] = make([]*replicaState, len(g.replicas))
-		for ri := range g.replicas {
-			p.states[gi][ri] = &replicaState{}
-		}
+	for _, g := range t.groups {
+		p.states[g] = newGroupProbe(g)
 	}
 	// Initial synchronous round: probe everything once in parallel so the
 	// first /readyz after startup reflects the fleet, not zero values.
 	var init sync.WaitGroup
-	for gi := range t.groups {
-		for ri := range t.groups[gi].replicas {
+	for _, g := range t.groups {
+		for ri := range g.replicas {
 			init.Add(1)
-			go func(gi, ri int) {
+			go func(g *group, ri int) {
 				defer init.Done()
-				p.probe(gi, ri)
-			}(gi, ri)
+				p.probe(g, ri)
+			}(g, ri)
 		}
 	}
 	init.Wait()
 
-	seed := time.Now().UnixNano()
-	for gi := range t.groups {
-		for ri := range t.groups[gi].replicas {
-			p.wg.Add(1)
-			rng := rand.New(rand.NewSource(seed + int64(gi)*1009 + int64(ri)))
-			go p.run(gi, ri, rng)
-		}
+	for gi, g := range t.groups {
+		p.launchGroup(g, p.states[g], int64(gi))
 	}
 	s.pollMu.Lock()
 	s.poller = p
@@ -167,11 +178,32 @@ func (s *Store) StartFailover(opts FailoverOptions) *FailoverPoller {
 	return p
 }
 
+func newGroupProbe(g *group) *groupProbe {
+	gp := &groupProbe{row: make([]*replicaState, len(g.replicas)), stop: make(chan struct{})}
+	for ri := range gp.row {
+		gp.row[ri] = &replicaState{}
+	}
+	return gp
+}
+
+// launchGroup starts one jittered probe loop per replica of g. Callers
+// hold lifeMu or run before the poller is published.
+func (p *FailoverPoller) launchGroup(g *group, gp *groupProbe, seedOff int64) {
+	seed := time.Now().UnixNano()
+	for ri := range g.replicas {
+		p.wg.Add(1)
+		rng := rand.New(rand.NewSource(seed + seedOff*1009 + int64(ri)))
+		go p.run(g, gp, ri, rng)
+	}
+}
+
 // syncGroups starts probing any groups admitted after the poller began —
 // the online-reshard join path. Existing groups keep their running probe
 // loops (their *group objects are shared across topology generations); a
 // new group gets one synchronous probe round and then its own jittered
-// loops, exactly like groups present at startup.
+// loops, exactly like groups present at startup. Groups that left the
+// topology keep probing until retireGroup: a shrink's retiring donor
+// still needs failover coverage while its fenced tail drains.
 func (p *FailoverPoller) syncGroups(t *topology) {
 	p.lifeMu.Lock()
 	defer p.lifeMu.Unlock()
@@ -180,24 +212,35 @@ func (p *FailoverPoller) syncGroups(t *topology) {
 		return
 	default:
 	}
+	var added []*group
 	p.stateMu.Lock()
-	first := len(p.states)
-	for gi := first; gi < len(t.groups); gi++ {
-		row := make([]*replicaState, len(t.groups[gi].replicas))
-		for ri := range row {
-			row[ri] = &replicaState{}
+	for _, g := range t.groups {
+		if p.states[g] == nil {
+			p.states[g] = newGroupProbe(g)
+			added = append(added, g)
 		}
-		p.states = append(p.states, row)
 	}
 	p.stateMu.Unlock()
-	seed := time.Now().UnixNano()
-	for gi := first; gi < len(t.groups); gi++ {
-		for ri := range t.groups[gi].replicas {
-			p.probe(gi, ri)
-			p.wg.Add(1)
-			rng := rand.New(rand.NewSource(seed + int64(gi)*1009 + int64(ri)))
-			go p.run(gi, ri, rng)
+	for i, g := range added {
+		gp := p.probeFor(g)
+		for ri := range g.replicas {
+			p.probe(g, ri)
 		}
+		p.launchGroup(g, gp, int64(len(t.groups)+i))
+	}
+}
+
+// retireGroup ends probe coverage for a group that finished leaving the
+// ring (a decommission whose drain completed): its goroutines stop and
+// its cached state drops out of the health view. Unknown groups are a
+// no-op.
+func (p *FailoverPoller) retireGroup(g *group) {
+	p.stateMu.Lock()
+	gp := p.states[g]
+	delete(p.states, g)
+	p.stateMu.Unlock()
+	if gp != nil {
+		close(gp.stop)
 	}
 }
 
@@ -237,7 +280,7 @@ func (p *FailoverPoller) delay(rng *rand.Rand) time.Duration {
 }
 
 // run is one replica's probe loop.
-func (p *FailoverPoller) run(gi, ri int, rng *rand.Rand) {
+func (p *FailoverPoller) run(g *group, gp *groupProbe, ri int, rng *rand.Rand) {
 	defer p.wg.Done()
 	timer := time.NewTimer(p.delay(rng))
 	defer timer.Stop()
@@ -245,10 +288,12 @@ func (p *FailoverPoller) run(gi, ri int, rng *rand.Rand) {
 		select {
 		case <-p.stop:
 			return
+		case <-gp.stop:
+			return
 		case <-timer.C:
 		}
-		p.probe(gi, ri)
-		p.evaluate(gi)
+		p.probe(g, ri)
+		p.evaluate(g)
 		timer.Reset(p.delay(rng))
 	}
 }
@@ -257,10 +302,9 @@ func (p *FailoverPoller) run(gi, ri int, rng *rand.Rand) {
 // and drain status, /v1/repl/status for role, epoch, and durable cursor.
 // A node without replication configured (501 on the status route) is
 // still a healthy single-replica shard — role just stays unknown.
-func (p *FailoverPoller) probe(gi, ri int) {
-	g := p.store.group(gi)
-	st := p.state(gi, ri)
-	if g == nil || st == nil || ri >= len(g.replicas) {
+func (p *FailoverPoller) probe(g *group, ri int) {
+	st := p.state(g, ri)
+	if st == nil || ri >= len(g.replicas) {
 		return
 	}
 	b := g.replicas[ri]
@@ -326,8 +370,8 @@ func (p *FailoverPoller) probe(gi, ri int) {
 
 // snapshotState reads one replica's cached probe result (a zero value
 // when the replica was never registered with the poller).
-func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
-	st := p.state(gi, ri)
+func (p *FailoverPoller) snapshotState(g *group, ri int) replicaState {
+	st := p.state(g, ri)
 	if st == nil {
 		return replicaState{}
 	}
@@ -340,7 +384,22 @@ func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
 	}
 }
 
-// evaluate applies the failover state machine to group gi:
+// groupName labels g for diagnostics: its position in the live topology,
+// or its primary's address once it has been flipped out (a retiring
+// donor draining after a shrink).
+func (p *FailoverPoller) groupName(g *group) string {
+	for gi, gg := range p.store.topology().groups {
+		if gg == g {
+			return fmt.Sprintf("shard %d", gi)
+		}
+	}
+	if a := g.addr(g.primaryIdx()); a != "" {
+		return fmt.Sprintf("retiring group (%s)", a)
+	}
+	return "retiring group"
+}
+
+// evaluate applies the failover state machine to group g:
 //
 //  1. if another replica claims primary at a higher epoch than the
 //     current view, adopt it (someone else — another router, an operator —
@@ -354,16 +413,15 @@ func (p *FailoverPoller) snapshotState(gi, ri int) replicaState {
 //     primary included, for its return) as followers — but never one
 //     whose epoch is behind the dead primary's: an epoch-stale replica
 //     does not yet hold the acked data a promotion must preserve.
-func (p *FailoverPoller) evaluate(gi int) {
-	g := p.store.group(gi)
-	if g == nil || len(g.replicas) < 2 {
+func (p *FailoverPoller) evaluate(g *group) {
+	if len(g.replicas) < 2 {
 		return
 	}
 	p.promoteMu.Lock()
 	defer p.promoteMu.Unlock()
 
 	cur := g.primaryIdx()
-	curSt := p.snapshotState(gi, cur)
+	curSt := p.snapshotState(g, cur)
 	lastOK := curSt.lastOK
 	if lastOK.IsZero() {
 		// Never reached since the poller started: measure the dead
@@ -377,7 +435,7 @@ func (p *FailoverPoller) evaluate(gi int) {
 		if ri == cur {
 			continue
 		}
-		st := p.snapshotState(gi, ri)
+		st := p.snapshotState(g, ri)
 		if st.role == platform.RolePrimary && st.epoch > curSt.epoch &&
 			now.Sub(st.lastOK) <= p.opts.DeadInterval {
 			g.setPrimary(ri)
@@ -387,7 +445,7 @@ func (p *FailoverPoller) evaluate(gi int) {
 			// outlive the RPC timeout), in which case this is where the
 			// flip actually lands.
 			p.reg.Counter("repl.failovers").Inc()
-			p.logf("shard %d: adopting replica %d as primary (epoch %d > %d)", gi, ri, st.epoch, curSt.epoch)
+			p.logf("%s: adopting replica %d as primary (epoch %d > %d)", p.groupName(g), ri, st.epoch, curSt.epoch)
 			return
 		}
 	}
@@ -398,10 +456,10 @@ func (p *FailoverPoller) evaluate(gi int) {
 			if ri == cur {
 				continue
 			}
-			st := p.snapshotState(gi, ri)
+			st := p.snapshotState(g, ri)
 			if st.role == platform.RolePrimary && st.epoch <= curSt.epoch &&
 				now.Sub(st.lastOK) <= p.opts.DeadInterval {
-				p.demote(gi, ri, curSt.epoch, g.addr(cur))
+				p.demote(g, ri, curSt.epoch, g.addr(cur))
 			}
 		}
 		return
@@ -422,14 +480,14 @@ func (p *FailoverPoller) evaluate(gi int) {
 	// has been seen at least once (it becomes promotable the moment the
 	// primary answers one probe — or an operator promotes manually).
 	if !curSt.replSeen {
-		p.logf("shard %d: not promoting: dead primary's epoch was never observed (restart it or promote manually)", gi)
+		p.logf("%s: not promoting: dead primary's epoch was never observed (restart it or promote manually)", p.groupName(g))
 		return
 	}
 	best := -1
 	var bestEpoch, bestSeq uint64
 	maxEpoch := curSt.epoch
 	for ri := range g.replicas {
-		st := p.snapshotState(gi, ri)
+		st := p.snapshotState(g, ri)
 		if st.epoch > maxEpoch {
 			maxEpoch = st.epoch
 		}
@@ -450,8 +508,8 @@ func (p *FailoverPoller) evaluate(gi int) {
 	// data. It becomes promotable the moment the reset adopts the current
 	// epoch — i.e. once it actually holds the data a promotion must keep.
 	if bestEpoch < curSt.epoch {
-		p.logf("shard %d: not promoting replica %d: epoch %d behind dead primary's %d (awaiting catch-up)",
-			gi, best, bestEpoch, curSt.epoch)
+		p.logf("%s: not promoting replica %d: epoch %d behind dead primary's %d (awaiting catch-up)",
+			p.groupName(g), best, bestEpoch, curSt.epoch)
 		return
 	}
 	rc, ok := g.replicas[best].(replClient)
@@ -476,11 +534,11 @@ func (p *FailoverPoller) evaluate(gi int) {
 		Followers: followers,
 	})
 	if err != nil {
-		p.logf("shard %d: promote replica %d (epoch %d) failed: %v", gi, best, newEpoch, err)
+		p.logf("%s: promote replica %d (epoch %d) failed: %v", p.groupName(g), best, newEpoch, err)
 		return
 	}
 	g.setPrimary(best)
-	if st := p.state(gi, best); st != nil {
+	if st := p.state(g, best); st != nil {
 		st.mu.Lock()
 		st.role = resp.Role
 		st.epoch = resp.Epoch
@@ -488,15 +546,14 @@ func (p *FailoverPoller) evaluate(gi int) {
 		st.mu.Unlock()
 	}
 	p.reg.Counter("repl.failovers").Inc()
-	p.logf("shard %d: promoted replica %d (%s) to primary at epoch %d (dead primary was replica %d)",
-		gi, best, g.addr(best), newEpoch, cur)
+	p.logf("%s: promoted replica %d (%s) to primary at epoch %d (dead primary was replica %d)",
+		p.groupName(g), best, g.addr(best), newEpoch, cur)
 }
 
 // demote tells a stale primary claimant to step down and follow the
 // current primary.
-func (p *FailoverPoller) demote(gi, ri int, epoch uint64, primaryAddr string) {
-	g := p.store.group(gi)
-	if g == nil || ri >= len(g.replicas) {
+func (p *FailoverPoller) demote(g *group, ri int, epoch uint64, primaryAddr string) {
+	if ri >= len(g.replicas) {
 		return
 	}
 	rc, ok := g.replicas[ri].(replClient)
@@ -510,26 +567,28 @@ func (p *FailoverPoller) demote(gi, ri int, epoch uint64, primaryAddr string) {
 		Epoch:   epoch,
 		Primary: primaryAddr,
 	}); err != nil {
-		p.logf("shard %d: demote stale primary replica %d: %v", gi, ri, err)
+		p.logf("%s: demote stale primary replica %d: %v", p.groupName(g), ri, err)
 		return
 	}
-	if st := p.state(gi, ri); st != nil {
+	if st := p.state(g, ri); st != nil {
 		st.mu.Lock()
 		st.role = platform.RoleFollower
 		st.mu.Unlock()
 	}
-	p.logf("shard %d: demoted stale primary replica %d (%s)", gi, ri, g.addr(ri))
+	p.logf("%s: demoted stale primary replica %d (%s)", p.groupName(g), ri, g.addr(ri))
 }
 
 // health renders the probe cache as /readyz shard entries, one per
-// replica, each stamped with its probe age so consumers can tell cached
-// state from fresh.
+// replica of the LIVE topology, each stamped with its probe age so
+// consumers can tell cached state from fresh. A group that left the ring
+// (a completed decommission) drops out here even while its last probes
+// wind down.
 func (p *FailoverPoller) health() []platform.ShardHealth {
 	now := time.Now()
 	var out []platform.ShardHealth
 	for gi, g := range p.store.topology().groups {
 		for ri := range g.replicas {
-			st := p.snapshotState(gi, ri)
+			st := p.snapshotState(g, ri)
 			h := platform.ShardHealth{
 				Shard:   gi,
 				Replica: ri,

@@ -10,6 +10,7 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -40,13 +41,60 @@ func NewRing(shards, virtualNodes int) *Ring {
 	if shards < 1 {
 		panic("shard: ring needs at least one shard")
 	}
+	seeds := make([]int, shards)
+	for s := range seeds {
+		seeds[s] = s
+	}
+	return NewRingWeighted(seeds, nil, virtualNodes)
+}
+
+// NewRingWeighted builds a ring whose virtual-point labels derive from a
+// stable per-group seed rather than the group's slice position. Seeds are
+// what make shrink minimal: when group i retires, the survivors keep
+// their seeds — and therefore their exact virtual points — so the only
+// keys that move are the retired group's. A positional labeling would
+// relabel every group after the gap and reshuffle the whole keyspace.
+//
+// weights scales each group's virtual-point count:
+// round(weight*virtualNodes), floored at one point so every group owns
+// some keyspace. nil means uniform 1.0 — in which case the ring is
+// point-for-point identical to NewRing over the same seed sequence.
+// Operator rebalancing for heterogeneous hardware is a weight-vector
+// change: only the delta's worth of keys moves, in proportion.
+//
+// Panics on empty seeds, duplicate seeds, mismatched lengths, or a
+// weight that is not a positive finite number — all programming errors;
+// the Store validates operator input before building rings.
+func NewRingWeighted(seeds []int, weights []float64, virtualNodes int) *Ring {
+	if len(seeds) < 1 {
+		panic("shard: ring needs at least one shard")
+	}
+	if weights != nil && len(weights) != len(seeds) {
+		panic("shard: ring weights must match seeds")
+	}
 	if virtualNodes <= 0 {
 		virtualNodes = DefaultVirtualNodes
 	}
-	r := &Ring{points: make([]ringPoint, 0, shards*virtualNodes), shards: shards}
-	for s := 0; s < shards; s++ {
-		for v := 0; v < virtualNodes; v++ {
-			h := hashKey(fmt.Sprintf("shard-%d/vnode-%d", s, v))
+	r := &Ring{points: make([]ringPoint, 0, len(seeds)*virtualNodes), shards: len(seeds)}
+	seen := make(map[int]bool, len(seeds))
+	for s, seed := range seeds {
+		if seen[seed] {
+			panic("shard: duplicate ring seed")
+		}
+		seen[seed] = true
+		w := 1.0
+		if weights != nil {
+			w = weights[s]
+		}
+		if !(w > 0) || math.IsInf(w, 0) {
+			panic("shard: ring weight must be a positive finite number")
+		}
+		n := int(math.Round(w * float64(virtualNodes)))
+		if n < 1 {
+			n = 1
+		}
+		for v := 0; v < n; v++ {
+			h := hashKey(fmt.Sprintf("shard-%d/vnode-%d", seed, v))
 			r.points = append(r.points, ringPoint{hash: h, shard: s})
 		}
 	}

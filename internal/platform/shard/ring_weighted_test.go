@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingWeightedUniformIdentity pins the backward-compatibility anchor
+// for weighted rings: nil weights, an explicit all-ones weight vector,
+// and the positional NewRing constructor must all produce the same
+// key→shard assignment. Every ring built before weights existed keeps
+// exactly its old placement — upgrading the binary moves zero keys.
+func TestRingWeightedUniformIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5} {
+		seeds := make([]int, n)
+		ones := make([]float64, n)
+		for i := range seeds {
+			seeds[i] = i
+			ones[i] = 1.0
+		}
+		positional := NewRing(n, 32)
+		nilWeights := NewRingWeighted(seeds, nil, 32)
+		oneWeights := NewRingWeighted(seeds, ones, 32)
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("acct-%d-%d", rng.Int63(), i)
+			p := positional.Shard(key)
+			if got := nilWeights.Shard(key); got != p {
+				t.Fatalf("n=%d key %q: nil-weight ring says %d, positional says %d", n, key, got, p)
+			}
+			if got := oneWeights.Shard(key); got != p {
+				t.Fatalf("n=%d key %q: all-ones ring says %d, positional says %d", n, key, got, p)
+			}
+		}
+	}
+}
+
+// TestRingWeightedMovementProportional is the rebalance-delta property
+// test: changing one group's weight moves only the keys the weight delta
+// accounts for, and moves them in the right direction. Upweighting group
+// 0 only ADDS virtual points for group 0 (labels are seed-stable and the
+// per-group point list is a prefix under scaling), so every moved key
+// must land ON group 0; downweighting only removes group 0's points, so
+// every moved key must come FROM group 0. The moved fraction tracks the
+// ownership-share delta.
+func TestRingWeightedMovementProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seeds := []int{0, 1, 2}
+	base := NewRingWeighted(seeds, nil, 64)
+	const keys = 4000
+
+	t.Run("upweight", func(t *testing.T) {
+		up := NewRingWeighted(seeds, []float64{2, 1, 1}, 64)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("acct-%d-%d", rng.Int63(), i)
+			if base.Shard(key) == up.Shard(key) {
+				continue
+			}
+			moved++
+			if got := up.Shard(key); got != 0 {
+				t.Fatalf("key %q moved to group %d, want the upweighted group 0", key, got)
+			}
+		}
+		// Share goes 1/3 → 2/4: expect ~1/6 of the keyspace to move.
+		frac := float64(moved) / keys
+		want := 1.0/2 - 1.0/3
+		if frac < want/2 || frac > want*2 {
+			t.Errorf("upweight moved fraction %.3f, want about %.3f", frac, want)
+		}
+	})
+
+	t.Run("downweight", func(t *testing.T) {
+		down := NewRingWeighted(seeds, []float64{0.5, 1, 1}, 64)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("acct-%d-%d", rng.Int63(), i)
+			if base.Shard(key) == down.Shard(key) {
+				continue
+			}
+			moved++
+			if got := base.Shard(key); got != 0 {
+				t.Fatalf("key %q moved off group %d, want moves only off the downweighted group 0", key, got)
+			}
+		}
+		// Share goes 1/3 → 0.5/2.5: expect ~2/15 of the keyspace to move.
+		frac := float64(moved) / keys
+		want := 1.0/3 - 0.5/2.5
+		if frac < want/2 || frac > want*2 {
+			t.Errorf("downweight moved fraction %.3f, want about %.3f", frac, want)
+		}
+	})
+}
+
+// TestRingMovedOnShrink is the decommission-delta property test: removing
+// one group from a seed-stable ring moves exactly the retired group's
+// keys — survivors keep their seeds, therefore their exact virtual
+// points, therefore every key they already owned. This is what makes a
+// live decommission a single-donor migration: the drain only ever reads
+// from the retiring group.
+func TestRingMovedOnShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const retired = 2
+	oldRing := NewRing(4, 32)
+	// Survivors keep seeds {0,1,3}; their new slice positions are 0,1,2.
+	newRing := NewRingWeighted([]int{0, 1, 3}, nil, 32)
+	seedToNew := map[int]int{0: 0, 1: 1, 3: 2}
+
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("acct-%d-%d", rng.Int63(), i)
+		oldOwner := oldRing.Shard(key)
+		newOwner := newRing.Shard(key)
+		if oldOwner == retired {
+			moved++
+			continue // re-homed somewhere among the survivors
+		}
+		// A survivor's key must stay with the same seed.
+		if want := seedToNew[oldOwner]; newOwner != want {
+			t.Fatalf("key %q owned by surviving seed %d moved to slice position %d, want %d",
+				key, oldOwner, newOwner, want)
+		}
+	}
+	// The retired group owned ~1/4 of the keyspace.
+	frac := float64(moved) / keys
+	if frac < 0.25/2 || frac > 0.25*2 {
+		t.Errorf("retired group owned fraction %.3f, want about 0.250", frac)
+	}
+}
+
+// TestRingWeightedValidationPanics pins the constructor's programming-
+// error contract: duplicate seeds, mismatched weight length, and
+// non-positive weights all panic rather than silently building a ring
+// with undefined placement.
+func TestRingWeightedValidationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate seeds", func() { NewRingWeighted([]int{0, 1, 1}, nil, 8) })
+	mustPanic("empty seeds", func() { NewRingWeighted(nil, nil, 8) })
+	mustPanic("weight length mismatch", func() { NewRingWeighted([]int{0, 1}, []float64{1}, 8) })
+	mustPanic("zero weight", func() { NewRingWeighted([]int{0, 1}, []float64{1, 0}, 8) })
+	mustPanic("negative weight", func() { NewRingWeighted([]int{0, 1}, []float64{1, -2}, 8) })
+}

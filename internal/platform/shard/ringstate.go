@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// RingState is the router's persisted ring floor: the highest topology
+// version this router has ever served, together with the seed and weight
+// vectors that rebuild exactly that ring. A restarted router whose
+// migration journal was cleaned up (or that crashed between the flip and
+// the journal write) would otherwise boot at version 1 and briefly serve
+// a pre-flip topology until the donors' fences reject it — the floor
+// closes that window: boot refuses to serve below it.
+type RingState struct {
+	// Floor is the minimum topology version this router may serve.
+	Floor uint64 `json:"floor"`
+	// Seeds are the per-group vnode seeds of the floor ring (see
+	// NewRingWeighted); positional with the configured groups.
+	Seeds []int `json:"seeds"`
+	// Weights are the per-group vnode weights; omitted means uniform.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// LoadRingState reads a persisted ring floor. A missing file is
+// ok=false with a nil error (a fresh router has no floor); an unreadable
+// or unparseable file is an error — serving with an unknown floor is
+// exactly the window the floor exists to close, so the caller must not
+// shrug it off.
+func LoadRingState(path string) (RingState, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return RingState{}, false, nil
+	}
+	if err != nil {
+		return RingState{}, false, fmt.Errorf("shard: read ring state: %w", err)
+	}
+	var st RingState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return RingState{}, false, fmt.Errorf("shard: parse ring state %s: %w", path, err)
+	}
+	if st.Floor == 0 || len(st.Seeds) == 0 {
+		return RingState{}, false, fmt.Errorf("shard: ring state %s is incomplete (floor=%d, %d seeds)", path, st.Floor, len(st.Seeds))
+	}
+	return st, true, nil
+}
+
+// EnableRingStatePersistence writes the current ring state to path now
+// and rewrites it on every subsequent topology install (reshard flips,
+// adoptions), so the floor on disk is durable before any traffic routes
+// at the new version. Callers adopt any previously persisted floor
+// (LoadRingState + AdoptRingState) before enabling persistence —
+// enabling first would overwrite the old floor with the fresh process's
+// version 1.
+func (s *Store) EnableRingStatePersistence(path string) error {
+	s.floorMu.Lock()
+	s.floorPath = path
+	s.floorMu.Unlock()
+	return s.writeRingState(path, s.topology())
+}
+
+// persistRingState is the installTopology hook: best-effort rewrite of
+// the enabled floor file. Failures surface as an error return from the
+// next EnableRingStatePersistence call's explicit write; mid-flight they
+// are swallowed — a router that cannot write its data dir has bigger
+// problems (its migration journal lives there too) and refusing the
+// topology install would wedge a flip that is already committed
+// fleet-wide.
+func (s *Store) persistRingState(t *topology) {
+	s.floorMu.Lock()
+	path := s.floorPath
+	s.floorMu.Unlock()
+	if path == "" {
+		return
+	}
+	_ = s.writeRingState(path, t)
+}
+
+// writeRingState persists t's ring shape with the same tmp + fsync +
+// rename discipline as snapshots and the migration journal: the rename
+// is atomic, and the fsync before it means the renamed file can never be
+// observed empty or torn after a crash.
+func (s *Store) writeRingState(path string, t *topology) error {
+	st := RingState{Floor: t.version, Seeds: t.seeds, Weights: t.weights}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("shard: encode ring state: %w", err)
+	}
+	s.floorMu.Lock()
+	defer s.floorMu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: write ring state: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("shard: write ring state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("shard: sync ring state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: close ring state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shard: install ring state: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,12 @@ type GroupConfig struct {
 	// Addrs labels each replica (typically its base URL); optional,
 	// positionally matching Replicas.
 	Addrs []string
+	// Weight scales this group's share of the keyspace by scaling its
+	// virtual-node count (see NewRingWeighted). Zero means the default
+	// 1.0; negative or non-finite weights fail construction. Operators
+	// use weights to size ring positions to heterogeneous hardware, and
+	// change them live via Store.StartRebalance.
+	Weight float64
 }
 
 // group is one ring position: a replica set with a current-primary view.
@@ -85,6 +92,15 @@ type topology struct {
 	version uint64
 	ring    *Ring
 	groups  []*group
+	// seeds are the per-group vnode-label seeds the ring was built from
+	// (see NewRingWeighted). They are positional with groups but NOT
+	// equal to slice indices after a shrink: survivors keep their seeds,
+	// so the seed vector may have gaps. Carrying them on the topology is
+	// what lets a migration — and a restarted router adopting journaled
+	// ring state — rebuild the exact same ring.
+	seeds []int
+	// weights are the per-group vnode weights; nil means uniform 1.0.
+	weights []float64
 }
 
 // label names shard gi (by its current primary) in errors and health
@@ -141,6 +157,11 @@ type Store struct {
 
 	pollMu sync.Mutex
 	poller *FailoverPoller
+
+	// floorMu guards the ring-state persistence path enabled by
+	// EnableRingStatePersistence; floorPath empty means disabled.
+	floorMu   sync.Mutex
+	floorPath string
 }
 
 // Store implements platform.Store plus the HealthReporter and
@@ -181,11 +202,21 @@ func NewReplicated(ctx context.Context, configs []GroupConfig, opts Options) (*S
 	if err != nil {
 		return nil, err
 	}
+	weights, err := configWeights(configs)
+	if err != nil {
+		return nil, err
+	}
+	seeds := make([]int, len(groups))
+	for i := range seeds {
+		seeds[i] = i
+	}
 	s := &Store{vnodes: opts.VirtualNodes}
 	s.installTopology(&topology{
 		version: 1,
-		ring:    NewRing(len(groups), opts.VirtualNodes),
+		ring:    NewRingWeighted(seeds, weights, opts.VirtualNodes),
 		groups:  groups,
+		seeds:   seeds,
+		weights: weights,
 	})
 	if opts.Tasks != nil {
 		s.tasks = append([]mcs.Task(nil), opts.Tasks...)
@@ -221,6 +252,40 @@ func buildGroups(configs []GroupConfig) ([]*group, error) {
 	return groups, nil
 }
 
+// configWeights extracts the per-group weight vector from configs,
+// normalizing "all default" to nil so an unweighted fleet builds the
+// exact same ring it always has.
+func configWeights(configs []GroupConfig) ([]float64, error) {
+	weights := make([]float64, len(configs))
+	uniform := true
+	for i, gc := range configs {
+		w := gc.Weight
+		if w == 0 {
+			w = 1
+		}
+		if err := validWeight(w); err != nil {
+			return nil, fmt.Errorf("shard: group %d: %w", i, err)
+		}
+		weights[i] = w
+		if w != 1 {
+			uniform = false
+		}
+	}
+	if uniform {
+		return nil, nil
+	}
+	return weights, nil
+}
+
+// validWeight screens a ring weight before it reaches NewRingWeighted
+// (which panics on programmer error; operator input gets an error).
+func validWeight(w float64) error {
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("%w: ring weight %v must be a positive finite number", platform.ErrMalformedRequest, w)
+	}
+	return nil
+}
+
 // topology returns the live routing snapshot. Operations load it once and
 // route every step of themselves against that one generation.
 func (s *Store) topology() *topology { return s.topo.Load() }
@@ -248,6 +313,7 @@ func (s *Store) installTopology(t *topology) {
 			}
 		}
 	}
+	s.persistRingState(t)
 	s.pollMu.Lock()
 	p := s.poller
 	s.pollMu.Unlock()
@@ -268,7 +334,44 @@ func (s *Store) AdoptRingVersion(v uint64) {
 	if v <= t.version {
 		return
 	}
-	s.installTopology(&topology{version: v, ring: t.ring, groups: t.groups})
+	s.installTopology(&topology{version: v, ring: t.ring, groups: t.groups, seeds: t.seeds, weights: t.weights})
+}
+
+// AdoptRingState republishes the current group list under an explicitly
+// recorded ring shape: version, per-group vnode seeds, and weights. This
+// is the restart path after a shrink or rebalance completed while the
+// router was down — positional seeds would be wrong (survivors keep
+// gapped seeds after a shrink), so the journal and the persisted ring
+// floor record the exact shape and a rebooting router adopts it here.
+// The seed vector must match the configured group count: a mismatch
+// means the configuration no longer describes the fleet that produced
+// the recorded ring, and serving from a guessed ring would route writes
+// to non-owners — so the mismatch is an error and the caller must not
+// serve. Versions at or below the current one are ignored.
+func (s *Store) AdoptRingState(version uint64, seeds []int, weights []float64) error {
+	t := s.topology()
+	if len(seeds) != len(t.groups) {
+		return fmt.Errorf("shard: recorded ring has %d groups, configuration has %d — refusing to guess placement", len(seeds), len(t.groups))
+	}
+	if weights != nil && len(weights) != len(seeds) {
+		return fmt.Errorf("shard: recorded ring has %d weights for %d groups", len(weights), len(seeds))
+	}
+	for _, w := range weights {
+		if err := validWeight(w); err != nil {
+			return err
+		}
+	}
+	if version <= t.version {
+		return nil
+	}
+	s.installTopology(&topology{
+		version: version,
+		ring:    NewRingWeighted(seeds, weights, s.vnodes),
+		groups:  t.groups,
+		seeds:   append([]int(nil), seeds...),
+		weights: append([]float64(nil), weights...),
+	})
+	return nil
 }
 
 // RingStatus reports the live topology version and whether an online
@@ -329,7 +432,13 @@ func (s *Store) Tasks(ctx context.Context) ([]mcs.Task, error) {
 // replica index, or ok=false when no replica currently claims primary
 // (mid-failover, or the group is unreplicated local stores).
 func (s *Store) refreshPrimary(ctx context.Context, t *topology, gi int) (int, bool) {
-	g := t.groups[gi]
+	return s.refreshPrimaryGroup(ctx, t.groups[gi])
+}
+
+// refreshPrimaryGroup is refreshPrimary keyed by group handle rather than
+// topology position — the migration coordinator needs it for a shrink's
+// retiring donor, which is absent from the candidate topology.
+func (s *Store) refreshPrimaryGroup(ctx context.Context, g *group) (int, bool) {
 	best := -1
 	var bestEpoch uint64
 	for i, b := range g.replicas {
@@ -765,6 +874,18 @@ func (s *Store) Stats(ctx context.Context) (platform.StatsResponse, error) {
 		}
 	}
 	return out, nil
+}
+
+// retireGroupProbes ends failover coverage for a group that finished
+// leaving the ring (its post-flip drain completed), if a poller is
+// running.
+func (s *Store) retireGroupProbes(g *group) {
+	s.pollMu.Lock()
+	p := s.poller
+	s.pollMu.Unlock()
+	if p != nil {
+		p.retireGroup(g)
+	}
 }
 
 // ShardHealth reports per-replica health (implements
